@@ -1,0 +1,114 @@
+// Ablations for the design choices DESIGN.md calls out:
+//   * A1 — Theorem 3 chunk size: the theory picks Θ(log n); sweep the
+//     constant to show the time/space trade-off (tiny chunks degrade to
+//     Lemma-2 space, huge chunks degrade toward naive scanning of the
+//     boundary chunks).
+//   * A2 — range tree primary leaf size: fat leaves shrink space, at a
+//     per-query scan cost.
+//   * A3 — kd-tree disk approximate-cover slack (Theorem 6): smaller
+//     slack -> bigger cover but higher acceptance; larger slack -> tiny
+//     cover but more rejections.
+//   * A4 — kd-tree dimensionality: query cost grows like n^{1-1/d}
+//     (paper Section 5).
+
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "iqs/multidim/kd_sampler.h"
+#include "iqs/multidim/kd_tree_nd.h"
+#include "iqs/multidim/range_tree.h"
+#include "iqs/range/chunked_range_sampler.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+
+namespace {
+
+void BM_ChunkSizeAblation(benchmark::State& state) {
+  const size_t chunk = static_cast<size_t>(state.range(0));
+  const size_t n = 1 << 18;
+  iqs::Rng rng(1);
+  const auto keys = iqs::UniformKeys(n, &rng);
+  const auto weights = iqs::ZipfWeights(n, 1.0, &rng);
+  const iqs::ChunkedRangeSampler sampler(keys, weights, chunk);
+  std::vector<std::pair<double, double>> queries;
+  for (int i = 0; i < 64; ++i) {
+    queries.push_back(iqs::IntervalWithSelectivity(keys, n / 8, &rng));
+  }
+  std::vector<size_t> out;
+  size_t next = 0;
+  for (auto _ : state) {
+    const auto [lo, hi] = queries[next++ % queries.size()];
+    out.clear();
+    benchmark::DoNotOptimize(sampler.Query(lo, hi, 64, &rng, &out));
+  }
+  state.counters["bytes_per_elem"] =
+      static_cast<double>(sampler.MemoryBytes()) / static_cast<double>(n);
+}
+BENCHMARK(BM_ChunkSizeAblation)->Arg(2)->Arg(4)->Arg(18)->Arg(64)->Arg(512)
+    ->Arg(4096);
+
+void BM_RangeTreeLeafAblation(benchmark::State& state) {
+  const size_t leaf = static_cast<size_t>(state.range(0));
+  const size_t n = 1 << 15;
+  iqs::Rng rng(2);
+  std::vector<iqs::multidim::Point2> pts;
+  for (const auto& [x, y] : iqs::Points2D(n, 0, &rng)) pts.push_back({x, y});
+  const iqs::multidim::RangeTree2DSampler sampler(pts, {}, leaf);
+  std::vector<iqs::multidim::Point2> out;
+  for (auto _ : state) {
+    const double x = rng.NextDouble() * 0.8;
+    const double y = rng.NextDouble() * 0.8;
+    out.clear();
+    benchmark::DoNotOptimize(sampler.QueryRect(
+        {x, x + 0.15, y, y + 0.15}, 64, &rng, &out));
+  }
+  state.counters["bytes_per_elem"] =
+      static_cast<double>(sampler.MemoryBytes()) / static_cast<double>(n);
+}
+BENCHMARK(BM_RangeTreeLeafAblation)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Arg(256);
+
+void BM_DiskSlackAblation(benchmark::State& state) {
+  const double slack = static_cast<double>(state.range(0)) / 100.0;
+  const size_t n = 1 << 17;
+  iqs::Rng rng(3);
+  std::vector<iqs::multidim::Point2> pts;
+  for (const auto& [x, y] : iqs::Points2D(n, 0, &rng)) pts.push_back({x, y});
+  const iqs::multidim::KdTreeSampler sampler(pts, {});
+  std::vector<iqs::multidim::Point2> out;
+  for (auto _ : state) {
+    const iqs::multidim::Point2 center{0.2 + 0.6 * rng.NextDouble(),
+                                       0.2 + 0.6 * rng.NextDouble()};
+    out.clear();
+    benchmark::DoNotOptimize(
+        sampler.QueryDiskApprox(center, 0.1, 64, slack, &rng, &out));
+  }
+}
+BENCHMARK(BM_DiskSlackAblation)->Arg(10)->Arg(25)->Arg(50)->Arg(100)
+    ->Arg(200);
+
+void BM_KdDimensionAblation(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const size_t n = 1 << 16;
+  iqs::Rng rng(4);
+  std::vector<double> coords(n * dim);
+  for (double& c : coords) c = rng.NextDouble();
+  const iqs::multidim::KdTreeNdSampler sampler(dim, coords, {});
+  std::vector<size_t> out;
+  for (auto _ : state) {
+    iqs::multidim::BoxNd q(dim);
+    // ~25% selectivity regardless of d: side = 0.25^(1/d).
+    const double side = std::pow(0.25, 1.0 / static_cast<double>(dim));
+    for (size_t k = 0; k < dim; ++k) {
+      const double lo = rng.NextDouble() * (1.0 - side);
+      q.set(k, lo, lo + side);
+    }
+    out.clear();
+    benchmark::DoNotOptimize(sampler.QueryBox(q, 64, &rng, &out));
+  }
+}
+BENCHMARK(BM_KdDimensionAblation)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// E1 (Theorem 1): the alias method draws a weighted sample in O(1) time
+// after an O(n)-time, O(n)-space build.
+//
+// Series reproduced:
+//   * Sample latency vs n — must stay flat (O(1)) while the O(log n)
+//     Fenwick dynamic baseline grows.
+//   * Build time vs n — must grow linearly.
+//   * Uniform vs Zipf weights — the alias method is oblivious to skew.
+
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "iqs/alias/alias_table.h"
+#include "iqs/alias/fenwick_sampler.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+
+namespace {
+
+std::vector<double> MakeWeights(size_t n, double zipf_alpha) {
+  iqs::Rng rng(7);
+  return iqs::ZipfWeights(n, zipf_alpha, &rng);
+}
+
+void BM_AliasBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> weights = MakeWeights(n, 1.0);
+  for (auto _ : state) {
+    iqs::AliasTable table(weights);
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AliasBuild)->Range(1 << 10, 1 << 22);
+
+void BM_AliasSample(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const double alpha = static_cast<double>(state.range(1)) / 10.0;
+  const iqs::AliasTable table(MakeWeights(n, alpha));
+  iqs::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(&rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AliasSample)
+    ->ArgsProduct({{1 << 10, 1 << 14, 1 << 18, 1 << 22}, {0, 10, 20}});
+
+void BM_FenwickSample(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const iqs::FenwickSampler sampler(MakeWeights(n, 1.0));
+  iqs::Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(&rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FenwickSample)->Range(1 << 10, 1 << 22);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// E7 (Theorem 6 / Corollary 7) and E15 (cover sizes): complement range
+// sampling with exact vs approximate covers.
+//
+// Series reproduced:
+//   * Cover sizes: the exact canonical cover of S \ [x, y] needs Θ(log n)
+//     pieces; the approximate cover needs at most 2 (paper Section 6).
+//   * Query time vs n: the approximate path avoids the Θ(log n) alias
+//     construction per query and wins for small s despite rejection.
+//   * Query time vs s: rejection costs a constant factor per sample.
+
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "iqs/cover/complement_sampler.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+
+namespace {
+
+std::vector<double> MakeKeys(size_t n) {
+  iqs::Rng rng(7);
+  return iqs::UniformKeys(n, &rng);
+}
+
+// Middle-half exclusions: worst case for the exact cover.
+std::vector<std::pair<double, double>> MakeExclusions(
+    const std::vector<double>& keys, iqs::Rng* rng, int count) {
+  std::vector<std::pair<double, double>> out;
+  const size_t n = keys.size();
+  for (int i = 0; i < count; ++i) {
+    const size_t a = n / 4 + rng->Below(n / 8);
+    const size_t b = n / 2 + rng->Below(n / 4);
+    out.emplace_back(keys[a], keys[b]);
+  }
+  return out;
+}
+
+void BM_ComplementExact(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t s = static_cast<size_t>(state.range(1));
+  const auto keys = MakeKeys(n);
+  const iqs::ComplementRangeSampler sampler(keys);
+  iqs::Rng rng(1);
+  const auto queries = MakeExclusions(keys, &rng, 32);
+  std::vector<size_t> out;
+  size_t next = 0;
+  for (auto _ : state) {
+    const auto [lo, hi] = queries[next++ % queries.size()];
+    out.clear();
+    benchmark::DoNotOptimize(sampler.QueryExact(lo, hi, s, &rng, &out));
+  }
+}
+BENCHMARK(BM_ComplementExact)
+    ->ArgsProduct({{1 << 12, 1 << 16, 1 << 20}, {1, 16, 256}});
+
+void BM_ComplementApprox(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t s = static_cast<size_t>(state.range(1));
+  const auto keys = MakeKeys(n);
+  const iqs::ComplementRangeSampler sampler(keys);
+  iqs::Rng rng(2);
+  const auto queries = MakeExclusions(keys, &rng, 32);
+  std::vector<size_t> out;
+  size_t next = 0;
+  for (auto _ : state) {
+    const auto [lo, hi] = queries[next++ % queries.size()];
+    out.clear();
+    benchmark::DoNotOptimize(sampler.QueryApprox(lo, hi, s, &rng, &out));
+  }
+}
+BENCHMARK(BM_ComplementApprox)
+    ->ArgsProduct({{1 << 12, 1 << 16, 1 << 20}, {1, 16, 256}});
+
+// E15: measured cover sizes, reported as counters (no timing content).
+void BM_CoverSizes(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto keys = MakeKeys(n);
+  const iqs::ComplementRangeSampler sampler(keys);
+  iqs::Rng rng(3);
+  double exact_total = 0.0;
+  double approx_total = 0.0;
+  double exact_max = 0.0;
+  int queries = 0;
+  for (auto _ : state) {
+    const size_t a = n / 4 + rng.Below(n / 4);
+    const size_t b = a + rng.Below(n / 4);
+    std::vector<iqs::CoverRange> exact;
+    std::vector<iqs::CoverRange> approx;
+    sampler.BuildExactCover(a, b, &exact);
+    sampler.BuildApproxCover(a, b, &approx);
+    benchmark::DoNotOptimize(exact.data());
+    benchmark::DoNotOptimize(approx.data());
+    exact_total += static_cast<double>(exact.size());
+    exact_max = std::max(exact_max, static_cast<double>(exact.size()));
+    approx_total += static_cast<double>(approx.size());
+    ++queries;
+  }
+  state.counters["exact_avg"] = exact_total / queries;
+  state.counters["exact_max"] = exact_max;
+  state.counters["approx_avg"] = approx_total / queries;
+}
+BENCHMARK(BM_CoverSizes)->Range(1 << 12, 1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,181 @@
+// E12 (Section 9, Direction 1): dynamizing the alias method.
+//
+// Series reproduced:
+//   * Sample latency vs n: DynamicAlias stays ~flat (expected O(1)),
+//     FenwickSampler grows with log n, and the rebuild-on-every-update
+//     static AliasTable is hopeless under churn.
+//   * Update latency vs n: DynamicAlias O(1) amortized vs Fenwick
+//     O(log n) vs static rebuild O(n).
+//   * Mixed workload throughput (90% samples / 10% weight updates).
+
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "iqs/alias/alias_table.h"
+#include "iqs/alias/dynamic_alias.h"
+#include "iqs/alias/fenwick_sampler.h"
+#include "iqs/range/dynamic_range_sampler.h"
+#include "iqs/range/logarithmic_range_sampler.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+
+namespace {
+
+std::vector<double> MakeWeights(size_t n) {
+  iqs::Rng rng(9);
+  return iqs::ZipfWeights(n, 1.0, &rng);
+}
+
+void BM_DynamicAliasSample(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto weights = MakeWeights(n);
+  iqs::DynamicAlias alias;
+  for (double w : weights) alias.Insert(w);
+  iqs::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alias.Sample(&rng));
+  }
+}
+BENCHMARK(BM_DynamicAliasSample)->Range(1 << 10, 1 << 22);
+
+void BM_DynamicAliasUpdate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto weights = MakeWeights(n);
+  iqs::DynamicAlias alias;
+  std::vector<size_t> handles;
+  for (double w : weights) handles.push_back(alias.Insert(w));
+  iqs::Rng rng(2);
+  for (auto _ : state) {
+    const size_t h = handles[rng.Below(handles.size())];
+    alias.SetWeight(h, 0.5 + rng.NextDouble());
+  }
+}
+BENCHMARK(BM_DynamicAliasUpdate)->Range(1 << 10, 1 << 22);
+
+void BM_FenwickUpdate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  iqs::FenwickSampler sampler(MakeWeights(n));
+  iqs::Rng rng(3);
+  for (auto _ : state) {
+    sampler.SetWeight(rng.Below(n), 0.5 + rng.NextDouble());
+  }
+}
+BENCHMARK(BM_FenwickUpdate)->Range(1 << 10, 1 << 22);
+
+void BM_StaticRebuildUpdate(benchmark::State& state) {
+  // The strawman the paper implies: a static alias table must be rebuilt
+  // on every weight change.
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto weights = MakeWeights(n);
+  iqs::Rng rng(4);
+  for (auto _ : state) {
+    weights[rng.Below(n)] = 0.5 + rng.NextDouble();
+    iqs::AliasTable table(weights);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_StaticRebuildUpdate)->Range(1 << 10, 1 << 16);
+
+// Dynamic weighted RANGE sampling (treap, Section 4.3 gap-filler):
+// query and update latency vs n.
+void BM_TreapRangeQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  iqs::Rng rng(11);
+  iqs::DynamicRangeSampler sampler(&rng);
+  for (size_t i = 0; i < n; ++i) {
+    sampler.Insert(rng.NextDouble(), 0.5 + rng.NextDouble());
+  }
+  std::vector<double> out;
+  for (auto _ : state) {
+    const double lo = rng.NextDouble() * 0.5;
+    out.clear();
+    benchmark::DoNotOptimize(sampler.Query(lo, lo + 0.25, 16, &rng, &out));
+  }
+}
+BENCHMARK(BM_TreapRangeQuery)->Range(1 << 10, 1 << 20);
+
+void BM_TreapUpdate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  iqs::Rng rng(12);
+  iqs::DynamicRangeSampler sampler(&rng);
+  std::vector<double> keys;
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(rng.NextDouble());
+    sampler.Insert(keys.back(), 1.0);
+  }
+  for (auto _ : state) {
+    const double key = keys[rng.Below(keys.size())];
+    sampler.Delete(key);
+    sampler.Insert(key, 0.5 + rng.NextDouble());
+  }
+}
+BENCHMARK(BM_TreapUpdate)->Range(1 << 10, 1 << 20);
+
+// Bentley-Saxe logarithmic method (insert-only Theorem 3): insert
+// throughput and query latency vs the treap.
+void BM_LogarithmicInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  iqs::Rng rng(13);
+  for (auto _ : state) {
+    state.PauseTiming();
+    iqs::LogarithmicRangeSampler sampler;
+    state.ResumeTiming();
+    for (size_t i = 0; i < n; ++i) {
+      sampler.Insert(rng.NextDouble(), 1.0);
+    }
+    benchmark::DoNotOptimize(sampler.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_LogarithmicInsert)->Range(1 << 10, 1 << 17)->Unit(
+    benchmark::kMillisecond);
+
+void BM_LogarithmicQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  iqs::Rng rng(14);
+  iqs::LogarithmicRangeSampler sampler;
+  for (size_t i = 0; i < n; ++i) sampler.Insert(rng.NextDouble(), 1.0);
+  std::vector<double> out;
+  for (auto _ : state) {
+    const double lo = rng.NextDouble() * 0.5;
+    out.clear();
+    benchmark::DoNotOptimize(sampler.Query(lo, lo + 0.25, 16, &rng, &out));
+  }
+}
+BENCHMARK(BM_LogarithmicQuery)->Range(1 << 10, 1 << 20);
+
+// args: {kind: 0=dynamic, 1=fenwick, n}
+void BM_MixedWorkload(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  const auto weights = MakeWeights(n);
+  iqs::DynamicAlias dynamic;
+  std::vector<size_t> handles;
+  for (double w : weights) handles.push_back(dynamic.Insert(w));
+  iqs::FenwickSampler fenwick(weights);
+  iqs::Rng rng(5);
+  for (auto _ : state) {
+    const bool update = rng.NextDouble() < 0.1;
+    if (kind == 0) {
+      if (update) {
+        dynamic.SetWeight(handles[rng.Below(n)], 0.5 + rng.NextDouble());
+      } else {
+        benchmark::DoNotOptimize(dynamic.Sample(&rng));
+      }
+    } else {
+      if (update) {
+        fenwick.SetWeight(rng.Below(n), 0.5 + rng.NextDouble());
+      } else {
+        benchmark::DoNotOptimize(fenwick.Sample(&rng));
+      }
+    }
+  }
+  state.SetLabel(kind == 0 ? "dynamic-alias" : "fenwick");
+}
+BENCHMARK(BM_MixedWorkload)
+    ->ArgsProduct({{0, 1}, {1 << 14, 1 << 18, 1 << 22}});
+
+}  // namespace
+
+BENCHMARK_MAIN();

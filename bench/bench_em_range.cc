@@ -1,0 +1,138 @@
+// E10 (Section 8, Hu et al.): EM WR range sampling I/O cost.
+//
+// Rows reproduced:
+//   * I/Os per query vs s for three strategies on the same B-tree data:
+//     pool-based EmRangeSampler, B-tree + naive random access, and
+//     report-then-sample. Shapes: ~log + s/B*log vs ~log + s vs
+//     ~log + |S_q|/B.
+//   * I/Os vs selectivity at fixed s: report-then-sample degrades
+//     linearly with |S_q|; the IQS structures don't.
+
+#include <cstdio>
+#include <vector>
+
+#include "iqs/em/em_range_sampler.h"
+#include "iqs/em/em_weighted_range_sampler.h"
+#include "iqs/util/rng.h"
+
+namespace {
+
+using iqs::em::BlockDevice;
+using iqs::em::EmArray;
+using iqs::em::EmRangeSampler;
+using iqs::em::EmWriter;
+
+}  // namespace
+
+int main() {
+  const size_t kN = 1 << 17;
+  const size_t kB = 64;
+  BlockDevice device(kB);
+  EmArray data(&device, 1);
+  {
+    EmWriter writer(&data);
+    for (uint64_t i = 0; i < kN; ++i) writer.Append1(i);
+    writer.Finish();
+  }
+  iqs::Rng rng(1);
+  EmRangeSampler sampler(&data, 16 * kB, &rng);
+
+  auto measure = [&](auto&& query_fn, size_t repeats) {
+    device.ResetCounters();
+    for (size_t i = 0; i < repeats; ++i) query_fn();
+    return static_cast<double>(device.total_ios()) /
+           static_cast<double>(repeats);
+  };
+
+  std::printf("E10a: I/Os per query vs s   (n=%zu, B=%zu, range=50%%)\n", kN,
+              kB);
+  std::printf("%8s %12s %12s %16s\n", "s", "pool", "naive", "report+sample");
+  const uint64_t lo = kN / 4;
+  const uint64_t hi = 3 * (kN / 4);
+  std::vector<uint64_t> out;
+  for (size_t s = 16; s <= (1 << 14); s <<= 2) {
+    const size_t repeats = std::max<size_t>(4, (1 << 16) / s);
+    const double pool = measure(
+        [&] {
+          out.clear();
+          sampler.Query(lo, hi, s, &rng, &out);
+        },
+        repeats);
+    const double naive = measure(
+        [&] {
+          out.clear();
+          sampler.NaiveQuery(lo, hi, s, &rng, &out);
+        },
+        std::min<size_t>(repeats, 16));
+    const double report = measure(
+        [&] {
+          out.clear();
+          sampler.ReportThenSample(lo, hi, s, &rng, &out);
+        },
+        4);
+    std::printf("%8zu %12.1f %12.1f %16.1f\n", s, pool, naive, report);
+  }
+
+  std::printf("\nE10b: I/Os per query vs |S_q|   (s=1024)\n");
+  std::printf("%10s %12s %16s\n", "|S_q|", "pool", "report+sample");
+  for (size_t result = 1 << 10; result <= kN; result <<= 2) {
+    const uint64_t a = (kN - result) / 2;
+    const uint64_t b = a + result - 1;
+    const double pool = measure(
+        [&] {
+          out.clear();
+          sampler.Query(a, b, 1024, &rng, &out);
+        },
+        32);
+    const double report = measure(
+        [&] {
+          out.clear();
+          sampler.ReportThenSample(a, b, 1024, &rng, &out);
+        },
+        4);
+    std::printf("%10zu %12.1f %16.1f\n", result, pool, report);
+  }
+
+  // E10c: the WEIGHTED range sampler (library extension; the paper's §8
+  // covers only WR). Same sweep as E10a with Zipf-ish weights.
+  {
+    const size_t wn = kN / 4;
+    iqs::em::BlockDevice wdevice(kB);
+    iqs::em::EmArray wdata(&wdevice, 2);
+    {
+      iqs::em::EmWriter writer(&wdata);
+      for (uint64_t i = 0; i < wn; ++i) {
+        iqs::em::WeightedSamplePool::AppendRecord(
+            &writer, i, 1.0 + static_cast<double>(i % 17));
+      }
+      writer.Finish();
+    }
+    iqs::Rng wrng(3);
+    iqs::em::EmWeightedRangeSampler wsampler(&wdata, 16 * kB, &wrng);
+    std::printf("\nE10c: weighted range sampling, I/Os per query vs s   "
+                "(n=%zu, B=%zu, range=50%%)\n",
+                wn, kB);
+    std::printf("%8s %12s %16s\n", "s", "pool", "report+sample");
+    const uint64_t wlo = wn / 4;
+    const uint64_t whi = 3 * (wn / 4);
+    for (size_t s = 16; s <= 4096; s <<= 2) {
+      const size_t repeats = std::max<size_t>(4, (1 << 14) / s);
+      wdevice.ResetCounters();
+      for (size_t i = 0; i < repeats; ++i) {
+        out.clear();
+        wsampler.Query(wlo, whi, s, &wrng, &out);
+      }
+      const double pool = static_cast<double>(wdevice.total_ios()) /
+                          static_cast<double>(repeats);
+      wdevice.ResetCounters();
+      for (size_t i = 0; i < 4; ++i) {
+        out.clear();
+        wsampler.ReportThenSample(wlo, whi, s, &wrng, &out);
+      }
+      const double report =
+          static_cast<double>(wdevice.total_ios()) / 4.0;
+      std::printf("%8zu %12.1f %16.1f\n", s, pool, report);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+// E9 (Section 8): EM set sampling I/O cost — the lower-bound shape
+// min(s, (s/B) log_{M/B}(n/B)) and the sample pool that matches it.
+//
+// Rows reproduced (I/O counts, not wall time — in the EM model I/Os ARE
+// the cost):
+//   * I/Os vs s for the naive random-access strategy (= s) and the pool
+//     (~ s/B + amortized rebuild).
+//   * Sensitivity to B (bigger blocks help the pool, not the naive).
+//   * Sensitivity to M (more memory -> fewer merge passes per rebuild).
+
+#include <cstdio>
+
+#include "iqs/em/block_device.h"
+#include "iqs/em/em_array.h"
+#include "iqs/em/sample_pool.h"
+#include "iqs/em/weighted_sample_pool.h"
+#include "iqs/util/rng.h"
+
+namespace {
+
+using iqs::em::BlockDevice;
+using iqs::em::EmArray;
+using iqs::em::EmWriter;
+using iqs::em::SamplePool;
+
+struct PoolCosts {
+  double naive;
+  double pool;
+};
+
+// Average per-query I/O over enough queries to amortize rebuilds.
+PoolCosts Measure(size_t n, size_t block_words, size_t memory_blocks,
+                  size_t s) {
+  BlockDevice device(block_words);
+  EmArray data(&device, 1);
+  {
+    EmWriter writer(&data);
+    for (uint64_t i = 0; i < n; ++i) writer.Append1(i);
+    writer.Finish();
+  }
+  iqs::Rng rng(1);
+  SamplePool pool(&data, 0, n, memory_blocks * block_words, &rng);
+
+  // Enough queries to drain the pool ~3 times.
+  const size_t queries = std::max<size_t>(4, 3 * n / std::max<size_t>(1, s));
+  std::vector<uint64_t> out;
+
+  device.ResetCounters();
+  for (size_t q = 0; q < queries; ++q) {
+    out.clear();
+    pool.Query(s, &rng, &out);
+  }
+  const double pool_cost =
+      static_cast<double>(device.total_ios()) / static_cast<double>(queries);
+
+  device.ResetCounters();
+  for (size_t q = 0; q < std::min<size_t>(queries, 64); ++q) {
+    out.clear();
+    SamplePool::NaiveQuery(data, 0, n, s, &rng, &out);
+  }
+  const double naive_cost = static_cast<double>(device.total_ios()) /
+                            static_cast<double>(std::min<size_t>(queries, 64));
+  return {naive_cost, pool_cost};
+}
+
+}  // namespace
+
+int main() {
+  const size_t kN = 1 << 18;
+
+  std::printf("E9a: I/Os per query vs s   (n=%zu, B=64, M=16 blocks)\n", kN);
+  std::printf("%8s %12s %12s %14s\n", "s", "naive", "pool",
+              "naive/pool");
+  for (size_t s = 16; s <= (1 << 16); s <<= 2) {
+    const auto [naive, pool] = Measure(kN, 64, 16, s);
+    std::printf("%8zu %12.1f %12.1f %14.1f\n", s, naive, pool, naive / pool);
+  }
+
+  std::printf("\nE9b: I/Os per query vs B   (n=%zu, s=4096, M=16 blocks)\n",
+              kN);
+  std::printf("%8s %12s %12s\n", "B", "naive", "pool");
+  for (size_t b = 16; b <= 256; b <<= 1) {
+    const auto [naive, pool] = Measure(kN, b, 16, 4096);
+    std::printf("%8zu %12.1f %12.1f\n", b, naive, pool);
+  }
+
+  std::printf("\nE9c: I/Os per query vs M   (n=%zu, s=4096, B=64)\n", kN);
+  std::printf("%8s %12s\n", "M/B", "pool");
+  for (size_t m = 4; m <= 64; m <<= 1) {
+    const auto [naive, pool] = Measure(kN, 64, m, 4096);
+    (void)naive;
+    std::printf("%8zu %12.1f\n", m, pool);
+  }
+
+  // E9d: WEIGHTED EM set sampling (library extension beyond the paper's
+  // WR-only Section 8): pool vs one-random-I/O-per-sample, Zipf weights.
+  std::printf("\nE9d: weighted pool, I/Os per query vs s   "
+              "(n=%zu, B=64, M=16 blocks, zipf(1) weights)\n",
+              kN / 4);
+  std::printf("%8s %12s %12s\n", "s", "naive", "pool");
+  {
+    const size_t n = kN / 4;
+    iqs::em::BlockDevice device(64);
+    iqs::em::EmArray data(&device, 2);
+    {
+      iqs::em::EmWriter writer(&data);
+      for (uint64_t i = 0; i < n; ++i) {
+        iqs::em::WeightedSamplePool::AppendRecord(
+            &writer, i, 1.0 / static_cast<double>(i + 1));
+      }
+      writer.Finish();
+    }
+    iqs::Rng rng(2);
+    iqs::em::WeightedSamplePool pool(&data, 16 * 64, &rng);
+    std::vector<uint64_t> out;
+    for (size_t s = 64; s <= 16384; s <<= 2) {
+      const size_t queries = std::max<size_t>(4, 2 * n / s);
+      device.ResetCounters();
+      for (size_t q = 0; q < queries; ++q) {
+        out.clear();
+        pool.Query(s, &rng, &out);
+      }
+      const double pool_cost = static_cast<double>(device.total_ios()) /
+                               static_cast<double>(queries);
+      device.ResetCounters();
+      out.clear();
+      pool.NaiveQuery(s, &rng, &out);
+      const double naive_cost = static_cast<double>(device.total_ios());
+      std::printf("%8zu %12.1f %12.1f\n", s, naive_cost, pool_cost);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E14 (Sections 2 and 7): r-fair nearest neighbor query cost.
+//
+// Series reproduced:
+//   * Query latency vs n for the LSH + set-union-sampling structure vs
+//     the exhaustive scan (collect all near points, pick one) and the
+//     kd-tree exact-cover IQS disk query. The LSH structure's latency is
+//     driven by g ~ #tables, not by n or the number of near points.
+//   * Latency vs data clustering (denser neighborhoods make the scan
+//     worse, the fair structure flat).
+
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "iqs/lsh/fair_nn.h"
+#include "iqs/multidim/kd_sampler.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+
+namespace {
+
+using iqs::multidim::Distance;
+using iqs::multidim::KdTreeSampler;
+using iqs::multidim::Point2;
+
+constexpr double kRadius = 0.05;
+
+std::vector<Point2> MakePoints(size_t n, size_t clusters) {
+  iqs::Rng rng(14);
+  std::vector<Point2> pts;
+  pts.reserve(n);
+  for (const auto& [x, y] : iqs::Points2D(n, clusters, &rng)) {
+    pts.push_back({x, y});
+  }
+  return pts;
+}
+
+void BM_FairNnLsh(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(n, 0);
+  iqs::Rng build_rng(1);
+  const iqs::FairNearNeighbor fair(pts, kRadius, {}, &build_rng);
+  iqs::Rng rng(2);
+  for (auto _ : state) {
+    const Point2 q{0.1 + 0.8 * rng.NextDouble(), 0.1 + 0.8 * rng.NextDouble()};
+    benchmark::DoNotOptimize(fair.QueryIndex(q, &rng));
+  }
+}
+BENCHMARK(BM_FairNnLsh)->Range(1 << 12, 1 << 19);
+
+void BM_FairNnKdTree(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(n, 0);
+  const KdTreeSampler sampler(pts, {});
+  iqs::Rng rng(3);
+  for (auto _ : state) {
+    const Point2 q{0.1 + 0.8 * rng.NextDouble(), 0.1 + 0.8 * rng.NextDouble()};
+    benchmark::DoNotOptimize(sampler.FairNearNeighbor(q, kRadius, &rng));
+  }
+}
+BENCHMARK(BM_FairNnKdTree)->Range(1 << 12, 1 << 19);
+
+void BM_FairNnScan(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(n, 0);
+  iqs::Rng rng(4);
+  std::vector<size_t> near;
+  for (auto _ : state) {
+    const Point2 q{0.1 + 0.8 * rng.NextDouble(), 0.1 + 0.8 * rng.NextDouble()};
+    near.clear();
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (Distance(pts[i], q) <= kRadius) near.push_back(i);
+    }
+    if (!near.empty()) {
+      benchmark::DoNotOptimize(near[rng.Below(near.size())]);
+    }
+  }
+}
+BENCHMARK(BM_FairNnScan)->Range(1 << 12, 1 << 19);
+
+void BM_FairNnLshClustered(benchmark::State& state) {
+  const size_t clusters = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(1 << 17, clusters);
+  iqs::Rng build_rng(5);
+  const iqs::FairNearNeighbor fair(pts, kRadius, {}, &build_rng);
+  iqs::Rng rng(6);
+  size_t next = 0;
+  for (auto _ : state) {
+    const Point2 q = pts[(next += 7919) % pts.size()];  // query near data
+    benchmark::DoNotOptimize(fair.QueryIndex(q, &rng));
+  }
+  state.SetLabel(clusters == 0 ? "uniform" : "clustered");
+}
+BENCHMARK(BM_FairNnLshClustered)->Arg(0)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

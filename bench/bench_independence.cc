@@ -1,0 +1,122 @@
+// E11 (Section 2, Benefit 1): why cross-query independence matters for
+// estimation quality.
+//
+// Setup, following the paper's example: each of m rounds estimates the
+// fraction of elements in a fixed range whose payload bit is 1, from
+// s samples of the range. An estimate "fails" when its error exceeds eps.
+//
+//   * With an IQS sampler, failures are independent across rounds, so the
+//     failure count concentrates sharply around m * delta.
+//   * With the dependent (random-permutation) sampler, every round reuses
+//     the same WoR support: rounds all fail or all succeed together, so
+//     the failure count across repetitions has enormous variance.
+//
+// The table reports the mean and standard deviation of the failure count
+// over many repetitions of the m-round experiment (repetitions rebuild
+// the dependent structure; the IQS structure needs no rebuild).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "iqs/range/chunked_range_sampler.h"
+#include "iqs/sampling/dependent_range_sampler.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+#include "iqs/util/stats.h"
+
+namespace {
+
+constexpr size_t kN = 1 << 14;
+constexpr size_t kS = 64;          // samples per estimate
+constexpr size_t kRounds = 200;    // estimates per experiment
+constexpr int kRepetitions = 60;   // experiments per structure
+constexpr double kEps = 0.06;      // allowed absolute error
+
+struct Data {
+  std::vector<double> keys;
+  std::vector<uint8_t> payload;  // bit to estimate
+  double true_fraction;
+  size_t a, b;                   // the fixed query range (positions)
+};
+
+Data MakeData() {
+  Data d;
+  iqs::Rng rng(1);
+  d.keys = iqs::UniformKeys(kN, &rng);
+  d.payload.resize(kN);
+  d.a = kN / 8;
+  d.b = 7 * (kN / 8);
+  size_t ones = 0;
+  for (size_t i = 0; i < kN; ++i) {
+    d.payload[i] = rng.NextDouble() < 0.3 ? 1 : 0;
+  }
+  for (size_t i = d.a; i <= d.b; ++i) ones += d.payload[i];
+  d.true_fraction =
+      static_cast<double>(ones) / static_cast<double>(d.b - d.a + 1);
+  return d;
+}
+
+// Runs one m-round experiment; returns the number of failed estimates.
+template <typename QueryFn>
+int RunExperiment(const Data& d, QueryFn&& query) {
+  int failures = 0;
+  for (size_t round = 0; round < kRounds; ++round) {
+    std::vector<size_t> samples;
+    query(&samples);
+    size_t ones = 0;
+    for (size_t p : samples) ones += d.payload[p];
+    const double estimate =
+        static_cast<double>(ones) / static_cast<double>(samples.size());
+    failures += std::abs(estimate - d.true_fraction) > kEps;
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main() {
+  const Data d = MakeData();
+  const std::vector<double> unit_weights(kN, 1.0);
+
+  // IQS structure: built once; every query uses fresh randomness.
+  iqs::ChunkedRangeSampler iqs_sampler(d.keys, unit_weights);
+  iqs::Rng rng(2);
+  std::vector<double> iqs_failures;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    iqs_failures.push_back(static_cast<double>(
+        RunExperiment(d, [&](std::vector<size_t>* out) {
+          iqs_sampler.QueryPositions(d.a, d.b, kS, &rng, out);
+        })));
+  }
+
+  // Dependent structure: rebuilt per repetition (its randomness is fixed
+  // at build time), queried identically within a repetition.
+  std::vector<double> dep_failures;
+  iqs::Rng seeder(3);
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    iqs::Rng build_rng(seeder.Next64());
+    iqs::DependentRangeSampler dep(d.keys, &build_rng);
+    dep_failures.push_back(static_cast<double>(
+        RunExperiment(d, [&](std::vector<size_t>* out) {
+          dep.QueryPositions(d.a, d.b, kS, &rng, out);
+        })));
+  }
+
+  std::printf("E11: failure counts over m=%zu estimates (s=%zu, eps=%.2f), "
+              "%d repetitions\n",
+              kRounds, kS, kEps, kRepetitions);
+  std::printf("%14s %10s %10s %10s\n", "sampler", "mean", "stddev",
+              "max");
+  auto row = [](const char* name, const std::vector<double>& x) {
+    double max = 0.0;
+    for (double v : x) max = std::max(max, v);
+    std::printf("%14s %10.2f %10.2f %10.0f\n", name, iqs::Mean(x),
+                std::sqrt(iqs::Variance(x)), max);
+  };
+  row("IQS(chunked)", iqs_failures);
+  row("dependent", dep_failures);
+  std::printf("\nClaim: IQS stddev ~ sqrt(m*delta) (small); dependent "
+              "stddev is a large fraction of m.\n");
+  return 0;
+}

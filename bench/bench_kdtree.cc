@@ -1,0 +1,134 @@
+// E5 (Theorem 5 on the kd-tree): 2-d weighted rectangle sampling in O(n)
+// space and O(sqrt(n) + s) query time.
+//
+// Series reproduced:
+//   * Query time vs n at fixed selectivity and s — grows like sqrt(n)
+//     (doubling n multiplies time by ~1.4, not 2), vs the naive scan's
+//     linear growth.
+//   * Query time vs s at fixed n — additive O(s) term with O(1) per
+//     sample.
+//   * Disk queries: exact cover vs approximate cover + rejection
+//     (Theorem 6 path) — see also bench_approx_cover for the 1-d case.
+
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "iqs/multidim/kd_sampler.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+
+namespace {
+
+using iqs::multidim::KdTreeSampler;
+using iqs::multidim::Point2;
+using iqs::multidim::Rect;
+
+std::vector<Point2> MakePoints(size_t n) {
+  iqs::Rng rng(5);
+  std::vector<Point2> pts;
+  pts.reserve(n);
+  for (const auto& [x, y] : iqs::Points2D(n, 0, &rng)) pts.push_back({x, y});
+  return pts;
+}
+
+// 10%-area query rectangles.
+std::vector<Rect> MakeRects(iqs::Rng* rng, int count) {
+  std::vector<Rect> rects;
+  for (int i = 0; i < count; ++i) {
+    Rect q;
+    q.x_lo = rng->NextDouble() * 0.6;
+    q.x_hi = q.x_lo + 0.32;
+    q.y_lo = rng->NextDouble() * 0.6;
+    q.y_hi = q.y_lo + 0.32;
+    rects.push_back(q);
+  }
+  return rects;
+}
+
+void BM_KdRectVsN(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(n);
+  const KdTreeSampler sampler(pts, {});
+  iqs::Rng rng(1);
+  const auto rects = MakeRects(&rng, 64);
+  std::vector<Point2> out;
+  size_t next = 0;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(
+        sampler.QueryRect(rects[next++ % rects.size()], 64, &rng, &out));
+  }
+}
+BENCHMARK(BM_KdRectVsN)->Range(1 << 12, 1 << 20);
+
+void BM_NaiveScanVsN(benchmark::State& state) {
+  // The naive baseline: scan all points, collect S_q, sample.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(n);
+  iqs::Rng rng(2);
+  const auto rects = MakeRects(&rng, 64);
+  std::vector<Point2> result;
+  size_t next = 0;
+  for (auto _ : state) {
+    const Rect& q = rects[next++ % rects.size()];
+    result.clear();
+    for (const Point2& p : pts) {
+      if (q.Contains(p)) result.push_back(p);
+    }
+    for (int i = 0; i < 64; ++i) {
+      benchmark::DoNotOptimize(result[rng.Below(result.size())]);
+    }
+  }
+}
+BENCHMARK(BM_NaiveScanVsN)->Range(1 << 12, 1 << 20);
+
+void BM_KdRectVsS(benchmark::State& state) {
+  const auto pts = MakePoints(1 << 18);
+  const KdTreeSampler sampler(pts, {});
+  const size_t s = static_cast<size_t>(state.range(0));
+  iqs::Rng rng(3);
+  const auto rects = MakeRects(&rng, 16);
+  std::vector<Point2> out;
+  size_t next = 0;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(
+        sampler.QueryRect(rects[next++ % rects.size()], s, &rng, &out));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s));
+}
+BENCHMARK(BM_KdRectVsS)->RangeMultiplier(4)->Range(1, 1 << 14);
+
+void BM_KdDiskExact(benchmark::State& state) {
+  const auto pts = MakePoints(1 << 18);
+  const KdTreeSampler sampler(pts, {});
+  iqs::Rng rng(4);
+  std::vector<Point2> out;
+  for (auto _ : state) {
+    out.clear();
+    const Point2 center{0.2 + 0.6 * rng.NextDouble(),
+                        0.2 + 0.6 * rng.NextDouble()};
+    benchmark::DoNotOptimize(sampler.QueryDisk(center, 0.1, 64, &rng, &out));
+  }
+}
+BENCHMARK(BM_KdDiskExact);
+
+void BM_KdDiskApprox(benchmark::State& state) {
+  const auto pts = MakePoints(1 << 18);
+  const KdTreeSampler sampler(pts, {});
+  iqs::Rng rng(5);
+  std::vector<Point2> out;
+  for (auto _ : state) {
+    out.clear();
+    const Point2 center{0.2 + 0.6 * rng.NextDouble(),
+                        0.2 + 0.6 * rng.NextDouble()};
+    benchmark::DoNotOptimize(
+        sampler.QueryDiskApprox(center, 0.1, 64, 0.5, &rng, &out));
+  }
+}
+BENCHMARK(BM_KdDiskApprox);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,211 @@
+// E3 (Lemma 2 / Theorem 3): 1-d weighted range sampling query time.
+//
+// Series reproduced:
+//   * Query time vs n at fixed s and fixed selectivity — naive grows
+//     linearly (it scans S_q), the IQS structures grow ~log n, the basic
+//     tree-sampling structure pays an extra log factor per sample.
+//   * Query time vs s at fixed n — alias-augmented and chunked grow with
+//     slope ~1 sample/O(1), tree-sampling with slope O(log n).
+//   * Crossover vs selectivity: naive wins only when |S_q| is tiny.
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "iqs/range/aug_range_sampler.h"
+#include "iqs/range/bst_range_sampler.h"
+#include "iqs/range/chunked_range_sampler.h"
+#include "iqs/range/integer_range_sampler.h"
+#include "iqs/range/naive_range_sampler.h"
+#include "iqs/sampling/wor_query.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+
+namespace {
+
+enum Kind { kBst = 0, kAug = 1, kChunked = 2, kNaive = 3 };
+
+const char* KindName(int kind) {
+  switch (kind) {
+    case kBst:
+      return "bst";
+    case kAug:
+      return "aug";
+    case kChunked:
+      return "chunked";
+    default:
+      return "naive";
+  }
+}
+
+struct Dataset {
+  std::vector<double> keys;
+  std::vector<double> weights;
+};
+
+Dataset MakeDataset(size_t n) {
+  iqs::Rng rng(42);
+  Dataset d;
+  d.keys = iqs::UniformKeys(n, &rng);
+  d.weights = iqs::ZipfWeights(n, 1.0, &rng);
+  return d;
+}
+
+std::unique_ptr<iqs::RangeSampler> MakeSampler(int kind, const Dataset& d) {
+  switch (kind) {
+    case kBst:
+      return std::make_unique<iqs::BstRangeSampler>(d.keys, d.weights);
+    case kAug:
+      return std::make_unique<iqs::AugRangeSampler>(d.keys, d.weights);
+    case kChunked:
+      return std::make_unique<iqs::ChunkedRangeSampler>(d.keys, d.weights);
+    default:
+      return std::make_unique<iqs::NaiveRangeSampler>(d.keys, d.weights);
+  }
+}
+
+// args: {kind, n}; fixed s = 64, selectivity = 10%.
+void BM_QueryVsN(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  const Dataset d = MakeDataset(n);
+  const auto sampler = MakeSampler(kind, d);
+  iqs::Rng rng(1);
+  const size_t result_size = std::max<size_t>(1, n / 10);
+  // Pre-generate a pool of query intervals so interval construction stays
+  // out of the timed region.
+  std::vector<std::pair<double, double>> queries;
+  for (int i = 0; i < 64; ++i) {
+    queries.push_back(iqs::IntervalWithSelectivity(d.keys, result_size, &rng));
+  }
+  std::vector<size_t> out;
+  size_t next = 0;
+  for (auto _ : state) {
+    const auto [lo, hi] = queries[next++ % queries.size()];
+    out.clear();
+    benchmark::DoNotOptimize(sampler->Query(lo, hi, 64, &rng, &out));
+  }
+  state.SetLabel(KindName(kind));
+}
+BENCHMARK(BM_QueryVsN)
+    ->ArgsProduct({{kBst, kAug, kChunked, kNaive},
+                   {1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20}});
+
+// args: {kind, s}; fixed n = 2^18, selectivity = 25%.
+void BM_QueryVsS(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const size_t s = static_cast<size_t>(state.range(1));
+  const size_t n = 1 << 18;
+  const Dataset d = MakeDataset(n);
+  const auto sampler = MakeSampler(kind, d);
+  iqs::Rng rng(2);
+  const auto [lo, hi] = iqs::IntervalWithSelectivity(d.keys, n / 4, &rng);
+  std::vector<size_t> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(sampler->Query(lo, hi, s, &rng, &out));
+  }
+  state.SetLabel(KindName(kind));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s));
+}
+BENCHMARK(BM_QueryVsS)
+    ->ArgsProduct({{kBst, kAug, kChunked, kNaive},
+                   {1, 16, 256, 4096}});
+
+// args: {kind, result_size}; n fixed, s = 16: where does naive cross over?
+void BM_QueryVsSelectivity(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const size_t result_size = static_cast<size_t>(state.range(1));
+  const size_t n = 1 << 18;
+  const Dataset d = MakeDataset(n);
+  const auto sampler = MakeSampler(kind, d);
+  iqs::Rng rng(3);
+  std::vector<std::pair<double, double>> queries;
+  for (int i = 0; i < 64; ++i) {
+    queries.push_back(iqs::IntervalWithSelectivity(d.keys, result_size, &rng));
+  }
+  std::vector<size_t> out;
+  size_t next = 0;
+  for (auto _ : state) {
+    const auto [lo, hi] = queries[next++ % queries.size()];
+    out.clear();
+    benchmark::DoNotOptimize(sampler->Query(lo, hi, 16, &rng, &out));
+  }
+  state.SetLabel(KindName(kind));
+}
+BENCHMARK(BM_QueryVsSelectivity)
+    ->ArgsProduct({{kChunked, kNaive}, {16, 256, 4096, 65536, 262144}});
+
+// E17: WoR queries (paper §1's second scheme) layered on Theorem 3 —
+// sparse regime (WR-dedupe, ~O(log n + s)) vs dense regime (range scan).
+void BM_WorQuery(benchmark::State& state) {
+  const size_t n = 1 << 18;
+  const size_t range = 1 << 12;
+  const size_t s = static_cast<size_t>(state.range(0));
+  const Dataset d = MakeDataset(n);
+  const iqs::ChunkedRangeSampler sampler(d.keys, d.weights);
+  iqs::Rng rng(4);
+  std::vector<size_t> out;
+  const size_t a = n / 3;
+  for (auto _ : state) {
+    out.clear();
+    iqs::WorQueryPositions(sampler, d.weights, a, a + range - 1, s, &rng,
+                           &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(s * 2 > range ? "dense-regime" : "sparse-regime");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s));
+}
+BENCHMARK(BM_WorQuery)->Arg(4)->Arg(64)->Arg(1024)->Arg(3072);
+
+// E18 (§4.3, Afshani–Wei): integer keys drop the interval-resolution term
+// from O(log n) binary search to O(log log U) y-fast probes. Measured at
+// s = 1, where resolution dominates.
+void BM_IntegerResolve(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  iqs::Rng rng(5);
+  std::set<uint64_t> distinct;
+  while (distinct.size() < n) distinct.insert(rng.Below(uint64_t{1} << 32));
+  const std::vector<uint64_t> keys(distinct.begin(), distinct.end());
+  const std::vector<double> weights(n, 1.0);
+  const iqs::IntegerRangeSampler sampler(keys, weights, 32);
+  std::vector<size_t> out;
+  for (auto _ : state) {
+    const uint64_t lo = rng.Below(uint64_t{1} << 31);
+    out.clear();
+    benchmark::DoNotOptimize(
+        sampler.Query(lo, lo + (uint64_t{1} << 30), 1, &rng, &out));
+  }
+  state.SetLabel("yfast");
+}
+BENCHMARK(BM_IntegerResolve)->Range(1 << 12, 1 << 18);
+
+void BM_DoubleKeyResolve(benchmark::State& state) {
+  // The comparison-based baseline on the same data, keys as doubles.
+  const size_t n = static_cast<size_t>(state.range(0));
+  iqs::Rng rng(6);
+  std::set<uint64_t> distinct;
+  while (distinct.size() < n) distinct.insert(rng.Below(uint64_t{1} << 32));
+  std::vector<double> keys;
+  for (uint64_t k : distinct) keys.push_back(static_cast<double>(k));
+  const std::vector<double> weights(n, 1.0);
+  const iqs::ChunkedRangeSampler sampler(keys, weights);
+  std::vector<size_t> out;
+  for (auto _ : state) {
+    const double lo = static_cast<double>(rng.Below(uint64_t{1} << 31));
+    out.clear();
+    benchmark::DoNotOptimize(
+        sampler.Query(lo, lo + 1073741824.0, 1, &rng, &out));
+  }
+  state.SetLabel("binary-search");
+}
+BENCHMARK(BM_DoubleKeyResolve)->Range(1 << 12, 1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// E6 (Theorem 5 on the range tree): 2-d rectangle sampling in O(n log n)
+// space and polylog query time — compared head-to-head with the kd-tree
+// (O(n) space, O(sqrt n + s) query).
+//
+// Series reproduced:
+//   * Query time vs n at fixed selectivity: range tree grows polylog,
+//     kd-tree grows ~sqrt(n); the range tree wins at scale, confirming
+//     the paper's space-for-time tradeoff between the two Theorem-5
+//     instantiations.
+//   * Query time vs s: both additive in s.
+//   * Build time / space: the range tree pays O(n log n).
+
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "iqs/multidim/kd_sampler.h"
+#include "iqs/multidim/range_tree.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+
+namespace {
+
+using iqs::multidim::KdTreeSampler;
+using iqs::multidim::Point2;
+using iqs::multidim::RangeTree2DSampler;
+using iqs::multidim::Rect;
+
+std::vector<Point2> MakePoints(size_t n) {
+  iqs::Rng rng(6);
+  std::vector<Point2> pts;
+  pts.reserve(n);
+  for (const auto& [x, y] : iqs::Points2D(n, 0, &rng)) pts.push_back({x, y});
+  return pts;
+}
+
+// Thin slab queries (~2% of the area) highlight the asymptotic gap: the
+// kd-tree must open Θ(sqrt n) boundary cells while the range tree resolves
+// the x-slab with O(log n) canonical nodes.
+std::vector<Rect> MakeSlabs(iqs::Rng* rng, int count) {
+  std::vector<Rect> rects;
+  for (int i = 0; i < count; ++i) {
+    Rect q;
+    q.x_lo = rng->NextDouble() * 0.9;
+    q.x_hi = q.x_lo + 0.02;
+    q.y_lo = 0.0;
+    q.y_hi = 1.0;
+    rects.push_back(q);
+  }
+  return rects;
+}
+
+void BM_RangeTreeVsN(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(n);
+  const RangeTree2DSampler sampler(pts, {});
+  iqs::Rng rng(1);
+  const auto rects = MakeSlabs(&rng, 32);
+  std::vector<Point2> out;
+  size_t next = 0;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(
+        sampler.QueryRect(rects[next++ % rects.size()], 64, &rng, &out));
+  }
+}
+BENCHMARK(BM_RangeTreeVsN)->Range(1 << 12, 1 << 17);
+
+void BM_KdTreeSlabVsN(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(n);
+  const KdTreeSampler sampler(pts, {});
+  iqs::Rng rng(2);
+  const auto rects = MakeSlabs(&rng, 32);
+  std::vector<Point2> out;
+  size_t next = 0;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(
+        sampler.QueryRect(rects[next++ % rects.size()], 64, &rng, &out));
+  }
+}
+BENCHMARK(BM_KdTreeSlabVsN)->Range(1 << 12, 1 << 17);
+
+void BM_RangeTreeVsS(benchmark::State& state) {
+  const auto pts = MakePoints(1 << 16);
+  const RangeTree2DSampler sampler(pts, {});
+  const size_t s = static_cast<size_t>(state.range(0));
+  iqs::Rng rng(3);
+  const auto rects = MakeSlabs(&rng, 16);
+  std::vector<Point2> out;
+  size_t next = 0;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(
+        sampler.QueryRect(rects[next++ % rects.size()], s, &rng, &out));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s));
+}
+BENCHMARK(BM_RangeTreeVsS)->RangeMultiplier(4)->Range(1, 1 << 12);
+
+void BM_RangeTreeBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(n);
+  for (auto _ : state) {
+    RangeTree2DSampler sampler(pts, {});
+    benchmark::DoNotOptimize(sampler.n());
+    state.counters["bytes_per_elem"] =
+        static_cast<double>(sampler.MemoryBytes()) / static_cast<double>(n);
+  }
+}
+BENCHMARK(BM_RangeTreeBuild)->Range(1 << 12, 1 << 16)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

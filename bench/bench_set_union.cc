@@ -1,0 +1,114 @@
+// E8 (Theorem 8): set union sampling in O(g log² n) expected time vs the
+// naive O(sum |S_i|) materialize-then-sample baseline.
+//
+// Series reproduced:
+//   * Query time vs g (number of sets named by the query) with set size
+//     fixed — the structure grows ~linearly in g with polylog factors,
+//     the baseline linearly in g * |S|.
+//   * Query time vs |S| (set size) with g fixed — the structure is nearly
+//     flat (it never materializes the union), the baseline linear.
+//   * Overlap sensitivity: heavy overlap shrinks the union, making the
+//     naive baseline's hash-set smaller but not cheaper to build.
+
+#include <set>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "iqs/setunion/set_union_sampler.h"
+#include "iqs/util/rng.h"
+
+namespace {
+
+// `overlap` in [0,1): fraction of each set drawn from a shared core.
+std::vector<std::vector<uint64_t>> MakeSets(size_t num_sets, size_t set_size,
+                                            double overlap, uint64_t seed) {
+  iqs::Rng rng(seed);
+  const uint64_t core_size = static_cast<uint64_t>(
+      static_cast<double>(set_size) * 2.0);
+  std::vector<std::vector<uint64_t>> sets(num_sets);
+  uint64_t fresh = 1'000'000;
+  for (auto& set : sets) {
+    std::set<uint64_t> chosen;
+    const size_t from_core = static_cast<size_t>(overlap * set_size);
+    while (chosen.size() < from_core) chosen.insert(rng.Below(core_size));
+    while (chosen.size() < set_size) chosen.insert(fresh++);
+    set.assign(chosen.begin(), chosen.end());
+  }
+  return sets;
+}
+
+void BM_SetUnionVsG(benchmark::State& state) {
+  const size_t g = static_cast<size_t>(state.range(0));
+  const auto sets = MakeSets(g, 4096, 0.5, 1);
+  iqs::Rng build_rng(2);
+  const iqs::SetUnionSampler sampler(sets, &build_rng);
+  std::vector<size_t> ids(g);
+  for (size_t i = 0; i < g; ++i) ids[i] = i;
+  iqs::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(ids, &rng));
+  }
+}
+BENCHMARK(BM_SetUnionVsG)->RangeMultiplier(2)->Range(1, 64);
+
+void BM_NaiveUnionVsG(benchmark::State& state) {
+  const size_t g = static_cast<size_t>(state.range(0));
+  const auto sets = MakeSets(g, 4096, 0.5, 1);
+  std::vector<size_t> ids(g);
+  for (size_t i = 0; i < g; ++i) ids[i] = i;
+  iqs::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        iqs::SetUnionSampler::NaiveUnionSample(sets, ids, &rng));
+  }
+}
+BENCHMARK(BM_NaiveUnionVsG)->RangeMultiplier(2)->Range(1, 64);
+
+void BM_SetUnionVsSetSize(benchmark::State& state) {
+  const size_t set_size = static_cast<size_t>(state.range(0));
+  const auto sets = MakeSets(16, set_size, 0.5, 5);
+  iqs::Rng build_rng(6);
+  const iqs::SetUnionSampler sampler(sets, &build_rng);
+  std::vector<size_t> ids(16);
+  for (size_t i = 0; i < 16; ++i) ids[i] = i;
+  iqs::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(ids, &rng));
+  }
+}
+BENCHMARK(BM_SetUnionVsSetSize)
+    ->RangeMultiplier(4)
+    ->Range(1 << 8, 1 << 16);
+
+void BM_NaiveUnionVsSetSize(benchmark::State& state) {
+  const size_t set_size = static_cast<size_t>(state.range(0));
+  const auto sets = MakeSets(16, set_size, 0.5, 5);
+  std::vector<size_t> ids(16);
+  for (size_t i = 0; i < 16; ++i) ids[i] = i;
+  iqs::Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        iqs::SetUnionSampler::NaiveUnionSample(sets, ids, &rng));
+  }
+}
+BENCHMARK(BM_NaiveUnionVsSetSize)
+    ->RangeMultiplier(4)
+    ->Range(1 << 8, 1 << 16);
+
+void BM_SetUnionOverlap(benchmark::State& state) {
+  const double overlap = static_cast<double>(state.range(0)) / 100.0;
+  const auto sets = MakeSets(16, 4096, overlap, 9);
+  iqs::Rng build_rng(10);
+  const iqs::SetUnionSampler sampler(sets, &build_rng);
+  std::vector<size_t> ids(16);
+  for (size_t i = 0; i < 16; ++i) ids[i] = i;
+  iqs::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(ids, &rng));
+  }
+}
+BENCHMARK(BM_SetUnionOverlap)->Arg(0)->Arg(50)->Arg(90);
+
+}  // namespace
+
+BENCHMARK_MAIN();

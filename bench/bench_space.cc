@@ -1,0 +1,35 @@
+// E4 (Theorem 3 space claim): bytes per element of the three 1-d range
+// sampling structures as n grows. The alias-augmented structure (Lemma 2)
+// is O(n log n) — its bytes/element column must grow ~linearly in log n —
+// while tree-sampling and chunking stay O(n) (flat bytes/element).
+//
+// This experiment reports sizes, not times, so it prints a table instead
+// of using the google-benchmark timing loop.
+
+#include <cstdio>
+
+#include "iqs/range/aug_range_sampler.h"
+#include "iqs/range/bst_range_sampler.h"
+#include "iqs/range/chunked_range_sampler.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+
+int main() {
+  std::printf("E4: space per element (bytes) vs n  [claim: aug ~ c*log n, "
+              "bst/chunked flat]\n");
+  std::printf("%10s %14s %14s %14s\n", "n", "bst(O(n))", "aug(O(nlogn))",
+              "chunked(O(n))");
+  for (size_t n = 1 << 12; n <= (1 << 20); n <<= 2) {
+    iqs::Rng rng(1);
+    const auto keys = iqs::UniformKeys(n, &rng);
+    const auto weights = iqs::ZipfWeights(n, 1.0, &rng);
+    const iqs::BstRangeSampler bst(keys, weights);
+    const iqs::AugRangeSampler aug(keys, weights);
+    const iqs::ChunkedRangeSampler chunked(keys, weights);
+    std::printf("%10zu %14.1f %14.1f %14.1f\n", n,
+                static_cast<double>(bst.MemoryBytes()) / n,
+                static_cast<double>(aug.MemoryBytes()) / n,
+                static_cast<double>(chunked.MemoryBytes()) / n);
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// E2 (Section 3.2 / Lemma 4): tree sampling costs O(height) per sample
+// top-down, while the Euler-tour SubtreeSampler is height-independent.
+//
+// Series reproduced:
+//   * Top-down per-sample cost on a balanced tree (height ~log n) vs a
+//     comb-shaped tree (height ~n/4): the gap demonstrates the height
+//     dependence.
+//   * SubtreeSampler per-sample cost on the same comb tree — flat,
+//     showing the Lemma-4 reduction removes the height term.
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "iqs/tree/subtree_sampler.h"
+#include "iqs/tree/tree_sampler.h"
+#include "iqs/tree/weighted_tree.h"
+#include "iqs/util/rng.h"
+
+namespace {
+
+// Balanced tree with fanout 4 and ~`leaves` leaves, grown breadth-first.
+iqs::WeightedTree BalancedTree(size_t leaves) {
+  iqs::WeightedTree tree;
+  std::deque<iqs::WeightedTree::NodeId> frontier = {tree.root()};
+  size_t leaf_count = 1;
+  while (leaf_count < leaves) {
+    const auto node = frontier.front();
+    frontier.pop_front();
+    --leaf_count;  // node becomes internal
+    for (int c = 0; c < 4; ++c) {
+      frontier.push_back(tree.AddChild(node));
+      ++leaf_count;
+    }
+  }
+  for (auto node : frontier) tree.SetLeafWeight(node, 1.0);
+  tree.Finalize();
+  return tree;
+}
+
+// Comb: a path of `n` spine nodes, each with one leaf child.
+iqs::WeightedTree CombTree(size_t n) {
+  iqs::WeightedTree tree;
+  iqs::WeightedTree::NodeId spine = tree.root();
+  for (size_t i = 0; i < n; ++i) {
+    const auto leaf = tree.AddChild(spine);
+    tree.SetLeafWeight(leaf, 1.0);
+    spine = tree.AddChild(spine);
+  }
+  tree.SetLeafWeight(spine, 1.0);
+  tree.Finalize();
+  return tree;
+}
+
+void BM_TopDownBalanced(benchmark::State& state) {
+  const auto tree = BalancedTree(static_cast<size_t>(state.range(0)));
+  const iqs::TreeSampler sampler(&tree);
+  iqs::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.SampleLeaf(tree.root(), &rng));
+  }
+}
+BENCHMARK(BM_TopDownBalanced)->Range(1 << 10, 1 << 18);
+
+void BM_TopDownComb(benchmark::State& state) {
+  const auto tree = CombTree(static_cast<size_t>(state.range(0)));
+  const iqs::TreeSampler sampler(&tree);
+  iqs::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.SampleLeaf(tree.root(), &rng));
+  }
+}
+BENCHMARK(BM_TopDownComb)->Range(1 << 10, 1 << 16);
+
+void BM_SubtreeSamplerComb(benchmark::State& state) {
+  const auto tree = CombTree(static_cast<size_t>(state.range(0)));
+  const iqs::SubtreeSampler sampler(&tree);
+  iqs::Rng rng(3);
+  std::vector<iqs::WeightedTree::NodeId> out;
+  for (auto _ : state) {
+    out.clear();
+    sampler.Query(tree.root(), 16, &rng, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_SubtreeSamplerComb)->Range(1 << 10, 1 << 16);
+
+void BM_SubtreeSamplerVsS(benchmark::State& state) {
+  const auto tree = BalancedTree(1 << 16);
+  const iqs::SubtreeSampler sampler(&tree);
+  const size_t s = static_cast<size_t>(state.range(0));
+  iqs::Rng rng(4);
+  std::vector<iqs::WeightedTree::NodeId> out;
+  for (auto _ : state) {
+    out.clear();
+    sampler.Query(tree.root(), s, &rng, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s));
+}
+BENCHMARK(BM_SubtreeSamplerVsS)->RangeMultiplier(4)->Range(1, 1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Scenario 4 (paper Section 8): sampling from disk-resident data.
+//
+// A log table too big for memory lives on a (simulated) block device.
+// An analytics job keeps requesting WR samples of records in a key range.
+// The demo compares the I/O bills of three strategies on the same B-tree
+// data — the EM model's entire point is that these counts, not CPU time,
+// are the cost.
+
+#include <cstdio>
+#include <vector>
+
+#include "iqs/iqs.h"
+
+int main() {
+  using namespace iqs::em;
+
+  const size_t kB = 64;            // words per block
+  const size_t kN = 1 << 17;       // records
+  const size_t kMemory = 16 * kB;  // M: 16 blocks of workspace
+
+  BlockDevice device(kB);
+  EmArray table(&device, 1);
+  {
+    EmWriter writer(&table);
+    for (uint64_t key = 0; key < kN; ++key) writer.Append1(key);
+    writer.Finish();
+  }
+  std::printf("log table: %zu records in %zu blocks (B=%zu words)\n", kN,
+              table.num_blocks(), kB);
+
+  iqs::Rng rng(1);
+  EmRangeSampler sampler(&table, kMemory, &rng);
+  std::printf("built B-tree (height %zu) + per-node sample pools; build "
+              "cost %llu I/Os\n\n",
+              sampler.btree().height(),
+              static_cast<unsigned long long>(device.total_ios()));
+
+  const uint64_t lo = kN / 10;
+  const uint64_t hi = 9 * (kN / 10);
+  const size_t s = 2048;
+
+  std::vector<uint64_t> out;
+  device.ResetCounters();
+  sampler.Query(lo, hi, s, &rng, &out);
+  std::printf("%-28s %8llu I/Os for %zu samples\n", "sample pools (Hu et al.):",
+              static_cast<unsigned long long>(device.total_ios()), s);
+
+  device.ResetCounters();
+  out.clear();
+  sampler.NaiveQuery(lo, hi, s, &rng, &out);
+  std::printf("%-28s %8llu I/Os\n", "random access per sample:",
+              static_cast<unsigned long long>(device.total_ios()));
+
+  device.ResetCounters();
+  out.clear();
+  sampler.ReportThenSample(lo, hi, s, &rng, &out);
+  std::printf("%-28s %8llu I/Os\n", "report then sample:",
+              static_cast<unsigned long long>(device.total_ios()));
+
+  std::printf(
+      "\nThe pool answer costs ~s/B I/Os plus an amortized rebuild —\n"
+      "matching the Section-8 lower bound min(s, (s/B) log_{M/B}(n/B));\n"
+      "run bench_em_sampling / bench_em_range for the full sweeps.\n");
+  return 0;
+}

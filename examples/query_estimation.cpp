@@ -1,0 +1,95 @@
+// Scenario 1 (paper Section 2, Benefit 1): online selectivity estimation.
+//
+// A relation R(A, B) where A is a real attribute (indexed) and B is a
+// categorical payload. An analyst repeatedly asks: "among tuples with
+// A in [x, y], what fraction have B = premium?" — answered from a handful
+// of samples instead of scanning the range.
+//
+// The demo runs a long stream of estimates twice — once over an IQS
+// structure, once over the conventional dependent sampler — and shows
+// that only IQS keeps the number of bad estimates near its expectation
+// on EVERY workload; the dependent sampler's failures come in avalanches.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "iqs/iqs.h"
+
+namespace {
+
+constexpr size_t kTuples = 1 << 18;
+constexpr size_t kSamplesPerEstimate = 384;
+constexpr double kErrorBudget = 0.05;
+
+struct Relation {
+  std::vector<double> attr_a;     // sorted
+  std::vector<uint8_t> premium;   // B == premium?
+};
+
+Relation MakeRelation(iqs::Rng* rng) {
+  Relation r;
+  r.attr_a = iqs::UniformKeys(kTuples, rng);
+  r.premium.resize(kTuples);
+  for (size_t i = 0; i < kTuples; ++i) {
+    // Premium fraction drifts with A so different ranges differ.
+    const double p = 0.2 + 0.4 * r.attr_a[i];
+    r.premium[i] = rng->NextDouble() < p;
+  }
+  return r;
+}
+
+double TrueFraction(const Relation& r, size_t a, size_t b) {
+  size_t ones = 0;
+  for (size_t i = a; i <= b; ++i) ones += r.premium[i];
+  return static_cast<double>(ones) / static_cast<double>(b - a + 1);
+}
+
+}  // namespace
+
+int main() {
+  iqs::Rng rng(7);
+  const Relation r = MakeRelation(&rng);
+  const std::vector<double> unit(kTuples, 1.0);
+
+  iqs::WeightedRangeSampler iqs_index(r.attr_a, unit);
+  iqs::Rng build_rng(8);
+  iqs::DependentRangeSampler dependent_index(r.attr_a, &build_rng);
+
+  // The analyst hammers ONE hot range (a dashboard refresh): the worst
+  // case for dependent sampling.
+  const size_t a = kTuples / 3;
+  const size_t b = 2 * (kTuples / 3);
+  const double truth = TrueFraction(r, a, b);
+  std::printf("hot range holds %zu tuples, true premium fraction %.4f\n",
+              b - a + 1, truth);
+
+  auto run = [&](const char* name, auto&& draw) {
+    int failures = 0;
+    const int estimates = 500;
+    for (int e = 0; e < estimates; ++e) {
+      std::vector<size_t> samples;
+      draw(&samples);
+      size_t ones = 0;
+      for (size_t p : samples) ones += r.premium[p];
+      const double estimate =
+          static_cast<double>(ones) / static_cast<double>(samples.size());
+      failures += std::abs(estimate - truth) > kErrorBudget;
+    }
+    std::printf("%-22s %d/%d estimates off by more than %.2f\n", name,
+                failures, estimates, kErrorBudget);
+  };
+
+  run("IQS (Theorem 3):", [&](std::vector<size_t>* out) {
+    iqs_index.QueryPositions(a, b, kSamplesPerEstimate, &rng, out);
+  });
+  run("dependent baseline:", [&](std::vector<size_t>* out) {
+    dependent_index.QueryPositions(a, b, kSamplesPerEstimate, &rng, out);
+  });
+
+  std::printf(
+      "\nIQS failures track m*delta; the dependent sampler reuses one\n"
+      "frozen support set, so it is either always right or always wrong\n"
+      "on a hot range - run bench_independence for the full experiment.\n");
+  return 0;
+}

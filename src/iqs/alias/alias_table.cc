@@ -1,0 +1,61 @@
+#include "iqs/alias/alias_table.h"
+
+#include <limits>
+
+#include "iqs/util/check.h"
+
+namespace iqs {
+
+void AliasTable::Build(std::span<const double> weights) {
+  const size_t n = weights.size();
+  IQS_CHECK(n > 0);
+  IQS_CHECK(n <= std::numeric_limits<uint32_t>::max());
+
+  total_weight_ = 0.0;
+  for (double w : weights) {
+    IQS_CHECK(w >= 0.0);
+    total_weight_ += w;
+  }
+  IQS_CHECK(total_weight_ > 0.0);
+
+  // Scaled weights: p_i = w_i * n / W, so the average is exactly 1 and each
+  // urn receives total mass 1.
+  std::vector<double> scaled(n);
+  const double scale = static_cast<double>(n) / total_weight_;
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * scale;
+
+  // Vose's two-stack construction: repeatedly pair an under-full index
+  // (mass < 1) with an over-full one, finalizing one urn per step.
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  urns_.assign(n, Urn{});
+  size_t filled = 0;
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    urns_[filled++] = Urn{scaled[s], s, l};
+    scaled[l] -= 1.0 - scaled[s];
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers have mass ~1 (up to floating-point rounding): single-element
+  // urns that always return their primary.
+  for (uint32_t l : large) urns_[filled++] = Urn{1.0, l, l};
+  for (uint32_t s : small) urns_[filled++] = Urn{1.0, s, s};
+  IQS_CHECK(filled == n);
+}
+
+void AliasTable::SampleMany(size_t count, Rng* rng,
+                            std::vector<size_t>* out) const {
+  out->reserve(out->size() + count);
+  for (size_t i = 0; i < count; ++i) out->push_back(Sample(rng));
+}
+
+}  // namespace iqs

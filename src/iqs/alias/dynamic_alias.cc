@@ -1,0 +1,109 @@
+#include "iqs/alias/dynamic_alias.h"
+
+#include <cmath>
+#include <limits>
+
+#include "iqs/util/check.h"
+
+namespace iqs {
+
+DynamicAlias::DynamicAlias()
+    : classes_(kNumClasses), class_sums_(kNumClasses) {}
+
+int DynamicAlias::ClassOf(double w) {
+  const int e = std::ilogb(w) + kExponentBias;
+  IQS_CHECK(e >= 0 && e < kNumClasses);
+  return e;
+}
+
+void DynamicAlias::AttachToClass(uint32_t handle, double w) {
+  const int cls = ClassOf(w);
+  Element& elem = elements_[handle];
+  elem.weight = w;
+  elem.class_id = cls;
+  elem.pos_in_class = static_cast<uint32_t>(classes_[cls].members.size());
+  classes_[cls].members.push_back(handle);
+  class_sums_.Add(static_cast<size_t>(cls), w);
+}
+
+void DynamicAlias::DetachFromClass(uint32_t handle) {
+  Element& elem = elements_[handle];
+  IQS_CHECK(elem.class_id >= 0);
+  ClassBucket& bucket = classes_[elem.class_id];
+  // Swap-remove from the class's member vector, fixing the moved element.
+  const uint32_t last = bucket.members.back();
+  bucket.members[elem.pos_in_class] = last;
+  elements_[last].pos_in_class = elem.pos_in_class;
+  bucket.members.pop_back();
+  class_sums_.Add(static_cast<size_t>(elem.class_id), -elem.weight);
+  elem.class_id = -1;
+}
+
+size_t DynamicAlias::Insert(double w) {
+  IQS_CHECK(w > 0.0 && std::isfinite(w));
+  uint32_t handle;
+  if (!free_slots_.empty()) {
+    handle = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    IQS_CHECK(elements_.size() < std::numeric_limits<uint32_t>::max());
+    handle = static_cast<uint32_t>(elements_.size());
+    elements_.emplace_back();
+  }
+  AttachToClass(handle, w);
+  ++live_count_;
+  return handle;
+}
+
+void DynamicAlias::Remove(size_t handle) {
+  IQS_CHECK(handle < elements_.size());
+  DetachFromClass(static_cast<uint32_t>(handle));
+  free_slots_.push_back(static_cast<uint32_t>(handle));
+  --live_count_;
+}
+
+void DynamicAlias::SetWeight(size_t handle, double w) {
+  IQS_CHECK(w > 0.0 && std::isfinite(w));
+  IQS_CHECK(handle < elements_.size());
+  DetachFromClass(static_cast<uint32_t>(handle));
+  AttachToClass(static_cast<uint32_t>(handle), w);
+}
+
+double DynamicAlias::weight(size_t handle) const {
+  IQS_CHECK(handle < elements_.size() && elements_[handle].class_id >= 0);
+  return elements_[handle].weight;
+}
+
+size_t DynamicAlias::Sample(Rng* rng) const {
+  IQS_CHECK(live_count_ > 0);
+  // Level 1: pick a weight class proportional to its total weight.
+  // Floating-point drift in the Fenwick sums can (rarely) land the walk on
+  // an emptied class; retry with fresh randomness in that case.
+  while (true) {
+    const double total = class_sums_.TotalSum();
+    const size_t cls = class_sums_.SearchPrefix(rng->NextDouble() * total);
+    const ClassBucket& bucket = classes_[cls];
+    if (bucket.members.empty()) continue;
+    // Level 2: uniform member + rejection. All weights in class e lie in
+    // [2^e, 2^{e+1}), so acceptance probability w / 2^{e+1} is >= 1/2.
+    const double cap = std::ldexp(
+        1.0, static_cast<int>(cls) - kExponentBias + 1);
+    while (true) {
+      const uint32_t handle = bucket.members[rng->Below(bucket.members.size())];
+      if (rng->NextDouble() * cap < elements_[handle].weight) return handle;
+    }
+  }
+}
+
+size_t DynamicAlias::MemoryBytes() const {
+  size_t bytes = elements_.capacity() * sizeof(Element) +
+                 free_slots_.capacity() * sizeof(uint32_t) +
+                 classes_.capacity() * sizeof(ClassBucket) +
+                 class_sums_.MemoryBytes();
+  for (const ClassBucket& bucket : classes_) {
+    bytes += bucket.members.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace iqs

@@ -1,0 +1,60 @@
+// Dynamic weighted set sampling with O(log n) worst-case operations.
+//
+// This is the straightforward dynamization baseline for the paper's
+// Direction 1 (Section 9): maintain weights in a Fenwick tree and sample by
+// drawing a uniform mass in [0, W) and locating it with a weighted search.
+// DynamicAlias (dynamic_alias.h) beats this asymptotically — expected O(1)
+// sampling — and the two are compared head-to-head in bench_dynamic (E12).
+
+#ifndef IQS_ALIAS_FENWICK_SAMPLER_H_
+#define IQS_ALIAS_FENWICK_SAMPLER_H_
+
+#include <cstddef>
+#include <span>
+
+#include "iqs/range/fenwick_tree.h"
+#include "iqs/util/rng.h"
+
+namespace iqs {
+
+class FenwickSampler {
+ public:
+  // A sampler over `n` positions, all initially weight 0. Positions with
+  // weight 0 are never sampled.
+  explicit FenwickSampler(size_t n) : weights_(n, 0.0), tree_(n) {}
+
+  explicit FenwickSampler(std::span<const double> weights)
+      : weights_(weights.begin(), weights.end()), tree_(weights) {
+    for (double w : weights_) IQS_CHECK(w >= 0.0);
+  }
+
+  size_t size() const { return weights_.size(); }
+  double total_weight() const { return tree_.TotalSum(); }
+  double weight(size_t i) const { return weights_[i]; }
+
+  // Sets the weight of position i. O(log n).
+  void SetWeight(size_t i, double w) {
+    IQS_CHECK(w >= 0.0);
+    tree_.Add(i, w - weights_[i]);
+    weights_[i] = w;
+  }
+
+  // Draws one independent weighted sample in O(log n).
+  size_t Sample(Rng* rng) const {
+    const double total = tree_.TotalSum();
+    IQS_DCHECK(total > 0.0);
+    return tree_.SearchPrefix(rng->NextDouble() * total);
+  }
+
+  size_t MemoryBytes() const {
+    return weights_.capacity() * sizeof(double) + tree_.MemoryBytes();
+  }
+
+ private:
+  std::vector<double> weights_;
+  FenwickTree tree_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_ALIAS_FENWICK_SAMPLER_H_

@@ -1,0 +1,66 @@
+#include "iqs/cover/coverage_engine.h"
+
+#include "iqs/sampling/multinomial.h"
+#include "iqs/util/check.h"
+
+namespace iqs {
+
+namespace {
+
+std::vector<double> PositionKeys(size_t n) {
+  std::vector<double> keys(n);
+  std::iota(keys.begin(), keys.end(), 0.0);
+  return keys;
+}
+
+}  // namespace
+
+CoverageEngine::CoverageEngine(std::span<const double> position_weights)
+    : sampler_(PositionKeys(position_weights.size()), position_weights) {}
+
+void CoverageEngine::Sample(std::span<const CoverRange> cover, size_t s,
+                            Rng* rng, std::vector<size_t>* out) const {
+  if (s == 0 || cover.empty()) return;
+  std::vector<double> weights;
+  weights.reserve(cover.size());
+  for (const CoverRange& range : cover) {
+    IQS_DCHECK(range.lo <= range.hi);
+    weights.push_back(range.weight);
+  }
+  const std::vector<uint32_t> counts = MultinomialSplit(weights, s, rng);
+  out->reserve(out->size() + s);
+  for (size_t i = 0; i < cover.size(); ++i) {
+    if (counts[i] == 0) continue;
+    sampler_.QueryPositions(cover[i].lo, cover[i].hi, counts[i], rng, out);
+  }
+}
+
+void CoverageEngine::SampleWithRejection(
+    std::span<const CoverRange> cover, size_t s,
+    const std::function<bool(size_t)>& accepts, Rng* rng,
+    std::vector<size_t>* out) const {
+  if (s == 0 || cover.empty()) return;
+  out->reserve(out->size() + s);
+  size_t produced = 0;
+  // Draw candidate batches of the remaining deficit; with a constant-
+  // density approximate cover, each batch converts a constant fraction, so
+  // the expected total work is O(s).
+  std::vector<size_t> candidates;
+  size_t round = 0;
+  while (produced < s) {
+    candidates.clear();
+    Sample(cover, s - produced, rng, &candidates);
+    for (size_t position : candidates) {
+      if (accepts(position)) {
+        out->push_back(position);
+        ++produced;
+      }
+    }
+    // Guard against a cover that contains no qualifying element at all —
+    // a caller bug: the acceptance rate would be 0 and the loop endless.
+    IQS_CHECK(++round < 64 * (s + 1) &&
+              "rejection sampling is not converging; is the cover valid?");
+  }
+}
+
+}  // namespace iqs

@@ -1,0 +1,76 @@
+// Technique 2 — coverage (paper Section 5, Theorem 5) and Technique 3 —
+// approximate coverage (paper Section 6, Theorem 6), as a reusable engine.
+//
+// Any tree structure built by in-place partitioning (our StaticBst,
+// KdTree, Quadtree, ...) stores each node's elements at a contiguous run
+// of positions, so "the cover of query q" is just a list of disjoint
+// position ranges with weights. Given such a cover, this engine draws s
+// independent weighted samples in O(|cover| + s) (*): it splits the budget
+// multinomially over the ranges (Theorem 1 applied to the cover) and then
+// samples inside each range with the Theorem-3 chunked structure, our
+// stand-in for Lemma 4 (see DESIGN.md section 2.4).
+//
+// Theorem 6 is the same engine plus rejection: SampleWithRejection takes
+// an *approximate* cover — ranges that may contain non-qualifying
+// elements — and an acceptance predicate. The output law is exactly
+// uniform/weighted over qualifying elements for ANY superset cover; the
+// approximate-cover density condition (|S_q| = Omega(|union|)) only
+// controls the expected number of rejection rounds.
+
+#ifndef IQS_COVER_COVERAGE_ENGINE_H_
+#define IQS_COVER_COVERAGE_ENGINE_H_
+
+#include <functional>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "iqs/range/chunked_range_sampler.h"
+#include "iqs/util/rng.h"
+
+namespace iqs {
+
+// One piece of a cover: the elements at positions [lo, hi] with total
+// weight `weight`.
+struct CoverRange {
+  size_t lo = 0;
+  size_t hi = 0;
+  double weight = 0.0;
+};
+
+class CoverageEngine {
+ public:
+  // `position_weights[i]` is the weight of the element at position i in
+  // the structure's in-place order. O(n) space, O(n) build.
+  explicit CoverageEngine(std::span<const double> position_weights);
+
+  // Theorem 5: draws `s` independent weighted samples from the disjoint
+  // union of the cover's ranges, appending positions to `out`.
+  void Sample(std::span<const CoverRange> cover, size_t s, Rng* rng,
+              std::vector<size_t>* out) const;
+
+  // Theorem 6: the cover may overshoot the true result; every candidate
+  // position is filtered through `accepts`, and rejected draws are retried
+  // until `s` samples pass. Expected O(|cover| + s) when the cover is a
+  // constant-density approximate cover. `cover_element_weight` of each
+  // range must count all elements in the range (qualifying or not).
+  void SampleWithRejection(std::span<const CoverRange> cover, size_t s,
+                           const std::function<bool(size_t)>& accepts,
+                           Rng* rng, std::vector<size_t>* out) const;
+
+  size_t MemoryBytes() const { return sampler_.MemoryBytes(); }
+
+ private:
+  ChunkedRangeSampler sampler_;
+};
+
+// Convenience: total weight of a cover.
+inline double CoverWeight(std::span<const CoverRange> cover) {
+  double total = 0.0;
+  for (const CoverRange& range : cover) total += range.weight;
+  return total;
+}
+
+}  // namespace iqs
+
+#endif  // IQS_COVER_COVERAGE_ENGINE_H_

@@ -1,0 +1,73 @@
+// Simulated disk for the external memory model of Aggarwal & Vitter
+// (paper Section 8). The device stores blocks of exactly B 64-bit words;
+// every Read/Write of a block costs one I/O and bumps the counters. CPU
+// time is free in the EM model, so the counters ARE the experiment's cost
+// metric — this substitution for real hardware is lossless (DESIGN.md
+// 2.4).
+//
+// Algorithms receive an explicit memory budget M (words) and are written
+// to keep at most M words of device data buffered; the device itself only
+// meters traffic.
+
+#ifndef IQS_EM_BLOCK_DEVICE_H_
+#define IQS_EM_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "iqs/util/check.h"
+
+namespace iqs::em {
+
+class BlockDevice {
+ public:
+  // `block_words` is B, the words per block (>= 2).
+  explicit BlockDevice(size_t block_words) : block_words_(block_words) {
+    IQS_CHECK(block_words_ >= 2);
+  }
+
+  BlockDevice(const BlockDevice&) = delete;
+  BlockDevice& operator=(const BlockDevice&) = delete;
+
+  size_t block_words() const { return block_words_; }
+
+  // Allocates a zeroed block; allocation itself is not an I/O.
+  size_t AllocateBlock() {
+    blocks_.emplace_back(block_words_, 0);
+    return blocks_.size() - 1;
+  }
+
+  // Reads block `id` into `out` (which must hold B words). One I/O.
+  void Read(size_t id, std::span<uint64_t> out) {
+    IQS_CHECK(id < blocks_.size());
+    IQS_CHECK(out.size() == block_words_);
+    ++reads_;
+    std::copy(blocks_[id].begin(), blocks_[id].end(), out.begin());
+  }
+
+  // Writes `in` (B words) to block `id`. One I/O.
+  void Write(size_t id, std::span<const uint64_t> in) {
+    IQS_CHECK(id < blocks_.size());
+    IQS_CHECK(in.size() == block_words_);
+    ++writes_;
+    std::copy(in.begin(), in.end(), blocks_[id].begin());
+  }
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t total_ios() const { return reads_ + writes_; }
+  void ResetCounters() { reads_ = writes_ = 0; }
+
+  size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  size_t block_words_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  std::vector<std::vector<uint64_t>> blocks_;
+};
+
+}  // namespace iqs::em
+
+#endif  // IQS_EM_BLOCK_DEVICE_H_

@@ -1,0 +1,121 @@
+#include "iqs/em/btree.h"
+
+#include <algorithm>
+
+#include "iqs/util/check.h"
+
+namespace iqs::em {
+
+BTree::BTree(const EmArray* sorted_data) : data_(sorted_data) {
+  IQS_CHECK(data_->size() > 0);
+  BlockDevice* device = data_->device();
+  const size_t block_words = device->block_words();
+  fanout_ = block_words - 1;  // word 0 holds the child count
+  IQS_CHECK(fanout_ >= 2);
+
+  // Collect the max key of each leaf (data) block with one sequential
+  // pass.
+  std::vector<uint64_t> child_max;
+  {
+    EmReader reader(data_, 0, data_->size());
+    std::vector<uint64_t> record(data_->record_words());
+    for (size_t i = 0; i < data_->size(); ++i) {
+      reader.Next(record.data());
+      if ((i + 1) % data_->records_per_block() == 0 ||
+          i + 1 == data_->size()) {
+        child_max.push_back(record[0]);
+      }
+    }
+  }
+
+  // Build internal levels bottom-up until one node remains.
+  while (child_max.size() > 1) {
+    Level level{EmArray(device, block_words), 0};
+    std::vector<uint64_t> parent_max;
+    std::vector<uint64_t> node_block(block_words, 0);
+    for (size_t start = 0; start < child_max.size(); start += fanout_) {
+      const size_t end = std::min(start + fanout_, child_max.size());
+      node_block[0] = end - start;
+      for (size_t c = start; c < end; ++c) {
+        node_block[1 + c - start] = child_max[c];
+      }
+      std::fill(node_block.begin() + static_cast<ptrdiff_t>(1 + end - start),
+                node_block.end(), 0);
+      const size_t id = device->AllocateBlock();
+      device->Write(id, node_block);
+      level.nodes.AppendBlockId(id);
+      ++level.num_nodes;
+      parent_max.push_back(child_max[end - 1]);
+    }
+    level.nodes.set_size(level.num_nodes);
+    levels_.push_back(std::move(level));
+    child_max = std::move(parent_max);
+  }
+  // levels_ grew bottom-up; the last entry is the root level.
+}
+
+size_t BTree::Search(uint64_t key, bool strict) const {
+  BlockDevice* device = data_->device();
+  std::vector<uint64_t> block(device->block_words());
+  auto past = [&](uint64_t child_max_key) {
+    return strict ? child_max_key > key : child_max_key >= key;
+  };
+
+  // Descend from the root level; node index within each level.
+  size_t node_index = 0;
+  for (size_t l = levels_.size(); l-- > 0;) {
+    const Level& level = levels_[l];
+    device->Read(level.nodes.block_id(node_index), block);
+    const size_t count = block[0];
+    size_t child = count;  // default: past the last child
+    for (size_t c = 0; c < count; ++c) {
+      if (past(block[1 + c])) {
+        child = c;
+        break;
+      }
+    }
+    if (child == count) {
+      // Key beyond this subtree: resolve to one-past-the-end position.
+      // Clamp to the last child; the leaf scan below lands at its end.
+      child = count - 1;
+    }
+    node_index = node_index * fanout_ + child;
+  }
+
+  // node_index is now a data block index. Scan it for the position.
+  const size_t per_block = data_->records_per_block();
+  const size_t base = node_index * per_block;
+  const size_t in_block =
+      std::min(per_block, data_->size() - base);
+  device->Read(data_->block_id(node_index), block);
+  const size_t stride = data_->record_words();
+  for (size_t i = 0; i < in_block; ++i) {
+    const uint64_t record_key = block[i * stride];
+    if (strict ? record_key > key : record_key >= key) return base + i;
+  }
+  // Reached only when the key exceeds every key in the tree (the descent
+  // clamps to the rightmost path); one past the end.
+  return base + in_block;
+}
+
+size_t BTree::LowerBound(uint64_t key) const { return Search(key, false); }
+
+size_t BTree::UpperBound(uint64_t key) const { return Search(key, true); }
+
+size_t BTree::RangeReport(uint64_t lo, uint64_t hi,
+                          std::vector<uint64_t>* out) const {
+  if (lo > hi) return 0;
+  const size_t a = LowerBound(lo);
+  if (a == data_->size()) return 0;
+  const size_t b = UpperBound(hi);
+  if (b <= a) return 0;
+  EmReader reader(data_, a, b - a);
+  std::vector<uint64_t> record(data_->record_words());
+  for (size_t i = a; i < b; ++i) {
+    reader.Next(record.data());
+    out->push_back(record[0]);
+  }
+  return b - a;
+}
+
+}  // namespace iqs::em

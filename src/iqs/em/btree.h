@@ -1,0 +1,64 @@
+// Static external B-tree over a sorted on-device array (paper Section 8's
+// reporting baseline: O(log_B n + k/B) I/Os per range query).
+//
+// The leaf level is the sorted data array itself; internal levels store,
+// per node, the max key of each child, with fanout Θ(B). The tree is
+// static and children are laid out consecutively, so a descent tracks the
+// child's index arithmetically and a search returns the global *record
+// position* of the sought key — which is what the EM range samplers need
+// to translate key ranges into position ranges.
+//
+// Records may be multi-word (e.g. (key, weight) pairs); the KEY is always
+// the record's first word.
+
+#ifndef IQS_EM_BTREE_H_
+#define IQS_EM_BTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "iqs/em/em_array.h"
+
+namespace iqs::em {
+
+class BTree {
+ public:
+  // `sorted_data` must hold records ascending by their first word.
+  // Building reads the data once and writes the internal levels (counted
+  // I/Os).
+  explicit BTree(const EmArray* sorted_data);
+
+  // Global position of the first record >= key (== size() if none).
+  // Costs (height) node reads + 1 leaf read.
+  size_t LowerBound(uint64_t key) const;
+
+  // Global position of the first record > key.
+  size_t UpperBound(uint64_t key) const;
+
+  // Appends all KEYS in [lo, hi] to `out`; returns their count.
+  // O(log_B n + k/B) I/Os.
+  size_t RangeReport(uint64_t lo, uint64_t hi,
+                     std::vector<uint64_t>* out) const;
+
+  size_t size() const { return data_->size(); }
+  size_t height() const { return levels_.size(); }
+  const EmArray* data() const { return data_; }
+
+ private:
+  struct Level {
+    EmArray nodes;            // node blocks: [count, maxkey_0, ...]
+    size_t num_nodes = 0;
+  };
+
+  // Position search shared by Lower/UpperBound: `strict` selects
+  // "first > key" instead of "first >= key".
+  size_t Search(uint64_t key, bool strict) const;
+
+  const EmArray* data_;
+  size_t fanout_;
+  std::vector<Level> levels_;  // levels_[0] is just above the leaves
+};
+
+}  // namespace iqs::em
+
+#endif  // IQS_EM_BTREE_H_

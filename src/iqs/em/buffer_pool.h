@@ -1,0 +1,120 @@
+// Write-back LRU buffer pool over a BlockDevice — the standard database
+// substrate that turns the raw EM model into something a system would
+// run. Caching up to M/B blocks of the memory budget, it absorbs
+// repeated reads of hot blocks (e.g. B-tree roots) so measured I/O drops
+// from the worst-case EM bound to the buffered reality. Kept separate
+// from the Section-8 structures, which are analysed (and tested) against
+// the raw device exactly as the paper counts costs.
+
+#ifndef IQS_EM_BUFFER_POOL_H_
+#define IQS_EM_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "iqs/em/block_device.h"
+#include "iqs/util/check.h"
+
+namespace iqs::em {
+
+class BufferPool {
+ public:
+  // Caches up to `capacity_blocks` blocks (>= 1) of `device`.
+  BufferPool(BlockDevice* device, size_t capacity_blocks)
+      : device_(device), capacity_(capacity_blocks) {
+    IQS_CHECK(device_ != nullptr);
+    IQS_CHECK(capacity_ >= 1);
+  }
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  ~BufferPool() { FlushAll(); }
+
+  // Reads block `id` through the cache.
+  void Read(size_t id, std::span<uint64_t> out) {
+    Frame& frame = Pin(id);
+    std::copy(frame.data.begin(), frame.data.end(), out.begin());
+  }
+
+  // Writes block `id` through the cache (write-back: the device sees the
+  // write on eviction or FlushAll).
+  void Write(size_t id, std::span<const uint64_t> in) {
+    Frame& frame = Pin(id, /*load=*/false);
+    frame.data.assign(in.begin(), in.end());
+    frame.dirty = true;
+  }
+
+  // Writes all dirty frames back to the device.
+  void FlushAll() {
+    for (auto& [id, frame] : frames_) {
+      if (frame.dirty) {
+        device_->Write(id, frame.data);
+        frame.dirty = false;
+      }
+    }
+  }
+
+  // Drops every frame (flushing dirty ones).
+  void Clear() {
+    FlushAll();
+    frames_.clear();
+    lru_.clear();
+  }
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  size_t cached_blocks() const { return frames_.size(); }
+
+ private:
+  struct Frame {
+    std::vector<uint64_t> data;
+    bool dirty = false;
+    std::list<size_t>::iterator lru_it;
+  };
+
+  // Returns the frame for `id`, loading from the device when `load` and
+  // absent; moves it to the MRU position; evicts LRU on overflow.
+  Frame& Pin(size_t id, bool load = true) {
+    auto it = frames_.find(id);
+    if (it != frames_.end()) {
+      lru_.erase(it->second.lru_it);
+      lru_.push_front(id);
+      it->second.lru_it = lru_.begin();
+      ++stats_.hits;
+      return it->second;
+    }
+    ++stats_.misses;
+    if (frames_.size() == capacity_) {
+      const size_t victim = lru_.back();
+      lru_.pop_back();
+      auto vit = frames_.find(victim);
+      if (vit->second.dirty) device_->Write(victim, vit->second.data);
+      frames_.erase(vit);
+      ++stats_.evictions;
+    }
+    Frame frame;
+    frame.data.resize(device_->block_words());
+    if (load) device_->Read(id, frame.data);
+    lru_.push_front(id);
+    frame.lru_it = lru_.begin();
+    return frames_.emplace(id, std::move(frame)).first->second;
+  }
+
+  BlockDevice* device_;
+  size_t capacity_;
+  std::unordered_map<size_t, Frame> frames_;
+  std::list<size_t> lru_;  // front = most recently used
+  Stats stats_;
+};
+
+}  // namespace iqs::em
+
+#endif  // IQS_EM_BUFFER_POOL_H_

@@ -1,0 +1,151 @@
+#include "iqs/em/deamortized_pool.h"
+
+#include "iqs/util/check.h"
+
+namespace iqs::em {
+
+PoolRebuildPipeline::PoolRebuildPipeline(const EmArray* data, size_t first,
+                                         size_t count, size_t memory_words,
+                                         Rng* rng)
+    : data_(data),
+      first_(first),
+      count_(count),
+      memory_words_(memory_words),
+      rng_(rng->Split()),
+      tagged_(data->device(), 2),
+      valued_(data->device(), 2),
+      pool_(data->device(), 1) {
+  IQS_CHECK(data_->record_words() == 1);
+  IQS_CHECK(count_ > 0);
+  tag_writer_ = std::make_unique<EmWriter>(&tagged_);
+}
+
+void PoolRebuildPipeline::Step() {
+  switch (phase_) {
+    case Phase::kDone:
+      return;
+
+    case Phase::kTagGen: {
+      if (tags_written_ < count_) {
+        tag_writer_->Append2(first_ + rng_.Below(count_), tags_written_);
+        ++tags_written_;
+        return;
+      }
+      tag_writer_->Finish();
+      sort_ = std::make_unique<StepwiseSort>(&tagged_, memory_words_);
+      phase_ = Phase::kSortByIndex;
+      return;
+    }
+
+    case Phase::kSortByIndex: {
+      if (!sort_->done()) {
+        sort_->Step();
+        return;
+      }
+      value_writer_ = std::make_unique<EmWriter>(&valued_);
+      tag_reader_ = std::make_unique<EmReader>(&sort_->result(), 0,
+                                               sort_->result().size());
+      data_reader_ = std::make_unique<EmReader>(data_, first_, count_);
+      data_position_ = first_;
+      value_loaded_ = false;
+      phase_ = Phase::kMergeScan;
+      return;
+    }
+
+    case Phase::kMergeScan: {
+      if (tag_reader_->HasNext()) {
+        uint64_t record[2];
+        tag_reader_->Next(record);
+        const uint64_t want_index = record[0];
+        while (!value_loaded_ || data_position_ <= want_index) {
+          current_value_ = data_reader_->Next1();
+          ++data_position_;
+          value_loaded_ = true;
+        }
+        value_writer_->Append2(record[1], current_value_);
+        return;
+      }
+      value_writer_->Finish();
+      sort_ = std::make_unique<StepwiseSort>(&valued_, memory_words_);
+      phase_ = Phase::kSortByPosition;
+      return;
+    }
+
+    case Phase::kSortByPosition: {
+      if (!sort_->done()) {
+        sort_->Step();
+        return;
+      }
+      pool_writer_ = std::make_unique<EmWriter>(&pool_);
+      strip_reader_ = std::make_unique<EmReader>(&sort_->result(), 0,
+                                                 sort_->result().size());
+      phase_ = Phase::kStrip;
+      return;
+    }
+
+    case Phase::kStrip: {
+      if (strip_reader_->HasNext()) {
+        uint64_t record[2];
+        strip_reader_->Next(record);
+        pool_writer_->Append1(record[1]);
+        return;
+      }
+      pool_writer_->Finish();
+      phase_ = Phase::kDone;
+      return;
+    }
+  }
+}
+
+DeamortizedSamplePool::DeamortizedSamplePool(const EmArray* data,
+                                             size_t first, size_t count,
+                                             size_t memory_words, Rng* rng)
+    : data_(data),
+      first_(first),
+      count_(count),
+      memory_words_(memory_words),
+      active_(data->device(), 1) {
+  // First pool: run a pipeline to completion, counting its units so the
+  // steady-state pacing has the right rate.
+  PoolRebuildPipeline initial(data_, first_, count_, memory_words_, rng);
+  size_t units = 0;
+  while (!initial.done()) {
+    initial.Step();
+    ++units;
+  }
+  active_ = std::move(initial.pool());
+  // 2x slack guarantees the next pool finishes before this one drains.
+  units_per_sample_ = 2 * ((units + count_ - 1) / count_) + 1;
+  next_ = std::make_unique<PoolRebuildPipeline>(data_, first_, count_,
+                                                memory_words_, rng);
+}
+
+void DeamortizedSamplePool::Query(size_t s, Rng* rng,
+                                  std::vector<uint64_t>* out) {
+  out->reserve(out->size() + s);
+  size_t remaining = s;
+  while (remaining > 0) {
+    if (clean_position_ == count_) {
+      // Pacing (below) guarantees the pipeline finished before the pool
+      // drained; Finish() is a defensive no-op then.
+      next_->Finish();
+      active_ = std::move(next_->pool());
+      clean_position_ = 0;
+      next_ = std::make_unique<PoolRebuildPipeline>(data_, first_, count_,
+                                                    memory_words_, rng);
+    }
+    const size_t take = std::min(remaining, count_ - clean_position_);
+    EmReader reader(&active_, clean_position_, take);
+    for (size_t i = 0; i < take; ++i) out->push_back(reader.Next1());
+    clean_position_ += take;
+    remaining -= take;
+    // Advance the background rebuild in proportion to the samples just
+    // consumed: with 2x slack, count_ samples push >= the full pipeline.
+    for (size_t unit = 0; unit < take * units_per_sample_ && !next_->done();
+         ++unit) {
+      next_->Step();
+    }
+  }
+}
+
+}  // namespace iqs::em

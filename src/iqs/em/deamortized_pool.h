@@ -1,0 +1,110 @@
+// De-amortized EM set sampling (paper Section 8, closing remark): the
+// same sample-pool strategy as SamplePool, but with the pool rebuild
+// spread across queries so that EVERY query costs
+// O(1 + (s/B) log_{M/B}(n/B)) I/Os in the worst case — no rebuild bursts.
+//
+// Mechanics: while the active pool is being consumed, a second pool is
+// constructed by a resumable pipeline (tag generation -> StepwiseSort by
+// index -> merge-scan against the data -> StepwiseSort by position ->
+// strip). Each query advances the pipeline by a fixed number of work
+// units per sample it consumes, chosen with 2x slack so the next pool is
+// always ready before the active one runs dry.
+
+#ifndef IQS_EM_DEAMORTIZED_POOL_H_
+#define IQS_EM_DEAMORTIZED_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "iqs/em/em_array.h"
+#include "iqs/em/stepwise_sort.h"
+#include "iqs/util/rng.h"
+
+namespace iqs::em {
+
+// Resumable pool construction pipeline; one Step ~ one record of work.
+class PoolRebuildPipeline {
+ public:
+  PoolRebuildPipeline(const EmArray* data, size_t first, size_t count,
+                      size_t memory_words, Rng* rng);
+
+  bool done() const { return phase_ == Phase::kDone; }
+  void Step();
+  void Finish() {
+    while (!done()) Step();
+  }
+
+  // The finished pool; valid only once done.
+  EmArray& pool() {
+    IQS_CHECK(done());
+    return pool_;
+  }
+
+ private:
+  enum class Phase {
+    kTagGen,
+    kSortByIndex,
+    kMergeScan,
+    kSortByPosition,
+    kStrip,
+    kDone
+  };
+
+  const EmArray* data_;
+  size_t first_;
+  size_t count_;
+  size_t memory_words_;
+  Rng rng_;
+
+  Phase phase_ = Phase::kTagGen;
+
+  EmArray tagged_;
+  std::unique_ptr<EmWriter> tag_writer_;
+  size_t tags_written_ = 0;
+
+  std::unique_ptr<StepwiseSort> sort_;
+
+  EmArray valued_;
+  std::unique_ptr<EmWriter> value_writer_;
+  std::unique_ptr<EmReader> tag_reader_;
+  std::unique_ptr<EmReader> data_reader_;
+  size_t data_position_ = 0;
+  uint64_t current_value_ = 0;
+  bool value_loaded_ = false;
+
+  EmArray pool_;
+  std::unique_ptr<EmWriter> pool_writer_;
+  std::unique_ptr<EmReader> strip_reader_;
+};
+
+class DeamortizedSamplePool {
+ public:
+  // Pool over records [first, first + count) of `data` (1-word records).
+  // The constructor builds the first pool outright and measures the
+  // pipeline's unit count; subsequent rebuild work rides on queries.
+  DeamortizedSamplePool(const EmArray* data, size_t first, size_t count,
+                        size_t memory_words, Rng* rng);
+
+  // Appends `s` independent WR samples. Worst-case I/O
+  // O(1 + (s/B) * rebuild_cost_per_element) — never a full-rebuild burst.
+  void Query(size_t s, Rng* rng, std::vector<uint64_t>* out);
+
+  size_t count() const { return count_; }
+  // Pipeline units advanced per consumed sample (diagnostics).
+  size_t units_per_sample() const { return units_per_sample_; }
+
+ private:
+  const EmArray* data_;
+  size_t first_;
+  size_t count_;
+  size_t memory_words_;
+  EmArray active_;
+  size_t clean_position_ = 0;
+  std::unique_ptr<PoolRebuildPipeline> next_;
+  size_t units_per_sample_ = 1;
+};
+
+}  // namespace iqs::em
+
+#endif  // IQS_EM_DEAMORTIZED_POOL_H_

@@ -1,0 +1,73 @@
+#include "iqs/em/em_array.h"
+
+#include <algorithm>
+
+namespace iqs::em {
+
+void EmArray::ReadRecord(size_t index, uint64_t* out) const {
+  IQS_CHECK(index < num_records_);
+  const size_t per_block = records_per_block();
+  const size_t block = index / per_block;
+  const size_t offset = (index % per_block) * record_words_;
+  std::vector<uint64_t> buffer(device_->block_words());
+  device_->Read(block_ids_[block], buffer);
+  std::copy(buffer.begin() + static_cast<ptrdiff_t>(offset),
+            buffer.begin() + static_cast<ptrdiff_t>(offset + record_words_),
+            out);
+}
+
+void EmWriter::Append(const uint64_t* record) {
+  IQS_CHECK(!finished_);
+  const size_t per_block = array_->records_per_block();
+  std::copy(record, record + array_->record_words(),
+            buffer_.begin() +
+                static_cast<ptrdiff_t>(in_buffer_ * array_->record_words()));
+  ++in_buffer_;
+  ++written_;
+  if (in_buffer_ == per_block) {
+    const size_t id = array_->device()->AllocateBlock();
+    array_->device()->Write(id, buffer_);
+    array_->AppendBlockId(id);
+    in_buffer_ = 0;
+  }
+}
+
+void EmWriter::Finish() {
+  IQS_CHECK(!finished_);
+  finished_ = true;
+  if (in_buffer_ > 0) {
+    std::fill(buffer_.begin() +
+                  static_cast<ptrdiff_t>(in_buffer_ * array_->record_words()),
+              buffer_.end(), 0);
+    const size_t id = array_->device()->AllocateBlock();
+    array_->device()->Write(id, buffer_);
+    array_->AppendBlockId(id);
+  }
+  array_->set_size(written_);
+}
+
+EmReader::EmReader(const EmArray* array, size_t first, size_t count)
+    : array_(array),
+      buffer_(array->device()->block_words()),
+      position_(first),
+      end_(first + count) {
+  IQS_CHECK(end_ <= array_->size());
+}
+
+void EmReader::Next(uint64_t* out) {
+  IQS_CHECK(HasNext());
+  const size_t per_block = array_->records_per_block();
+  const size_t block = position_ / per_block;
+  if (block != buffered_block_) {
+    array_->device()->Read(array_->block_id(block), buffer_);
+    buffered_block_ = block;
+  }
+  const size_t offset = (position_ % per_block) * array_->record_words();
+  std::copy(buffer_.begin() + static_cast<ptrdiff_t>(offset),
+            buffer_.begin() +
+                static_cast<ptrdiff_t>(offset + array_->record_words()),
+            out);
+  ++position_;
+}
+
+}  // namespace iqs::em

@@ -1,0 +1,102 @@
+// A fixed-record-width array laid out on the block device, plus buffered
+// sequential readers/writers — the basic on-disk collection every EM
+// algorithm in Section 8 manipulates. Records are 1 or 2 words (2-word
+// records hold (key, payload) pairs used by the external sort's
+// tag-sort-untag trick).
+
+#ifndef IQS_EM_EM_ARRAY_H_
+#define IQS_EM_EM_ARRAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "iqs/em/block_device.h"
+#include "iqs/util/check.h"
+
+namespace iqs::em {
+
+class EmArray {
+ public:
+  // An empty array of `record_words`-word records on `device`.
+  EmArray(BlockDevice* device, size_t record_words)
+      : device_(device), record_words_(record_words) {
+    IQS_CHECK(device_ != nullptr);
+    IQS_CHECK(record_words_ >= 1 &&
+              record_words_ <= device_->block_words());
+  }
+
+  BlockDevice* device() const { return device_; }
+  size_t record_words() const { return record_words_; }
+  size_t size() const { return num_records_; }
+  size_t records_per_block() const {
+    return device_->block_words() / record_words_;
+  }
+  size_t num_blocks() const { return block_ids_.size(); }
+  size_t block_id(size_t i) const { return block_ids_[i]; }
+
+  // Random access to one record: reads its block (1 I/O) into `out`
+  // (record_words words).
+  void ReadRecord(size_t index, uint64_t* out) const;
+
+  // For building: appends a block id (used by Writer).
+  void AppendBlockId(size_t id) { block_ids_.push_back(id); }
+  void set_size(size_t n) { num_records_ = n; }
+
+ private:
+  BlockDevice* device_;
+  size_t record_words_;
+  size_t num_records_ = 0;
+  std::vector<size_t> block_ids_;
+};
+
+// Sequential writer: one block of buffer (B words of memory).
+class EmWriter {
+ public:
+  explicit EmWriter(EmArray* array)
+      : array_(array), buffer_(array->device()->block_words(), 0) {}
+
+  // Appends one record (record_words words).
+  void Append(const uint64_t* record);
+  void Append1(uint64_t word) { Append(&word); }
+  void Append2(uint64_t a, uint64_t b) {
+    const uint64_t record[2] = {a, b};
+    Append(record);
+  }
+
+  // Flushes the trailing partial block. Must be called exactly once.
+  void Finish();
+
+ private:
+  EmArray* array_;
+  std::vector<uint64_t> buffer_;
+  size_t in_buffer_ = 0;   // records buffered
+  size_t written_ = 0;     // records written in total
+  bool finished_ = false;
+};
+
+// Sequential reader over a record range: one block of buffer.
+class EmReader {
+ public:
+  // Reads records [first, first + count).
+  EmReader(const EmArray* array, size_t first, size_t count);
+
+  bool HasNext() const { return position_ < end_; }
+  // Reads the next record into `out` (record_words words).
+  void Next(uint64_t* out);
+  uint64_t Next1() {
+    uint64_t word = 0;
+    Next(&word);
+    return word;
+  }
+
+ private:
+  const EmArray* array_;
+  std::vector<uint64_t> buffer_;
+  size_t position_;
+  size_t end_;
+  size_t buffered_block_ = ~size_t{0};
+};
+
+}  // namespace iqs::em
+
+#endif  // IQS_EM_EM_ARRAY_H_

@@ -1,0 +1,146 @@
+#include "iqs/em/em_range_sampler.h"
+
+#include <algorithm>
+
+#include "iqs/sampling/multinomial.h"
+#include "iqs/util/check.h"
+
+namespace iqs::em {
+
+EmRangeSampler::EmRangeSampler(const EmArray* sorted_data,
+                               size_t memory_words, Rng* rng)
+    : data_(sorted_data), memory_words_(memory_words), btree_(sorted_data) {
+  IQS_CHECK(data_->record_words() == 1);
+  const size_t num_blocks = data_->num_blocks();
+  nodes_.reserve(2 * num_blocks);
+  root_ = BuildNode(0, num_blocks, rng);
+}
+
+size_t EmRangeSampler::BuildNode(size_t first_block, size_t num_blocks,
+                                 Rng* rng) {
+  const size_t id = nodes_.size();
+  nodes_.emplace_back();
+  nodes_[id].first_block = first_block;
+  nodes_[id].num_blocks = num_blocks;
+  const size_t per_block = data_->records_per_block();
+  const size_t first_record = first_block * per_block;
+  const size_t record_count =
+      std::min(num_blocks * per_block, data_->size() - first_record);
+  nodes_[id].pool = std::make_unique<SamplePool>(
+      data_, first_record, record_count, memory_words_, rng);
+  if (num_blocks > 1) {
+    const size_t half = num_blocks / 2;
+    const size_t left = BuildNode(first_block, half, rng);
+    const size_t right = BuildNode(first_block + half, num_blocks - half, rng);
+    nodes_[id].left = left;
+    nodes_[id].right = right;
+  }
+  return id;
+}
+
+void EmRangeSampler::Decompose(size_t node, size_t block_lo, size_t block_hi,
+                               std::vector<size_t>* cover) const {
+  const PoolNode& pool_node = nodes_[node];
+  const size_t node_lo = pool_node.first_block;
+  const size_t node_hi = pool_node.first_block + pool_node.num_blocks - 1;
+  if (node_lo > block_hi || node_hi < block_lo) return;
+  if (block_lo <= node_lo && node_hi <= block_hi) {
+    cover->push_back(node);
+    return;
+  }
+  IQS_DCHECK(pool_node.left != kNone);
+  Decompose(pool_node.left, block_lo, block_hi, cover);
+  Decompose(pool_node.right, block_lo, block_hi, cover);
+}
+
+bool EmRangeSampler::Query(uint64_t lo, uint64_t hi, size_t s, Rng* rng,
+                           std::vector<uint64_t>* out) {
+  if (lo > hi) return false;
+  const size_t a = btree_.LowerBound(lo);
+  const size_t b_excl = btree_.UpperBound(hi);
+  if (a >= b_excl) return false;
+  if (s == 0) return true;
+  const size_t b = b_excl - 1;
+
+  const size_t per_block = data_->records_per_block();
+  const size_t block_a = a / per_block;
+  const size_t block_b = b / per_block;
+
+  // Partial boundary blocks: read them whole (O(1) I/Os) and collect the
+  // in-range values; full interior blocks go to the pool decomposition.
+  std::vector<uint64_t> head_values;
+  std::vector<uint64_t> tail_values;
+  size_t full_lo = block_a;
+  size_t full_hi = block_b;
+  const bool head_partial = a % per_block != 0;
+  const bool tail_partial =
+      (b + 1) % per_block != 0 && b + 1 != data_->size();
+  if (head_partial || block_a == block_b) {
+    const size_t block_end =
+        std::min((block_a + 1) * per_block, data_->size()) - 1;
+    const size_t read_hi = std::min(b, block_end);
+    EmReader reader(data_, a, read_hi - a + 1);
+    while (reader.HasNext()) head_values.push_back(reader.Next1());
+    full_lo = block_a + 1;
+  }
+  if (block_b > block_a && (tail_partial || full_lo > block_b)) {
+    const size_t block_start = block_b * per_block;
+    const size_t read_lo = std::max(a, block_start);
+    EmReader reader(data_, read_lo, b - read_lo + 1);
+    while (reader.HasNext()) tail_values.push_back(reader.Next1());
+    full_hi = block_b - 1;
+  }
+
+  std::vector<size_t> cover;
+  if (full_lo <= full_hi) {
+    Decompose(root_, full_lo, full_hi, &cover);
+  }
+
+  // Split the budget across head / tail / canonical nodes by element
+  // counts (WR scheme: uniform weights).
+  std::vector<double> weights;
+  weights.push_back(static_cast<double>(head_values.size()));
+  weights.push_back(static_cast<double>(tail_values.size()));
+  for (size_t node : cover) {
+    const PoolNode& pool_node = nodes_[node];
+    weights.push_back(static_cast<double>(pool_node.pool->count()));
+  }
+  const std::vector<uint32_t> counts = MultinomialSplit(weights, s, rng);
+
+  out->reserve(out->size() + s);
+  for (uint32_t i = 0; i < counts[0]; ++i) {
+    out->push_back(head_values[rng->Below(head_values.size())]);
+  }
+  for (uint32_t i = 0; i < counts[1]; ++i) {
+    out->push_back(tail_values[rng->Below(tail_values.size())]);
+  }
+  for (size_t c = 0; c < cover.size(); ++c) {
+    if (counts[2 + c] == 0) continue;
+    nodes_[cover[c]].pool->Query(counts[2 + c], rng, out);
+  }
+  return true;
+}
+
+bool EmRangeSampler::NaiveQuery(uint64_t lo, uint64_t hi, size_t s, Rng* rng,
+                                std::vector<uint64_t>* out) const {
+  if (lo > hi) return false;
+  const size_t a = btree_.LowerBound(lo);
+  const size_t b_excl = btree_.UpperBound(hi);
+  if (a >= b_excl) return false;
+  SamplePool::NaiveQuery(*data_, a, b_excl - a, s, rng, out);
+  return true;
+}
+
+bool EmRangeSampler::ReportThenSample(uint64_t lo, uint64_t hi, size_t s,
+                                      Rng* rng,
+                                      std::vector<uint64_t>* out) const {
+  std::vector<uint64_t> result;
+  if (btree_.RangeReport(lo, hi, &result) == 0) return false;
+  out->reserve(out->size() + s);
+  for (size_t i = 0; i < s; ++i) {
+    out->push_back(result[rng->Below(result.size())]);
+  }
+  return true;
+}
+
+}  // namespace iqs::em

@@ -1,0 +1,77 @@
+// EM range sampling (paper Section 8, after Hu et al. [18]): WR sampling
+// from S ∩ [lo, hi] on disk-resident sorted data.
+//
+// Structure (simplified variant of Hu et al.'s first structure; DESIGN.md
+// 2.4): a B-tree locates the position range; a balanced binary
+// decomposition over the *full data blocks* carries one SamplePool per
+// node, so the range splits into <= 2 partial boundary blocks (read
+// directly, O(1) I/Os) plus O(log(n/B)) canonical nodes whose pools hand
+// out pre-drawn WR samples at (s_i / B) I/Os amortized-log each. Total:
+//   O(log_B n + log(n/B) + (s/B) log_{M/B}(n/B))   I/Os amortized,
+// versus O(log_B n + s) for B-tree search + naive random access and
+// O(log_B n + |S_q|/B) for report-then-sample. The min(s, (s/B) log...)
+// lower-bound shape of Section 8 is exactly what bench_em_range measures.
+//
+// Space: pools at every level store n samples per level: O((n/B) log(n/B))
+// blocks, matching Hu et al.'s first (non-linear-space) structure.
+
+#ifndef IQS_EM_EM_RANGE_SAMPLER_H_
+#define IQS_EM_EM_RANGE_SAMPLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "iqs/em/btree.h"
+#include "iqs/em/em_array.h"
+#include "iqs/em/sample_pool.h"
+#include "iqs/util/rng.h"
+
+namespace iqs::em {
+
+class EmRangeSampler {
+ public:
+  // `sorted_data`: ascending 1-word records. Builds the B-tree and all
+  // node pools (counted on the device; reset counters before measuring
+  // queries).
+  EmRangeSampler(const EmArray* sorted_data, size_t memory_words, Rng* rng);
+
+  // Appends `s` independent WR samples from the values in [lo, hi].
+  // Returns false when the range is empty.
+  bool Query(uint64_t lo, uint64_t hi, size_t s, Rng* rng,
+             std::vector<uint64_t>* out);
+
+  // Baseline 1: B-tree search + one random I/O per sample (s I/Os).
+  bool NaiveQuery(uint64_t lo, uint64_t hi, size_t s, Rng* rng,
+                  std::vector<uint64_t>* out) const;
+
+  // Baseline 2: report the whole range, then sample in memory.
+  bool ReportThenSample(uint64_t lo, uint64_t hi, size_t s, Rng* rng,
+                        std::vector<uint64_t>* out) const;
+
+  const BTree& btree() const { return btree_; }
+
+ private:
+  struct PoolNode {
+    size_t first_block;
+    size_t num_blocks;
+    std::unique_ptr<SamplePool> pool;
+    size_t left = kNone;   // indices into nodes_; kNone for leaves
+    size_t right = kNone;
+  };
+  static constexpr size_t kNone = ~size_t{0};
+
+  size_t BuildNode(size_t first_block, size_t num_blocks, Rng* rng);
+  void Decompose(size_t node, size_t block_lo, size_t block_hi,
+                 std::vector<size_t>* cover) const;
+
+  const EmArray* data_;
+  size_t memory_words_;
+  BTree btree_;
+  std::vector<PoolNode> nodes_;
+  size_t root_ = kNone;
+};
+
+}  // namespace iqs::em
+
+#endif  // IQS_EM_EM_RANGE_SAMPLER_H_

@@ -1,0 +1,105 @@
+#include "iqs/em/em_sort.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "iqs/util/check.h"
+
+namespace iqs::em {
+
+namespace {
+
+struct RunBounds {
+  size_t first;
+  size_t count;
+};
+
+}  // namespace
+
+EmArray ExternalSort(const EmArray& input, size_t memory_words) {
+  BlockDevice* device = input.device();
+  const size_t record_words = input.record_words();
+  IQS_CHECK(memory_words >= 2 * device->block_words());
+  const size_t records_per_load =
+      std::max<size_t>(1, memory_words / record_words);
+
+  // Phase 1: run formation.
+  EmArray runs(device, record_words);
+  std::vector<RunBounds> bounds;
+  {
+    EmWriter writer(&runs);
+    EmReader reader(&input, 0, input.size());
+    std::vector<uint64_t> load;  // flattened records
+    size_t consumed = 0;
+    while (consumed < input.size()) {
+      const size_t take = std::min(records_per_load, input.size() - consumed);
+      load.resize(take * record_words);
+      for (size_t i = 0; i < take; ++i) {
+        reader.Next(&load[i * record_words]);
+      }
+      // Sort records in memory by first word (stable order of payload
+      // words preserved within a record by moving whole records).
+      std::vector<uint32_t> order(take);
+      for (size_t i = 0; i < take; ++i) order[i] = static_cast<uint32_t>(i);
+      std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return load[a * record_words] < load[b * record_words];
+      });
+      for (uint32_t i : order) writer.Append(&load[i * record_words]);
+      bounds.push_back({consumed, take});
+      consumed += take;
+    }
+    writer.Finish();
+  }
+
+  // Phase 2: k-way merge passes.
+  const size_t fan_in = std::max<size_t>(
+      2, memory_words / device->block_words() - 1);
+  EmArray current = std::move(runs);
+  while (bounds.size() > 1) {
+    EmArray merged(device, record_words);
+    EmWriter writer(&merged);
+    std::vector<RunBounds> next_bounds;
+    size_t out_position = 0;
+    for (size_t group = 0; group < bounds.size(); group += fan_in) {
+      const size_t group_end = std::min(group + fan_in, bounds.size());
+      // One buffered reader per run in the group: (group size) * B words.
+      std::vector<EmReader> readers;
+      readers.reserve(group_end - group);
+      size_t group_records = 0;
+      for (size_t r = group; r < group_end; ++r) {
+        readers.emplace_back(&current, bounds[r].first, bounds[r].count);
+        group_records += bounds[r].count;
+      }
+      // Heap of (key, reader index) with current records held aside.
+      using HeapEntry = std::pair<uint64_t, size_t>;
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                          std::greater<>> heap;
+      std::vector<std::vector<uint64_t>> heads(
+          readers.size(), std::vector<uint64_t>(record_words));
+      for (size_t r = 0; r < readers.size(); ++r) {
+        if (readers[r].HasNext()) {
+          readers[r].Next(heads[r].data());
+          heap.emplace(heads[r][0], r);
+        }
+      }
+      while (!heap.empty()) {
+        const auto [key, r] = heap.top();
+        heap.pop();
+        writer.Append(heads[r].data());
+        if (readers[r].HasNext()) {
+          readers[r].Next(heads[r].data());
+          heap.emplace(heads[r][0], r);
+        }
+      }
+      next_bounds.push_back({out_position, group_records});
+      out_position += group_records;
+    }
+    writer.Finish();
+    current = std::move(merged);
+    bounds = std::move(next_bounds);
+  }
+  return current;
+}
+
+}  // namespace iqs::em

@@ -1,0 +1,22 @@
+// External merge sort (paper Section 8; Aggarwal & Vitter):
+// O((n/B) log_{M/B}(n/B)) I/Os with M words of memory — run formation
+// sorts M-word loads in memory, then (M/B - 1)-way merges, each pass
+// streaming the data once. This is the engine behind the sample pool's
+// tag-sort-untag rebuild.
+
+#ifndef IQS_EM_EM_SORT_H_
+#define IQS_EM_EM_SORT_H_
+
+#include <cstddef>
+
+#include "iqs/em/em_array.h"
+
+namespace iqs::em {
+
+// Sorts `input`'s records ascending by their first word, using at most
+// ~`memory_words` words of buffer. Returns a new array on the same device.
+EmArray ExternalSort(const EmArray& input, size_t memory_words);
+
+}  // namespace iqs::em
+
+#endif  // IQS_EM_EM_SORT_H_

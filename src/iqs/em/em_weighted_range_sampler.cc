@@ -1,0 +1,156 @@
+#include "iqs/em/em_weighted_range_sampler.h"
+
+#include <algorithm>
+
+#include "iqs/alias/alias_table.h"
+#include "iqs/sampling/multinomial.h"
+#include "iqs/util/check.h"
+
+namespace iqs::em {
+
+EmWeightedRangeSampler::EmWeightedRangeSampler(const EmArray* sorted_data,
+                                               size_t memory_words, Rng* rng)
+    : data_(sorted_data), memory_words_(memory_words), btree_(sorted_data) {
+  IQS_CHECK(data_->record_words() == 2);
+  const size_t num_blocks = data_->num_blocks();
+  nodes_.reserve(2 * num_blocks);
+  root_ = BuildNode(0, num_blocks, rng);
+}
+
+size_t EmWeightedRangeSampler::BuildNode(size_t first_block,
+                                         size_t num_blocks, Rng* rng) {
+  const size_t id = nodes_.size();
+  nodes_.emplace_back();
+  nodes_[id].first_block = first_block;
+  nodes_[id].num_blocks = num_blocks;
+  const size_t per_block = data_->records_per_block();
+  const size_t first_record = first_block * per_block;
+  const size_t record_count =
+      std::min(num_blocks * per_block, data_->size() - first_record);
+  nodes_[id].pool = std::make_unique<WeightedSamplePool>(
+      data_, first_record, record_count, memory_words_, rng);
+  if (num_blocks > 1) {
+    const size_t half = num_blocks / 2;
+    const size_t left = BuildNode(first_block, half, rng);
+    const size_t right = BuildNode(first_block + half, num_blocks - half, rng);
+    nodes_[id].left = left;
+    nodes_[id].right = right;
+  }
+  return id;
+}
+
+void EmWeightedRangeSampler::Decompose(size_t node, size_t block_lo,
+                                       size_t block_hi,
+                                       std::vector<size_t>* cover) const {
+  const PoolNode& pool_node = nodes_[node];
+  const size_t node_lo = pool_node.first_block;
+  const size_t node_hi = pool_node.first_block + pool_node.num_blocks - 1;
+  if (node_lo > block_hi || node_hi < block_lo) return;
+  if (block_lo <= node_lo && node_hi <= block_hi) {
+    cover->push_back(node);
+    return;
+  }
+  IQS_DCHECK(pool_node.left != kNone);
+  Decompose(pool_node.left, block_lo, block_hi, cover);
+  Decompose(pool_node.right, block_lo, block_hi, cover);
+}
+
+void EmWeightedRangeSampler::ReadRange(size_t lo, size_t hi,
+                                       std::vector<uint64_t>* keys,
+                                       std::vector<double>* weights) const {
+  EmReader reader(data_, lo, hi - lo + 1);
+  uint64_t record[2];
+  while (reader.HasNext()) {
+    reader.Next(record);
+    keys->push_back(record[0]);
+    weights->push_back(WeightedSamplePool::WeightOfWord(record[1]));
+  }
+}
+
+bool EmWeightedRangeSampler::Query(uint64_t lo, uint64_t hi, size_t s,
+                                   Rng* rng, std::vector<uint64_t>* out) {
+  if (lo > hi) return false;
+  const size_t a = btree_.LowerBound(lo);
+  const size_t b_excl = btree_.UpperBound(hi);
+  if (a >= b_excl) return false;
+  if (s == 0) return true;
+  const size_t b = b_excl - 1;
+
+  const size_t per_block = data_->records_per_block();
+  const size_t block_a = a / per_block;
+  const size_t block_b = b / per_block;
+
+  // Partial boundary blocks read directly; full interior blocks go to
+  // the weighted pool decomposition. (Same geometry as EmRangeSampler.)
+  std::vector<uint64_t> head_keys;
+  std::vector<double> head_weights;
+  std::vector<uint64_t> tail_keys;
+  std::vector<double> tail_weights;
+  size_t full_lo = block_a;
+  size_t full_hi = block_b;
+  const bool head_partial = a % per_block != 0;
+  if (head_partial || block_a == block_b) {
+    const size_t block_end =
+        std::min((block_a + 1) * per_block, data_->size()) - 1;
+    ReadRange(a, std::min(b, block_end), &head_keys, &head_weights);
+    full_lo = block_a + 1;
+  }
+  const bool tail_partial =
+      (b + 1) % per_block != 0 && b + 1 != data_->size();
+  if (block_b > block_a && (tail_partial || full_lo > block_b)) {
+    ReadRange(std::max(a, block_b * per_block), b, &tail_keys,
+              &tail_weights);
+    full_hi = block_b - 1;
+  }
+
+  std::vector<size_t> cover;
+  if (full_lo <= full_hi) Decompose(root_, full_lo, full_hi, &cover);
+
+  // Budget split by WEIGHT.
+  double head_weight = 0.0;
+  for (double w : head_weights) head_weight += w;
+  double tail_weight = 0.0;
+  for (double w : tail_weights) tail_weight += w;
+  std::vector<double> part_weights = {head_weight, tail_weight};
+  for (size_t node : cover) {
+    part_weights.push_back(nodes_[node].pool->total_weight());
+  }
+  const std::vector<uint32_t> counts = MultinomialSplit(part_weights, s, rng);
+
+  out->reserve(out->size() + s);
+  if (counts[0] > 0) {
+    AliasTable head_alias(head_weights);
+    for (uint32_t i = 0; i < counts[0]; ++i) {
+      out->push_back(head_keys[head_alias.Sample(rng)]);
+    }
+  }
+  if (counts[1] > 0) {
+    AliasTable tail_alias(tail_weights);
+    for (uint32_t i = 0; i < counts[1]; ++i) {
+      out->push_back(tail_keys[tail_alias.Sample(rng)]);
+    }
+  }
+  for (size_t c = 0; c < cover.size(); ++c) {
+    if (counts[2 + c] == 0) continue;
+    nodes_[cover[c]].pool->Query(counts[2 + c], rng, out);
+  }
+  return true;
+}
+
+bool EmWeightedRangeSampler::ReportThenSample(
+    uint64_t lo, uint64_t hi, size_t s, Rng* rng,
+    std::vector<uint64_t>* out) const {
+  if (lo > hi) return false;
+  const size_t a = btree_.LowerBound(lo);
+  const size_t b_excl = btree_.UpperBound(hi);
+  if (a >= b_excl) return false;
+  std::vector<uint64_t> keys;
+  std::vector<double> weights;
+  ReadRange(a, b_excl - 1, &keys, &weights);
+  AliasTable alias(weights);
+  out->reserve(out->size() + s);
+  for (size_t i = 0; i < s; ++i) out->push_back(keys[alias.Sample(rng)]);
+  return true;
+}
+
+}  // namespace iqs::em

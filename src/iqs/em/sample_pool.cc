@@ -1,0 +1,104 @@
+#include "iqs/em/sample_pool.h"
+
+#include "iqs/em/em_sort.h"
+#include "iqs/util/check.h"
+
+namespace iqs::em {
+
+SamplePool::SamplePool(const EmArray* data, size_t first, size_t count,
+                       size_t memory_words, Rng* rng)
+    : data_(data),
+      first_(first),
+      count_(count),
+      memory_words_(memory_words),
+      pool_(data->device(), 1) {
+  IQS_CHECK(data_->record_words() == 1);
+  IQS_CHECK(count_ > 0);
+  IQS_CHECK(first_ + count_ <= data_->size());
+  Rebuild(rng);
+}
+
+void SamplePool::Rebuild(Rng* rng) {
+  ++rebuilds_;
+  BlockDevice* device = data_->device();
+
+  // 1. Tag: records (random data index, pool position), written
+  //    sequentially.
+  EmArray tagged(device, 2);
+  {
+    EmWriter writer(&tagged);
+    for (size_t pos = 0; pos < count_; ++pos) {
+      writer.Append2(first_ + rng->Below(count_), pos);
+    }
+    writer.Finish();
+  }
+
+  // 2. Sort by data index.
+  EmArray by_index = ExternalSort(tagged, memory_words_);
+
+  // 3. Merge-scan against the data range: both streams are ordered by
+  //    index, so one sequential pass attaches values.
+  EmArray valued(device, 2);  // (pool position, value)
+  {
+    EmWriter writer(&valued);
+    EmReader tag_reader(&by_index, 0, by_index.size());
+    EmReader data_reader(data_, first_, count_);
+    size_t data_position = first_;
+    uint64_t value = 0;
+    bool value_loaded = false;
+    uint64_t record[2];
+    while (tag_reader.HasNext()) {
+      tag_reader.Next(record);
+      const uint64_t want_index = record[0];
+      while (!value_loaded || data_position <= want_index) {
+        value = data_reader.Next1();
+        ++data_position;
+        value_loaded = true;
+      }
+      writer.Append2(record[1], value);
+    }
+    writer.Finish();
+  }
+
+  // 4. Sort back by pool position, restoring the random (i.i.d.) order.
+  EmArray by_position = ExternalSort(valued, memory_words_);
+
+  // 5. Strip tags into the 1-word pool.
+  pool_ = EmArray(data_->device(), 1);
+  {
+    EmWriter writer(&pool_);
+    EmReader reader(&by_position, 0, by_position.size());
+    uint64_t record[2];
+    while (reader.HasNext()) {
+      reader.Next(record);
+      writer.Append1(record[1]);
+    }
+    writer.Finish();
+  }
+  clean_position_ = 0;
+}
+
+void SamplePool::Query(size_t s, Rng* rng, std::vector<uint64_t>* out) {
+  out->reserve(out->size() + s);
+  while (s > 0) {
+    if (clean_position_ == count_) Rebuild(rng);
+    const size_t take = std::min(s, count_ - clean_position_);
+    EmReader reader(&pool_, clean_position_, take);
+    for (size_t i = 0; i < take; ++i) out->push_back(reader.Next1());
+    clean_position_ += take;
+    s -= take;
+  }
+}
+
+void SamplePool::NaiveQuery(const EmArray& data, size_t first, size_t count,
+                            size_t s, Rng* rng,
+                            std::vector<uint64_t>* out) {
+  out->reserve(out->size() + s);
+  for (size_t i = 0; i < s; ++i) {
+    uint64_t value = 0;
+    data.ReadRecord(first + rng->Below(count), &value);
+    out->push_back(value);
+  }
+}
+
+}  // namespace iqs::em

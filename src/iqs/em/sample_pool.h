@@ -1,0 +1,62 @@
+// EM set sampling via a precomputed sample pool (paper Section 8).
+//
+// The naive EM strategy pays one random I/O per sample: s I/Os for s
+// samples. Hu et al.'s lower bound says Ω(min(s, (s/B) log_{M/B}(n/B)))
+// is required, and the pool meets it: preprocessing stores n WR samples
+// in random order ("clean"); a query streams the next s clean samples at
+// s/B I/Os, and when the pool runs dry it is rebuilt with sorting in
+// O((n/B) log_{M/B}(n/B)) I/Os — amortized (1/B) log_{M/B}(n/B) per
+// sample handed out.
+//
+// The rebuild uses the tag-sort-untag trick so it never random-accesses
+// the data: draw n random indices tagged with their pool position, sort
+// by index, merge-scan against the data to attach values, sort back by
+// pool position, strip the tags.
+
+#ifndef IQS_EM_SAMPLE_POOL_H_
+#define IQS_EM_SAMPLE_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "iqs/em/em_array.h"
+#include "iqs/util/rng.h"
+
+namespace iqs::em {
+
+class SamplePool {
+ public:
+  // A pool over records [first, first + count) of `data` (1-word records).
+  // `memory_words` is the M budget handed to the external sorts.
+  // The constructor performs the initial build (counted on the device).
+  SamplePool(const EmArray* data, size_t first, size_t count,
+             size_t memory_words, Rng* rng);
+
+  // Appends `s` independent WR samples of the data range to `out`.
+  // ceil(s/B)-ish read I/Os plus amortized rebuild cost.
+  void Query(size_t s, Rng* rng, std::vector<uint64_t>* out);
+
+  size_t count() const { return count_; }
+  uint64_t rebuilds() const { return rebuilds_; }
+  size_t clean_remaining() const { return count_ - clean_position_; }
+
+  // The naive baseline: `s` independent WR samples by direct random
+  // access — exactly s read I/Os.
+  static void NaiveQuery(const EmArray& data, size_t first, size_t count,
+                         size_t s, Rng* rng, std::vector<uint64_t>* out);
+
+ private:
+  void Rebuild(Rng* rng);
+
+  const EmArray* data_;
+  size_t first_;
+  size_t count_;
+  size_t memory_words_;
+  EmArray pool_;
+  size_t clean_position_ = 0;
+  uint64_t rebuilds_ = 0;
+};
+
+}  // namespace iqs::em
+
+#endif  // IQS_EM_SAMPLE_POOL_H_

@@ -1,0 +1,135 @@
+#include "iqs/em/stepwise_sort.h"
+
+#include <algorithm>
+
+namespace iqs::em {
+
+StepwiseSort::StepwiseSort(const EmArray* input, size_t memory_words)
+    : input_(input),
+      memory_words_(memory_words),
+      record_words_(input->record_words()),
+      current_(input->device(), input->record_words()),
+      previous_(input->device(), input->record_words()) {
+  IQS_CHECK(memory_words_ >= 2 * input_->device()->block_words());
+  records_per_load_ = std::max<size_t>(1, memory_words_ / record_words_);
+  fan_in_ = std::max<size_t>(
+      2, memory_words_ / input_->device()->block_words() - 1);
+  input_reader_ = std::make_unique<EmReader>(input_, 0, input_->size());
+  writer_ = std::make_unique<EmWriter>(&current_);
+  load_.resize(records_per_load_ * record_words_);
+  if (input_->size() == 0) {
+    writer_->Finish();
+    phase_ = Phase::kDone;
+  }
+}
+
+void StepwiseSort::StartPassOrFinish() {
+  // Called when the current pass's writer has all its records. Decides
+  // whether another merge pass is needed.
+  writer_->Finish();
+  if (bounds_.size() <= 1) {
+    phase_ = Phase::kDone;
+    return;
+  }
+  previous_ = std::move(current_);
+  prev_bounds_ = std::move(bounds_);
+  bounds_.clear();
+  current_ = EmArray(input_->device(), record_words_);
+  writer_ = std::make_unique<EmWriter>(&current_);
+  next_group_ = 0;
+  out_position_ = 0;
+  phase_ = Phase::kMergeSetup;
+}
+
+void StepwiseSort::Step() {
+  switch (phase_) {
+    case Phase::kDone:
+      return;
+
+    case Phase::kRunFill: {
+      if (input_reader_->HasNext() && load_records_ < records_per_load_) {
+        input_reader_->Next(&load_[load_records_ * record_words_]);
+        ++load_records_;
+        return;
+      }
+      // Load complete (or input exhausted): sort in memory (CPU is free
+      // in the EM model) and switch to flushing.
+      load_order_.resize(load_records_);
+      for (size_t i = 0; i < load_records_; ++i) {
+        load_order_[i] = static_cast<uint32_t>(i);
+      }
+      std::sort(load_order_.begin(), load_order_.end(),
+                [&](uint32_t a, uint32_t b) {
+                  return load_[a * record_words_] < load_[b * record_words_];
+                });
+      flush_next_ = 0;
+      phase_ = Phase::kRunFlush;
+      return;
+    }
+
+    case Phase::kRunFlush: {
+      if (flush_next_ < load_records_) {
+        writer_->Append(&load_[load_order_[flush_next_] * record_words_]);
+        ++flush_next_;
+        return;
+      }
+      bounds_.push_back({formed_records_, load_records_});
+      formed_records_ += load_records_;
+      load_records_ = 0;
+      if (input_reader_->HasNext()) {
+        phase_ = Phase::kRunFill;
+      } else {
+        StartPassOrFinish();
+      }
+      return;
+    }
+
+    case Phase::kMergeSetup: {
+      // Open the next group of runs.
+      const size_t group_end =
+          std::min(next_group_ + fan_in_, prev_bounds_.size());
+      readers_.clear();
+      heads_.assign(group_end - next_group_,
+                    std::vector<uint64_t>(record_words_));
+      heap_ = {};
+      group_records_ = 0;
+      for (size_t r = next_group_; r < group_end; ++r) {
+        readers_.emplace_back(&previous_, prev_bounds_[r].first,
+                              prev_bounds_[r].count);
+        group_records_ += prev_bounds_[r].count;
+      }
+      for (size_t r = 0; r < readers_.size(); ++r) {
+        if (readers_[r].HasNext()) {
+          readers_[r].Next(heads_[r].data());
+          heap_.emplace(heads_[r][0], r);
+        }
+      }
+      next_group_ = group_end;
+      phase_ = Phase::kMerge;
+      return;
+    }
+
+    case Phase::kMerge: {
+      if (!heap_.empty()) {
+        const auto [key, r] = heap_.top();
+        heap_.pop();
+        writer_->Append(heads_[r].data());
+        if (readers_[r].HasNext()) {
+          readers_[r].Next(heads_[r].data());
+          heap_.emplace(heads_[r][0], r);
+        }
+        return;
+      }
+      bounds_.push_back({out_position_, group_records_});
+      out_position_ += group_records_;
+      if (next_group_ < prev_bounds_.size()) {
+        phase_ = Phase::kMergeSetup;
+      } else {
+        StartPassOrFinish();
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace iqs::em

@@ -1,0 +1,88 @@
+// Resumable external merge sort — the engine behind the de-amortized
+// sample pool (paper Section 8: "a worst-case bound ... with standard
+// de-amortization techniques"). Identical algorithm and I/O complexity to
+// ExternalSort (em_sort.h), but driven by Step() calls that each advance
+// roughly one record of work, so a caller can interleave a rebuild with
+// query processing and bound the I/Os any single query absorbs.
+
+#ifndef IQS_EM_STEPWISE_SORT_H_
+#define IQS_EM_STEPWISE_SORT_H_
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "iqs/em/em_array.h"
+
+namespace iqs::em {
+
+class StepwiseSort {
+ public:
+  // Sorts `input`'s records ascending by first word with ~`memory_words`
+  // of buffer. `input` must stay alive and unmodified until done.
+  StepwiseSort(const EmArray* input, size_t memory_words);
+
+  bool done() const { return phase_ == Phase::kDone; }
+
+  // Advances ~one record of work (amortizing to ~1/B I/Os per call plus
+  // pass transitions). No-op once done.
+  void Step();
+
+  // Runs to completion (equivalent to ExternalSort).
+  void Finish() {
+    while (!done()) Step();
+  }
+
+  // The sorted array; valid only once done.
+  EmArray& result() {
+    IQS_CHECK(done());
+    return current_;
+  }
+
+ private:
+  enum class Phase { kRunFill, kRunFlush, kMergeSetup, kMerge, kDone };
+
+  struct RunBounds {
+    size_t first;
+    size_t count;
+  };
+
+  void StartPassOrFinish();
+
+  const EmArray* input_;
+  size_t memory_words_;
+  size_t record_words_;
+  size_t records_per_load_;
+  size_t fan_in_;
+
+  Phase phase_ = Phase::kRunFill;
+
+  // Run formation state.
+  std::unique_ptr<EmReader> input_reader_;
+  std::vector<uint64_t> load_;       // flattened records
+  std::vector<uint32_t> load_order_; // sorted permutation of load records
+  size_t load_records_ = 0;
+  size_t flush_next_ = 0;
+  size_t formed_records_ = 0;
+
+  // Current pass output.
+  EmArray current_;
+  std::unique_ptr<EmWriter> writer_;
+  std::vector<RunBounds> bounds_;
+
+  // Merge state.
+  EmArray previous_;
+  std::vector<RunBounds> prev_bounds_;
+  size_t next_group_ = 0;
+  size_t out_position_ = 0;
+  std::vector<EmReader> readers_;
+  std::vector<std::vector<uint64_t>> heads_;
+  using HeapEntry = std::pair<uint64_t, size_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap_;
+  size_t group_records_ = 0;
+};
+
+}  // namespace iqs::em
+
+#endif  // IQS_EM_STEPWISE_SORT_H_

@@ -1,0 +1,176 @@
+#include "iqs/em/weighted_sample_pool.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "iqs/em/em_sort.h"
+#include "iqs/util/check.h"
+
+namespace iqs::em {
+
+void WeightedSamplePool::AppendRecord(EmWriter* writer, uint64_t value,
+                                      double weight) {
+  IQS_CHECK(weight > 0.0);
+  writer->Append2(value, std::bit_cast<uint64_t>(weight));
+}
+
+double WeightedSamplePool::WeightOfWord(uint64_t word) {
+  return std::bit_cast<double>(word);
+}
+
+WeightedSamplePool::WeightedSamplePool(const EmArray* data, size_t first,
+                                       size_t count, size_t memory_words,
+                                       Rng* rng)
+    : data_(data),
+      memory_words_(memory_words),
+      first_(first),
+      count_(count),
+      pool_(data->device(), 1) {
+  IQS_CHECK(data_->record_words() == 2);
+  IQS_CHECK(count_ > 0);
+  IQS_CHECK(first_ + count_ <= data_->size());
+  const size_t per_block = data_->records_per_block();
+  first_block_ = first_ / per_block;
+  const size_t last_block = (first_ + count_ - 1) / per_block;
+
+  // Streaming pass over the covered range: per-block weight totals into
+  // memory ((count/B) doubles).
+  std::vector<double> block_weights(last_block - first_block_ + 1, 0.0);
+  EmReader reader(data_, first_, count_);
+  uint64_t record[2];
+  for (size_t i = 0; i < count_; ++i) {
+    reader.Next(record);
+    const double w = WeightOfWord(record[1]);
+    IQS_CHECK(w > 0.0);
+    block_weights[(first_ + i) / per_block - first_block_] += w;
+    total_weight_ += w;
+  }
+  block_alias_.Build(block_weights);
+  Rebuild(rng);
+}
+
+void WeightedSamplePool::BlockRecordRange(size_t local_block,
+                                          size_t* first_record,
+                                          size_t* num_records) const {
+  const size_t per_block = data_->records_per_block();
+  const size_t global_block = first_block_ + local_block;
+  const size_t block_start = global_block * per_block;
+  const size_t lo = std::max(block_start, first_);
+  const size_t hi =
+      std::min({block_start + per_block, first_ + count_, data_->size()});
+  IQS_DCHECK(lo < hi);
+  *first_record = lo;
+  *num_records = hi - lo;
+}
+
+void WeightedSamplePool::Rebuild(Rng* rng) {
+  ++rebuilds_;
+  BlockDevice* device = data_->device();
+  const size_t per_block = data_->records_per_block();
+
+  // 1. Tag: (local block index, pool position); the block is the weighted
+  //    first-level draw, resolved in memory by the block alias.
+  EmArray tagged(device, 2);
+  {
+    EmWriter writer(&tagged);
+    for (size_t pos = 0; pos < count_; ++pos) {
+      writer.Append2(block_alias_.Sample(rng), pos);
+    }
+    writer.Finish();
+  }
+
+  // 2. Sort by block index.
+  EmArray by_block = ExternalSort(tagged, memory_words_);
+
+  // 3. Merge-scan: for each group of tags pointing at one block, read the
+  //    block once and draw within it proportionally to weight via an
+  //    alias built in memory (B words).
+  EmArray valued(device, 2);  // (pool position, value)
+  {
+    EmWriter writer(&valued);
+    EmReader tag_reader(&by_block, 0, by_block.size());
+    std::vector<uint64_t> block_values;
+    std::vector<double> block_weights;
+    AliasTable in_block;
+    size_t loaded_block = ~size_t{0};
+    std::vector<uint64_t> raw(device->block_words());
+    uint64_t tag[2];
+    while (tag_reader.HasNext()) {
+      tag_reader.Next(tag);
+      const size_t local_block = tag[0];
+      if (local_block != loaded_block) {
+        device->Read(data_->block_id(first_block_ + local_block), raw);
+        size_t first_record = 0;
+        size_t num_records = 0;
+        BlockRecordRange(local_block, &first_record, &num_records);
+        const size_t offset = first_record % per_block;
+        block_values.clear();
+        block_weights.clear();
+        for (size_t r = 0; r < num_records; ++r) {
+          block_values.push_back(raw[2 * (offset + r)]);
+          block_weights.push_back(WeightOfWord(raw[2 * (offset + r) + 1]));
+        }
+        in_block.Build(block_weights);
+        loaded_block = local_block;
+      }
+      writer.Append2(tag[1], block_values[in_block.Sample(rng)]);
+    }
+    writer.Finish();
+  }
+
+  // 4. Restore i.i.d. order; 5. strip.
+  EmArray by_position = ExternalSort(valued, memory_words_);
+  pool_ = EmArray(device, 1);
+  {
+    EmWriter writer(&pool_);
+    EmReader reader(&by_position, 0, by_position.size());
+    uint64_t record[2];
+    while (reader.HasNext()) {
+      reader.Next(record);
+      writer.Append1(record[1]);
+    }
+    writer.Finish();
+  }
+  clean_position_ = 0;
+}
+
+void WeightedSamplePool::Query(size_t s, Rng* rng,
+                               std::vector<uint64_t>* out) {
+  out->reserve(out->size() + s);
+  while (s > 0) {
+    if (clean_position_ == count_) Rebuild(rng);
+    const size_t take = std::min(s, count_ - clean_position_);
+    EmReader reader(&pool_, clean_position_, take);
+    for (size_t i = 0; i < take; ++i) out->push_back(reader.Next1());
+    clean_position_ += take;
+    s -= take;
+  }
+}
+
+void WeightedSamplePool::NaiveQuery(size_t s, Rng* rng,
+                                    std::vector<uint64_t>* out) const {
+  BlockDevice* device = data_->device();
+  const size_t per_block = data_->records_per_block();
+  std::vector<uint64_t> raw(device->block_words());
+  std::vector<double> weights;
+  std::vector<uint64_t> values;
+  out->reserve(out->size() + s);
+  for (size_t i = 0; i < s; ++i) {
+    const size_t local_block = block_alias_.Sample(rng);
+    device->Read(data_->block_id(first_block_ + local_block), raw);
+    size_t first_record = 0;
+    size_t num_records = 0;
+    BlockRecordRange(local_block, &first_record, &num_records);
+    const size_t offset = first_record % per_block;
+    values.clear();
+    weights.clear();
+    for (size_t r = 0; r < num_records; ++r) {
+      values.push_back(raw[2 * (offset + r)]);
+      weights.push_back(WeightOfWord(raw[2 * (offset + r) + 1]));
+    }
+    AliasTable in_block(weights);
+    out->push_back(values[in_block.Sample(rng)]);
+  }
+}
+
+}  // namespace iqs::em

@@ -1,0 +1,84 @@
+// WEIGHTED EM set sampling — a practical extension beyond the paper.
+//
+// Section 8 treats WR (uniform) sampling; the paper's Section 9 notes
+// that weighted range sampling in EM "remains open" as a matter of
+// matching lower bounds. This structure does not claim optimality; it
+// transplants the sample-pool recipe to the weighted case with the same
+// amortized I/O shape:
+//
+//   * data: n records (value, weight) on disk;
+//   * one streaming pass computes per-block weight totals (n/B doubles,
+//     assumed to fit in memory — the standard fence-pointer assumption);
+//   * pool rebuild draws n i.i.d. weighted indices via an in-memory alias
+//     over blocks + tag-sort-scan to resolve the within-block draw
+//     against the actual weights, then sort-by-position restores i.i.d.
+//     order: O((n/B) log_{M/B}(n/B)) I/Os, no random access;
+//   * queries stream clean pool entries at s/B I/Os.
+//
+// Every sample is value v with probability w(v) / W, independent across
+// all queries — the weighted-IQS guarantee on disk-resident data.
+
+#ifndef IQS_EM_WEIGHTED_SAMPLE_POOL_H_
+#define IQS_EM_WEIGHTED_SAMPLE_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "iqs/alias/alias_table.h"
+#include "iqs/em/em_array.h"
+#include "iqs/util/rng.h"
+
+namespace iqs::em {
+
+class WeightedSamplePool {
+ public:
+  // `data` holds 2-word records (value, weight-as-double-bits); weights
+  // must be positive. `memory_words` is the M budget for the sorts.
+  // The pool covers records [first, first + count) of `data`.
+  WeightedSamplePool(const EmArray* data, size_t first, size_t count,
+                     size_t memory_words, Rng* rng);
+  WeightedSamplePool(const EmArray* data, size_t memory_words, Rng* rng)
+      : WeightedSamplePool(data, 0, data->size(), memory_words, rng) {}
+
+  // Total weight of the covered records (computed at build).
+  double total_weight() const { return total_weight_; }
+
+  // Appends `s` independent weighted samples (values) to `out`.
+  void Query(size_t s, Rng* rng, std::vector<uint64_t>* out);
+
+  size_t count() const { return count_; }
+  uint64_t rebuilds() const { return rebuilds_; }
+
+  // Helper to write (value, weight) records.
+  static void AppendRecord(EmWriter* writer, uint64_t value, double weight);
+  static double WeightOfWord(uint64_t word);
+
+  // Baseline: one random block read per sample, block chosen by the
+  // in-memory block alias, element within the block by an on-the-fly
+  // alias — s I/Os for s samples.
+  void NaiveQuery(size_t s, Rng* rng, std::vector<uint64_t>* out) const;
+
+ private:
+  void Rebuild(Rng* rng);
+
+  // Inclusive record range of the (possibly partial) data block with
+  // local index `local_block`, clamped to [first_, first_ + count_).
+  void BlockRecordRange(size_t local_block, size_t* first_record,
+                        size_t* num_records) const;
+
+  const EmArray* data_;
+  size_t memory_words_;
+  size_t first_ = 0;
+  size_t count_ = 0;
+  size_t first_block_ = 0;  // global index of the first covered block
+  double total_weight_ = 0.0;
+  // In-memory block metadata (covered-range blocks): weight per block.
+  AliasTable block_alias_;
+  EmArray pool_;
+  size_t clean_position_ = 0;
+  uint64_t rebuilds_ = 0;
+};
+
+}  // namespace iqs::em
+
+#endif  // IQS_EM_WEIGHTED_SAMPLE_POOL_H_

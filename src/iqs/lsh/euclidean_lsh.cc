@@ -1,0 +1,52 @@
+#include "iqs/lsh/euclidean_lsh.h"
+
+#include <cmath>
+
+namespace iqs {
+
+namespace {
+
+double GaussianSample(Rng* rng) {
+  const double u1 = std::max(rng->NextDouble(), 1e-300);
+  const double u2 = rng->NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+uint64_t MixHash(uint64_t h, int64_t v) {
+  h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+EuclideanLsh::EuclideanLsh(size_t num_tables, size_t hashes_per_table,
+                           double width, Rng* build_rng)
+    : num_tables_(num_tables),
+      hashes_per_table_(hashes_per_table),
+      width_(width) {
+  IQS_CHECK(num_tables_ >= 1);
+  IQS_CHECK(hashes_per_table_ >= 1);
+  IQS_CHECK(width_ > 0.0);
+  projections_.reserve(num_tables_ * hashes_per_table_);
+  for (size_t i = 0; i < num_tables_ * hashes_per_table_; ++i) {
+    projections_.push_back({GaussianSample(build_rng),
+                            GaussianSample(build_rng),
+                            build_rng->NextDouble() * width_});
+  }
+}
+
+uint64_t EuclideanLsh::BucketKey(size_t table,
+                                 const multidim::Point2& p) const {
+  IQS_DCHECK(table < num_tables_);
+  uint64_t key = table * 0x9e3779b97f4a7c15ULL + 1;
+  const size_t base = table * hashes_per_table_;
+  for (size_t j = 0; j < hashes_per_table_; ++j) {
+    const Projection& proj = projections_[base + j];
+    const double value = (proj.ax * p.x + proj.ay * p.y + proj.b) / width_;
+    key = MixHash(key, static_cast<int64_t>(std::floor(value)));
+  }
+  return key;
+}
+
+}  // namespace iqs

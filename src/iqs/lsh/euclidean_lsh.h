@@ -1,0 +1,46 @@
+// p-stable (Gaussian) locality-sensitive hashing for 2-d Euclidean space —
+// the substrate of fair near-neighbor search (paper Sections 2 and 7).
+// Each of L tables hashes a point through k concatenated projections
+// h(p) = floor((a . p + b) / w); the concatenation is mixed into a single
+// 64-bit bucket key.
+
+#ifndef IQS_LSH_EUCLIDEAN_LSH_H_
+#define IQS_LSH_EUCLIDEAN_LSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "iqs/multidim/point.h"
+#include "iqs/util/check.h"
+#include "iqs/util/rng.h"
+
+namespace iqs {
+
+class EuclideanLsh {
+ public:
+  // `width` is the quantization width w; near points (dist <= w-ish)
+  // collide with constant probability per projection.
+  EuclideanLsh(size_t num_tables, size_t hashes_per_table, double width,
+               Rng* build_rng);
+
+  size_t num_tables() const { return num_tables_; }
+
+  // The 64-bit bucket key of `p` in `table`.
+  uint64_t BucketKey(size_t table, const multidim::Point2& p) const;
+
+ private:
+  struct Projection {
+    double ax;
+    double ay;
+    double b;
+  };
+
+  size_t num_tables_;
+  size_t hashes_per_table_;
+  double width_;
+  std::vector<Projection> projections_;  // num_tables * hashes_per_table
+};
+
+}  // namespace iqs
+
+#endif  // IQS_LSH_EUCLIDEAN_LSH_H_

@@ -1,0 +1,112 @@
+#include "iqs/lsh/fair_nn.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "iqs/util/check.h"
+
+namespace iqs {
+
+using multidim::Point2;
+using multidim::SquaredDistance;
+
+FairNearNeighbor::FairNearNeighbor(std::span<const Point2> points,
+                                   double radius, Options options,
+                                   Rng* build_rng)
+    : points_(points.begin(), points.end()),
+      radius_(radius),
+      options_(options),
+      lsh_(options.num_tables, options.hashes_per_table,
+           options.width_scale * radius, build_rng) {
+  IQS_CHECK(!points_.empty());
+  IQS_CHECK(radius_ > 0.0);
+  key_to_bucket_.resize(options_.num_tables);
+  for (size_t table = 0; table < options_.num_tables; ++table) {
+    for (size_t i = 0; i < points_.size(); ++i) {
+      const uint64_t key = lsh_.BucketKey(table, points_[i]);
+      auto [it, inserted] = key_to_bucket_[table].emplace(
+          key, static_cast<uint32_t>(buckets_.size()));
+      if (inserted) buckets_.emplace_back();
+      buckets_[it->second].push_back(static_cast<uint64_t>(i));
+    }
+  }
+  union_sampler_ = std::make_unique<SetUnionSampler>(buckets_, build_rng);
+}
+
+void FairNearNeighbor::ProbedBuckets(const Point2& q,
+                                     std::vector<size_t>* bucket_ids) const {
+  for (size_t table = 0; table < options_.num_tables; ++table) {
+    const uint64_t key = lsh_.BucketKey(table, q);
+    const auto it = key_to_bucket_[table].find(key);
+    if (it != key_to_bucket_[table].end()) {
+      bucket_ids->push_back(it->second);
+    }
+  }
+  std::sort(bucket_ids->begin(), bucket_ids->end());
+  bucket_ids->erase(std::unique(bucket_ids->begin(), bucket_ids->end()),
+                    bucket_ids->end());
+}
+
+std::optional<size_t> FairNearNeighbor::QueryIndex(const Point2& q,
+                                                   Rng* rng) const {
+  std::vector<size_t> bucket_ids;
+  ProbedBuckets(q, &bucket_ids);
+  if (bucket_ids.empty()) return std::nullopt;
+  const double r2 = radius_ * radius_;
+  // Rejection loop: uniform over the bucket union, accept near points.
+  for (size_t attempt = 0; attempt < options_.max_rejection_draws;
+       ++attempt) {
+    const std::optional<uint64_t> candidate =
+        union_sampler_->Sample(bucket_ids, rng);
+    if (!candidate.has_value()) return std::nullopt;
+    const size_t index = static_cast<size_t>(*candidate);
+    if (SquaredDistance(points_[index], q) <= r2) return index;
+  }
+  // Low acceptance rate (far-dominated buckets): fall back to scanning the
+  // visible near points — same uniform law, O(union size) cost.
+  std::vector<size_t> visible;
+  VisibleNearPoints(q, &visible);
+  if (visible.empty()) return std::nullopt;
+  return visible[rng->Below(visible.size())];
+}
+
+std::optional<Point2> FairNearNeighbor::Query(const Point2& q,
+                                              Rng* rng) const {
+  const std::optional<size_t> index = QueryIndex(q, rng);
+  if (!index.has_value()) return std::nullopt;
+  return points_[*index];
+}
+
+void FairNearNeighbor::VisibleNearPoints(const Point2& q,
+                                         std::vector<size_t>* out) const {
+  std::vector<size_t> bucket_ids;
+  ProbedBuckets(q, &bucket_ids);
+  const double r2 = radius_ * radius_;
+  std::vector<size_t> candidates;
+  for (size_t bucket : bucket_ids) {
+    for (uint64_t index : buckets_[bucket]) {
+      candidates.push_back(static_cast<size_t>(index));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  for (size_t index : candidates) {
+    if (SquaredDistance(points_[index], q) <= r2) out->push_back(index);
+  }
+}
+
+size_t FairNearNeighbor::MemoryBytes() const {
+  size_t bytes = points_.capacity() * sizeof(Point2);
+  for (const auto& table : key_to_bucket_) {
+    bytes += table.size() * (sizeof(uint64_t) + sizeof(uint32_t) +
+                             2 * sizeof(void*));
+  }
+  for (const auto& bucket : buckets_) {
+    bytes += bucket.capacity() * sizeof(uint64_t);
+  }
+  if (union_sampler_ != nullptr) bytes += union_sampler_->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace iqs

@@ -1,0 +1,89 @@
+// r-fair nearest neighbor search (paper Section 2, Benefit 2; Section 7).
+//
+// Given a query point q, return a point uniformly at random among
+// S ∩ B(q, r), independently of all previous queries' outputs. The
+// structure follows the LSH-bucket recipe of Har-Peled & Mahabadi [17]
+// (as the paper describes in Section 7): the LSH tables' buckets form the
+// collection F, the query's G is the ≤ L buckets q hashes into, a uniform
+// element of union(G) is drawn with the Theorem-8 set-union sampler, and a
+// distance rejection filter restricts the law to the true near points.
+//
+// Approximation caveat (inherent to LSH, see DESIGN.md 2.4): a near point
+// absent from every probed bucket can never be returned; with standard
+// parameter choices this happens with small constant probability per
+// point, and the output is uniform over the near points that do collide.
+// The structure also offers an exact mode (kd-tree under the hood) used by
+// the tests as the fairness oracle.
+
+#ifndef IQS_LSH_FAIR_NN_H_
+#define IQS_LSH_FAIR_NN_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "iqs/lsh/euclidean_lsh.h"
+#include "iqs/multidim/point.h"
+#include "iqs/setunion/set_union_sampler.h"
+#include "iqs/util/rng.h"
+
+namespace iqs {
+
+class FairNearNeighbor {
+ public:
+  struct Options {
+    size_t num_tables = 8;
+    size_t hashes_per_table = 4;
+    // LSH quantization width, as a multiple of the query radius.
+    double width_scale = 1.0;
+    // Give up rejection sampling after this many draws and fall back to
+    // scanning the probed buckets (still uniform; just slower).
+    size_t max_rejection_draws = 256;
+  };
+
+  // Builds LSH tables and the set-union sampler over their buckets for
+  // queries with radius `radius`.
+  FairNearNeighbor(std::span<const multidim::Point2> points, double radius,
+                   Options options, Rng* build_rng);
+
+  // Returns the index (into the input span) of a uniformly random point
+  // within distance `radius` of q among those found in the probed buckets;
+  // nullopt if none. Independent across calls.
+  std::optional<size_t> QueryIndex(const multidim::Point2& q, Rng* rng) const;
+
+  // Convenience: the point itself.
+  std::optional<multidim::Point2> Query(const multidim::Point2& q,
+                                        Rng* rng) const;
+
+  // The exact near-point candidates the LSH structure can see for q
+  // (union of probed buckets filtered by distance). Used by tests as the
+  // support of the output law, and by callers who want recall metrics.
+  void VisibleNearPoints(const multidim::Point2& q,
+                         std::vector<size_t>* out) const;
+
+  double radius() const { return radius_; }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  size_t MemoryBytes() const;
+
+ private:
+  // Bucket ids the query hashes into (deduplicated).
+  void ProbedBuckets(const multidim::Point2& q,
+                     std::vector<size_t>* bucket_ids) const;
+
+  std::vector<multidim::Point2> points_;
+  double radius_;
+  Options options_;
+  EuclideanLsh lsh_;
+  // (table, key) -> bucket id; buckets_[id] = point indices.
+  std::vector<std::unordered_map<uint64_t, uint32_t>> key_to_bucket_;
+  std::vector<std::vector<uint64_t>> buckets_;
+  std::unique_ptr<SetUnionSampler> union_sampler_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_LSH_FAIR_NN_H_

@@ -1,0 +1,98 @@
+#include "iqs/multidim/kd_sampler.h"
+
+namespace iqs::multidim {
+
+KdTreeSampler::KdTreeSampler(std::span<const Point2> points,
+                             std::span<const double> weights)
+    : tree_(points, weights), engine_(tree_.position_weights()) {}
+
+bool KdTreeSampler::QueryRect(const Rect& q, size_t s, Rng* rng,
+                              std::vector<Point2>* out) const {
+  std::vector<CoverRange> cover;
+  tree_.CoverQuery(q, &cover);
+  if (cover.empty()) return false;
+  std::vector<size_t> positions;
+  positions.reserve(s);
+  engine_.Sample(cover, s, rng, &positions);
+  out->reserve(out->size() + positions.size());
+  for (size_t p : positions) out->push_back(tree_.PointAt(p));
+  return true;
+}
+
+bool KdTreeSampler::QueryDisk(const Point2& center, double radius, size_t s,
+                              Rng* rng, std::vector<Point2>* out) const {
+  std::vector<CoverRange> cover;
+  tree_.CoverDisk(center, radius, &cover);
+  if (cover.empty()) return false;
+  std::vector<size_t> positions;
+  positions.reserve(s);
+  engine_.Sample(cover, s, rng, &positions);
+  out->reserve(out->size() + positions.size());
+  for (size_t p : positions) out->push_back(tree_.PointAt(p));
+  return true;
+}
+
+bool KdTreeSampler::QueryDiskApprox(const Point2& center, double radius,
+                                    size_t s, double slack, Rng* rng,
+                                    std::vector<Point2>* out) const {
+  std::vector<CoverRange> cover;
+  tree_.ApproxCoverDisk(center, radius, slack, &cover);
+  if (cover.empty()) return false;
+  // The approximate cover may hold only non-qualifying points; probe one
+  // exact emptiness check cheaply via the exact cover when the first
+  // rejection round would spin forever. Cheaper: verify at least one
+  // qualifying point exists by scanning the smallest piece... Simpler and
+  // still O(cover): ask the exact disk cover for emptiness.
+  std::vector<CoverRange> exact;
+  tree_.CoverDisk(center, radius, &exact);
+  if (exact.empty()) return false;
+  const double r2 = radius * radius;
+  std::vector<size_t> positions;
+  positions.reserve(s);
+  engine_.SampleWithRejection(
+      cover, s,
+      [&](size_t p) {
+        return SquaredDistance(tree_.PointAt(p), center) <= r2;
+      },
+      rng, &positions);
+  out->reserve(out->size() + positions.size());
+  for (size_t p : positions) out->push_back(tree_.PointAt(p));
+  return true;
+}
+
+bool KdTreeSampler::QueryHalfplane(double a, double b, double c, size_t s,
+                                   Rng* rng,
+                                   std::vector<Point2>* out) const {
+  // The linear form a*x + b*y attains its extremes over a rectangle at
+  // the corners; evaluate only the relevant two.
+  auto min_over_box = [&](const Rect& box) {
+    return a * (a >= 0 ? box.x_lo : box.x_hi) +
+           b * (b >= 0 ? box.y_lo : box.y_hi);
+  };
+  auto max_over_box = [&](const Rect& box) {
+    return a * (a >= 0 ? box.x_hi : box.x_lo) +
+           b * (b >= 0 ? box.y_hi : box.y_lo);
+  };
+  std::vector<CoverRange> cover;
+  tree_.CoverRegion(
+      [&](const Rect& box) { return max_over_box(box) <= c; },
+      [&](const Rect& box) { return min_over_box(box) <= c; },
+      [&](const Point2& p) { return a * p.x + b * p.y <= c; }, &cover);
+  if (cover.empty()) return false;
+  std::vector<size_t> positions;
+  positions.reserve(s);
+  engine_.Sample(cover, s, rng, &positions);
+  out->reserve(out->size() + positions.size());
+  for (size_t p : positions) out->push_back(tree_.PointAt(p));
+  return true;
+}
+
+std::optional<Point2> KdTreeSampler::FairNearNeighbor(const Point2& center,
+                                                      double radius,
+                                                      Rng* rng) const {
+  std::vector<Point2> out;
+  if (!QueryDisk(center, radius, 1, rng, &out)) return std::nullopt;
+  return out[0];
+}
+
+}  // namespace iqs::multidim

@@ -1,0 +1,100 @@
+// Static 2-d kd-tree with cover finding (paper Section 5, first example).
+//
+// Built by recursive median partitioning, so the points below each node
+// occupy a contiguous run of the internal point array — exactly the
+// representation the CoverageEngine needs. For an axis-aligned rectangle
+// q, CoverQuery returns a cover (disjoint ranges whose union is S_q) of
+// size O(sqrt n + |boundary leaves|): standard kd-tree analysis.
+//
+// The tree itself answers reporting queries; KdTreeSampler (kd_sampler.h)
+// plugs it into the Theorem-5 engine to obtain an IQS structure of O(n)
+// space and O(sqrt n + s) query time.
+
+#ifndef IQS_MULTIDIM_KD_TREE_H_
+#define IQS_MULTIDIM_KD_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "iqs/cover/coverage_engine.h"
+#include "iqs/multidim/point.h"
+#include "iqs/util/check.h"
+
+namespace iqs::multidim {
+
+class KdTree {
+ public:
+  // Copies and reorders the points. `weights` (parallel to `points`) are
+  // carried through the reordering; pass {} for unit weights. O(n log n).
+  KdTree(std::span<const Point2> points, std::span<const double> weights);
+
+  size_t n() const { return points_.size(); }
+  const Point2& PointAt(size_t position) const { return points_[position]; }
+  double WeightAt(size_t position) const { return weights_[position]; }
+  const std::vector<double>& position_weights() const { return weights_; }
+
+  // Appends the exact cover of rectangle q: disjoint position ranges whose
+  // union is exactly S ∩ q. Internal nodes fully inside q become whole-
+  // range pieces; boundary leaves are emitted individually when their
+  // point qualifies.
+  void CoverQuery(const Rect& q, std::vector<CoverRange>* cover) const;
+
+  // Reporting query (for oracles/tests): appends qualifying positions.
+  void Report(const Rect& q, std::vector<size_t>* out) const;
+
+  // Appends a cover for the disk query dist(center, .) <= radius:
+  //   * nodes whose bounding box lies inside the disk -> exact pieces;
+  //   * boundary leaves -> checked individually.
+  // The same exact-cover guarantee as CoverQuery.
+  void CoverDisk(const Point2& center, double radius,
+                 std::vector<CoverRange>* cover) const;
+
+  // Appends an APPROXIMATE cover for the disk query (Theorem 6 input):
+  // maximal nodes whose box intersects the disk and whose box diagonal is
+  // at most `slack` * radius. Pieces may contain non-qualifying points;
+  // callers must rejection-filter. Cheaper to find than the exact cover
+  // because the walk stops well above the leaves.
+  void ApproxCoverDisk(const Point2& center, double radius, double slack,
+                       std::vector<CoverRange>* cover) const;
+
+  // Generic region interface (any region expressible through these three
+  // predicates — halfplanes, polygons, annuli, ...): appends the exact
+  // cover of { p in S : contains_point(p) }.
+  //   * contains_box(b): the region fully contains rectangle b;
+  //   * intersects_box(b): the region and b overlap (may over-approximate
+  //     — a conservative "true" only costs extra walk, never correctness);
+  //   * contains_point(p): the actual predicate.
+  void CoverRegion(const std::function<bool(const Rect&)>& contains_box,
+                   const std::function<bool(const Rect&)>& intersects_box,
+                   const std::function<bool(const Point2&)>& contains_point,
+                   std::vector<CoverRange>* cover) const;
+
+  size_t MemoryBytes() const {
+    return points_.capacity() * sizeof(Point2) +
+           weights_.capacity() * sizeof(double) +
+           nodes_.capacity() * sizeof(Node);
+  }
+
+ private:
+  struct Node {
+    Rect box;
+    double weight = 0.0;
+    uint32_t lo = 0;
+    uint32_t hi = 0;            // inclusive position range
+    uint32_t left = kNull;      // kNull for leaves
+    uint32_t right = kNull;
+  };
+  static constexpr uint32_t kNull = ~uint32_t{0};
+
+  uint32_t Build(size_t lo, size_t hi, int depth);
+
+  std::vector<Point2> points_;
+  std::vector<double> weights_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace iqs::multidim
+
+#endif  // IQS_MULTIDIM_KD_TREE_H_

@@ -1,0 +1,66 @@
+// Planar geometry value types shared by the multi-dimensional structures
+// (kd-tree, quadtree, range tree) and the near-neighbor code.
+
+#ifndef IQS_MULTIDIM_POINT_H_
+#define IQS_MULTIDIM_POINT_H_
+
+#include <cmath>
+
+namespace iqs::multidim {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point2&, const Point2&) = default;
+};
+
+inline double SquaredDistance(const Point2& a, const Point2& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double Distance(const Point2& a, const Point2& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+// Axis-aligned rectangle, closed on all sides.
+struct Rect {
+  double x_lo = 0.0;
+  double x_hi = 0.0;
+  double y_lo = 0.0;
+  double y_hi = 0.0;
+
+  bool Contains(const Point2& p) const {
+    return p.x >= x_lo && p.x <= x_hi && p.y >= y_lo && p.y <= y_hi;
+  }
+
+  bool ContainsRect(const Rect& other) const {
+    return other.x_lo >= x_lo && other.x_hi <= x_hi && other.y_lo >= y_lo &&
+           other.y_hi <= y_hi;
+  }
+
+  bool Intersects(const Rect& other) const {
+    return x_lo <= other.x_hi && other.x_lo <= x_hi && y_lo <= other.y_hi &&
+           other.y_lo <= y_hi;
+  }
+
+  // Minimum squared distance from `p` to this rectangle (0 if inside).
+  double MinSquaredDistance(const Point2& p) const {
+    const double dx = p.x < x_lo ? x_lo - p.x : (p.x > x_hi ? p.x - x_hi : 0.0);
+    const double dy = p.y < y_lo ? y_lo - p.y : (p.y > y_hi ? p.y - y_hi : 0.0);
+    return dx * dx + dy * dy;
+  }
+
+  // Maximum squared distance from `p` to any point of this rectangle.
+  double MaxSquaredDistance(const Point2& p) const {
+    const double dx = std::max(std::abs(p.x - x_lo), std::abs(p.x - x_hi));
+    const double dy = std::max(std::abs(p.y - y_lo), std::abs(p.y - y_hi));
+    return dx * dx + dy * dy;
+  }
+};
+
+}  // namespace iqs::multidim
+
+#endif  // IQS_MULTIDIM_POINT_H_

@@ -1,0 +1,222 @@
+#include "iqs/multidim/range_tree_nd.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "iqs/sampling/multinomial.h"
+#include "iqs/util/check.h"
+
+namespace iqs::multidim {
+
+RangeTreeNdSampler::RangeTreeNdSampler(size_t dim,
+                                       std::span<const double> coords,
+                                       std::span<const double> weights,
+                                       size_t leaf_size)
+    : dim_(dim),
+      leaf_size_(std::max<size_t>(leaf_size, 1)),
+      coords_(coords.begin(), coords.end()) {
+  IQS_CHECK(dim_ >= 1);
+  IQS_CHECK(!coords_.empty());
+  IQS_CHECK(coords_.size() % dim_ == 0);
+  const size_t n = coords_.size() / dim_;
+  if (weights.empty()) {
+    weights_.assign(n, 1.0);
+  } else {
+    IQS_CHECK(weights.size() == n);
+    weights_.assign(weights.begin(), weights.end());
+    for (double w : weights_) IQS_CHECK(w > 0.0);
+  }
+  std::vector<uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  root_ = BuildStructure(0, std::move(ids));
+}
+
+std::unique_ptr<RangeTreeNdSampler::LevelStructure>
+RangeTreeNdSampler::BuildStructure(size_t level,
+                                   std::vector<uint32_t> ids) const {
+  auto s = std::make_unique<LevelStructure>();
+  s->level = level;
+  s->ids_sorted = std::move(ids);
+  const size_t axis = level;
+  std::sort(s->ids_sorted.begin(), s->ids_sorted.end(),
+            [&](uint32_t a, uint32_t b) {
+              return coords_[a * dim_ + axis] < coords_[b * dim_ + axis];
+            });
+  const size_t m = s->ids_sorted.size();
+  s->sorted_coords.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    s->sorted_coords[i] = coords_[s->ids_sorted[i] * dim_ + axis];
+  }
+
+  if (level + 1 == dim_) {
+    // Final level: prefix sums + the Theorem-3 sampler over this order.
+    s->weight_prefix.assign(m + 1, 0.0);
+    std::vector<double> w(m);
+    for (size_t i = 0; i < m; ++i) {
+      w[i] = weights_[s->ids_sorted[i]];
+      s->weight_prefix[i + 1] = s->weight_prefix[i] + w[i];
+    }
+    std::vector<double> position_keys(m);
+    std::iota(position_keys.begin(), position_keys.end(), 0.0);
+    s->sampler = std::make_unique<ChunkedRangeSampler>(position_keys, w);
+    return s;
+  }
+
+  s->tree.reserve(4 * (m / leaf_size_ + 2));
+  const uint32_t root = BuildTree(s.get(), 0, m - 1);
+  IQS_CHECK(root == 0);
+  return s;
+}
+
+uint32_t RangeTreeNdSampler::BuildTree(LevelStructure* s, size_t lo,
+                                       size_t hi) const {
+  const uint32_t id = static_cast<uint32_t>(s->tree.size());
+  s->tree.emplace_back();
+  s->tree[id].lo = static_cast<uint32_t>(lo);
+  s->tree[id].hi = static_cast<uint32_t>(hi);
+  if (hi - lo + 1 > leaf_size_) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const uint32_t left = BuildTree(s, lo, mid);
+    const uint32_t right = BuildTree(s, mid + 1, hi);
+    s->tree[id].left = left;
+    s->tree[id].right = right;
+  }
+  std::vector<uint32_t> sub_ids(
+      s->ids_sorted.begin() + static_cast<ptrdiff_t>(lo),
+      s->ids_sorted.begin() + static_cast<ptrdiff_t>(hi) + 1);
+  s->tree[id].child = BuildStructure(s->level + 1, std::move(sub_ids));
+  return id;
+}
+
+void RangeTreeNdSampler::CollectFinal(const LevelStructure& s,
+                                      const BoxNd& q,
+                                      std::vector<Piece>* pieces) const {
+  const size_t axis = dim_ - 1;
+  const auto first = std::lower_bound(s.sorted_coords.begin(),
+                                      s.sorted_coords.end(), q.lo(axis));
+  const auto last =
+      std::upper_bound(first, s.sorted_coords.end(), q.hi(axis));
+  if (first == last) return;
+  const uint32_t a =
+      static_cast<uint32_t>(first - s.sorted_coords.begin());
+  const uint32_t b =
+      static_cast<uint32_t>(last - s.sorted_coords.begin()) - 1;
+  pieces->push_back(
+      {&s, a, b, s.weight_prefix[b + 1] - s.weight_prefix[a]});
+}
+
+void RangeTreeNdSampler::CollectPieces(const LevelStructure& s,
+                                       const BoxNd& q,
+                                       std::vector<Piece>* pieces) const {
+  if (s.level + 1 == dim_) {
+    CollectFinal(s, q, pieces);
+    return;
+  }
+  const size_t axis = s.level;
+  // Position range of the axis interval in this structure's sorted order.
+  const auto first = std::lower_bound(s.sorted_coords.begin(),
+                                      s.sorted_coords.end(), q.lo(axis));
+  const auto last =
+      std::upper_bound(first, s.sorted_coords.end(), q.hi(axis));
+  if (first == last) return;
+  const uint32_t a =
+      static_cast<uint32_t>(first - s.sorted_coords.begin());
+  const uint32_t b =
+      static_cast<uint32_t>(last - s.sorted_coords.begin()) - 1;
+
+  // Canonical descent.
+  std::vector<uint32_t> stack = {0};
+  while (!stack.empty()) {
+    const uint32_t id = stack.back();
+    stack.pop_back();
+    const LevelStructure::TreeNode& node = s.tree[id];
+    if (node.lo > b || node.hi < a) continue;
+    if (a <= node.lo && node.hi <= b) {
+      CollectPieces(*node.child, q, pieces);
+      continue;
+    }
+    if (node.left == kNull) {
+      // Partial boundary leaf: filter its <= leaf_size points against ALL
+      // remaining dimensions and emit singletons.
+      for (uint32_t pos = node.lo; pos <= node.hi; ++pos) {
+        if (pos < a || pos > b) continue;
+        const uint32_t pid = s.ids_sorted[pos];
+        bool inside = true;
+        for (size_t k = s.level + 1; k < dim_; ++k) {
+          const double c = coords_[pid * dim_ + k];
+          if (c < q.lo(k) || c > q.hi(k)) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) {
+          pieces->push_back({nullptr, pid, pid, weights_[pid]});
+        }
+      }
+      continue;
+    }
+    stack.push_back(node.left);
+    stack.push_back(node.right);
+  }
+}
+
+bool RangeTreeNdSampler::QueryBox(const BoxNd& q, size_t s, Rng* rng,
+                                  std::vector<size_t>* out) const {
+  IQS_CHECK(q.dim() == dim_);
+  std::vector<Piece> pieces;
+  CollectPieces(*root_, q, &pieces);
+  if (pieces.empty()) return false;
+  if (s == 0) return true;
+
+  std::vector<double> piece_weights;
+  piece_weights.reserve(pieces.size());
+  for (const Piece& piece : pieces) piece_weights.push_back(piece.weight);
+  const std::vector<uint32_t> counts = MultinomialSplit(piece_weights, s, rng);
+
+  out->reserve(out->size() + s);
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const Piece& piece = pieces[i];
+    if (piece.leaf_structure == nullptr) {
+      for (uint32_t k = 0; k < counts[i]; ++k) out->push_back(piece.a);
+      continue;
+    }
+    positions.clear();
+    piece.leaf_structure->sampler->QueryPositions(piece.a, piece.b,
+                                                  counts[i], rng, &positions);
+    for (size_t pos : positions) {
+      out->push_back(piece.leaf_structure->ids_sorted[pos]);
+    }
+  }
+  return true;
+}
+
+void RangeTreeNdSampler::Report(const BoxNd& q,
+                                std::vector<size_t>* out) const {
+  for (size_t id = 0; id < n(); ++id) {
+    if (q.Contains(PointAt(id))) out->push_back(id);
+  }
+}
+
+size_t RangeTreeNdSampler::MemoryBytes() const {
+  size_t bytes = coords_.capacity() * sizeof(double) +
+                 weights_.capacity() * sizeof(double);
+  // Walk the structure tree.
+  std::vector<const LevelStructure*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const LevelStructure* s = stack.back();
+    stack.pop_back();
+    bytes += s->ids_sorted.capacity() * sizeof(uint32_t) +
+             s->sorted_coords.capacity() * sizeof(double) +
+             s->weight_prefix.capacity() * sizeof(double) +
+             s->tree.capacity() * sizeof(LevelStructure::TreeNode);
+    if (s->sampler != nullptr) bytes += s->sampler->MemoryBytes();
+    for (const auto& node : s->tree) {
+      if (node.child != nullptr) stack.push_back(node.child.get());
+    }
+  }
+  return bytes;
+}
+
+}  // namespace iqs::multidim

@@ -1,0 +1,80 @@
+#include "iqs/range/aug_range_sampler.h"
+
+#include <numeric>
+
+#include "iqs/sampling/multinomial.h"
+
+namespace iqs {
+
+namespace {
+
+std::vector<double> PositionKeys(size_t n) {
+  std::vector<double> keys(n);
+  std::iota(keys.begin(), keys.end(), 0.0);
+  return keys;
+}
+
+}  // namespace
+
+AugRangeSampler::AugRangeSampler(std::span<const double> keys,
+                                 std::span<const double> weights)
+    : RangeSampler(keys), tree_(weights) {
+  IQS_CHECK(keys.size() == weights.size());
+  BuildNodeAliases(weights);
+}
+
+AugRangeSampler::AugRangeSampler(std::span<const double> weights)
+    : RangeSampler(PositionKeys(weights.size())), tree_(weights) {
+  BuildNodeAliases(weights);
+}
+
+void AugRangeSampler::BuildNodeAliases(std::span<const double> weights) {
+  node_alias_.resize(tree_.num_nodes());
+  std::vector<double> scratch;
+  for (StaticBst::NodeId u = 0; u < tree_.num_nodes(); ++u) {
+    if (tree_.IsLeaf(u)) continue;
+    const size_t lo = tree_.RangeLo(u);
+    const size_t hi = tree_.RangeHi(u);
+    scratch.assign(weights.begin() + static_cast<ptrdiff_t>(lo),
+                   weights.begin() + static_cast<ptrdiff_t>(hi) + 1);
+    node_alias_[u].Build(scratch);
+  }
+}
+
+void AugRangeSampler::QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
+                                     std::vector<size_t>* out) const {
+  IQS_CHECK(a <= b && b < n());
+  if (s == 0) return;
+  std::vector<StaticBst::NodeId> cover;
+  tree_.CanonicalCover(a, b, &cover);
+
+  std::vector<double> cover_weights;
+  cover_weights.reserve(cover.size());
+  for (StaticBst::NodeId u : cover) {
+    cover_weights.push_back(tree_.NodeWeight(u));
+  }
+  const std::vector<uint32_t> counts = MultinomialSplit(cover_weights, s, rng);
+
+  out->reserve(out->size() + s);
+  for (size_t i = 0; i < cover.size(); ++i) {
+    const StaticBst::NodeId u = cover[i];
+    const size_t lo = tree_.RangeLo(u);
+    if (tree_.IsLeaf(u)) {
+      for (uint32_t k = 0; k < counts[i]; ++k) out->push_back(lo);
+      continue;
+    }
+    const AliasTable& table = node_alias_[u];
+    for (uint32_t k = 0; k < counts[i]; ++k) {
+      out->push_back(lo + table.Sample(rng));
+    }
+  }
+}
+
+size_t AugRangeSampler::MemoryBytes() const {
+  size_t bytes = tree_.MemoryBytes() + keys_.capacity() * sizeof(double) +
+                 node_alias_.capacity() * sizeof(AliasTable);
+  for (const AliasTable& table : node_alias_) bytes += table.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace iqs

@@ -1,0 +1,35 @@
+#include "iqs/range/bst_range_sampler.h"
+
+#include "iqs/alias/alias_table.h"
+
+namespace iqs {
+
+BstRangeSampler::BstRangeSampler(std::span<const double> keys,
+                                 std::span<const double> weights)
+    : RangeSampler(keys), tree_(weights) {
+  IQS_CHECK(keys.size() == weights.size());
+}
+
+void BstRangeSampler::QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
+                                     std::vector<size_t>* out) const {
+  IQS_CHECK(a <= b && b < n());
+  if (s == 0) return;
+  std::vector<StaticBst::NodeId> cover;
+  tree_.CanonicalCover(a, b, &cover);
+
+  // Alias table over the canonical nodes, then tree sampling below the
+  // chosen node for every draw (paper Section 3.2).
+  std::vector<double> cover_weights;
+  cover_weights.reserve(cover.size());
+  for (StaticBst::NodeId u : cover) {
+    cover_weights.push_back(tree_.NodeWeight(u));
+  }
+  AliasTable cover_alias(cover_weights);
+  out->reserve(out->size() + s);
+  for (size_t i = 0; i < s; ++i) {
+    const StaticBst::NodeId u = cover[cover_alias.Sample(rng)];
+    out->push_back(tree_.SampleLeaf(u, rng));
+  }
+}
+
+}  // namespace iqs

@@ -1,0 +1,109 @@
+#include "iqs/range/chunked_range_sampler.h"
+
+#include <bit>
+#include <cmath>
+
+#include "iqs/sampling/multinomial.h"
+
+namespace iqs {
+
+ChunkedRangeSampler::ChunkedRangeSampler(std::span<const double> keys,
+                                         std::span<const double> weights,
+                                         size_t chunk_size)
+    : RangeSampler(keys), weights_(weights.begin(), weights.end()) {
+  IQS_CHECK(keys.size() == weights.size());
+  const size_t n = weights_.size();
+  chunk_size_ = chunk_size != 0
+                    ? chunk_size
+                    : std::max<size_t>(1, std::bit_width(n) - 1);  // ~log2 n
+  const size_t g = (n + chunk_size_ - 1) / chunk_size_;
+
+  std::vector<double> chunk_weights(g, 0.0);
+  chunk_alias_.resize(g);
+  std::vector<double> scratch;
+  for (size_t c = 0; c < g; ++c) {
+    const size_t lo = ChunkStart(c);
+    const size_t hi = ChunkEnd(c);
+    scratch.assign(weights_.begin() + static_cast<ptrdiff_t>(lo),
+                   weights_.begin() + static_cast<ptrdiff_t>(hi) + 1);
+    chunk_alias_[c].Build(scratch);
+    for (double w : scratch) chunk_weights[c] += w;
+  }
+
+  chunk_weight_prefix_.assign(g + 1, 0.0);
+  for (size_t c = 0; c < g; ++c) {
+    chunk_weight_prefix_[c + 1] = chunk_weight_prefix_[c] + chunk_weights[c];
+  }
+
+  chunk_level_ = std::make_unique<AugRangeSampler>(chunk_weights);
+}
+
+void ChunkedRangeSampler::SampleFromSpan(size_t lo, size_t hi, size_t count,
+                                         Rng* rng,
+                                         std::vector<size_t>* out) const {
+  if (count == 0) return;
+  std::vector<double> span_weights(
+      weights_.begin() + static_cast<ptrdiff_t>(lo),
+      weights_.begin() + static_cast<ptrdiff_t>(hi) + 1);
+  AliasTable table(span_weights);
+  for (size_t i = 0; i < count; ++i) out->push_back(lo + table.Sample(rng));
+}
+
+void ChunkedRangeSampler::QueryPositions(size_t a, size_t b, size_t s,
+                                         Rng* rng,
+                                         std::vector<size_t>* out) const {
+  IQS_CHECK(a <= b && b < n());
+  if (s == 0) return;
+  out->reserve(out->size() + s);
+
+  const size_t ca = a / chunk_size_;
+  const size_t cb = b / chunk_size_;
+  if (ca == cb) {
+    SampleFromSpan(a, b, s, rng, out);
+    return;
+  }
+
+  // q1 = [a, end of chunk ca], q2 = full chunks in between, q3 = [start of
+  // chunk cb, b] (paper Figure 2).
+  const size_t q1_hi = ChunkEnd(ca);
+  const size_t q3_lo = ChunkStart(cb);
+  double w1 = 0.0;
+  for (size_t i = a; i <= q1_hi; ++i) w1 += weights_[i];
+  double w3 = 0.0;
+  for (size_t i = q3_lo; i <= b; ++i) w3 += weights_[i];
+  const bool has_middle = cb > ca + 1;
+  const double w2 =
+      has_middle ? chunk_weight_prefix_[cb] - chunk_weight_prefix_[ca + 1]
+                 : 0.0;
+
+  const double part_weights[3] = {w1, w2, w3};
+  const std::vector<uint32_t> counts = MultinomialSplit(part_weights, s, rng);
+
+  SampleFromSpan(a, q1_hi, counts[0], rng, out);
+  SampleFromSpan(q3_lo, b, counts[2], rng, out);
+
+  if (counts[1] > 0) {
+    IQS_DCHECK(has_middle);
+    // Chunk-aligned query: draw chunk ids from the Lemma-2 structure, then
+    // one element from each drawn chunk's alias table — O(1) per sample.
+    std::vector<size_t> chunk_draws;
+    chunk_draws.reserve(counts[1]);
+    chunk_level_->QueryPositions(ca + 1, cb - 1, counts[1], rng,
+                                 &chunk_draws);
+    for (size_t chunk : chunk_draws) {
+      out->push_back(ChunkStart(chunk) + chunk_alias_[chunk].Sample(rng));
+    }
+  }
+}
+
+size_t ChunkedRangeSampler::MemoryBytes() const {
+  size_t bytes = keys_.capacity() * sizeof(double) +
+                 weights_.capacity() * sizeof(double) +
+                 chunk_alias_.capacity() * sizeof(AliasTable) +
+                 chunk_weight_prefix_.capacity() * sizeof(double);
+  for (const AliasTable& table : chunk_alias_) bytes += table.MemoryBytes();
+  if (chunk_level_ != nullptr) bytes += chunk_level_->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace iqs

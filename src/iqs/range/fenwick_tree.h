@@ -1,0 +1,86 @@
+// Fenwick (binary indexed) tree over doubles: point update, prefix sum,
+// range sum, and weighted search — the "range sum structure" of paper
+// Section 4.2 and the backbone of the O(log n) dynamic sampler.
+
+#ifndef IQS_RANGE_FENWICK_TREE_H_
+#define IQS_RANGE_FENWICK_TREE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "iqs/util/check.h"
+
+namespace iqs {
+
+class FenwickTree {
+ public:
+  FenwickTree() = default;
+
+  // A tree over `n` zero-initialized positions.
+  explicit FenwickTree(size_t n) : tree_(n + 1, 0.0) {}
+
+  // O(n) bulk construction from initial values.
+  explicit FenwickTree(std::span<const double> values)
+      : tree_(values.size() + 1, 0.0) {
+    for (size_t i = 0; i < values.size(); ++i) tree_[i + 1] = values[i];
+    for (size_t i = 1; i < tree_.size(); ++i) {
+      const size_t parent = i + (i & (~i + 1));
+      if (parent < tree_.size()) tree_[parent] += tree_[i];
+    }
+  }
+
+  size_t size() const { return tree_.empty() ? 0 : tree_.size() - 1; }
+
+  // Adds `delta` to position `i` (0-based). O(log n).
+  void Add(size_t i, double delta) {
+    IQS_DCHECK(i < size());
+    for (size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
+      tree_[j] += delta;
+    }
+  }
+
+  // Sum of positions [0, i) — i.e. the first `i` values. O(log n).
+  double PrefixSum(size_t i) const {
+    IQS_DCHECK(i <= size());
+    double sum = 0.0;
+    for (size_t j = i; j > 0; j -= j & (~j + 1)) sum += tree_[j];
+    return sum;
+  }
+
+  // Sum of positions [lo, hi] inclusive. O(log n).
+  double RangeSum(size_t lo, size_t hi) const {
+    IQS_DCHECK(lo <= hi && hi < size());
+    return PrefixSum(hi + 1) - PrefixSum(lo);
+  }
+
+  double TotalSum() const { return PrefixSum(size()); }
+
+  // Returns the smallest index i such that PrefixSum(i + 1) > target,
+  // i.e. the position selected by mass `target` in [0, TotalSum()).
+  // O(log n) via top-down descent over the implicit tree.
+  size_t SearchPrefix(double target) const {
+    IQS_DCHECK(size() > 0);
+    size_t pos = 0;
+    size_t mask = 1;
+    while ((mask << 1) <= size()) mask <<= 1;
+    for (; mask > 0; mask >>= 1) {
+      const size_t next = pos + mask;
+      if (next < tree_.size() && tree_[next] <= target) {
+        target -= tree_[next];
+        pos = next;
+      }
+    }
+    // pos is the count of positions whose cumulative mass is <= target.
+    return pos < size() ? pos : size() - 1;
+  }
+
+  size_t MemoryBytes() const { return tree_.capacity() * sizeof(double); }
+
+ private:
+  std::vector<double> tree_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_RANGE_FENWICK_TREE_H_

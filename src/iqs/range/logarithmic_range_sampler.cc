@@ -1,0 +1,135 @@
+#include "iqs/range/logarithmic_range_sampler.h"
+
+#include <algorithm>
+
+#include "iqs/sampling/multinomial.h"
+#include "iqs/util/check.h"
+
+namespace iqs {
+
+void LogarithmicRangeSampler::Finalize(Component* component) {
+  const size_t m = component->keys.size();
+  component->weight_prefix.assign(m + 1, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    component->weight_prefix[i + 1] =
+        component->weight_prefix[i] + component->weights[i];
+  }
+  component->sampler = std::make_unique<ChunkedRangeSampler>(
+      component->keys, component->weights);
+}
+
+void LogarithmicRangeSampler::Insert(double key, double weight) {
+  IQS_CHECK(weight > 0.0);
+  // A carry component of size 2^level, merged upward like binary addition.
+  auto carry = std::make_unique<Component>();
+  carry->keys = {key};
+  carry->weights = {weight};
+  size_t level = 0;
+  while (true) {
+    if (level == components_.size()) components_.emplace_back();
+    if (components_[level] == nullptr) {
+      Finalize(carry.get());
+      components_[level] = std::move(carry);
+      break;
+    }
+    // Merge the resident component into the carry (both sorted).
+    Component& resident = *components_[level];
+    auto merged = std::make_unique<Component>();
+    const size_t total = resident.keys.size() + carry->keys.size();
+    merged->keys.reserve(total);
+    merged->weights.reserve(total);
+    size_t i = 0;
+    size_t j = 0;
+    while (i < resident.keys.size() || j < carry->keys.size()) {
+      const bool take_resident =
+          j == carry->keys.size() ||
+          (i < resident.keys.size() && resident.keys[i] < carry->keys[j]);
+      if (take_resident) {
+        merged->keys.push_back(resident.keys[i]);
+        merged->weights.push_back(resident.weights[i]);
+        ++i;
+      } else {
+        IQS_CHECK(i == resident.keys.size() ||
+                  resident.keys[i] > carry->keys[j]);  // distinct keys
+        merged->keys.push_back(carry->keys[j]);
+        merged->weights.push_back(carry->weights[j]);
+        ++j;
+      }
+    }
+    components_[level] = nullptr;
+    carry = std::move(merged);
+    ++level;
+  }
+  ++size_;
+}
+
+bool LogarithmicRangeSampler::Query(double lo, double hi, size_t s, Rng* rng,
+                                    std::vector<double>* out) const {
+  if (lo > hi || size_ == 0) return false;
+  // Resolve the interval in every component; collect range weights.
+  struct ActivePart {
+    const Component* component;
+    size_t a;
+    size_t b;
+  };
+  std::vector<ActivePart> parts;
+  std::vector<double> part_weights;
+  for (const auto& component : components_) {
+    if (component == nullptr) continue;
+    size_t a = 0;
+    size_t b = 0;
+    if (!component->sampler->ResolveInterval(lo, hi, &a, &b)) continue;
+    parts.push_back({component.get(), a, b});
+    part_weights.push_back(component->weight_prefix[b + 1] -
+                           component->weight_prefix[a]);
+  }
+  if (parts.empty()) return false;
+  if (s == 0) return true;
+
+  const std::vector<uint32_t> counts = MultinomialSplit(part_weights, s, rng);
+  out->reserve(out->size() + s);
+  std::vector<size_t> positions;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    if (counts[p] == 0) continue;
+    positions.clear();
+    parts[p].component->sampler->QueryPositions(parts[p].a, parts[p].b,
+                                                counts[p], rng, &positions);
+    for (size_t pos : positions) {
+      out->push_back(parts[p].component->keys[pos]);
+    }
+  }
+  return true;
+}
+
+double LogarithmicRangeSampler::RangeWeight(double lo, double hi) const {
+  if (lo > hi) return 0.0;
+  double total = 0.0;
+  for (const auto& component : components_) {
+    if (component == nullptr) continue;
+    size_t a = 0;
+    size_t b = 0;
+    if (!component->sampler->ResolveInterval(lo, hi, &a, &b)) continue;
+    total += component->weight_prefix[b + 1] - component->weight_prefix[a];
+  }
+  return total;
+}
+
+size_t LogarithmicRangeSampler::num_components() const {
+  size_t count = 0;
+  for (const auto& component : components_) count += (component != nullptr);
+  return count;
+}
+
+size_t LogarithmicRangeSampler::MemoryBytes() const {
+  size_t bytes = components_.capacity() * sizeof(void*);
+  for (const auto& component : components_) {
+    if (component == nullptr) continue;
+    bytes += component->keys.capacity() * sizeof(double) +
+             component->weights.capacity() * sizeof(double) +
+             component->weight_prefix.capacity() * sizeof(double) +
+             component->sampler->MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace iqs

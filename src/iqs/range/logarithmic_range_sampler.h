@@ -1,0 +1,78 @@
+// Semi-dynamic (insert-only) weighted range sampling via the logarithmic
+// method (Bentley–Saxe), applied to the Theorem-3 structure — the generic
+// dynamization route for Direction 1 (paper Section 9) when the workload
+// is append-heavy.
+//
+// The set is partitioned into O(log n) static ChunkedRangeSampler
+// components with sizes that are distinct powers of two. An insert adds a
+// size-1 component and merges equal-sized components like binary
+// addition: amortized O(log n) merge work per insert (each element is
+// rebuilt once per level it passes through). A query resolves its
+// interval in every component (O(log² n) binary searches + prefix-sum
+// weight lookups), splits the budget Multinomial(s; component range
+// weights), and delegates to each component's O(log + s_i) query —
+// O(log² n + s) total, with exactly the Theorem-3 output law and full
+// cross-query independence.
+//
+// Trade-off triangle (all in this library): this structure has the
+// cheapest queries per sample among the dynamic options but no deletes;
+// DynamicRangeSampler (treap) does deletes at O(log n) per sample;
+// rebuilding a static sampler from scratch is the strawman.
+//
+// Keys must be distinct across the whole set (as in RangeSampler).
+
+#ifndef IQS_RANGE_LOGARITHMIC_RANGE_SAMPLER_H_
+#define IQS_RANGE_LOGARITHMIC_RANGE_SAMPLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "iqs/range/chunked_range_sampler.h"
+#include "iqs/util/rng.h"
+
+namespace iqs {
+
+class LogarithmicRangeSampler {
+ public:
+  LogarithmicRangeSampler() = default;
+
+  // Inserts an element; keys must be globally distinct (checked during
+  // merges). Amortized O(log n) element-moves per insert.
+  void Insert(double key, double weight);
+
+  // Draws `s` independent weighted samples from keys in [lo, hi],
+  // appending sampled KEYS to `out`; false when the range is empty.
+  // O(log² n + s).
+  bool Query(double lo, double hi, size_t s, Rng* rng,
+             std::vector<double>* out) const;
+
+  // Total weight of keys in [lo, hi]. O(log² n).
+  double RangeWeight(double lo, double hi) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  // Number of live components (<= log2(n) + 1); exposed for tests.
+  size_t num_components() const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  struct Component {
+    std::vector<double> keys;     // sorted
+    std::vector<double> weights;  // parallel
+    std::vector<double> weight_prefix;
+    std::unique_ptr<ChunkedRangeSampler> sampler;
+  };
+
+  // Builds prefix sums + sampler for a component whose keys/weights are
+  // already sorted.
+  static void Finalize(Component* component);
+
+  // components_[i] is either null or holds exactly 2^i elements.
+  std::vector<std::unique_ptr<Component>> components_;
+  size_t size_ = 0;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_RANGE_LOGARITHMIC_RANGE_SAMPLER_H_

@@ -1,0 +1,51 @@
+// The naive IQS baseline (paper Section 1): materialize the full query
+// result S_q, then sample from it. Correct and independent, but the query
+// costs O(|S_q| + s) — exactly what IQS structures exist to avoid. Used as
+// the correctness oracle in tests and the baseline in benches E3/E5/E6.
+
+#ifndef IQS_RANGE_NAIVE_RANGE_SAMPLER_H_
+#define IQS_RANGE_NAIVE_RANGE_SAMPLER_H_
+
+#include <span>
+#include <vector>
+
+#include "iqs/alias/alias_table.h"
+#include "iqs/range/range_sampler.h"
+
+namespace iqs {
+
+class NaiveRangeSampler : public RangeSampler {
+ public:
+  NaiveRangeSampler(std::span<const double> keys,
+                    std::span<const double> weights)
+      : RangeSampler(keys), weights_(weights.begin(), weights.end()) {
+    IQS_CHECK(keys.size() == weights.size());
+  }
+
+  void QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
+                      std::vector<size_t>* out) const override {
+    IQS_CHECK(a <= b && b < n());
+    if (s == 0) return;
+    // "Report then sample": scan the whole result range.
+    std::vector<double> result_weights(
+        weights_.begin() + static_cast<ptrdiff_t>(a),
+        weights_.begin() + static_cast<ptrdiff_t>(b) + 1);
+    AliasTable table(result_weights);
+    out->reserve(out->size() + s);
+    for (size_t i = 0; i < s; ++i) out->push_back(a + table.Sample(rng));
+  }
+
+  size_t MemoryBytes() const override {
+    return keys_.capacity() * sizeof(double) +
+           weights_.capacity() * sizeof(double);
+  }
+
+  std::string_view name() const override { return "naive-report-sample"; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_RANGE_NAIVE_RANGE_SAMPLER_H_

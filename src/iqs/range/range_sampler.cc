@@ -1,0 +1,35 @@
+#include "iqs/range/range_sampler.h"
+
+#include <algorithm>
+
+namespace iqs {
+
+RangeSampler::RangeSampler(std::span<const double> keys)
+    : keys_(keys.begin(), keys.end()) {
+  IQS_CHECK(!keys_.empty());
+  for (size_t i = 1; i < keys_.size(); ++i) {
+    IQS_CHECK(keys_[i - 1] < keys_[i]);
+  }
+}
+
+bool RangeSampler::ResolveInterval(double lo, double hi, size_t* a,
+                                   size_t* b) const {
+  if (lo > hi) return false;
+  const auto first = std::lower_bound(keys_.begin(), keys_.end(), lo);
+  if (first == keys_.end() || *first > hi) return false;
+  const auto last = std::upper_bound(first, keys_.end(), hi);
+  *a = static_cast<size_t>(first - keys_.begin());
+  *b = static_cast<size_t>(last - keys_.begin()) - 1;
+  return true;
+}
+
+bool RangeSampler::Query(double lo, double hi, size_t s, Rng* rng,
+                         std::vector<size_t>* out) const {
+  size_t a = 0;
+  size_t b = 0;
+  if (!ResolveInterval(lo, hi, &a, &b)) return false;
+  QueryPositions(a, b, s, rng, out);
+  return true;
+}
+
+}  // namespace iqs

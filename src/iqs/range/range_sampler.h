@@ -1,0 +1,73 @@
+// Common interface for one-dimensional weighted range sampling structures
+// (paper Sections 3-4).
+//
+// Problem (paper Section 3.2): a set S of n real keys, each with a positive
+// weight. A query gives an interval q = [lo, hi] and a sample size s, and
+// receives s independent weighted samples from S ∩ q; outputs of all
+// queries are mutually independent.
+//
+// All implementations index elements by their *position* in sorted key
+// order and return positions; Query() maps a real interval onto a position
+// range with two binary searches and delegates to QueryPositions(). This
+// keeps the structures composable — Theorem 3 runs a Lemma-2 structure over
+// chunk positions, and Lemma 4 runs one over Euler-tour positions.
+
+#ifndef IQS_RANGE_RANGE_SAMPLER_H_
+#define IQS_RANGE_RANGE_SAMPLER_H_
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "iqs/util/check.h"
+#include "iqs/util/rng.h"
+
+namespace iqs {
+
+class RangeSampler {
+ public:
+  virtual ~RangeSampler() = default;
+
+  RangeSampler(const RangeSampler&) = delete;
+  RangeSampler& operator=(const RangeSampler&) = delete;
+
+  size_t n() const { return keys_.size(); }
+  const std::vector<double>& keys() const { return keys_; }
+
+  // Draws `s` independent weighted samples from the elements at positions
+  // [a, b] (inclusive, a <= b < n), appending sampled positions to `out`.
+  //
+  // ORDERING CONTRACT: the s draws form an i.i.d. MULTISET; the order in
+  // which they are appended is unspecified (implementations group them by
+  // internal structure, e.g. by chunk). Callers that need an i.i.d.
+  // SEQUENCE (e.g. "take the first distinct values") must shuffle first —
+  // see sampling/wor_query.cc.
+  virtual void QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
+                              std::vector<size_t>* out) const = 0;
+
+  // Draws `s` independent weighted samples from S ∩ [lo, hi], appending
+  // sampled positions to `out`. Returns false (and appends nothing) when
+  // the interval contains no element. O(log n) on top of QueryPositions.
+  bool Query(double lo, double hi, size_t s, Rng* rng,
+             std::vector<size_t>* out) const;
+
+  // Resolves [lo, hi] to the inclusive position range it covers. Returns
+  // false if empty.
+  bool ResolveInterval(double lo, double hi, size_t* a, size_t* b) const;
+
+  // Heap footprint, for the space experiment (DESIGN.md E4).
+  virtual size_t MemoryBytes() const = 0;
+
+  virtual std::string_view name() const = 0;
+
+ protected:
+  // `keys` must be strictly increasing and nonempty.
+  explicit RangeSampler(std::span<const double> keys);
+
+  std::vector<double> keys_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_RANGE_RANGE_SAMPLER_H_

@@ -1,0 +1,66 @@
+// Sparse-table range-minimum queries over an array of distinct uint32
+// values: O(n log n) preprocessing, O(1) per query. Substrate of the
+// *dependent* query-sampling baseline (paper Section 2), which repeatedly
+// extracts the minimum-rank elements of a range.
+
+#ifndef IQS_RANGE_RMQ_H_
+#define IQS_RANGE_RMQ_H_
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "iqs/util/check.h"
+
+namespace iqs {
+
+class SparseTableRmq {
+ public:
+  SparseTableRmq() = default;
+
+  explicit SparseTableRmq(std::span<const uint32_t> values)
+      : values_(values.begin(), values.end()) {
+    const size_t n = values_.size();
+    IQS_CHECK(n > 0);
+    const size_t levels = static_cast<size_t>(std::bit_width(n));
+    table_.resize(levels);
+    table_[0].resize(n);
+    for (size_t i = 0; i < n; ++i) table_[0][i] = static_cast<uint32_t>(i);
+    for (size_t k = 1; k < levels; ++k) {
+      const size_t len = size_t{1} << k;
+      table_[k].resize(n - len + 1);
+      for (size_t i = 0; i + len <= n; ++i) {
+        const uint32_t left = table_[k - 1][i];
+        const uint32_t right = table_[k - 1][i + len / 2];
+        table_[k][i] = values_[left] <= values_[right] ? left : right;
+      }
+    }
+  }
+
+  // Index of the minimum value in positions [a, b] inclusive. O(1).
+  size_t ArgMin(size_t a, size_t b) const {
+    IQS_DCHECK(a <= b && b < values_.size());
+    const size_t k = static_cast<size_t>(std::bit_width(b - a + 1)) - 1;
+    const uint32_t left = table_[k][a];
+    const uint32_t right = table_[k][b + 1 - (size_t{1} << k)];
+    return values_[left] <= values_[right] ? left : right;
+  }
+
+  uint32_t ValueAt(size_t i) const { return values_[i]; }
+  size_t size() const { return values_.size(); }
+
+  size_t MemoryBytes() const {
+    size_t bytes = values_.capacity() * sizeof(uint32_t);
+    for (const auto& level : table_) bytes += level.capacity() * sizeof(uint32_t);
+    return bytes;
+  }
+
+ private:
+  std::vector<uint32_t> values_;
+  std::vector<std::vector<uint32_t>> table_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_RANGE_RMQ_H_

@@ -1,0 +1,85 @@
+#include "iqs/range/static_bst.h"
+
+#include <limits>
+
+namespace iqs {
+
+StaticBst::StaticBst(std::span<const double> weights)
+    : num_leaves_(weights.size()) {
+  IQS_CHECK(num_leaves_ > 0);
+  IQS_CHECK(num_leaves_ < std::numeric_limits<uint32_t>::max() / 2);
+  nodes_.reserve(2 * num_leaves_ - 1);
+  leaf_of_position_.resize(num_leaves_);
+  const NodeId root_id = BuildRange(weights, 0, num_leaves_ - 1);
+  IQS_CHECK(root_id == 0);
+}
+
+StaticBst::NodeId StaticBst::BuildRange(std::span<const double> weights,
+                                        size_t lo, size_t hi) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[id].lo = static_cast<uint32_t>(lo);
+  nodes_[id].hi = static_cast<uint32_t>(hi);
+  if (lo == hi) {
+    IQS_CHECK(weights[lo] > 0.0);
+    nodes_[id].weight = weights[lo];
+    leaf_of_position_[lo] = id;
+    return id;
+  }
+  const size_t mid = lo + (hi - lo) / 2;
+  const NodeId left = BuildRange(weights, lo, mid);
+  const NodeId right = BuildRange(weights, mid + 1, hi);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  nodes_[id].weight = nodes_[left].weight + nodes_[right].weight;
+  return id;
+}
+
+void StaticBst::CanonicalCover(size_t a, size_t b,
+                               std::vector<NodeId>* out) const {
+  IQS_CHECK(a <= b && b < num_leaves_);
+  // Iterative descent with an explicit stack; each node either lies fully
+  // inside [a, b] (canonical), fully outside (pruned), or straddles a
+  // boundary (recurse). Only nodes on the two root-to-boundary paths
+  // straddle, so the walk touches O(log n) nodes.
+  NodeId stack[128];
+  size_t top = 0;
+  stack[top++] = root();
+  while (top > 0) {
+    const NodeId u = stack[--top];
+    const Node& node = nodes_[u];
+    if (node.lo > b || node.hi < a) continue;
+    if (a <= node.lo && node.hi <= b) {
+      out->push_back(u);
+      continue;
+    }
+    IQS_DCHECK(top + 2 <= 128);
+    // Push right first so covers come out in left-to-right position order.
+    stack[top++] = node.right;
+    stack[top++] = node.left;
+  }
+}
+
+size_t StaticBst::SampleLeaf(NodeId u, Rng* rng) const {
+  while (!IsLeaf(u)) {
+    const Node& node = nodes_[u];
+    const double left_weight = nodes_[node.left].weight;
+    u = rng->NextDouble() * node.weight < left_weight ? node.left
+                                                      : node.right;
+  }
+  return LeafPosition(u);
+}
+
+size_t StaticBst::Height() const {
+  // The tree is weight-agnostic balanced (midpoint splits), so height is
+  // ceil(log2 n); compute it by walking the leftmost path.
+  size_t height = 0;
+  NodeId u = root();
+  while (!IsLeaf(u)) {
+    u = nodes_[u].left;
+    ++height;
+  }
+  return height;
+}
+
+}  // namespace iqs

@@ -1,0 +1,92 @@
+// Leaf-oriented balanced binary search tree with subtree weights and
+// canonical-node decomposition (paper Section 3.2 and Figure 1).
+//
+// The tree follows the paper's conventions: height O(log n), one leaf per
+// element (identified by its position 0..n-1 in sorted key order), every
+// internal node has exactly two children, and each node stores the total
+// weight w(u) of the leaves below it. For any position range [a, b] the
+// tree yields a canonical cover: O(log n) nodes with disjoint subtrees
+// whose leaves are exactly positions a..b.
+//
+// StaticBst is deliberately key-agnostic — it works on positions. Mapping
+// real-valued query intervals to position ranges is the job of
+// RangeSampler (range_sampler.h), so the same tree drives element-level
+// structures and the chunk-level structure of Theorem 3 alike.
+
+#ifndef IQS_RANGE_STATIC_BST_H_
+#define IQS_RANGE_STATIC_BST_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "iqs/util/check.h"
+#include "iqs/util/rng.h"
+
+namespace iqs {
+
+class StaticBst {
+ public:
+  using NodeId = uint32_t;
+  static constexpr NodeId kNullNode = ~NodeId{0};
+
+  StaticBst() = default;
+
+  // Builds the tree over `weights[i] > 0` for leaf positions i. O(n).
+  explicit StaticBst(std::span<const double> weights);
+
+  size_t num_leaves() const { return num_leaves_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  NodeId root() const { return 0; }
+
+  bool IsLeaf(NodeId u) const { return nodes_[u].left == kNullNode; }
+  double NodeWeight(NodeId u) const { return nodes_[u].weight; }
+  NodeId LeftChild(NodeId u) const { return nodes_[u].left; }
+  NodeId RightChild(NodeId u) const { return nodes_[u].right; }
+  // Leaf positions below u form the inclusive range [RangeLo, RangeHi].
+  size_t RangeLo(NodeId u) const { return nodes_[u].lo; }
+  size_t RangeHi(NodeId u) const { return nodes_[u].hi; }
+  // For a leaf, the element position it stores.
+  size_t LeafPosition(NodeId u) const {
+    IQS_DCHECK(IsLeaf(u));
+    return nodes_[u].lo;
+  }
+  // Leaf id for position p (usable as a subtree-query argument).
+  NodeId LeafForPosition(size_t p) const { return leaf_of_position_[p]; }
+
+  // Appends the canonical cover of positions [a, b] (inclusive) to `out`:
+  // maximal nodes entirely inside the range. |cover| = O(log n);
+  // O(log n) time. a <= b < n required.
+  void CanonicalCover(size_t a, size_t b, std::vector<NodeId>* out) const;
+
+  // Tree sampling (paper Section 3.2): walks down from u, at each internal
+  // node choosing a child proportional to its subtree weight. Returns the
+  // sampled leaf position. O(height of subtree), fresh randomness per call.
+  size_t SampleLeaf(NodeId u, Rng* rng) const;
+
+  size_t Height() const;
+
+  size_t MemoryBytes() const {
+    return nodes_.capacity() * sizeof(Node) +
+           leaf_of_position_.capacity() * sizeof(NodeId);
+  }
+
+ private:
+  struct Node {
+    double weight = 0.0;
+    NodeId left = kNullNode;
+    NodeId right = kNullNode;
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+  };
+
+  NodeId BuildRange(std::span<const double> weights, size_t lo, size_t hi);
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> leaf_of_position_;
+  size_t num_leaves_ = 0;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_RANGE_STATIC_BST_H_

@@ -1,0 +1,76 @@
+#include "iqs/sampling/dependent_range_sampler.h"
+
+#include <queue>
+
+#include "iqs/sampling/set_sampler.h"
+
+namespace iqs {
+
+DependentRangeSampler::DependentRangeSampler(std::span<const double> keys,
+                                             Rng* build_rng)
+    : RangeSampler(keys) {
+  const size_t n = keys_.size();
+  ranks_.resize(n);
+  for (size_t i = 0; i < n; ++i) ranks_[i] = static_cast<uint32_t>(i);
+  // Fisher-Yates: one global random permutation, fixed for the structure's
+  // lifetime (this is the point — and the flaw — of the approach).
+  for (size_t i = n; i > 1; --i) {
+    std::swap(ranks_[i - 1], ranks_[build_rng->Below(i)]);
+  }
+  rmq_ = SparseTableRmq(ranks_);
+}
+
+void DependentRangeSampler::QueryWor(size_t a, size_t b, size_t s,
+                                     std::vector<size_t>* out) const {
+  IQS_CHECK(a <= b && b < n());
+  s = std::min(s, b - a + 1);
+  if (s == 0) return;
+  // Fragment heap: repeatedly take the overall min rank, splitting its
+  // fragment in two. Exactly s heap pops, O(log s) each.
+  struct Candidate {
+    uint32_t rank;
+    uint32_t pos;
+    uint32_t frag_lo;
+    uint32_t frag_hi;
+    bool operator>(const Candidate& other) const { return rank > other.rank; }
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> heap;
+  auto push_fragment = [&](size_t lo, size_t hi) {
+    if (lo > hi) return;
+    const size_t p = rmq_.ArgMin(lo, hi);
+    heap.push(Candidate{ranks_[p], static_cast<uint32_t>(p),
+                        static_cast<uint32_t>(lo), static_cast<uint32_t>(hi)});
+  };
+  push_fragment(a, b);
+  out->reserve(out->size() + s);
+  for (size_t taken = 0; taken < s; ++taken) {
+    const Candidate c = heap.top();
+    heap.pop();
+    out->push_back(c.pos);
+    if (c.pos > c.frag_lo) push_fragment(c.frag_lo, c.pos - 1);
+    if (c.pos < c.frag_hi) push_fragment(c.pos + 1, c.frag_hi);
+  }
+}
+
+void DependentRangeSampler::QueryPositions(size_t a, size_t b, size_t s,
+                                           Rng* rng,
+                                           std::vector<size_t>* out) const {
+  IQS_CHECK(a <= b && b < n());
+  if (s == 0) return;
+  const size_t range_size = b - a + 1;
+  std::vector<size_t> wor;
+  QueryWor(a, b, std::min(s, range_size), &wor);
+  if (s <= wor.size()) {
+    wor.resize(s);
+    // Still apply the WR conversion so the output law matches WR sampling.
+  }
+  const std::vector<size_t> wr = WorToWr(wor, range_size, rng);
+  out->insert(out->end(), wr.begin(), wr.end());
+  // If s exceeded the WoR budget (s > range size), top up with repeats of
+  // the full range — every element is in the WoR set in that case.
+  for (size_t i = wr.size(); i < s; ++i) {
+    out->push_back(wor[rng->Below(wor.size())]);
+  }
+}
+
+}  // namespace iqs

@@ -1,0 +1,60 @@
+// The conventional (DEPENDENT) query-sampling structure of paper Section 2
+// — the negative control for cross-query independence.
+//
+// Preprocessing assigns each element a rank from one global random
+// permutation. A WoR query over [a, b] returns the s elements of lowest
+// rank in the range (top-k range reporting), implemented with a sparse-
+// table RMQ and a candidate heap in O(log n)-preprocessing-free
+// O(s log s) time per query after O(1) RMQs.
+//
+// The output is a perfectly uniform WoR sample of the range — for a single
+// query. Across queries the outputs are strongly correlated: repeating the
+// same query always returns the same set. bench_independence (E11) and the
+// independence property tests rely on this structure to show what IQS
+// buys.
+
+#ifndef IQS_SAMPLING_DEPENDENT_RANGE_SAMPLER_H_
+#define IQS_SAMPLING_DEPENDENT_RANGE_SAMPLER_H_
+
+#include <span>
+#include <vector>
+
+#include "iqs/range/range_sampler.h"
+#include "iqs/range/rmq.h"
+#include "iqs/util/rng.h"
+
+namespace iqs {
+
+class DependentRangeSampler : public RangeSampler {
+ public:
+  // The permutation is fixed at build time from `build_rng` — queries use
+  // no fresh randomness for the WoR set itself.
+  DependentRangeSampler(std::span<const double> keys, Rng* build_rng);
+
+  // Returns the min(s, b - a + 1) positions of lowest rank in [a, b] —
+  // a uniform WoR sample of the range that is IDENTICAL on every repeat.
+  void QueryWor(size_t a, size_t b, size_t s,
+                std::vector<size_t>* out) const;
+
+  // RangeSampler interface: WR samples obtained from the (deterministic)
+  // WoR set via the O(s) conversion. The repetition pattern uses fresh
+  // randomness but the underlying support set does not, so outputs remain
+  // correlated across queries.
+  void QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
+                      std::vector<size_t>* out) const override;
+
+  size_t MemoryBytes() const override {
+    return keys_.capacity() * sizeof(double) +
+           ranks_.capacity() * sizeof(uint32_t) + rmq_.MemoryBytes();
+  }
+
+  std::string_view name() const override { return "dependent-permutation"; }
+
+ private:
+  std::vector<uint32_t> ranks_;
+  SparseTableRmq rmq_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_SAMPLING_DEPENDENT_RANGE_SAMPLER_H_

@@ -1,0 +1,36 @@
+#include "iqs/sampling/estimator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "iqs/util/check.h"
+
+namespace iqs {
+
+size_t SamplesForEstimate(double epsilon, double delta) {
+  IQS_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  IQS_CHECK(delta > 0.0 && delta < 1.0);
+  return static_cast<size_t>(
+      std::ceil(std::log(2.0 / delta) / (2.0 * epsilon * epsilon)));
+}
+
+std::optional<FractionEstimate> EstimateFraction(
+    const RangeSampler& sampler, double lo, double hi,
+    const std::function<bool(size_t)>& predicate, double epsilon,
+    double delta, Rng* rng) {
+  const size_t s = SamplesForEstimate(epsilon, delta);
+  std::vector<size_t> samples;
+  samples.reserve(s);
+  if (!sampler.Query(lo, hi, s, rng, &samples)) return std::nullopt;
+  size_t qualifying = 0;
+  for (size_t position : samples) qualifying += predicate(position);
+  FractionEstimate estimate;
+  estimate.fraction =
+      static_cast<double>(qualifying) / static_cast<double>(s);
+  estimate.samples_used = s;
+  estimate.epsilon = epsilon;
+  estimate.delta = delta;
+  return estimate;
+}
+
+}  // namespace iqs

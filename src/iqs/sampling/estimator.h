@@ -1,0 +1,52 @@
+// Query estimation on top of IQS (paper Section 2, Benefit 1, as an API).
+//
+// The paper's folklore bound: sampling O(eps^-2 log delta^-1) elements of
+// S_q estimates the fraction of S_q satisfying any fixed predicate within
+// absolute error eps with probability >= 1 - delta. Because the samples
+// come from an IQS structure, estimates across a long session are
+// independent, so failure counts concentrate (experiment E11).
+//
+// EstimateFraction drives any RangeSampler; the sample size is chosen
+// from (eps, delta) via the additive Hoeffding bound
+// s = ceil(ln(2/delta) / (2 eps^2)).
+
+#ifndef IQS_SAMPLING_ESTIMATOR_H_
+#define IQS_SAMPLING_ESTIMATOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+#include "iqs/range/range_sampler.h"
+#include "iqs/util/rng.h"
+
+namespace iqs {
+
+struct FractionEstimate {
+  double fraction = 0.0;       // estimated P(predicate | element in range)
+  size_t samples_used = 0;
+  double epsilon = 0.0;        // the guarantee actually provided
+  double delta = 0.0;
+};
+
+// Number of WR samples needed for absolute error `epsilon` with failure
+// probability `delta` (Hoeffding).
+size_t SamplesForEstimate(double epsilon, double delta);
+
+// Estimates the fraction of elements in S ∩ [lo, hi] whose POSITION
+// satisfies `predicate`, drawing the Hoeffding-sized sample from
+// `sampler`. Returns nullopt when the range is empty. Each call is
+// independent of all previous calls (the IQS guarantee).
+//
+// NOTE (weighted structures): the estimate is weight-weighted — it
+// estimates sum of qualifying weight / total weight of the range. For the
+// plain "fraction of tuples" semantics, build the sampler with unit
+// weights.
+std::optional<FractionEstimate> EstimateFraction(
+    const RangeSampler& sampler, double lo, double hi,
+    const std::function<bool(size_t)>& predicate, double epsilon,
+    double delta, Rng* rng);
+
+}  // namespace iqs
+
+#endif  // IQS_SAMPLING_ESTIMATOR_H_

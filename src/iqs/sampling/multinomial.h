@@ -1,0 +1,33 @@
+// Splitting a sample budget across a partition (paper Section 4.1).
+//
+// Every coverage-style IQS query first decides how many of its s samples
+// come from each of the t cover pieces: draw s weighted samples over the
+// pieces with an alias table built on the fly and count occurrences —
+// O(t + s) total, exactly the multinomial(s; w_1/W, ..., w_t/W) law.
+
+#ifndef IQS_SAMPLING_MULTINOMIAL_H_
+#define IQS_SAMPLING_MULTINOMIAL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "iqs/alias/alias_table.h"
+#include "iqs/util/rng.h"
+
+namespace iqs {
+
+// Returns counts c with sum(c) == s and c distributed
+// Multinomial(s; weights / sum(weights)). O(|weights| + s).
+inline std::vector<uint32_t> MultinomialSplit(std::span<const double> weights,
+                                              size_t s, Rng* rng) {
+  std::vector<uint32_t> counts(weights.size(), 0);
+  if (s == 0) return counts;
+  AliasTable alias(weights);
+  for (size_t i = 0; i < s; ++i) ++counts[alias.Sample(rng)];
+  return counts;
+}
+
+}  // namespace iqs
+
+#endif  // IQS_SAMPLING_MULTINOMIAL_H_

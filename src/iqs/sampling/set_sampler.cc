@@ -1,0 +1,95 @@
+#include "iqs/sampling/set_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "iqs/util/check.h"
+
+namespace iqs {
+
+void UniformWrSample(size_t n, size_t s, Rng* rng, std::vector<size_t>* out) {
+  IQS_CHECK(n > 0);
+  out->reserve(out->size() + s);
+  for (size_t i = 0; i < s; ++i) {
+    out->push_back(static_cast<size_t>(rng->Below(n)));
+  }
+}
+
+void UniformWorSample(size_t n, size_t s, Rng* rng, std::vector<size_t>* out) {
+  IQS_CHECK(s <= n);
+  if (s == 0) return;
+  // For dense samples a partial Fisher-Yates is cheaper than hashing.
+  if (s * 4 >= n) {
+    std::vector<size_t> pool(n);
+    for (size_t i = 0; i < n; ++i) pool[i] = i;
+    for (size_t i = 0; i < s; ++i) {
+      std::swap(pool[i], pool[i + rng->Below(n - i)]);
+    }
+    out->insert(out->end(), pool.begin(), pool.begin() + s);
+    return;
+  }
+  // Floyd's algorithm: iterate j over the last s positions; insert a
+  // uniform value from [0, j], replacing collisions with j itself.
+  std::unordered_set<size_t> chosen;
+  chosen.reserve(s * 2);
+  for (size_t j = n - s; j < n; ++j) {
+    const size_t t = static_cast<size_t>(rng->Below(j + 1));
+    chosen.insert(chosen.contains(t) ? j : t);
+  }
+  out->insert(out->end(), chosen.begin(), chosen.end());
+}
+
+std::vector<size_t> WorToWr(std::span<const size_t> wor, size_t n, Rng* rng) {
+  const size_t s = wor.size();
+  IQS_CHECK(s <= n);
+  std::vector<size_t> wr;
+  wr.reserve(s);
+  size_t next_fresh = 0;
+  for (size_t i = 0; i < s; ++i) {
+    // The i-th WR draw hits a not-yet-seen element with probability
+    // (n - distinct_so_far) / n.
+    const size_t distinct = next_fresh;
+    const bool fresh =
+        rng->NextDouble() * static_cast<double>(n) >=
+        static_cast<double>(distinct);
+    if (fresh) {
+      wr.push_back(wor[next_fresh++]);
+    } else {
+      // A repeat: uniformly one of the earlier *distinct* values — each
+      // earlier distinct value is equally likely to be the one repeated.
+      IQS_DCHECK(distinct > 0);
+      wr.push_back(wor[rng->Below(distinct)]);
+    }
+  }
+  return wr;
+}
+
+void WeightedWorSample(std::span<const double> weights, size_t s, Rng* rng,
+                       std::vector<size_t>* out) {
+  const size_t n = weights.size();
+  IQS_CHECK(s <= n);
+  if (s == 0) return;
+  // Efraimidis-Spirakis: key_i = u_i^(1/w_i); the s largest keys form a
+  // weighted WoR sample. Work with log keys for numerical stability.
+  using Entry = std::pair<double, size_t>;  // (log key, index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (size_t i = 0; i < n; ++i) {
+    IQS_CHECK(weights[i] > 0.0);
+    const double u = std::max(rng->NextDouble(), 1e-300);
+    const double log_key = std::log(u) / weights[i];
+    if (heap.size() < s) {
+      heap.emplace(log_key, i);
+    } else if (log_key > heap.top().first) {
+      heap.pop();
+      heap.emplace(log_key, i);
+    }
+  }
+  while (!heap.empty()) {
+    out->push_back(heap.top().second);
+    heap.pop();
+  }
+}
+
+}  // namespace iqs

@@ -1,0 +1,73 @@
+// Sampling-scheme primitives (paper Section 1 variants).
+//
+// The paper's IQS queries come in three flavours: with-replacement (WR),
+// without-replacement (WoR), and weighted. These free functions implement
+// the scheme-level machinery every index structure shares:
+//
+//   * uniform WR / WoR sampling from [0, n),
+//   * the O(s) WoR -> WR conversion the paper cites ([19], Section 2),
+//   * weighted WoR via Efraimidis-Spirakis exponential keys,
+//   * a streaming reservoir sampler.
+
+#ifndef IQS_SAMPLING_SET_SAMPLER_H_
+#define IQS_SAMPLING_SET_SAMPLER_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "iqs/util/rng.h"
+
+namespace iqs {
+
+// Appends `s` independent uniform WR samples from [0, n) to `out`. O(s).
+void UniformWrSample(size_t n, size_t s, Rng* rng, std::vector<size_t>* out);
+
+// Appends a uniform WoR sample of size `s` from [0, n) to `out`
+// (s <= n; every size-s subset equally likely; order unspecified).
+// Floyd's algorithm: O(s) expected time and space.
+void UniformWorSample(size_t n, size_t s, Rng* rng, std::vector<size_t>* out);
+
+// Converts a WoR sample set over a ground set of size `n` into a WR sample
+// set of the same size in O(s) time (paper Section 2): replay the WR
+// process — each draw is "fresh" with probability (n - seen)/n, consuming
+// the next WoR element, otherwise it repeats a uniformly chosen earlier
+// draw. `wor` must hold distinct elements of the ground set.
+std::vector<size_t> WorToWr(std::span<const size_t> wor, size_t n, Rng* rng);
+
+// Appends a *weighted* WoR sample of size s (s <= n): elements are drawn
+// sequentially, each proportional to weight among the not-yet-drawn
+// (successive sampling). Efraimidis-Spirakis: keep the s largest
+// u^(1/w) keys. O(n log s).
+void WeightedWorSample(std::span<const double> weights, size_t s, Rng* rng,
+                       std::vector<size_t>* out);
+
+// Classic reservoir sampling: maintains a uniform WoR sample of size s
+// over a stream of unknown length.
+class ReservoirSampler {
+ public:
+  explicit ReservoirSampler(size_t s) : capacity_(s) {}
+
+  // Offers stream element `value`; O(1).
+  void Offer(size_t value, Rng* rng) {
+    ++seen_;
+    if (reservoir_.size() < capacity_) {
+      reservoir_.push_back(value);
+    } else {
+      const size_t j = static_cast<size_t>(rng->Below(seen_));
+      if (j < capacity_) reservoir_[j] = value;
+    }
+  }
+
+  const std::vector<size_t>& sample() const { return reservoir_; }
+  size_t seen() const { return seen_; }
+
+ private:
+  size_t capacity_;
+  size_t seen_ = 0;
+  std::vector<size_t> reservoir_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_SAMPLING_SET_SAMPLER_H_

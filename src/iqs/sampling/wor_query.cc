@@ -1,0 +1,93 @@
+#include "iqs/sampling/wor_query.h"
+
+#include <unordered_set>
+
+#include "iqs/sampling/set_sampler.h"
+#include "iqs/util/check.h"
+
+namespace iqs {
+
+void WorQueryPositions(const RangeSampler& sampler,
+                       std::span<const double> weights, size_t a, size_t b,
+                       size_t s, Rng* rng, std::vector<size_t>* out) {
+  IQS_CHECK(a <= b && b < sampler.n());
+  IQS_CHECK(weights.empty() || weights.size() == sampler.n());
+  const size_t range_size = b - a + 1;
+  s = std::min(s, range_size);
+  if (s == 0) return;
+
+  if (s * 2 > range_size) {
+    // Dense regime: enumerate the range and subsample directly.
+    if (weights.empty()) {
+      std::vector<size_t> offsets;
+      UniformWorSample(range_size, s, rng, &offsets);
+      out->reserve(out->size() + s);
+      for (size_t off : offsets) out->push_back(a + off);
+    } else {
+      std::vector<double> range_weights(
+          weights.begin() + static_cast<ptrdiff_t>(a),
+          weights.begin() + static_cast<ptrdiff_t>(b) + 1);
+      std::vector<size_t> offsets;
+      WeightedWorSample(range_weights, s, rng, &offsets);
+      out->reserve(out->size() + s);
+      for (size_t off : offsets) out->push_back(a + off);
+    }
+    return;
+  }
+
+  // Sparse regime: WR draws, keep distinct. Conditioned on being new,
+  // each draw is distributed over the remaining elements proportionally
+  // to weight — exactly successive (WoR) sampling.
+  std::unordered_set<size_t> seen;
+  seen.reserve(2 * s);
+  out->reserve(out->size() + s);
+  // With s <= range/2 the acceptance rate stays >= 1/2 in the uniform
+  // case; the budget below is generous for that regime, and the weighted
+  // fallback guards against pathological skew.
+  size_t budget = 16 * (s + 4);
+  std::vector<size_t> batch;
+  while (seen.size() < s && budget > 0) {
+    batch.clear();
+    const size_t ask = std::min<size_t>(s - seen.size() + 4, budget);
+    sampler.QueryPositions(a, b, ask, rng, &batch);
+    budget -= ask;
+    // Structures may return the WR draws grouped (e.g. by chunk part);
+    // the multiset is exchangeable but the sequence is not, and taking a
+    // prefix of distinct values needs an i.i.d. SEQUENCE. Shuffling the
+    // batch restores it.
+    for (size_t i = batch.size(); i > 1; --i) {
+      std::swap(batch[i - 1], batch[rng->Below(i)]);
+    }
+    for (size_t p : batch) {
+      if (seen.size() >= s) break;
+      if (seen.insert(p).second) out->push_back(p);
+    }
+  }
+  if (seen.size() == s) return;
+
+  // Fallback (heavy weight skew): finish by scanning the range with the
+  // streaming weighted-WoR algorithm over the remaining elements.
+  std::vector<double> remaining_weights;
+  std::vector<size_t> remaining_positions;
+  remaining_weights.reserve(range_size - seen.size());
+  for (size_t p = a; p <= b; ++p) {
+    if (seen.contains(p)) continue;
+    remaining_positions.push_back(p);
+    remaining_weights.push_back(weights.empty() ? 1.0 : weights[p]);
+  }
+  std::vector<size_t> extra;
+  WeightedWorSample(remaining_weights, s - seen.size(), rng, &extra);
+  for (size_t idx : extra) out->push_back(remaining_positions[idx]);
+}
+
+bool WorQuery(const RangeSampler& sampler, std::span<const double> weights,
+              double lo, double hi, size_t s, Rng* rng,
+              std::vector<size_t>* out) {
+  size_t a = 0;
+  size_t b = 0;
+  if (!sampler.ResolveInterval(lo, hi, &a, &b)) return false;
+  WorQueryPositions(sampler, weights, a, b, s, rng, out);
+  return true;
+}
+
+}  // namespace iqs

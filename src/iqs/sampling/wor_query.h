@@ -1,0 +1,48 @@
+// Without-replacement (WoR) IQS range queries (paper Section 1, second
+// scheme), layered over any RangeSampler.
+//
+// A WoR query returns a uniformly random size-s SUBSET of S_q — every
+// subset equally likely — independent across queries. Two regimes:
+//
+//   * s <= |S_q| / 2: draw WR samples from the structure and keep the
+//     distinct ones. Each fresh distinct draw is uniform over the
+//     not-yet-drawn elements, which is exactly sequential WoR sampling;
+//     the expected number of WR draws is s * O(1) by a coupon-collector
+//     prefix bound, so the query stays O(log n + s) expected.
+//   * s > |S_q| / 2: materialize the position range (it is at most 2s
+//     long) and run Floyd/Fisher-Yates directly — O(|S_q|) = O(s).
+//
+// The same trick gives *weighted* WoR (successive sampling, probabilities
+// proportional to weight among the remaining elements) in the first
+// regime, with the caveat that heavy skew can inflate the rejection count
+// once most of the weight is drawn; the implementation switches to the
+// Efraimidis-Spirakis scan fallback when the draw budget is exhausted.
+
+#ifndef IQS_SAMPLING_WOR_QUERY_H_
+#define IQS_SAMPLING_WOR_QUERY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "iqs/range/range_sampler.h"
+#include "iqs/util/rng.h"
+
+namespace iqs {
+
+// Draws a uniform/weighted WoR sample of min(s, |S_q|) distinct positions
+// from `sampler`'s elements in position range [a, b], appending to `out`.
+// `weights` must be the sampler's element weights when the scheme is
+// weighted; pass an empty span for the uniform (WR-weights) scheme — the
+// fallback path then avoids reading weights at all.
+void WorQueryPositions(const RangeSampler& sampler,
+                       std::span<const double> weights, size_t a, size_t b,
+                       size_t s, Rng* rng, std::vector<size_t>* out);
+
+// Key-interval form; returns false when S ∩ [lo, hi] is empty.
+bool WorQuery(const RangeSampler& sampler, std::span<const double> weights,
+              double lo, double hi, size_t s, Rng* rng,
+              std::vector<size_t>* out);
+
+}  // namespace iqs
+
+#endif  // IQS_SAMPLING_WOR_QUERY_H_

@@ -1,0 +1,228 @@
+#include "iqs/setunion/set_union_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "iqs/util/check.h"
+
+namespace iqs {
+
+namespace {
+
+// Assigns a fresh random rank to every distinct element appearing in
+// `sets_by_rank`, then re-sorts each set by rank.
+template <typename Sets>
+void AssignRanks(Sets* sets_by_rank, size_t universe_size, Rng* rng) {
+  std::unordered_map<uint64_t, uint32_t> rank_of;
+  rank_of.reserve(universe_size * 2);
+  std::vector<uint32_t> ranks(universe_size);
+  for (uint32_t i = 0; i < universe_size; ++i) ranks[i] = i;
+  for (size_t i = universe_size; i > 1; --i) {
+    std::swap(ranks[i - 1], ranks[rng->Below(i)]);
+  }
+  size_t next = 0;
+  for (auto& ranked : *sets_by_rank) {
+    for (auto& entry : ranked) {
+      auto [it, inserted] = rank_of.emplace(entry.element, 0);
+      if (inserted) it->second = ranks[next++];
+      entry.rank = it->second;
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.rank < b.rank; });
+  }
+  IQS_CHECK(next == universe_size);
+}
+
+}  // namespace
+
+SetUnionSampler::SetUnionSampler(
+    const std::vector<std::vector<uint64_t>>& sets, Rng* build_rng,
+    Options options,
+    const std::unordered_map<uint64_t, double>& element_weights)
+    : options_(options) {
+  IQS_CHECK(options_.sketch_k >= 2);
+  // Count distinct elements and populate per-set entries.
+  std::unordered_set<uint64_t> distinct;
+  sets_by_rank_.resize(sets.size());
+  sketches_.reserve(sets.size());
+  set_max_weight_.reserve(sets.size());
+  for (size_t i = 0; i < sets.size(); ++i) {
+    KmvSketch sketch(options_.sketch_k);
+    auto& ranked = sets_by_rank_[i];
+    ranked.reserve(sets[i].size());
+    double max_weight = 0.0;
+    for (uint64_t element : sets[i]) {
+      ++total_size_;
+      distinct.insert(element);
+      double weight = 1.0;
+      if (const auto it = element_weights.find(element);
+          it != element_weights.end()) {
+        IQS_CHECK(it->second > 0.0);
+        weight = it->second;
+      }
+      max_weight = std::max(max_weight, weight);
+      ranked.push_back({0, element, weight});
+      sketch.Add(element);
+    }
+    sketches_.push_back(std::move(sketch));
+    set_max_weight_.push_back(max_weight);
+  }
+  universe_size_ = distinct.size();
+
+  AssignRanks(&sets_by_rank_, universe_size_, build_rng);
+  for (const auto& ranked : sets_by_rank_) {
+    for (size_t j = 1; j < ranked.size(); ++j) {
+      IQS_CHECK(ranked[j - 1].rank != ranked[j].rank &&
+                "duplicate element within a set");
+    }
+  }
+
+  const double log_n =
+      std::log2(std::max<double>(4.0, static_cast<double>(total_size_)));
+  slice_cap_ = std::max(2.0, options_.slice_cap_multiplier * log_n);
+}
+
+void SetUnionSampler::Rebuild(Rng* rng) {
+  AssignRanks(&sets_by_rank_, universe_size_, rng);
+}
+
+void SetUnionSampler::SliceSet(
+    size_t set_id, uint32_t rank_lo, uint32_t rank_hi,
+    std::vector<std::pair<uint64_t, double>>* out) const {
+  const auto& ranked = sets_by_rank_[set_id];
+  auto it = std::lower_bound(ranked.begin(), ranked.end(), rank_lo,
+                             [](const RankedElement& e, uint32_t r) {
+                               return e.rank < r;
+                             });
+  for (; it != ranked.end() && it->rank < rank_hi; ++it) {
+    out->emplace_back(it->element, it->weight);
+  }
+}
+
+double SetUnionSampler::EstimateUnionSize(
+    std::span<const size_t> set_ids) const {
+  IQS_CHECK(!set_ids.empty());
+  KmvSketch merged = sketches_[set_ids[0]];
+  for (size_t i = 1; i < set_ids.size(); ++i) {
+    IQS_CHECK(set_ids[i] < sketches_.size());
+    merged.Merge(sketches_[set_ids[i]]);
+  }
+  return merged.EstimateDistinct();
+}
+
+std::optional<uint64_t> SetUnionSampler::SampleImpl(
+    std::span<const size_t> set_ids, bool weighted, Rng* rng) const {
+  if (set_ids.empty()) return std::nullopt;
+  const double estimate = EstimateUnionSize(set_ids);
+  if (estimate < 0.5) return std::nullopt;  // all named sets empty
+  const uint64_t num_intervals =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(estimate)));
+  const double interval_len =
+      static_cast<double>(universe_size_) / static_cast<double>(num_intervals);
+  const size_t m = static_cast<size_t>(slice_cap_);
+  double max_weight = 1.0;
+  if (weighted) {
+    max_weight = 0.0;
+    for (size_t id : set_ids) {
+      max_weight = std::max(max_weight, set_max_weight_[id]);
+    }
+    if (max_weight <= 0.0) return std::nullopt;
+  }
+
+  std::vector<std::pair<uint64_t, double>> slice;
+  // Expected Θ(m) rounds (times w_max/w_avg when weighted); the hard cap
+  // only trips on adversarial inputs.
+  const size_t max_rounds = 100000 * (m + 1);
+  for (size_t round = 0; round < max_rounds; ++round) {
+    const uint64_t j = rng->Below(num_intervals);
+    const uint32_t rank_lo = static_cast<uint32_t>(
+        std::min<double>(static_cast<double>(j) * interval_len,
+                         static_cast<double>(universe_size_)));
+    const uint32_t rank_hi =
+        j + 1 == num_intervals
+            ? static_cast<uint32_t>(universe_size_)
+            : static_cast<uint32_t>(
+                  std::min<double>(static_cast<double>(j + 1) * interval_len,
+                                   static_cast<double>(universe_size_)));
+    if (rank_lo >= rank_hi) continue;
+    slice.clear();
+    for (size_t set_id : set_ids) {
+      SliceSet(set_id, rank_lo, rank_hi, &slice);
+    }
+    if (slice.empty()) continue;
+    std::sort(slice.begin(), slice.end());
+    slice.erase(std::unique(slice.begin(), slice.end()), slice.end());
+    if (slice.size() > m) continue;  // event (4) failed for this interval
+    if (!weighted) {
+      // Coin with heads probability |slice| / m equalizes element mass.
+      if (rng->NextDouble() * static_cast<double>(m) <
+          static_cast<double>(slice.size())) {
+        return slice[rng->Below(slice.size())].first;
+      }
+      continue;
+    }
+    // Weighted: heads probability W(slice) / (m * w_max), then inverse-CDF
+    // within the (tiny) slice — every element lands w(e)-proportional.
+    double slice_weight = 0.0;
+    for (const auto& [element, weight] : slice) slice_weight += weight;
+    double target =
+        rng->NextDouble() * static_cast<double>(m) * max_weight;
+    if (target >= slice_weight) continue;  // tails
+    for (const auto& [element, weight] : slice) {
+      if (target < weight) return element;
+      target -= weight;
+    }
+  }
+  IQS_CHECK(false && "set union sampling failed to converge");
+  return std::nullopt;
+}
+
+std::optional<uint64_t> SetUnionSampler::Sample(
+    std::span<const size_t> set_ids, Rng* rng) const {
+  return SampleImpl(set_ids, /*weighted=*/false, rng);
+}
+
+std::optional<uint64_t> SetUnionSampler::SampleWeighted(
+    std::span<const size_t> set_ids, Rng* rng) const {
+  return SampleImpl(set_ids, /*weighted=*/true, rng);
+}
+
+bool SetUnionSampler::SampleMany(std::span<const size_t> set_ids, size_t s,
+                                 Rng* rng,
+                                 std::vector<uint64_t>* out) const {
+  std::optional<uint64_t> first = Sample(set_ids, rng);
+  if (!first.has_value()) return false;
+  out->reserve(out->size() + s);
+  if (s == 0) return true;
+  out->push_back(*first);
+  for (size_t i = 1; i < s; ++i) out->push_back(*Sample(set_ids, rng));
+  return true;
+}
+
+std::optional<uint64_t> SetUnionSampler::NaiveUnionSample(
+    const std::vector<std::vector<uint64_t>>& sets,
+    std::span<const size_t> set_ids, Rng* rng) {
+  std::unordered_set<uint64_t> all;
+  for (size_t id : set_ids) {
+    all.insert(sets[id].begin(), sets[id].end());
+  }
+  if (all.empty()) return std::nullopt;
+  const size_t target = rng->Below(all.size());
+  size_t i = 0;
+  for (uint64_t element : all) {
+    if (i++ == target) return element;
+  }
+  return std::nullopt;
+}
+
+size_t SetUnionSampler::MemoryBytes() const {
+  size_t bytes = set_max_weight_.capacity() * sizeof(double);
+  for (const auto& ranked : sets_by_rank_) {
+    bytes += ranked.capacity() * sizeof(RankedElement);
+  }
+  for (const KmvSketch& sketch : sketches_) bytes += sketch.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace iqs

@@ -1,0 +1,130 @@
+// Technique 4 — random permutation: the set union sampling structure of
+// paper Section 7 (Theorem 8).
+//
+// Input: a collection F of sets over a common element domain. A query
+// names a subcollection G ⊆ F and receives an element drawn uniformly at
+// random from the union of G's sets — duplicates across sets must NOT bias
+// the draw — independent across queries.
+//
+// Structure (paper Section 7):
+//   * one global random permutation of all distinct elements assigns each
+//     a rank;
+//   * each set stores its elements sorted by rank (the "BST" that reports
+//     a set's elements with ranks in [a, b] is a binary search + scan);
+//   * each set carries a mergeable bottom-k distinct-count sketch used to
+//     estimate |union of G| within a constant factor at query time.
+//
+// A query cuts the rank space into ~|union| equal intervals; each round
+// picks one interval uniformly, materializes the union restricted to it
+// (expected O(1) elements), and accepts by a coin with heads probability
+// |slice| / m where m = Θ(log n). Acceptance makes every element exactly
+// equally likely (paper equation (5)); expected O(log n) rounds of
+// O(g log n) work each give the O(g log² n) bound of Theorem 8, versus
+// O(sum of |S_i|) for the naive materialize-then-sample baseline.
+//
+// Space: O(n) — rank arrays total n entries, and a bottom-k sketch stores
+// min(|S|, k) hashes, so all sketches together are O(n) as well.
+
+#ifndef IQS_SETUNION_SET_UNION_SAMPLER_H_
+#define IQS_SETUNION_SET_UNION_SAMPLER_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "iqs/sketch/kmv_sketch.h"
+#include "iqs/util/rng.h"
+
+namespace iqs {
+
+class SetUnionSampler {
+ public:
+  struct Options {
+    // Bottom-k sketch size; error ~1/sqrt(k). 64 keeps the estimate well
+    // inside the [U/2, 1.5U] window the algorithm needs.
+    size_t sketch_k = 64;
+    // Slice-size cap multiplier: m = slice_cap_multiplier * log2(n).
+    double slice_cap_multiplier = 4.0;
+  };
+
+  // `sets` may share elements; empty member sets are allowed. The global
+  // permutation is drawn from `build_rng`. O(n log n) build.
+  // `element_weights` (optional, parallel-by-lookup) assigns each element
+  // a positive weight for SampleWeighted; elements absent from the map
+  // weigh 1. An element shared by several sets must have ONE weight.
+  SetUnionSampler(const std::vector<std::vector<uint64_t>>& sets,
+                  Rng* build_rng, Options options,
+                  const std::unordered_map<uint64_t, double>&
+                      element_weights = {});
+  SetUnionSampler(const std::vector<std::vector<uint64_t>>& sets,
+                  Rng* build_rng)
+      : SetUnionSampler(sets, build_rng, Options{}) {}
+
+  // Draws a fresh global permutation (paper Section 7: rebuild after ~n
+  // queries to keep the all-queries failure probability bounded).
+  // O(n log n) expected.
+  void Rebuild(Rng* rng);
+
+  // Draws one uniform sample from the union of the named sets.
+  // nullopt when the union is empty. Expected O(g log² n).
+  std::optional<uint64_t> Sample(std::span<const size_t> set_ids,
+                                 Rng* rng) const;
+
+  // WEIGHTED set union sampling (the paper's Section 6/7 remark, after
+  // Afshani & Phillips): returns element e of the union with probability
+  // w(e) / W(union). The acceptance coin is scaled by the maximum element
+  // weight among the named sets, so the expected repeat count carries an
+  // extra w_max / w_avg factor relative to Sample() — fine for bounded
+  // skew, documented in DESIGN.md.
+  std::optional<uint64_t> SampleWeighted(std::span<const size_t> set_ids,
+                                         Rng* rng) const;
+
+  // Draws `s` independent samples (appended to `out`); returns false when
+  // the union is empty.
+  bool SampleMany(std::span<const size_t> set_ids, size_t s, Rng* rng,
+                  std::vector<uint64_t>* out) const;
+
+  // Sketch-based estimate of |union of G| (relative error ~1/sqrt(k)).
+  double EstimateUnionSize(std::span<const size_t> set_ids) const;
+
+  // Baseline for E8: materialize the union, then sample. O(sum |S_i|).
+  static std::optional<uint64_t> NaiveUnionSample(
+      const std::vector<std::vector<uint64_t>>& sets,
+      std::span<const size_t> set_ids, Rng* rng);
+
+  size_t num_sets() const { return sets_by_rank_.size(); }
+  size_t universe_size() const { return universe_size_; }
+  size_t total_size() const { return total_size_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  struct RankedElement {
+    uint32_t rank;
+    uint64_t element;
+    double weight;
+  };
+
+  // Appends the (element, weight) pairs of set `set_id` with rank in
+  // [rank_lo, rank_hi) to `out`. O(log |S| + output).
+  void SliceSet(size_t set_id, uint32_t rank_lo, uint32_t rank_hi,
+                std::vector<std::pair<uint64_t, double>>* out) const;
+
+  // Shared rejection loop: `weighted` selects the element-mass law.
+  std::optional<uint64_t> SampleImpl(std::span<const size_t> set_ids,
+                                     bool weighted, Rng* rng) const;
+
+  Options options_;
+  size_t universe_size_ = 0;   // U: distinct elements across all sets
+  size_t total_size_ = 0;      // n: sum of set sizes
+  double slice_cap_ = 1.0;     // m
+  std::vector<std::vector<RankedElement>> sets_by_rank_;
+  std::vector<KmvSketch> sketches_;
+  std::vector<double> set_max_weight_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_SETUNION_SET_UNION_SAMPLER_H_

@@ -1,0 +1,71 @@
+// Bottom-k (KMV) distinct-count sketch — our stand-in for the sketch the
+// paper cites as [9] in Section 7 (see DESIGN.md 2.4): O(k) words,
+// O(log k) per insertion, O(1) estimation with relative error ~1/sqrt(k),
+// and mergeable: sketch(A) + sketch(B) -> sketch(A ∪ B).
+//
+// Elements are 64-bit ids; each is hashed to a uniform 64-bit value, and
+// the sketch keeps the k smallest distinct hashes. With fewer than k
+// hashes the count is exact; otherwise the k-th smallest hash v yields the
+// classic estimator (k - 1) / v_normalized.
+
+#ifndef IQS_SKETCH_KMV_SKETCH_H_
+#define IQS_SKETCH_KMV_SKETCH_H_
+
+#include <cstdint>
+#include <set>
+
+#include "iqs/util/check.h"
+
+namespace iqs {
+
+class KmvSketch {
+ public:
+  explicit KmvSketch(size_t k) : k_(k) { IQS_CHECK(k >= 2); }
+
+  // Inserts an element (idempotent). O(log k).
+  void Add(uint64_t element) { AddHash(Hash(element)); }
+
+  // Estimates the number of distinct elements inserted. O(1)-ish (last
+  // element access in a std::set is O(log k)).
+  double EstimateDistinct() const {
+    if (hashes_.size() < k_) return static_cast<double>(hashes_.size());
+    const double kth = static_cast<double>(*hashes_.rbegin());
+    const double normalized = kth / 18446744073709551616.0;  // 2^64
+    return (static_cast<double>(k_) - 1.0) / normalized;
+  }
+
+  // Merges `other` into this sketch; the result sketches the union.
+  void Merge(const KmvSketch& other) {
+    for (uint64_t h : other.hashes_) AddHash(h);
+  }
+
+  size_t k() const { return k_; }
+  size_t stored() const { return hashes_.size(); }
+
+  size_t MemoryBytes() const {
+    // std::set node overhead ~3 pointers + color + value.
+    return hashes_.size() * (sizeof(uint64_t) + 4 * sizeof(void*));
+  }
+
+  // The mixing hash, exposed for tests.
+  static uint64_t Hash(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  void AddHash(uint64_t h) {
+    if (hashes_.size() == k_ && h >= *hashes_.rbegin()) return;
+    hashes_.insert(h);
+    if (hashes_.size() > k_) hashes_.erase(std::prev(hashes_.end()));
+  }
+
+  size_t k_;
+  std::set<uint64_t> hashes_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_SKETCH_KMV_SKETCH_H_

@@ -1,0 +1,35 @@
+#include "iqs/tree/tree_sampler.h"
+
+namespace iqs {
+
+TreeSampler::TreeSampler(const WeightedTree* tree) : tree_(tree) {
+  IQS_CHECK(tree_ != nullptr && tree_->finalized());
+  child_alias_.resize(tree_->num_nodes());
+  std::vector<double> scratch;
+  for (WeightedTree::NodeId u = 0; u < tree_->num_nodes(); ++u) {
+    const auto& children = tree_->Children(u);
+    if (children.empty()) continue;
+    scratch.clear();
+    for (WeightedTree::NodeId child : children) {
+      scratch.push_back(tree_->Weight(child));
+    }
+    child_alias_[u].Build(scratch);
+  }
+}
+
+WeightedTree::NodeId TreeSampler::SampleLeaf(WeightedTree::NodeId q,
+                                             Rng* rng) const {
+  IQS_DCHECK(q < tree_->num_nodes());
+  while (!tree_->IsLeaf(q)) {
+    q = tree_->Children(q)[child_alias_[q].Sample(rng)];
+  }
+  return q;
+}
+
+size_t TreeSampler::MemoryBytes() const {
+  size_t bytes = child_alias_.capacity() * sizeof(AliasTable);
+  for (const AliasTable& table : child_alias_) bytes += table.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace iqs

@@ -1,0 +1,45 @@
+// Tree sampling, top-down variant (paper Section 3.2).
+//
+// Stores one alias table per internal node over its children's subtree
+// weights: O(n) total space, O(n) build. A query at node q draws each
+// weighted leaf sample by walking down from q, choosing a child in O(1)
+// per level — O(subtree height) per sample, O(s * height) per query. The
+// improved O(log n + s) / O(1 + s) variant is SubtreeSampler (Lemma 4).
+
+#ifndef IQS_TREE_TREE_SAMPLER_H_
+#define IQS_TREE_TREE_SAMPLER_H_
+
+#include <vector>
+
+#include "iqs/alias/alias_table.h"
+#include "iqs/tree/weighted_tree.h"
+#include "iqs/util/rng.h"
+
+namespace iqs {
+
+class TreeSampler {
+ public:
+  // `tree` must be finalized and outlive the sampler.
+  explicit TreeSampler(const WeightedTree* tree);
+
+  // Draws one weighted leaf sample from the subtree of q: leaf z with
+  // probability w(z) / w(q). O(height of q's subtree).
+  WeightedTree::NodeId SampleLeaf(WeightedTree::NodeId q, Rng* rng) const;
+
+  // Draws `s` independent samples, appending leaf ids to `out`.
+  void Query(WeightedTree::NodeId q, size_t s, Rng* rng,
+             std::vector<WeightedTree::NodeId>* out) const {
+    out->reserve(out->size() + s);
+    for (size_t i = 0; i < s; ++i) out->push_back(SampleLeaf(q, rng));
+  }
+
+  size_t MemoryBytes() const;
+
+ private:
+  const WeightedTree* tree_;
+  std::vector<AliasTable> child_alias_;  // empty table at leaves
+};
+
+}  // namespace iqs
+
+#endif  // IQS_TREE_TREE_SAMPLER_H_

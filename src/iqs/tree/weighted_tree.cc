@@ -1,0 +1,26 @@
+#include "iqs/tree/weighted_tree.h"
+
+namespace iqs {
+
+void WeightedTree::Finalize() {
+  IQS_CHECK(!finalized_);
+  // Iterative post-order: children were always appended after their
+  // parent, so ids in decreasing order visit children before parents.
+  for (size_t i = nodes_.size(); i-- > 0;) {
+    Node& node = nodes_[i];
+    if (node.children.empty()) {
+      IQS_CHECK(node.weight > 0.0);
+      node.leaf_count = 1;
+      continue;
+    }
+    node.weight = 0.0;
+    node.leaf_count = 0;
+    for (NodeId child : node.children) {
+      node.weight += nodes_[child].weight;
+      node.leaf_count += nodes_[child].leaf_count;
+    }
+  }
+  finalized_ = true;
+}
+
+}  // namespace iqs

@@ -1,0 +1,74 @@
+// A general rooted tree with weighted leaves — the input object of the
+// tree sampling problem (paper Section 3.2). Arbitrary fanout; every leaf
+// carries a positive weight; each internal node's weight is the total
+// weight of the leaves below it (computed by Finalize()).
+
+#ifndef IQS_TREE_WEIGHTED_TREE_H_
+#define IQS_TREE_WEIGHTED_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "iqs/util/check.h"
+
+namespace iqs {
+
+class WeightedTree {
+ public:
+  using NodeId = uint32_t;
+
+  // Creates a tree with a single root node (id 0).
+  WeightedTree() : nodes_(1) {}
+
+  // Adds a child under `parent`; returns the new node's id.
+  // Must be called before Finalize().
+  NodeId AddChild(NodeId parent) {
+    IQS_CHECK(!finalized_);
+    IQS_CHECK(parent < nodes_.size());
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[id].parent = parent;
+    nodes_[parent].children.push_back(id);
+    return id;
+  }
+
+  // Sets the weight of a (current) leaf. Nodes that receive children later
+  // have their weight recomputed by Finalize().
+  void SetLeafWeight(NodeId leaf, double w) {
+    IQS_CHECK(!finalized_);
+    IQS_CHECK(w > 0.0);
+    nodes_[leaf].weight = w;
+  }
+
+  // Validates the tree (every leaf has positive weight) and computes
+  // internal-node weights bottom-up. O(n).
+  void Finalize();
+
+  size_t num_nodes() const { return nodes_.size(); }
+  NodeId root() const { return 0; }
+  bool IsLeaf(NodeId u) const { return nodes_[u].children.empty(); }
+  double Weight(NodeId u) const { return nodes_[u].weight; }
+  NodeId Parent(NodeId u) const { return nodes_[u].parent; }
+  const std::vector<NodeId>& Children(NodeId u) const {
+    return nodes_[u].children;
+  }
+  bool finalized() const { return finalized_; }
+
+  // Number of leaves below u (filled in by Finalize()).
+  size_t SubtreeLeafCount(NodeId u) const { return nodes_[u].leaf_count; }
+
+ private:
+  struct Node {
+    NodeId parent = 0;
+    double weight = 0.0;
+    uint32_t leaf_count = 0;
+    std::vector<NodeId> children;
+  };
+
+  std::vector<Node> nodes_;
+  bool finalized_ = false;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_TREE_WEIGHTED_TREE_H_

@@ -1,0 +1,39 @@
+// Fail-fast contract checking for libiqs.
+//
+// The library does not use exceptions. Violated preconditions are
+// programming errors and abort the process with a diagnostic. Checks are
+// active in all build modes: samplers are cheap and the checks sit off the
+// per-sample hot paths (hot paths use IQS_DCHECK, compiled out in NDEBUG).
+
+#ifndef IQS_UTIL_CHECK_H_
+#define IQS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace iqs::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "IQS_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace iqs::internal
+
+#define IQS_CHECK(expr)                                      \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::iqs::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define IQS_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define IQS_DCHECK(expr) IQS_CHECK(expr)
+#endif
+
+#endif  // IQS_UTIL_CHECK_H_

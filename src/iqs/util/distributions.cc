@@ -1,0 +1,156 @@
+#include "iqs/util/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "iqs/util/check.h"
+
+namespace iqs {
+
+// ---------------------------------------------------------------------------
+// ZipfDistribution (rejection inversion, Hormann & Derflinger 1996).
+// ---------------------------------------------------------------------------
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double alpha)
+    : n_(n), alpha_(alpha) {
+  IQS_CHECK(n >= 1);
+  IQS_CHECK(alpha > 0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -alpha));
+}
+
+double ZipfDistribution::H(double x) const {
+  // Integral of t^-alpha: (x^(1-alpha) - 1) / (1 - alpha), continuous at
+  // alpha == 1 where it becomes log(x).
+  const double one_minus = 1.0 - alpha_;
+  if (std::abs(one_minus) < 1e-12) return std::log(x);
+  return (std::pow(x, one_minus) - 1.0) / one_minus;
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  const double one_minus = 1.0 - alpha_;
+  if (std::abs(one_minus) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + one_minus * x, 1.0 / one_minus);
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  if (n_ == 1) return 1;
+  while (true) {
+    const double u = h_n_ + rng->NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    k = std::clamp<uint64_t>(k, 1, n_);
+    const double dk = static_cast<double>(k);
+    if (dk - x <= s_ || u >= H(dk + 0.5) - std::pow(dk, -alpha_)) {
+      return k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Key / weight / query generators.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Sorts, deduplicates, and if necessary tops up `keys` until it has exactly
+// n distinct values.
+std::vector<double> FinalizeDistinctSorted(std::vector<double> keys, size_t n,
+                                           Rng* rng) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  while (keys.size() < n) {
+    keys.push_back(rng->NextDouble());
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  }
+  keys.resize(n);
+  return keys;
+}
+
+double GaussianSample(Rng* rng, double mean, double stddev) {
+  // Box-Muller; one value per call is fine for offline generation.
+  const double u1 = std::max(rng->NextDouble(), 1e-300);
+  const double u2 = rng->NextDouble();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  return mean + stddev * z;
+}
+
+}  // namespace
+
+std::vector<double> UniformKeys(size_t n, Rng* rng) {
+  std::vector<double> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) keys.push_back(rng->NextDouble());
+  return FinalizeDistinctSorted(std::move(keys), n, rng);
+}
+
+std::vector<double> ClusteredKeys(size_t n, size_t clusters, Rng* rng) {
+  IQS_CHECK(clusters >= 1);
+  std::vector<double> centers;
+  centers.reserve(clusters);
+  for (size_t c = 0; c < clusters; ++c) centers.push_back(rng->NextDouble());
+  std::vector<double> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double center = centers[rng->Below(clusters)];
+    keys.push_back(GaussianSample(rng, center, 0.01));
+  }
+  return FinalizeDistinctSorted(std::move(keys), n, rng);
+}
+
+std::vector<double> ZipfWeights(size_t n, double alpha, Rng* rng) {
+  std::vector<double> weights(n, 1.0);
+  if (alpha > 0) {
+    for (size_t i = 0; i < n; ++i) {
+      weights[i] = std::pow(static_cast<double>(i + 1), -alpha);
+    }
+    // Shuffle so weight magnitude is uncorrelated with key order.
+    for (size_t i = n; i > 1; --i) {
+      std::swap(weights[i - 1], weights[rng->Below(i)]);
+    }
+  }
+  return weights;
+}
+
+std::pair<double, double> IntervalWithSelectivity(
+    const std::vector<double>& keys, size_t result_size, Rng* rng) {
+  const size_t n = keys.size();
+  IQS_CHECK(result_size >= 1 && result_size <= n);
+  const size_t start = rng->Below(n - result_size + 1);
+  const size_t end = start + result_size - 1;  // inclusive index
+  // Query endpoints strictly between neighbouring keys so exactly
+  // keys[start..end] fall inside.
+  const double lo =
+      start == 0 ? keys[0] - 1.0 : (keys[start - 1] + keys[start]) / 2.0;
+  const double hi =
+      end + 1 == n ? keys[n - 1] + 1.0 : (keys[end] + keys[end + 1]) / 2.0;
+  return {lo, hi};
+}
+
+std::vector<std::pair<double, double>> Points2D(size_t n, size_t clusters,
+                                                Rng* rng) {
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(n);
+  if (clusters == 0) {
+    for (size_t i = 0; i < n; ++i) {
+      pts.emplace_back(rng->NextDouble(), rng->NextDouble());
+    }
+    return pts;
+  }
+  std::vector<std::pair<double, double>> centers;
+  centers.reserve(clusters);
+  for (size_t c = 0; c < clusters; ++c) {
+    centers.emplace_back(rng->NextDouble(), rng->NextDouble());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const auto& center = centers[rng->Below(clusters)];
+    pts.emplace_back(GaussianSample(rng, center.first, 0.02),
+                     GaussianSample(rng, center.second, 0.02));
+  }
+  return pts;
+}
+
+}  // namespace iqs

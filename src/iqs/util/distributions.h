@@ -1,0 +1,67 @@
+// Synthetic data and workload generators used by benchmarks, examples, and
+// property tests. These play the role of the "workload generator" for the
+// experiment suite: the paper being reproduced states asymptotic claims
+// rather than measured tables, so each experiment sweeps these synthetic
+// inputs (see DESIGN.md section 3).
+
+#ifndef IQS_UTIL_DISTRIBUTIONS_H_
+#define IQS_UTIL_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "iqs/util/rng.h"
+
+namespace iqs {
+
+// Samples from a Zipf(alpha) distribution over {1, ..., n} in O(1) expected
+// time after O(1) setup, using the rejection-inversion method of
+// Hormann & Derflinger. alpha may be any value > 0, alpha != 1 is handled
+// jointly with alpha == 1.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double alpha);
+
+  // Returns a value in [1, n] with P(k) proportional to k^-alpha.
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double alpha_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+// Returns `n` distinct sorted doubles drawn uniformly from [0, 1).
+std::vector<double> UniformKeys(size_t n, Rng* rng);
+
+// Returns `n` distinct sorted doubles clustered into `clusters` Gaussian
+// bumps — a skewed key distribution for range-query benchmarks.
+std::vector<double> ClusteredKeys(size_t n, size_t clusters, Rng* rng);
+
+// Returns `n` positive weights: Zipf-distributed frequencies shuffled over
+// positions (alpha == 0 gives all-equal weights, i.e. the WR scheme).
+std::vector<double> ZipfWeights(size_t n, double alpha, Rng* rng);
+
+// Returns a random query interval [lo, hi] over sorted `keys` whose result
+// size is exactly `result_size` elements, positioned uniformly at random.
+// result_size must be in [1, keys.size()].
+std::pair<double, double> IntervalWithSelectivity(
+    const std::vector<double>& keys, size_t result_size, Rng* rng);
+
+// Returns `n` 2-d points: uniform in the unit square if clusters == 0,
+// otherwise clustered into `clusters` Gaussian bumps.
+std::vector<std::pair<double, double>> Points2D(size_t n, size_t clusters,
+                                                Rng* rng);
+
+}  // namespace iqs
+
+#endif  // IQS_UTIL_DISTRIBUTIONS_H_

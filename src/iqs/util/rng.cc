@@ -1,0 +1,41 @@
+#include "iqs/util/rng.h"
+
+namespace iqs {
+
+namespace {
+
+// SplitMix64 step, used only for seeding.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& word : s_) word = SplitMix64(&sm);
+  // xoshiro256++ requires a nonzero state; SplitMix64 cannot produce four
+  // zero outputs in a row, so no further fixup is needed.
+}
+
+uint64_t Rng::Below(uint64_t bound) {
+  IQS_DCHECK(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  uint64_t x = Next64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+}  // namespace iqs

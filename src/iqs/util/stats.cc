@@ -1,0 +1,158 @@
+#include "iqs/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "iqs/util/check.h"
+
+namespace iqs {
+
+namespace {
+
+// ln Γ(a) via Lanczos approximation (g = 7, n = 9 coefficients).
+double LogGamma(double a) {
+  static const double kCoef[9] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (a < 0.5) {
+    // Reflection formula.
+    return std::log(3.14159265358979323846 /
+                    std::sin(3.14159265358979323846 * a)) -
+           LogGamma(1.0 - a);
+  }
+  a -= 1.0;
+  double x = kCoef[0];
+  for (int i = 1; i < 9; ++i) x += kCoef[i] / (a + i);
+  const double t = a + 7.5;
+  return 0.5 * std::log(2.0 * 3.14159265358979323846) +
+         (a + 0.5) * std::log(t) - t + std::log(x);
+}
+
+// Lower regularized gamma P(a, x) by series expansion; valid for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < 1000; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+// Upper regularized gamma Q(a, x) by continued fraction; valid x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 1000; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+}  // namespace
+
+double RegularizedGammaQ(double a, double x) {
+  IQS_CHECK(a > 0);
+  if (x <= 0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+ChiSquareResult ChiSquareGoodnessOfFit(
+    const std::vector<uint64_t>& observed,
+    const std::vector<double>& expected_probs) {
+  IQS_CHECK(observed.size() == expected_probs.size());
+  IQS_CHECK(!observed.empty());
+  uint64_t total = 0;
+  for (uint64_t count : observed) total += count;
+  IQS_CHECK(total > 0);
+
+  // Merge categories until every expected count is >= 5.
+  std::vector<double> exp_counts;
+  std::vector<double> obs_counts;
+  double pending_exp = 0.0;
+  double pending_obs = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    pending_exp += expected_probs[i] * static_cast<double>(total);
+    pending_obs += static_cast<double>(observed[i]);
+    if (pending_exp >= 5.0) {
+      exp_counts.push_back(pending_exp);
+      obs_counts.push_back(pending_obs);
+      pending_exp = pending_obs = 0.0;
+    }
+  }
+  if (pending_exp > 0.0 || pending_obs > 0.0) {
+    if (exp_counts.empty()) {
+      exp_counts.push_back(pending_exp);
+      obs_counts.push_back(pending_obs);
+    } else {
+      exp_counts.back() += pending_exp;
+      obs_counts.back() += pending_obs;
+    }
+  }
+
+  ChiSquareResult result;
+  result.degrees_of_freedom = static_cast<int64_t>(exp_counts.size()) - 1;
+  for (size_t i = 0; i < exp_counts.size(); ++i) {
+    const double diff = obs_counts[i] - exp_counts[i];
+    if (exp_counts[i] > 0) result.statistic += diff * diff / exp_counts[i];
+  }
+  if (result.degrees_of_freedom <= 0) {
+    result.p_value = 1.0;
+  } else {
+    result.p_value = RegularizedGammaQ(
+        static_cast<double>(result.degrees_of_freedom) / 2.0,
+        result.statistic / 2.0);
+  }
+  return result;
+}
+
+double Mean(const std::vector<double>& x) {
+  IQS_CHECK(!x.empty());
+  double sum = 0.0;
+  for (double v : x) sum += v;
+  return sum / static_cast<double>(x.size());
+}
+
+double Variance(const std::vector<double>& x) {
+  const double mean = Mean(x);
+  double sum = 0.0;
+  for (double v : x) sum += (v - mean) * (v - mean);
+  return sum / static_cast<double>(x.size());
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  IQS_CHECK(x.size() == y.size());
+  IQS_CHECK(!x.empty());
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace iqs

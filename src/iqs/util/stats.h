@@ -1,0 +1,42 @@
+// Small statistics toolkit used by the property-based tests and by the
+// independence experiments (DESIGN.md E11): chi-square goodness of fit,
+// Pearson correlation, and summary statistics.
+
+#ifndef IQS_UTIL_STATS_H_
+#define IQS_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace iqs {
+
+// Result of a chi-square goodness-of-fit test.
+struct ChiSquareResult {
+  double statistic = 0.0;
+  int64_t degrees_of_freedom = 0;
+  // P(X >= statistic) under the chi-square null; small values reject.
+  double p_value = 1.0;
+};
+
+// Chi-square goodness-of-fit of `observed` counts against category
+// probabilities `expected_probs` (which must sum to ~1). Categories whose
+// expected count falls below 5 are merged into their neighbour, the
+// standard validity fix.
+ChiSquareResult ChiSquareGoodnessOfFit(const std::vector<uint64_t>& observed,
+                                       const std::vector<double>& expected_probs);
+
+// Regularized upper incomplete gamma Q(a, x) = Γ(a, x) / Γ(a).
+// Used for chi-square p-values: p = Q(dof / 2, stat / 2).
+double RegularizedGammaQ(double a, double x);
+
+// Pearson correlation coefficient of two equal-length series.
+// Returns 0 for degenerate (constant) series.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+double Mean(const std::vector<double>& x);
+double Variance(const std::vector<double>& x);  // population variance
+
+}  // namespace iqs
+
+#endif  // IQS_UTIL_STATS_H_

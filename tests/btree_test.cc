@@ -1,0 +1,130 @@
+#include "iqs/em/btree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/em/em_array.h"
+#include "iqs/util/rng.h"
+
+namespace iqs::em {
+namespace {
+
+struct Fixture {
+  Fixture(size_t n, size_t block_words, uint64_t seed)
+      : device(block_words), data(&device, 1) {
+    Rng rng(seed);
+    for (size_t i = 0; i < n; ++i) {
+      keys.push_back(rng.Next64() % (10 * n + 1));
+    }
+    std::sort(keys.begin(), keys.end());
+    EmWriter writer(&data);
+    for (uint64_t k : keys) writer.Append1(k);
+    writer.Finish();
+  }
+
+  BlockDevice device;
+  EmArray data;
+  std::vector<uint64_t> keys;
+};
+
+TEST(BTreeTest, LowerUpperBoundMatchStd) {
+  Fixture f(5000, 16, 1);
+  BTree tree(&f.data);
+  Rng rng(2);
+  for (int trial = 0; trial < 500; ++trial) {
+    const uint64_t key = rng.Next64() % (10 * 5000 + 10);
+    const size_t want_lower = static_cast<size_t>(
+        std::lower_bound(f.keys.begin(), f.keys.end(), key) -
+        f.keys.begin());
+    const size_t want_upper = static_cast<size_t>(
+        std::upper_bound(f.keys.begin(), f.keys.end(), key) -
+        f.keys.begin());
+    EXPECT_EQ(tree.LowerBound(key), want_lower) << "key " << key;
+    EXPECT_EQ(tree.UpperBound(key), want_upper) << "key " << key;
+  }
+}
+
+TEST(BTreeTest, BoundaryKeys) {
+  Fixture f(1000, 8, 3);
+  BTree tree(&f.data);
+  EXPECT_EQ(tree.LowerBound(0), 0u);
+  EXPECT_EQ(tree.LowerBound(f.keys.front()), 0u);
+  EXPECT_EQ(tree.UpperBound(f.keys.back()), 1000u);
+  EXPECT_EQ(tree.LowerBound(f.keys.back() + 1), 1000u);
+}
+
+TEST(BTreeTest, SearchCostIsLogarithmicInB) {
+  Fixture f(1 << 14, 64, 4);
+  BTree tree(&f.data);
+  // Height should be ceil(log_63(n/B)) + small: n/B = 256 blocks,
+  // fanout 63 -> 2 internal levels.
+  EXPECT_LE(tree.height(), 2u);
+  f.device.ResetCounters();
+  tree.LowerBound(12345);
+  EXPECT_LE(f.device.reads(), 3u);  // height + leaf
+}
+
+TEST(BTreeTest, RangeReportMatchesOracle) {
+  Fixture f(3000, 16, 5);
+  BTree tree(&f.data);
+  Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    uint64_t lo = rng.Next64() % 30001;
+    uint64_t hi = rng.Next64() % 30001;
+    if (lo > hi) std::swap(lo, hi);
+    std::vector<uint64_t> got;
+    tree.RangeReport(lo, hi, &got);
+    std::vector<uint64_t> want;
+    for (uint64_t k : f.keys) {
+      if (k >= lo && k <= hi) want.push_back(k);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(BTreeTest, RangeReportIoIsOutputSensitive) {
+  Fixture f(1 << 14, 64, 7);
+  BTree tree(&f.data);
+  // A selective range: I/O ~ log_B n + k/B, far below n/B.
+  f.device.ResetCounters();
+  std::vector<uint64_t> out;
+  const size_t k = tree.RangeReport(1000, 3000, &out);
+  EXPECT_EQ(out.size(), k);
+  EXPECT_LE(f.device.reads(), 6 + k / 64 + 2);
+}
+
+TEST(BTreeTest, DuplicateKeys) {
+  BlockDevice device(8);
+  EmArray data(&device, 1);
+  EmWriter writer(&data);
+  std::vector<uint64_t> keys;
+  for (uint64_t v : {1, 1, 1, 5, 5, 9, 9, 9, 9, 12}) {
+    writer.Append1(v);
+    keys.push_back(v);
+  }
+  writer.Finish();
+  BTree tree(&data);
+  EXPECT_EQ(tree.LowerBound(1), 0u);
+  EXPECT_EQ(tree.UpperBound(1), 3u);
+  EXPECT_EQ(tree.LowerBound(9), 5u);
+  EXPECT_EQ(tree.UpperBound(9), 9u);
+  std::vector<uint64_t> out;
+  EXPECT_EQ(tree.RangeReport(5, 9, &out), 6u);
+}
+
+TEST(BTreeTest, SingleBlockData) {
+  BlockDevice device(16);
+  EmArray data(&device, 1);
+  EmWriter writer(&data);
+  for (uint64_t i = 0; i < 5; ++i) writer.Append1(i * 2);
+  writer.Finish();
+  BTree tree(&data);
+  EXPECT_EQ(tree.height(), 0u);
+  EXPECT_EQ(tree.LowerBound(4), 2u);
+  EXPECT_EQ(tree.LowerBound(5), 3u);
+  EXPECT_EQ(tree.LowerBound(100), 5u);
+}
+
+}  // namespace
+}  // namespace iqs::em

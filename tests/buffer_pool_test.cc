@@ -1,0 +1,113 @@
+#include "iqs/em/buffer_pool.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/util/rng.h"
+
+namespace iqs::em {
+namespace {
+
+TEST(BufferPoolTest, ReadThroughCachesBlocks) {
+  BlockDevice device(4);
+  const size_t a = device.AllocateBlock();
+  std::vector<uint64_t> data = {1, 2, 3, 4};
+  device.Write(a, data);
+  device.ResetCounters();
+
+  BufferPool pool(&device, 2);
+  std::vector<uint64_t> out(4);
+  pool.Read(a, out);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(device.reads(), 1u);
+  // Second read is a cache hit: no device I/O.
+  pool.Read(a, out);
+  EXPECT_EQ(device.reads(), 1u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST(BufferPoolTest, WriteBackOnlyOnEvictionOrFlush) {
+  BlockDevice device(4);
+  const size_t a = device.AllocateBlock();
+  device.ResetCounters();
+  {
+    BufferPool pool(&device, 2);
+    const std::vector<uint64_t> data = {9, 9, 9, 9};
+    pool.Write(a, data);
+    pool.Write(a, data);
+    EXPECT_EQ(device.writes(), 0u);  // write-back: nothing hit disk yet
+    pool.FlushAll();
+    EXPECT_EQ(device.writes(), 1u);
+    pool.Write(a, data);
+  }  // destructor flushes
+  EXPECT_EQ(device.writes(), 2u);
+  std::vector<uint64_t> out(4);
+  device.Read(a, out);
+  EXPECT_EQ(out[0], 9u);
+}
+
+TEST(BufferPoolTest, LruEvictionOrder) {
+  BlockDevice device(4);
+  std::vector<size_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(device.AllocateBlock());
+    const std::vector<uint64_t> data(4, static_cast<uint64_t>(i));
+    device.Write(ids.back(), data);
+  }
+  BufferPool pool(&device, 2);
+  std::vector<uint64_t> out(4);
+  pool.Read(ids[0], out);  // cache: {0}
+  pool.Read(ids[1], out);  // cache: {0, 1}
+  pool.Read(ids[0], out);  // touch 0 -> MRU
+  device.ResetCounters();
+  pool.Read(ids[2], out);  // evicts 1 (LRU), not 0
+  pool.Read(ids[0], out);  // still cached
+  EXPECT_EQ(device.reads(), 1u);
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  pool.Read(ids[1], out);  // miss again
+  EXPECT_EQ(device.reads(), 2u);
+}
+
+TEST(BufferPoolTest, DirtyVictimWrittenBack) {
+  BlockDevice device(4);
+  const size_t a = device.AllocateBlock();
+  const size_t b = device.AllocateBlock();
+  BufferPool pool(&device, 1);
+  const std::vector<uint64_t> data = {7, 7, 7, 7};
+  pool.Write(a, data);
+  device.ResetCounters();
+  std::vector<uint64_t> out(4);
+  pool.Read(b, out);  // evicts dirty a -> 1 write + 1 read
+  EXPECT_EQ(device.writes(), 1u);
+  EXPECT_EQ(device.reads(), 1u);
+  device.Read(a, out);
+  EXPECT_EQ(out[0], 7u);
+}
+
+TEST(BufferPoolTest, HotBlockWorkloadMostlyHits) {
+  // Zipf-ish access over 64 blocks with a 16-block pool: the hot head
+  // should make the hit rate high.
+  BlockDevice device(8);
+  std::vector<size_t> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(device.AllocateBlock());
+  }
+  BufferPool pool(&device, 16);
+  std::vector<uint64_t> out(8);
+  iqs::Rng rng(1);
+  for (int access = 0; access < 5000; ++access) {
+    // 90% of accesses hit an 8-block hot set.
+    const size_t idx =
+        rng.NextDouble() < 0.9 ? rng.Below(8) : 8 + rng.Below(56);
+    pool.Read(ids[idx], out);
+  }
+  const auto& stats = pool.stats();
+  EXPECT_GT(static_cast<double>(stats.hits) /
+                static_cast<double>(stats.hits + stats.misses),
+            0.8);
+}
+
+}  // namespace
+}  // namespace iqs::em

@@ -1,0 +1,142 @@
+#include "iqs/cover/complement_sampler.h"
+
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+#include "test_util.h"
+
+namespace iqs {
+namespace {
+
+TEST(ComplementSamplerTest, ApproxCoverHasAtMostTwoPieces) {
+  Rng rng(1);
+  const auto keys = UniformKeys(1 << 12, &rng);
+  ComplementRangeSampler sampler(keys);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t a = rng.Below(keys.size());
+    size_t b = rng.Below(keys.size());
+    if (a > b) std::swap(a, b);
+    std::vector<CoverRange> cover;
+    sampler.BuildApproxCover(a, b, &cover);
+    EXPECT_LE(cover.size(), 2u);
+  }
+}
+
+TEST(ComplementSamplerTest, ApproxCoverIsDenseEnough) {
+  // Theorem 6's density condition: |S_q| >= constant * |union of cover|.
+  Rng rng(2);
+  const auto keys = UniformKeys(1 << 12, &rng);
+  ComplementRangeSampler sampler(keys);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t a = rng.Below(keys.size());
+    size_t b = rng.Below(keys.size());
+    if (a > b) std::swap(a, b);
+    if (a == 0 && b == keys.size() - 1) continue;  // empty complement
+    std::vector<CoverRange> cover;
+    sampler.BuildApproxCover(a, b, &cover);
+    size_t cover_elems = 0;
+    for (const CoverRange& range : cover) {
+      cover_elems += range.hi - range.lo + 1;
+    }
+    const size_t result_size = keys.size() - (b - a + 1);
+    EXPECT_GE(result_size * 3, cover_elems)
+        << "a=" << a << " b=" << b << " cover=" << cover_elems;
+    // Cover must contain the whole complement.
+    EXPECT_GE(cover_elems, result_size);
+  }
+}
+
+TEST(ComplementSamplerTest, ExactCoverCanBeLogarithmicallyLarge) {
+  // With the excluded zone in the middle, the exact canonical cover of
+  // prefix + suffix needs Θ(log n) pieces while the approximate one uses
+  // 2: this is the paper's Section 6 separation.
+  Rng rng(3);
+  const size_t n = 1 << 14;
+  const auto keys = UniformKeys(n, &rng);
+  ComplementRangeSampler sampler(keys);
+  size_t max_exact = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t a = n / 4 + rng.Below(n / 4);
+    const size_t b = a + rng.Below(n / 4);
+    std::vector<CoverRange> exact;
+    sampler.BuildExactCover(a, b, &exact);
+    max_exact = std::max(max_exact, exact.size());
+  }
+  EXPECT_GE(max_exact, 10u);  // ~2 log2(n) in the worst trials
+}
+
+TEST(ComplementSamplerTest, BothPathsSampleUniformComplement) {
+  Rng rng(4);
+  const size_t n = 60;
+  const auto keys = UniformKeys(n, &rng);
+  ComplementRangeSampler sampler(keys);
+  const double lo = keys[20];
+  const double hi = keys[39];
+  std::vector<double> complement_weights(n, 1.0);
+  for (size_t i = 20; i <= 39; ++i) complement_weights[i] = 0.0;
+
+  std::vector<size_t> approx_out;
+  ASSERT_TRUE(sampler.QueryApprox(lo, hi, 200000, &rng, &approx_out));
+  testing::ExpectSamplesMatchWeights(approx_out, complement_weights);
+
+  std::vector<size_t> exact_out;
+  ASSERT_TRUE(sampler.QueryExact(lo, hi, 200000, &rng, &exact_out));
+  testing::ExpectSamplesMatchWeights(exact_out, complement_weights);
+}
+
+TEST(ComplementSamplerTest, NothingExcludedSamplesWholeSet) {
+  Rng rng(5);
+  const size_t n = 32;
+  const auto keys = UniformKeys(n, &rng);
+  ComplementRangeSampler sampler(keys);
+  std::vector<size_t> out;
+  // Interval between keys excludes nothing.
+  ASSERT_TRUE(sampler.QueryApprox(2.0, 3.0, 64000, &rng, &out));
+  testing::ExpectSamplesMatchWeights(out, std::vector<double>(n, 1.0));
+}
+
+TEST(ComplementSamplerTest, EverythingExcludedReturnsFalse) {
+  Rng rng(6);
+  const auto keys = UniformKeys(16, &rng);
+  ComplementRangeSampler sampler(keys);
+  std::vector<size_t> out;
+  EXPECT_FALSE(sampler.QueryApprox(-1.0, 2.0, 5, &rng, &out));
+  EXPECT_FALSE(sampler.QueryExact(-1.0, 2.0, 5, &rng, &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ComplementSamplerTest, PrefixOnlyAndSuffixOnly) {
+  Rng rng(7);
+  const size_t n = 64;
+  const auto keys = UniformKeys(n, &rng);
+  ComplementRangeSampler sampler(keys);
+  // Exclude a suffix: complement is the prefix [0, 9].
+  std::vector<size_t> out;
+  ASSERT_TRUE(sampler.QueryApprox(keys[10], 2.0, 50000, &rng, &out));
+  for (size_t p : out) EXPECT_LT(p, 10u);
+  // Exclude a prefix: complement is [54, 63].
+  out.clear();
+  ASSERT_TRUE(sampler.QueryApprox(-1.0, keys[53], 50000, &rng, &out));
+  for (size_t p : out) EXPECT_GE(p, 54u);
+}
+
+TEST(ComplementSamplerTest, IndependentAcrossRepeats) {
+  Rng rng(8);
+  const size_t n = 64;
+  const auto keys = UniformKeys(n, &rng);
+  ComplementRangeSampler sampler(keys);
+  std::set<size_t> seen;
+  for (int repeat = 0; repeat < 200; ++repeat) {
+    std::vector<size_t> out;
+    ASSERT_TRUE(sampler.QueryApprox(keys[10], keys[50], 1, &rng, &out));
+    seen.insert(out[0]);
+  }
+  // 200 independent draws over 23 allowed positions hit most of them.
+  EXPECT_GE(seen.size(), 15u);
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,88 @@
+#include "iqs/cover/coverage_engine.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/util/rng.h"
+#include "test_util.h"
+
+namespace iqs {
+namespace {
+
+TEST(CoverageEngineTest, SingleRangeMatchesWeights) {
+  Rng rng(1);
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  CoverageEngine engine(weights);
+  const std::vector<CoverRange> cover = {{0, 3, 10.0}};
+  std::vector<size_t> out;
+  engine.Sample(cover, 200000, &rng, &out);
+  testing::ExpectSamplesMatchWeights(out, weights);
+}
+
+TEST(CoverageEngineTest, MultiRangeRespectsBothLevels) {
+  Rng rng(2);
+  // Positions 0..5; cover = {0..1} (weight 3) and {4..5} (weight 9);
+  // positions 2..3 excluded.
+  const std::vector<double> weights = {1.0, 2.0, 100.0, 100.0, 4.0, 5.0};
+  CoverageEngine engine(weights);
+  const std::vector<CoverRange> cover = {{0, 1, 3.0}, {4, 5, 9.0}};
+  std::vector<size_t> out;
+  engine.Sample(cover, 240000, &rng, &out);
+  std::vector<uint64_t> counts(6, 0);
+  for (size_t p : out) {
+    ASSERT_TRUE(p <= 1 || p >= 4) << "sampled excluded position " << p;
+    ++counts[p];
+  }
+  testing::ExpectDistributionClose(
+      counts, testing::Normalize({1.0, 2.0, 0.0, 0.0, 4.0, 5.0}));
+}
+
+TEST(CoverageEngineTest, ZeroSamplesNoop) {
+  Rng rng(3);
+  CoverageEngine engine(std::vector<double>{1.0, 1.0});
+  std::vector<size_t> out;
+  engine.Sample(std::vector<CoverRange>{{0, 1, 2.0}}, 0, &rng, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CoverageEngineTest, RejectionFiltersToPredicate) {
+  Rng rng(4);
+  // Approximate cover includes the whole array; predicate keeps evens.
+  const size_t n = 20;
+  const std::vector<double> weights(n, 1.0);
+  CoverageEngine engine(weights);
+  const std::vector<CoverRange> cover = {{0, n - 1, static_cast<double>(n)}};
+  std::vector<size_t> out;
+  engine.SampleWithRejection(
+      cover, 100000, [](size_t p) { return p % 2 == 0; }, &rng, &out);
+  ASSERT_EQ(out.size(), 100000u);
+  std::vector<uint64_t> counts(n / 2, 0);
+  for (size_t p : out) {
+    ASSERT_EQ(p % 2, 0u);
+    ++counts[p / 2];
+  }
+  testing::ExpectDistributionClose(
+      counts, std::vector<double>(n / 2, 2.0 / n));
+}
+
+TEST(CoverageEngineTest, RejectionWithWeights) {
+  Rng rng(5);
+  const std::vector<double> weights = {1.0, 5.0, 2.0, 8.0};
+  CoverageEngine engine(weights);
+  const std::vector<CoverRange> cover = {{0, 3, 16.0}};
+  std::vector<size_t> out;
+  // Accept only positions 1 and 3: law must be 5:8.
+  engine.SampleWithRejection(
+      cover, 150000, [](size_t p) { return p == 1 || p == 3; }, &rng, &out);
+  size_t ones = 0;
+  for (size_t p : out) ones += (p == 1);
+  EXPECT_NEAR(static_cast<double>(ones) / out.size(), 5.0 / 13.0, 0.01);
+}
+
+TEST(CoverWeightTest, Sums) {
+  const std::vector<CoverRange> cover = {{0, 1, 2.5}, {4, 9, 7.5}};
+  EXPECT_DOUBLE_EQ(CoverWeight(cover), 10.0);
+}
+
+}  // namespace
+}  // namespace iqs

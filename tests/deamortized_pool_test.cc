@@ -1,0 +1,198 @@
+// Tests for the resumable external sort and the de-amortized sample pool
+// (paper Section 8's worst-case remark).
+
+#include "iqs/em/deamortized_pool.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/em/em_sort.h"
+#include "iqs/em/sample_pool.h"
+#include "iqs/em/stepwise_sort.h"
+#include "test_util.h"
+
+namespace iqs::em {
+namespace {
+
+struct Fixture {
+  Fixture(size_t n, size_t block_words)
+      : device(block_words), data(&device, 1) {
+    EmWriter writer(&data);
+    for (uint64_t i = 0; i < n; ++i) writer.Append1(i);
+    writer.Finish();
+  }
+  BlockDevice device;
+  EmArray data;
+};
+
+TEST(StepwiseSortTest, MatchesBatchSort) {
+  const size_t kB = 8;
+  BlockDevice device(kB);
+  Rng rng(1);
+  EmArray input(&device, 1);
+  {
+    EmWriter writer(&input);
+    for (int i = 0; i < 3000; ++i) writer.Append1(rng.Next64() % 10000);
+    writer.Finish();
+  }
+  StepwiseSort stepwise(&input, 4 * kB);
+  stepwise.Finish();
+  EmArray batch = ExternalSort(input, 4 * kB);
+  ASSERT_EQ(stepwise.result().size(), batch.size());
+  EmReader a(&stepwise.result(), 0, batch.size());
+  EmReader b(&batch, 0, batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(a.Next1(), b.Next1()) << "at " << i;
+  }
+}
+
+TEST(StepwiseSortTest, PairsKeepPayload) {
+  BlockDevice device(8);
+  Rng rng(2);
+  EmArray input(&device, 2);
+  {
+    EmWriter writer(&input);
+    for (uint64_t i = 0; i < 700; ++i) {
+      const uint64_t key = rng.Next64() % 500;
+      writer.Append2(key, key ^ 0xabcdef);
+    }
+    writer.Finish();
+  }
+  StepwiseSort sort(&input, 4 * 8);
+  sort.Finish();
+  EmReader reader(&sort.result(), 0, 700);
+  uint64_t prev = 0;
+  uint64_t record[2];
+  for (int i = 0; i < 700; ++i) {
+    reader.Next(record);
+    EXPECT_GE(record[0], prev);
+    EXPECT_EQ(record[1], record[0] ^ 0xabcdef);
+    prev = record[0];
+  }
+}
+
+TEST(StepwiseSortTest, StepsAreIncremental) {
+  // A single Step must cost at most a few I/Os — never a whole pass.
+  const size_t kB = 16;
+  BlockDevice device(kB);
+  Rng rng(3);
+  EmArray input(&device, 1);
+  {
+    EmWriter writer(&input);
+    for (int i = 0; i < 4096; ++i) writer.Append1(rng.Next64());
+    writer.Finish();
+  }
+  StepwiseSort sort(&input, 4 * kB);
+  uint64_t max_ios_per_step = 0;
+  while (!sort.done()) {
+    const uint64_t before = device.total_ios();
+    sort.Step();
+    max_ios_per_step =
+        std::max(max_ios_per_step, device.total_ios() - before);
+  }
+  EXPECT_LE(max_ios_per_step, 4u);
+}
+
+TEST(PoolRebuildPipelineTest, ProducesUniformPool) {
+  Fixture f(128, 8);
+  Rng rng(4);
+  PoolRebuildPipeline pipeline(&f.data, 0, 128, 8 * 8, &rng);
+  pipeline.Finish();
+  ASSERT_EQ(pipeline.pool().size(), 128u);
+  // Aggregate over several pipelines: entries are uniform over the data.
+  std::vector<uint64_t> counts(128, 0);
+  for (int round = 0; round < 400; ++round) {
+    PoolRebuildPipeline p(&f.data, 0, 128, 8 * 8, &rng);
+    p.Finish();
+    EmReader reader(&p.pool(), 0, 128);
+    while (reader.HasNext()) {
+      const uint64_t v = reader.Next1();
+      ASSERT_LT(v, 128u);
+      ++counts[v];
+    }
+  }
+  iqs::testing::ExpectDistributionClose(counts,
+                                        std::vector<double>(128, 1.0 / 128));
+}
+
+TEST(DeamortizedPoolTest, UniformSamples) {
+  Fixture f(64, 8);
+  Rng rng(5);
+  DeamortizedSamplePool pool(&f.data, 0, 64, 8 * 8, &rng);
+  std::vector<uint64_t> out;
+  pool.Query(100000, &rng, &out);
+  std::vector<uint64_t> counts(64, 0);
+  for (uint64_t v : out) {
+    ASSERT_LT(v, 64u);
+    ++counts[v];
+  }
+  iqs::testing::ExpectDistributionClose(counts,
+                                        std::vector<double>(64, 1.0 / 64));
+}
+
+TEST(DeamortizedPoolTest, WorstCaseQueryIoIsBounded) {
+  // The whole point: NO query pays a full-rebuild burst. Compare the max
+  // per-query I/O of the amortized pool vs the de-amortized one under the
+  // same small-query workload.
+  const size_t kB = 64;
+  const size_t n = 1 << 13;
+  const size_t s = 64;
+
+  Fixture f1(n, kB);
+  Rng rng1(6);
+  SamplePool amortized(&f1.data, 0, n, 8 * kB, &rng1);
+  uint64_t amortized_max = 0;
+  for (int q = 0; q < 512; ++q) {
+    std::vector<uint64_t> out;
+    const uint64_t before = f1.device.total_ios();
+    amortized.Query(s, &rng1, &out);
+    amortized_max =
+        std::max(amortized_max, f1.device.total_ios() - before);
+  }
+
+  Fixture f2(n, kB);
+  Rng rng2(6);
+  DeamortizedSamplePool deamortized(&f2.data, 0, n, 8 * kB, &rng2);
+  uint64_t deamortized_max = 0;
+  uint64_t deamortized_total = 0;
+  for (int q = 0; q < 512; ++q) {
+    std::vector<uint64_t> out;
+    const uint64_t before = f2.device.total_ios();
+    deamortized.Query(s, &rng2, &out);
+    const uint64_t cost = f2.device.total_ios() - before;
+    deamortized_max = std::max(deamortized_max, cost);
+    deamortized_total += cost;
+  }
+
+  // The amortized pool's worst query absorbs a rebuild: hundreds of I/Os.
+  // The de-amortized pool's worst query stays within a small multiple of
+  // its average.
+  EXPECT_GT(amortized_max, deamortized_max * 4);
+  EXPECT_LE(deamortized_max,
+            8 * (deamortized_total / 512 + 1));
+}
+
+TEST(DeamortizedPoolTest, SubrangeRespected) {
+  Fixture f(96, 8);
+  Rng rng(7);
+  DeamortizedSamplePool pool(&f.data, 32, 32, 8 * 8, &rng);
+  std::vector<uint64_t> out;
+  pool.Query(5000, &rng, &out);
+  for (uint64_t v : out) {
+    ASSERT_GE(v, 32u);
+    ASSERT_LT(v, 64u);
+  }
+}
+
+TEST(DeamortizedPoolTest, HugeSingleQueryCrossesPools) {
+  Fixture f(64, 8);
+  Rng rng(8);
+  DeamortizedSamplePool pool(&f.data, 0, 64, 8 * 8, &rng);
+  std::vector<uint64_t> out;
+  pool.Query(1000, &rng, &out);  // > 15 pools in one query
+  EXPECT_EQ(out.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace iqs::em

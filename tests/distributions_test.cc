@@ -1,0 +1,121 @@
+#include "iqs/util/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace iqs {
+namespace {
+
+TEST(ZipfTest, StaysInRange) {
+  Rng rng(1);
+  ZipfDistribution zipf(100, 1.0);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = zipf.Sample(&rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 100u);
+  }
+}
+
+TEST(ZipfTest, SingleElementDomain) {
+  Rng rng(2);
+  ZipfDistribution zipf(1, 1.5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(&rng), 1u);
+}
+
+class ZipfAlphaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaTest, MatchesZipfLaw) {
+  const double alpha = GetParam();
+  Rng rng(42);
+  constexpr uint64_t kN = 50;
+  ZipfDistribution zipf(kN, alpha);
+  std::vector<uint64_t> counts(kN, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.Sample(&rng) - 1];
+  std::vector<double> weights(kN);
+  for (uint64_t k = 1; k <= kN; ++k) {
+    weights[k - 1] = std::pow(static_cast<double>(k), -alpha);
+  }
+  testing::ExpectDistributionClose(counts, testing::Normalize(weights));
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAlphaTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 2.0));
+
+TEST(KeysTest, UniformKeysSortedDistinct) {
+  Rng rng(3);
+  const std::vector<double> keys = UniformKeys(1000, &rng);
+  ASSERT_EQ(keys.size(), 1000u);
+  for (size_t i = 1; i < keys.size(); ++i) EXPECT_LT(keys[i - 1], keys[i]);
+}
+
+TEST(KeysTest, ClusteredKeysSortedDistinct) {
+  Rng rng(4);
+  const std::vector<double> keys = ClusteredKeys(2000, 5, &rng);
+  ASSERT_EQ(keys.size(), 2000u);
+  for (size_t i = 1; i < keys.size(); ++i) EXPECT_LT(keys[i - 1], keys[i]);
+}
+
+TEST(WeightsTest, ZipfWeightsAlphaZeroAllEqual) {
+  Rng rng(5);
+  const std::vector<double> w = ZipfWeights(100, 0.0, &rng);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(WeightsTest, ZipfWeightsPositiveAndSkewed) {
+  Rng rng(6);
+  const std::vector<double> w = ZipfWeights(1000, 1.0, &rng);
+  double max = 0.0;
+  double min = 1e300;
+  for (double v : w) {
+    EXPECT_GT(v, 0.0);
+    max = std::max(max, v);
+    min = std::min(min, v);
+  }
+  EXPECT_GT(max / min, 100.0);
+}
+
+class SelectivityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SelectivityTest, IntervalHasExactResultSize) {
+  Rng rng(7);
+  const std::vector<double> keys = UniformKeys(500, &rng);
+  const size_t want = GetParam();
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto [lo, hi] = IntervalWithSelectivity(keys, want, &rng);
+    const auto first = std::lower_bound(keys.begin(), keys.end(), lo);
+    const auto last = std::upper_bound(keys.begin(), keys.end(), hi);
+    EXPECT_EQ(static_cast<size_t>(last - first), want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SelectivityTest,
+                         ::testing::Values(1, 2, 10, 250, 499, 500));
+
+TEST(Points2DTest, UniformInUnitSquare) {
+  Rng rng(8);
+  const auto pts = Points2D(1000, 0, &rng);
+  ASSERT_EQ(pts.size(), 1000u);
+  for (const auto& [x, y] : pts) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    EXPECT_GE(y, 0.0);
+    EXPECT_LT(y, 1.0);
+  }
+}
+
+TEST(Points2DTest, ClusteredPointsConcentrate) {
+  Rng rng(9);
+  const auto pts = Points2D(2000, 1, &rng);
+  // One Gaussian bump with sigma 0.02: the spread should be far below
+  // uniform (which has stddev ~0.29 per axis).
+  std::vector<double> xs;
+  for (const auto& p : pts) xs.push_back(p.first);
+  EXPECT_LT(std::sqrt(Variance(xs)), 0.1);
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,144 @@
+#include "iqs/alias/dynamic_alias.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/util/rng.h"
+#include "test_util.h"
+
+namespace iqs {
+namespace {
+
+TEST(DynamicAliasTest, InsertSampleSingle) {
+  Rng rng(1);
+  DynamicAlias alias;
+  const size_t h = alias.Insert(2.5);
+  EXPECT_EQ(alias.size(), 1u);
+  EXPECT_DOUBLE_EQ(alias.weight(h), 2.5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(alias.Sample(&rng), h);
+}
+
+TEST(DynamicAliasTest, MatchesWeightsAcrossClasses) {
+  Rng rng(2);
+  DynamicAlias alias;
+  // Weights spanning several binary classes.
+  const std::vector<double> weights = {0.1, 0.9, 1.5, 7.0, 40.0, 0.04};
+  std::vector<size_t> handles;
+  for (double w : weights) handles.push_back(alias.Insert(w));
+  std::unordered_map<size_t, size_t> handle_to_index;
+  for (size_t i = 0; i < handles.size(); ++i) handle_to_index[handles[i]] = i;
+
+  std::vector<size_t> samples;
+  for (int i = 0; i < 300000; ++i) {
+    samples.push_back(handle_to_index.at(alias.Sample(&rng)));
+  }
+  testing::ExpectSamplesMatchWeights(samples, weights);
+}
+
+TEST(DynamicAliasTest, RemoveExcludesElement) {
+  Rng rng(3);
+  DynamicAlias alias;
+  const size_t a = alias.Insert(1.0);
+  const size_t b = alias.Insert(1.0);
+  alias.Remove(a);
+  EXPECT_EQ(alias.size(), 1u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(alias.Sample(&rng), b);
+}
+
+TEST(DynamicAliasTest, SetWeightMovesClasses) {
+  Rng rng(4);
+  DynamicAlias alias;
+  const size_t a = alias.Insert(1.0);
+  const size_t b = alias.Insert(1.0);
+  alias.SetWeight(a, 1000.0);
+  size_t hits_a = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) hits_a += (alias.Sample(&rng) == a);
+  EXPECT_GT(hits_a, trials * 0.99);
+  alias.SetWeight(a, 0.001);
+  hits_a = 0;
+  for (int i = 0; i < trials; ++i) hits_a += (alias.Sample(&rng) == a);
+  EXPECT_LT(hits_a, trials * 0.01);
+  (void)b;
+}
+
+TEST(DynamicAliasTest, HandleReuseAfterRemove) {
+  DynamicAlias alias;
+  const size_t a = alias.Insert(1.0);
+  alias.Remove(a);
+  const size_t b = alias.Insert(2.0);
+  EXPECT_EQ(a, b);  // slot recycled
+  EXPECT_DOUBLE_EQ(alias.weight(b), 2.0);
+}
+
+TEST(DynamicAliasTest, TotalWeightTracksUpdates) {
+  DynamicAlias alias;
+  const size_t a = alias.Insert(1.0);
+  const size_t b = alias.Insert(3.0);
+  EXPECT_NEAR(alias.total_weight(), 4.0, 1e-9);
+  alias.SetWeight(a, 2.0);
+  EXPECT_NEAR(alias.total_weight(), 5.0, 1e-9);
+  alias.Remove(b);
+  EXPECT_NEAR(alias.total_weight(), 2.0, 1e-9);
+}
+
+TEST(DynamicAliasTest, ChurnPropertyTest) {
+  // Random interleaving of inserts/removes/updates; after the churn the
+  // sampling law must match the surviving weights exactly.
+  Rng rng(5);
+  DynamicAlias alias;
+  std::unordered_map<size_t, double> live;
+  for (int op = 0; op < 5000; ++op) {
+    const double dice = rng.NextDouble();
+    if (live.empty() || dice < 0.5) {
+      const double w = std::pow(2.0, rng.Uniform(-20, 20)) *
+                       (0.5 + rng.NextDouble());
+      live[alias.Insert(w)] = w;
+    } else if (dice < 0.75) {
+      auto it = live.begin();
+      std::advance(it, rng.Below(live.size()));
+      alias.Remove(it->first);
+      live.erase(it);
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.Below(live.size()));
+      const double w = std::pow(2.0, rng.Uniform(-20, 20)) *
+                       (0.5 + rng.NextDouble());
+      alias.SetWeight(it->first, w);
+      it->second = w;
+    }
+  }
+  ASSERT_EQ(alias.size(), live.size());
+  ASSERT_FALSE(live.empty());
+
+  // Keep only a handful of heavy hitters distinguishable: tally over all.
+  std::vector<size_t> handles;
+  std::vector<double> weights;
+  std::unordered_map<size_t, size_t> index_of;
+  for (const auto& [h, w] : live) {
+    index_of[h] = handles.size();
+    handles.push_back(h);
+    weights.push_back(w);
+  }
+  std::vector<size_t> samples;
+  for (int i = 0; i < 200000; ++i) {
+    samples.push_back(index_of.at(alias.Sample(&rng)));
+  }
+  testing::ExpectSamplesMatchWeights(samples, weights);
+}
+
+TEST(DynamicAliasTest, ManyEqualElementsUniform) {
+  Rng rng(6);
+  DynamicAlias alias;
+  constexpr size_t kN = 128;
+  std::vector<size_t> handles;
+  for (size_t i = 0; i < kN; ++i) handles.push_back(alias.Insert(1.0));
+  std::vector<size_t> samples;
+  for (int i = 0; i < 256000; ++i) samples.push_back(alias.Sample(&rng));
+  testing::ExpectSamplesMatchWeights(samples, std::vector<double>(kN, 1.0));
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,189 @@
+#include "iqs/range/dynamic_range_sampler.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/util/rng.h"
+#include "test_util.h"
+
+namespace iqs {
+namespace {
+
+TEST(DynamicRangeSamplerTest, InsertQueryBasic) {
+  Rng rng(1);
+  DynamicRangeSampler sampler(&rng);
+  sampler.Insert(1.0, 2.0);
+  sampler.Insert(2.0, 3.0);
+  sampler.Insert(3.0, 5.0);
+  EXPECT_EQ(sampler.size(), 3u);
+  EXPECT_NEAR(sampler.RangeWeight(0.0, 10.0), 10.0, 1e-12);
+  EXPECT_NEAR(sampler.RangeWeight(1.5, 2.5), 3.0, 1e-12);
+  EXPECT_NEAR(sampler.RangeWeight(4.0, 9.0), 0.0, 1e-12);
+
+  std::vector<double> out;
+  EXPECT_TRUE(sampler.Query(0.0, 10.0, 5, &rng, &out));
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_FALSE(sampler.Query(4.0, 9.0, 5, &rng, &out));
+}
+
+TEST(DynamicRangeSamplerTest, QueryMatchesWeightsWithinRange) {
+  Rng rng(2);
+  DynamicRangeSampler sampler(&rng);
+  // Keys 0..49 with weight (i % 5) + 1.
+  std::vector<double> weights(50);
+  for (int i = 0; i < 50; ++i) {
+    weights[i] = (i % 5) + 1.0;
+    sampler.Insert(static_cast<double>(i), weights[i]);
+  }
+  std::vector<double> out;
+  ASSERT_TRUE(sampler.Query(10.0, 39.0, 200000, &rng, &out));
+  std::vector<uint64_t> counts(30, 0);
+  for (double key : out) {
+    const int k = static_cast<int>(key);
+    ASSERT_GE(k, 10);
+    ASSERT_LE(k, 39);
+    ++counts[k - 10];
+  }
+  std::vector<double> range_weights(weights.begin() + 10,
+                                    weights.begin() + 40);
+  testing::ExpectDistributionClose(counts, testing::Normalize(range_weights));
+}
+
+TEST(DynamicRangeSamplerTest, DeleteRemovesMass) {
+  Rng rng(3);
+  DynamicRangeSampler sampler(&rng);
+  sampler.Insert(1.0, 1.0);
+  sampler.Insert(2.0, 100.0);
+  ASSERT_TRUE(sampler.Delete(2.0));
+  EXPECT_EQ(sampler.size(), 1u);
+  EXPECT_FALSE(sampler.Delete(2.0));
+  std::vector<double> out;
+  ASSERT_TRUE(sampler.Query(0.0, 10.0, 20, &rng, &out));
+  for (double key : out) EXPECT_DOUBLE_EQ(key, 1.0);
+}
+
+TEST(DynamicRangeSamplerTest, DuplicateKeysCountSeparately) {
+  Rng rng(4);
+  DynamicRangeSampler sampler(&rng);
+  sampler.Insert(5.0, 1.0);
+  sampler.Insert(5.0, 1.0);
+  sampler.Insert(5.0, 1.0);
+  EXPECT_EQ(sampler.size(), 3u);
+  EXPECT_NEAR(sampler.RangeWeight(5.0, 5.0), 3.0, 1e-12);
+  ASSERT_TRUE(sampler.Delete(5.0));
+  EXPECT_NEAR(sampler.RangeWeight(5.0, 5.0), 2.0, 1e-12);
+}
+
+TEST(DynamicRangeSamplerTest, SetWeightRedistributes) {
+  Rng rng(5);
+  DynamicRangeSampler sampler(&rng);
+  sampler.Insert(1.0, 1.0);
+  sampler.Insert(2.0, 1.0);
+  ASSERT_TRUE(sampler.SetWeight(1.0, 999.0));
+  EXPECT_FALSE(sampler.SetWeight(7.0, 1.0));
+  std::vector<double> out;
+  ASSERT_TRUE(sampler.Query(0.0, 3.0, 2000, &rng, &out));
+  size_t ones = 0;
+  for (double key : out) ones += (key == 1.0);
+  EXPECT_GT(ones, out.size() * 95 / 100);
+}
+
+TEST(DynamicRangeSamplerTest, ChurnAgainstOracle) {
+  // Random inserts/deletes/updates; after churn, range weights and
+  // sampling law must match a std::multimap oracle.
+  Rng rng(6);
+  DynamicRangeSampler sampler(&rng);
+  std::multimap<double, double> oracle;  // key -> weight
+  for (int op = 0; op < 4000; ++op) {
+    const double dice = rng.NextDouble();
+    if (oracle.empty() || dice < 0.55) {
+      const double key = static_cast<double>(rng.Below(200));
+      const double weight = 0.5 + rng.NextDouble() * 3.0;
+      sampler.Insert(key, weight);
+      oracle.emplace(key, weight);
+    } else if (dice < 0.8) {
+      auto it = oracle.begin();
+      std::advance(it, rng.Below(oracle.size()));
+      const double key = it->first;
+      // The treap deletes "one element with this key" — WHICH one is
+      // unspecified, so keep the oracle in lockstep by deleting only
+      // unique keys (duplicate-key deletion is covered elsewhere).
+      if (oracle.count(key) == 1) {
+        ASSERT_TRUE(sampler.Delete(key));
+        oracle.erase(oracle.find(key));
+      }
+    } else {
+      auto it = oracle.begin();
+      std::advance(it, rng.Below(oracle.size()));
+      const double weight = 0.5 + rng.NextDouble() * 3.0;
+      // SetWeight changes one element with the key; to keep the oracle in
+      // lockstep when keys repeat, apply only to unique keys.
+      if (oracle.count(it->first) == 1) {
+        ASSERT_TRUE(sampler.SetWeight(it->first, weight));
+        it->second = weight;
+      }
+    }
+  }
+  ASSERT_EQ(sampler.size(), oracle.size());
+
+  // Range weights vs oracle on many ranges.
+  for (int trial = 0; trial < 200; ++trial) {
+    double lo = static_cast<double>(rng.Below(200));
+    double hi = static_cast<double>(rng.Below(200));
+    if (lo > hi) std::swap(lo, hi);
+    double want = 0.0;
+    for (auto it = oracle.lower_bound(lo);
+         it != oracle.end() && it->first <= hi; ++it) {
+      want += it->second;
+    }
+    EXPECT_NEAR(sampler.RangeWeight(lo, hi), want, 1e-6);
+  }
+
+  // Sampling law over one wide range: aggregate per key.
+  std::map<double, double> key_weight;
+  for (const auto& [key, weight] : oracle) key_weight[key] += weight;
+  std::vector<double> keys;
+  std::vector<double> weights;
+  for (const auto& [key, weight] : key_weight) {
+    keys.push_back(key);
+    weights.push_back(weight);
+  }
+  std::vector<double> out;
+  ASSERT_TRUE(sampler.Query(-1.0, 201.0, 150000, &rng, &out));
+  std::map<double, uint64_t> freq;
+  for (double key : out) ++freq[key];
+  std::vector<uint64_t> counts;
+  for (double key : keys) counts.push_back(freq[key]);
+  testing::ExpectDistributionClose(counts, testing::Normalize(weights));
+}
+
+TEST(DynamicRangeSamplerTest, RepeatedQueriesIndependent) {
+  Rng rng(7);
+  DynamicRangeSampler sampler(&rng);
+  for (int i = 0; i < 100; ++i) {
+    sampler.Insert(static_cast<double>(i), 1.0);
+  }
+  std::vector<double> first;
+  std::vector<double> second;
+  sampler.Query(10.0, 90.0, 30, &rng, &first);
+  sampler.Query(10.0, 90.0, 30, &rng, &second);
+  EXPECT_NE(first, second);
+}
+
+TEST(DynamicRangeSamplerTest, EmptyAndSingle) {
+  Rng rng(8);
+  DynamicRangeSampler sampler(&rng);
+  std::vector<double> out;
+  EXPECT_FALSE(sampler.Query(0.0, 1.0, 5, &rng, &out));
+  sampler.Insert(0.5, 1.0);
+  EXPECT_TRUE(sampler.Query(0.0, 1.0, 3, &rng, &out));
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_TRUE(sampler.Delete(0.5));
+  EXPECT_TRUE(sampler.empty());
+  EXPECT_FALSE(sampler.Query(0.0, 1.0, 5, &rng, &out));
+}
+
+}  // namespace
+}  // namespace iqs

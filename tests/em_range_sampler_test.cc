@@ -1,0 +1,159 @@
+#include "iqs/em/em_range_sampler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace iqs::em {
+namespace {
+
+struct Fixture {
+  Fixture(size_t n, size_t block_words, uint64_t value_stride = 3)
+      : device(block_words), data(&device, 1) {
+    EmWriter writer(&data);
+    for (uint64_t i = 0; i < n; ++i) {
+      keys.push_back(i * value_stride);
+      writer.Append1(i * value_stride);
+    }
+    writer.Finish();
+  }
+
+  BlockDevice device;
+  EmArray data;
+  std::vector<uint64_t> keys;
+};
+
+TEST(EmRangeSamplerTest, SamplesAreUniformOverRange) {
+  Fixture f(512, 8);
+  Rng rng(1);
+  EmRangeSampler sampler(&f.data, 8 * 8, &rng);
+  // Range covering keys 3*100 .. 3*299 (positions 100..299), straddling
+  // many blocks and both partial boundaries.
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(sampler.Query(300, 897, 200000, &rng, &out));
+  std::vector<uint64_t> counts(200, 0);
+  for (uint64_t v : out) {
+    ASSERT_GE(v, 300u);
+    ASSERT_LE(v, 897u);
+    ASSERT_EQ(v % 3, 0u);
+    ++counts[v / 3 - 100];
+  }
+  iqs::testing::ExpectDistributionClose(counts,
+                                        std::vector<double>(200, 1.0 / 200));
+}
+
+TEST(EmRangeSamplerTest, BlockAlignedAndTinyRanges) {
+  Fixture f(256, 8, 1);  // keys 0..255, 8 per block
+  Rng rng(2);
+  EmRangeSampler sampler(&f.data, 8 * 8, &rng);
+
+  // Exactly one block.
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(sampler.Query(16, 23, 30000, &rng, &out));
+  std::vector<uint64_t> counts(8, 0);
+  for (uint64_t v : out) {
+    ASSERT_GE(v, 16u);
+    ASSERT_LE(v, 23u);
+    ++counts[v - 16];
+  }
+  iqs::testing::ExpectDistributionClose(counts,
+                                        std::vector<double>(8, 0.125));
+
+  // Single element.
+  out.clear();
+  ASSERT_TRUE(sampler.Query(77, 77, 10, &rng, &out));
+  for (uint64_t v : out) EXPECT_EQ(v, 77u);
+
+  // Within one block, not aligned.
+  out.clear();
+  ASSERT_TRUE(sampler.Query(18, 21, 1000, &rng, &out));
+  for (uint64_t v : out) {
+    EXPECT_GE(v, 18u);
+    EXPECT_LE(v, 21u);
+  }
+}
+
+TEST(EmRangeSamplerTest, EmptyRangeReturnsFalse) {
+  Fixture f(100, 8);
+  Rng rng(3);
+  EmRangeSampler sampler(&f.data, 8 * 8, &rng);
+  std::vector<uint64_t> out;
+  EXPECT_FALSE(sampler.Query(1, 2, 5, &rng, &out));       // between keys
+  EXPECT_FALSE(sampler.Query(10000, 20000, 5, &rng, &out));  // beyond
+  EXPECT_FALSE(sampler.Query(50, 20, 5, &rng, &out));     // inverted
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EmRangeSamplerTest, FullRangeUniform) {
+  Fixture f(128, 8, 1);
+  Rng rng(4);
+  EmRangeSampler sampler(&f.data, 8 * 8, &rng);
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(sampler.Query(0, 127, 128000, &rng, &out));
+  std::vector<uint64_t> counts(128, 0);
+  for (uint64_t v : out) ++counts[v];
+  iqs::testing::ExpectDistributionClose(counts,
+                                        std::vector<double>(128, 1.0 / 128));
+}
+
+TEST(EmRangeSamplerTest, PoolPathBeatsNaiveOnIos) {
+  const size_t kB = 64;
+  const size_t n = 1 << 15;
+  Fixture f(n, kB, 1);
+  Rng rng(5);
+  EmRangeSampler sampler(&f.data, 16 * kB, &rng);
+
+  const uint64_t lo = 100;
+  const uint64_t hi = n - 100;
+  const size_t s = 8192;
+
+  f.device.ResetCounters();
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(sampler.Query(lo, hi, s, &rng, &out));
+  const uint64_t pool_ios = f.device.total_ios();
+
+  f.device.ResetCounters();
+  out.clear();
+  ASSERT_TRUE(sampler.NaiveQuery(lo, hi, s, &rng, &out));
+  const uint64_t naive_ios = f.device.total_ios();
+
+  EXPECT_GT(naive_ios, static_cast<uint64_t>(s));
+  EXPECT_LT(pool_ios, naive_ios / 4);
+}
+
+TEST(EmRangeSamplerTest, ReportThenSampleMatchesLawButScansRange) {
+  Fixture f(2048, 16, 1);
+  Rng rng(6);
+  EmRangeSampler sampler(&f.data, 16 * 16, &rng);
+  f.device.ResetCounters();
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(sampler.ReportThenSample(0, 2047, 10, &rng, &out));
+  // Scanning 2048/16 = 128 leaf blocks dominates.
+  EXPECT_GE(f.device.reads(), 128u);
+  ASSERT_EQ(out.size(), 10u);
+  for (uint64_t v : out) EXPECT_LE(v, 2047u);
+}
+
+TEST(EmRangeSamplerTest, RepeatQueriesStayCorrectAcrossRebuilds) {
+  Fixture f(64, 8, 1);
+  Rng rng(7);
+  EmRangeSampler sampler(&f.data, 8 * 8, &rng);
+  // Drain pools repeatedly; law must stay uniform.
+  std::vector<uint64_t> counts(32, 0);
+  for (int q = 0; q < 3000; ++q) {
+    std::vector<uint64_t> out;
+    ASSERT_TRUE(sampler.Query(16, 47, 32, &rng, &out));
+    for (uint64_t v : out) {
+      ASSERT_GE(v, 16u);
+      ASSERT_LE(v, 47u);
+      ++counts[v - 16];
+    }
+  }
+  iqs::testing::ExpectDistributionClose(counts,
+                                        std::vector<double>(32, 1.0 / 32));
+}
+
+}  // namespace
+}  // namespace iqs::em

@@ -1,0 +1,131 @@
+#include "iqs/em/em_weighted_range_sampler.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace iqs::em {
+namespace {
+
+struct Fixture {
+  Fixture(const std::vector<double>& weights, size_t block_words)
+      : device(block_words), data(&device, 2) {
+    EmWriter writer(&data);
+    for (size_t i = 0; i < weights.size(); ++i) {
+      // Keys 10, 20, 30, ... so ranges can cut between keys.
+      WeightedSamplePool::AppendRecord(&writer, (i + 1) * 10, weights[i]);
+    }
+    writer.Finish();
+  }
+  BlockDevice device;
+  EmArray data;
+};
+
+TEST(EmWeightedRangeSamplerTest, LawMatchesWeightsWithinRange) {
+  Rng rng(1);
+  std::vector<double> weights;
+  for (int i = 0; i < 200; ++i) weights.push_back(0.5 + (i % 9));
+  Fixture f(weights, 8);  // 4 records per block
+  EmWeightedRangeSampler sampler(&f.data, 8 * 8, &rng);
+
+  // Keys 310..1490 -> records 30..148, straddling partial blocks.
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(sampler.Query(305, 1495, 200000, &rng, &out));
+  std::vector<uint64_t> counts(119, 0);
+  for (uint64_t key : out) {
+    ASSERT_GE(key, 310u);
+    ASSERT_LE(key, 1490u);
+    ASSERT_EQ(key % 10, 0u);
+    ++counts[key / 10 - 31];
+  }
+  std::vector<double> range_weights(weights.begin() + 30,
+                                    weights.begin() + 149);
+  iqs::testing::ExpectDistributionClose(counts,
+                                        iqs::testing::Normalize(range_weights));
+}
+
+TEST(EmWeightedRangeSamplerTest, BlockAlignedAndTinyRanges) {
+  Rng rng(2);
+  std::vector<double> weights(64, 1.0);
+  weights[17] = 10.0;
+  Fixture f(weights, 8);
+  EmWeightedRangeSampler sampler(&f.data, 8 * 8, &rng);
+
+  // Exactly one block: records 16..19 (keys 170..200).
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(sampler.Query(170, 200, 60000, &rng, &out));
+  size_t heavy = 0;
+  for (uint64_t key : out) {
+    ASSERT_GE(key, 170u);
+    ASSERT_LE(key, 200u);
+    heavy += (key == 180);  // record 17
+  }
+  EXPECT_NEAR(static_cast<double>(heavy) / out.size(), 10.0 / 13.0, 0.01);
+
+  // Single record.
+  out.clear();
+  ASSERT_TRUE(sampler.Query(330, 330, 10, &rng, &out));
+  for (uint64_t key : out) EXPECT_EQ(key, 330u);
+}
+
+TEST(EmWeightedRangeSamplerTest, EmptyRanges) {
+  Rng rng(3);
+  Fixture f(std::vector<double>(32, 1.0), 8);
+  EmWeightedRangeSampler sampler(&f.data, 8 * 8, &rng);
+  std::vector<uint64_t> out;
+  EXPECT_FALSE(sampler.Query(1, 9, 5, &rng, &out));       // below first key
+  EXPECT_FALSE(sampler.Query(11, 19, 5, &rng, &out));     // between keys
+  EXPECT_FALSE(sampler.Query(1000, 2000, 5, &rng, &out)); // above last key
+  EXPECT_FALSE(sampler.Query(50, 20, 5, &rng, &out));     // inverted
+}
+
+TEST(EmWeightedRangeSamplerTest, PoolPathBeatsReportForSelectiveSampling) {
+  Rng rng(4);
+  const size_t kB = 64;
+  const size_t n = 1 << 13;
+  std::vector<double> weights(n, 1.0);
+  Fixture f(weights, kB);
+  EmWeightedRangeSampler sampler(&f.data, 16 * kB, &rng);
+
+  const uint64_t lo = 10;
+  const uint64_t hi = n * 10;
+  f.device.ResetCounters();
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(sampler.Query(lo, hi, 256, &rng, &out));
+  const uint64_t pool_ios = f.device.total_ios();
+
+  f.device.ResetCounters();
+  out.clear();
+  ASSERT_TRUE(sampler.ReportThenSample(lo, hi, 256, &rng, &out));
+  const uint64_t report_ios = f.device.total_ios();
+
+  // Report scans n/ (B/2) = 256 blocks; the pool path reads ~256/B blocks
+  // of pool entries per active node plus the descent.
+  EXPECT_LT(pool_ios, report_ios / 2);
+}
+
+TEST(EmWeightedRangeSamplerTest, RepeatedQueriesStayCorrectAcrossRebuilds) {
+  Rng rng(5);
+  std::vector<double> weights(48);
+  for (size_t i = 0; i < weights.size(); ++i) weights[i] = 1.0 + (i % 3);
+  Fixture f(weights, 8);
+  EmWeightedRangeSampler sampler(&f.data, 8 * 8, &rng);
+  std::vector<uint64_t> counts(32, 0);
+  for (int q = 0; q < 4000; ++q) {
+    std::vector<uint64_t> out;
+    ASSERT_TRUE(sampler.Query(90, 400, 16, &rng, &out));
+    for (uint64_t key : out) {
+      ASSERT_GE(key, 90u);
+      ASSERT_LE(key, 400u);
+      ++counts[key / 10 - 9];
+    }
+  }
+  std::vector<double> range_weights(weights.begin() + 8,
+                                    weights.begin() + 40);
+  iqs::testing::ExpectDistributionClose(counts,
+                                        iqs::testing::Normalize(range_weights));
+}
+
+}  // namespace
+}  // namespace iqs::em

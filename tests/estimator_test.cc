@@ -1,0 +1,80 @@
+#include "iqs/sampling/estimator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/range/chunked_range_sampler.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+
+namespace iqs {
+namespace {
+
+TEST(EstimatorTest, SampleSizeFormula) {
+  // eps = 0.1, delta = 0.05: ln(40)/0.02 = ~184.4 -> 185.
+  EXPECT_EQ(SamplesForEstimate(0.1, 0.05), 185u);
+  // Tighter eps quadruples the cost per halving.
+  EXPECT_GT(SamplesForEstimate(0.05, 0.05),
+            3 * SamplesForEstimate(0.1, 0.05));
+  // Tighter delta costs only logarithmically.
+  EXPECT_LT(SamplesForEstimate(0.1, 0.0005),
+            3 * SamplesForEstimate(0.1, 0.05));
+}
+
+TEST(EstimatorTest, EstimatesWithinEpsilonMostOfTheTime) {
+  Rng rng(1);
+  const size_t n = 4096;
+  const auto keys = UniformKeys(n, &rng);
+  const std::vector<double> unit(n, 1.0);
+  const ChunkedRangeSampler sampler(keys, unit);
+
+  // Ground truth: predicate "position divisible by 3" on a wide range.
+  const double lo = keys[100];
+  const double hi = keys[4000];
+  size_t qualifying = 0;
+  for (size_t p = 100; p <= 4000; ++p) qualifying += (p % 3 == 0);
+  const double truth =
+      static_cast<double>(qualifying) / static_cast<double>(3901);
+
+  const double eps = 0.05;
+  const double delta = 0.01;
+  int failures = 0;
+  const int rounds = 300;
+  for (int round = 0; round < rounds; ++round) {
+    const auto estimate = EstimateFraction(
+        sampler, lo, hi, [](size_t p) { return p % 3 == 0; }, eps, delta,
+        &rng);
+    ASSERT_TRUE(estimate.has_value());
+    EXPECT_EQ(estimate->samples_used, SamplesForEstimate(eps, delta));
+    failures += std::abs(estimate->fraction - truth) > eps;
+  }
+  // delta = 1% over 300 independent rounds: ~3 expected failures; the
+  // Hoeffding bound is loose, so 0 is typical. Allow generous slack.
+  EXPECT_LE(failures, 12);
+}
+
+TEST(EstimatorTest, EmptyRangeIsNullopt) {
+  Rng rng(2);
+  const auto keys = UniformKeys(32, &rng);
+  const ChunkedRangeSampler sampler(keys, std::vector<double>(32, 1.0));
+  EXPECT_FALSE(EstimateFraction(
+                   sampler, 5.0, 6.0, [](size_t) { return true; }, 0.1,
+                   0.1, &rng)
+                   .has_value());
+}
+
+TEST(EstimatorTest, DegenerateFractions) {
+  Rng rng(3);
+  const auto keys = UniformKeys(64, &rng);
+  const ChunkedRangeSampler sampler(keys, std::vector<double>(64, 1.0));
+  const auto all = EstimateFraction(
+      sampler, -1.0, 2.0, [](size_t) { return true; }, 0.1, 0.1, &rng);
+  EXPECT_DOUBLE_EQ(all->fraction, 1.0);
+  const auto none = EstimateFraction(
+      sampler, -1.0, 2.0, [](size_t) { return false; }, 0.1, 0.1, &rng);
+  EXPECT_DOUBLE_EQ(none->fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,150 @@
+#include "iqs/lsh/fair_nn.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+#include "test_util.h"
+
+namespace iqs {
+namespace {
+
+using multidim::Distance;
+using multidim::Point2;
+
+std::vector<Point2> MakePoints(size_t n, size_t clusters, Rng* rng) {
+  std::vector<Point2> pts;
+  const auto raw = Points2D(n, clusters, rng);
+  pts.reserve(n);
+  for (const auto& [x, y] : raw) pts.push_back({x, y});
+  return pts;
+}
+
+TEST(EuclideanLshTest, NearPointsCollideMoreThanFarPoints) {
+  Rng rng(1);
+  EuclideanLsh lsh(1, 4, 0.1, &rng);
+  int near_collisions = 0;
+  int far_collisions = 0;
+  Rng data_rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const Point2 p{data_rng.NextDouble(), data_rng.NextDouble()};
+    const Point2 near{p.x + 0.01, p.y + 0.01};
+    const Point2 far{p.x + 0.5, p.y - 0.5};
+    near_collisions += (lsh.BucketKey(0, p) == lsh.BucketKey(0, near));
+    far_collisions += (lsh.BucketKey(0, p) == lsh.BucketKey(0, far));
+  }
+  EXPECT_GT(near_collisions, 500);
+  EXPECT_LT(far_collisions, near_collisions / 4);
+}
+
+TEST(EuclideanLshTest, DeterministicKeys) {
+  Rng rng(3);
+  EuclideanLsh lsh(4, 4, 0.2, &rng);
+  const Point2 p{0.3, 0.6};
+  for (size_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(lsh.BucketKey(t, p), lsh.BucketKey(t, p));
+  }
+  // Different tables should (almost surely) use different keys.
+  EXPECT_NE(lsh.BucketKey(0, p), lsh.BucketKey(1, p));
+}
+
+TEST(FairNearNeighborTest, ReturnsOnlyNearPoints) {
+  Rng build_rng(4);
+  Rng rng(5);
+  const auto pts = MakePoints(500, 0, &rng);
+  const double radius = 0.1;
+  FairNearNeighbor fair(pts, radius, {}, &build_rng);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point2 q{rng.NextDouble(), rng.NextDouble()};
+    const auto index = fair.QueryIndex(q, &rng);
+    if (index.has_value()) {
+      EXPECT_LE(Distance(pts[*index], q), radius);
+    }
+  }
+}
+
+TEST(FairNearNeighborTest, UniformOverVisibleNearPoints) {
+  Rng build_rng(6);
+  Rng rng(7);
+  const auto pts = MakePoints(400, 3, &rng);
+  const double radius = 0.08;
+  FairNearNeighbor fair(pts, radius, {}, &build_rng);
+
+  // Pick a query with a healthy number of visible near points.
+  Point2 q{0.0, 0.0};
+  std::vector<size_t> visible;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    q = pts[rng.Below(pts.size())];
+    visible.clear();
+    fair.VisibleNearPoints(q, &visible);
+    if (visible.size() >= 8) break;
+  }
+  ASSERT_GE(visible.size(), 8u);
+
+  std::map<size_t, uint64_t> freq;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    const auto index = fair.QueryIndex(q, &rng);
+    ASSERT_TRUE(index.has_value());
+    ++freq[*index];
+  }
+  ASSERT_EQ(freq.size(), visible.size());
+  std::vector<uint64_t> counts;
+  for (const auto& [index, count] : freq) counts.push_back(count);
+  testing::ExpectDistributionClose(
+      counts, std::vector<double>(visible.size(), 1.0 / visible.size()));
+}
+
+TEST(FairNearNeighborTest, RecallIsHighWithEnoughTables) {
+  Rng build_rng(8);
+  Rng rng(9);
+  const auto pts = MakePoints(1000, 0, &rng);
+  const double radius = 0.05;
+  FairNearNeighbor::Options options;
+  options.num_tables = 12;
+  options.hashes_per_table = 3;
+  FairNearNeighbor fair(pts, radius, options, &build_rng);
+
+  size_t visible_total = 0;
+  size_t true_total = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point2 q{0.1 + 0.8 * rng.NextDouble(), 0.1 + 0.8 * rng.NextDouble()};
+    std::vector<size_t> visible;
+    fair.VisibleNearPoints(q, &visible);
+    visible_total += visible.size();
+    for (const Point2& p : pts) true_total += (Distance(p, q) <= radius);
+  }
+  ASSERT_GT(true_total, 0u);
+  // Recall: LSH sees a large fraction of true near points.
+  EXPECT_GT(static_cast<double>(visible_total) /
+                static_cast<double>(true_total),
+            0.7);
+}
+
+TEST(FairNearNeighborTest, EmptyNeighborhoodIsNullopt) {
+  Rng build_rng(10);
+  Rng rng(11);
+  const auto pts = MakePoints(50, 0, &rng);
+  FairNearNeighbor fair(pts, 0.01, {}, &build_rng);
+  EXPECT_FALSE(fair.QueryIndex({50.0, 50.0}, &rng).has_value());
+}
+
+TEST(FairNearNeighborTest, FreshAcrossCalls) {
+  Rng build_rng(12);
+  Rng rng(13);
+  const auto pts = MakePoints(300, 1, &rng);
+  FairNearNeighbor fair(pts, 0.1, {}, &build_rng);
+  const Point2 q = pts[0];
+  std::set<size_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto index = fair.QueryIndex(q, &rng);
+    if (index.has_value()) seen.insert(*index);
+  }
+  EXPECT_GT(seen.size(), 5u) << "repeated queries stuck on few neighbors";
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,155 @@
+#include "iqs/range/integer_range_sampler.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/util/rng.h"
+#include "test_util.h"
+
+namespace iqs {
+namespace {
+
+std::vector<uint64_t> MakeKeys(size_t n, uint64_t universe, Rng* rng) {
+  // Clamp so distinct keys exist (an 8-bit universe has only 256 values).
+  n = std::min<uint64_t>(n, universe / 2 + 1);
+  std::set<uint64_t> keys;
+  while (keys.size() < n) keys.insert(rng->Below(universe));
+  return {keys.begin(), keys.end()};
+}
+
+TEST(StaticYFastIndexTest, PredecessorMatchesBinarySearchOracle) {
+  Rng rng(1);
+  for (int key_bits : {8, 16, 32, 64}) {
+    const uint64_t universe =
+        key_bits == 64 ? ~uint64_t{0} : (uint64_t{1} << key_bits);
+    const auto keys = MakeKeys(500, universe, &rng);
+    StaticYFastIndex index(keys, key_bits);
+    for (int trial = 0; trial < 3000; ++trial) {
+      // Mix of random probes, exact keys, and off-by-one probes.
+      uint64_t q;
+      const double dice = rng.NextDouble();
+      if (dice < 0.4) {
+        q = rng.Below(universe);
+      } else if (dice < 0.7) {
+        q = keys[rng.Below(keys.size())];
+      } else {
+        const uint64_t k = keys[rng.Below(keys.size())];
+        q = rng.Bernoulli(0.5) ? k + 1 : (k == 0 ? 0 : k - 1);
+      }
+      const auto got = index.Predecessor(q);
+      const auto it = std::upper_bound(keys.begin(), keys.end(), q);
+      if (it == keys.begin()) {
+        EXPECT_FALSE(got.has_value()) << "q=" << q;
+      } else {
+        ASSERT_TRUE(got.has_value()) << "q=" << q;
+        EXPECT_EQ(*got, static_cast<size_t>(it - keys.begin()) - 1)
+            << "q=" << q << " bits=" << key_bits;
+      }
+    }
+  }
+}
+
+TEST(StaticYFastIndexTest, BoundaryProbes) {
+  const std::vector<uint64_t> keys = {5, 9, 100, 101, 4095};
+  StaticYFastIndex index(keys, 12);
+  EXPECT_FALSE(index.Predecessor(0).has_value());
+  EXPECT_FALSE(index.Predecessor(4).has_value());
+  EXPECT_EQ(*index.Predecessor(5), 0u);
+  EXPECT_EQ(*index.Predecessor(8), 0u);
+  EXPECT_EQ(*index.Predecessor(9), 1u);
+  EXPECT_EQ(*index.Predecessor(99), 1u);
+  EXPECT_EQ(*index.Predecessor(100), 2u);
+  EXPECT_EQ(*index.Predecessor(4094), 3u);
+  EXPECT_EQ(*index.Predecessor(4095), 4u);
+  // Probe above the 12-bit universe.
+  EXPECT_EQ(*index.Predecessor(~uint64_t{0}), 4u);
+}
+
+TEST(StaticYFastIndexTest, SingleKey) {
+  const std::vector<uint64_t> keys = {7};
+  StaticYFastIndex index(keys, 16);
+  EXPECT_FALSE(index.Predecessor(6).has_value());
+  EXPECT_EQ(*index.Predecessor(7), 0u);
+  EXPECT_EQ(*index.Predecessor(70000), 0u);
+}
+
+TEST(IntegerRangeSamplerTest, ResolveMatchesOracle) {
+  Rng rng(2);
+  const auto keys = MakeKeys(400, 1 << 20, &rng);
+  const std::vector<double> weights(keys.size(), 1.0);
+  IntegerRangeSampler sampler(keys, weights, 20);
+  for (int trial = 0; trial < 1000; ++trial) {
+    uint64_t lo = rng.Below(1 << 20);
+    uint64_t hi = rng.Below(1 << 20);
+    if (lo > hi) std::swap(lo, hi);
+    size_t a = 0;
+    size_t b = 0;
+    const bool nonempty = sampler.ResolveInterval(lo, hi, &a, &b);
+    const auto first = std::lower_bound(keys.begin(), keys.end(), lo);
+    const auto last = std::upper_bound(keys.begin(), keys.end(), hi);
+    ASSERT_EQ(nonempty, first != last);
+    if (!nonempty) continue;
+    EXPECT_EQ(a, static_cast<size_t>(first - keys.begin()));
+    EXPECT_EQ(b, static_cast<size_t>(last - keys.begin()) - 1);
+  }
+}
+
+TEST(IntegerRangeSamplerTest, SamplesMatchWeights) {
+  Rng rng(3);
+  const auto keys = MakeKeys(96, 1 << 16, &rng);
+  std::vector<double> weights(keys.size());
+  for (double& w : weights) w = 0.5 + 2.0 * rng.NextDouble();
+  IntegerRangeSampler sampler(keys, weights, 16);
+
+  const uint64_t lo = keys[10];
+  const uint64_t hi = keys[80];
+  std::vector<size_t> out;
+  ASSERT_TRUE(sampler.Query(lo, hi, 150000, &rng, &out));
+  std::vector<uint64_t> counts(71, 0);
+  for (size_t p : out) {
+    ASSERT_GE(p, 10u);
+    ASSERT_LE(p, 80u);
+    ++counts[p - 10];
+  }
+  std::vector<double> range_weights(weights.begin() + 10,
+                                    weights.begin() + 81);
+  testing::ExpectDistributionClose(counts, testing::Normalize(range_weights));
+}
+
+TEST(IntegerRangeSamplerTest, EmptyAndDegenerate) {
+  Rng rng(4);
+  const std::vector<uint64_t> keys = {10, 20, 30};
+  const std::vector<double> weights = {1.0, 1.0, 1.0};
+  IntegerRangeSampler sampler(keys, weights, 8);
+  std::vector<size_t> out;
+  EXPECT_FALSE(sampler.Query(0, 9, 3, &rng, &out));
+  EXPECT_FALSE(sampler.Query(11, 19, 3, &rng, &out));
+  EXPECT_FALSE(sampler.Query(31, 255, 3, &rng, &out));
+  EXPECT_FALSE(sampler.Query(20, 10, 3, &rng, &out));
+  ASSERT_TRUE(sampler.Query(20, 20, 5, &rng, &out));
+  for (size_t p : out) EXPECT_EQ(p, 1u);
+  // lo == 0 path.
+  out.clear();
+  ASSERT_TRUE(sampler.Query(0, 255, 5, &rng, &out));
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(IntegerRangeSamplerTest, DenseUniverse) {
+  // Keys = every value of a small universe: predecessor is identity.
+  Rng rng(5);
+  std::vector<uint64_t> keys(256);
+  std::vector<double> weights(256, 1.0);
+  for (uint64_t i = 0; i < 256; ++i) keys[i] = i;
+  IntegerRangeSampler sampler(keys, weights, 8);
+  std::vector<size_t> out;
+  ASSERT_TRUE(sampler.Query(64, 191, 64000, &rng, &out));
+  std::vector<uint64_t> counts(128, 0);
+  for (size_t p : out) ++counts[p - 64];
+  testing::ExpectDistributionClose(counts,
+                                   std::vector<double>(128, 1.0 / 128));
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,223 @@
+// Cross-module integration tests: different structures over the SAME data
+// answering the SAME queries must induce the same law; the EM stack
+// (sort -> B-tree -> pools) must agree with an in-memory oracle.
+
+#include <map>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/iqs.h"
+#include "test_util.h"
+
+namespace iqs {
+namespace {
+
+using multidim::KdTreeSampler;
+using multidim::Point2;
+using multidim::QuadtreeSampler;
+using multidim::RangeTree2DSampler;
+using multidim::Rect;
+
+TEST(IntegrationTest, AllOneDimensionalSamplersAgreeInLaw) {
+  Rng rng(1);
+  const size_t n = 96;
+  const auto keys = UniformKeys(n, &rng);
+  std::vector<double> weights(n);
+  for (double& w : weights) w = 0.25 + 2.0 * rng.NextDouble();
+
+  const BstRangeSampler bst(keys, weights);
+  const AugRangeSampler aug(keys, weights);
+  const ChunkedRangeSampler chunked(keys, weights);
+  const NaiveRangeSampler naive(keys, weights);
+  const RangeSampler* samplers[] = {&bst, &aug, &chunked, &naive};
+
+  const size_t a = 13;
+  const size_t b = 77;
+  std::vector<double> range_weights(weights.begin() + a,
+                                    weights.begin() + b + 1);
+  for (const RangeSampler* sampler : samplers) {
+    std::vector<size_t> out;
+    sampler->QueryPositions(a, b, 120000, &rng, &out);
+    std::vector<uint64_t> counts(b - a + 1, 0);
+    for (size_t p : out) ++counts[p - a];
+    testing::ExpectDistributionClose(counts,
+                                     testing::Normalize(range_weights));
+  }
+}
+
+TEST(IntegrationTest, AllTwoDimensionalSamplersAgreeInLaw) {
+  Rng rng(2);
+  const size_t n = 250;
+  std::vector<Point2> pts;
+  for (const auto& [x, y] : Points2D(n, 0, &rng)) pts.push_back({x, y});
+  std::vector<double> weights(n);
+  for (double& w : weights) w = 0.5 + rng.NextDouble();
+
+  const KdTreeSampler kd(pts, weights);
+  const QuadtreeSampler quad(pts, weights);
+  const RangeTree2DSampler range_tree(pts, weights);
+
+  const Rect q{0.15, 0.85, 0.2, 0.8};
+  std::map<std::pair<double, double>, size_t> index_of;
+  std::vector<double> qualified_weights;
+  for (size_t i = 0; i < n; ++i) {
+    if (q.Contains(pts[i])) {
+      index_of[{pts[i].x, pts[i].y}] = qualified_weights.size();
+      qualified_weights.push_back(weights[i]);
+    }
+  }
+  ASSERT_GT(qualified_weights.size(), 20u);
+
+  auto check = [&](auto&& query) {
+    std::vector<Point2> out;
+    ASSERT_TRUE(query(&out));
+    std::vector<size_t> samples;
+    for (const Point2& p : out) {
+      auto it = index_of.find({p.x, p.y});
+      ASSERT_NE(it, index_of.end());
+      samples.push_back(it->second);
+    }
+    testing::ExpectSamplesMatchWeights(samples, qualified_weights);
+  };
+  check([&](std::vector<Point2>* out) {
+    return kd.QueryRect(q, 120000, &rng, out);
+  });
+  check([&](std::vector<Point2>* out) {
+    return quad.QueryRect(q, 120000, &rng, out);
+  });
+  check([&](std::vector<Point2>* out) {
+    return range_tree.QueryRect(q, 120000, &rng, out);
+  });
+}
+
+TEST(IntegrationTest, DynamicTreapConvergesToStaticLaw) {
+  // Insert the same dataset into the treap; its query law must match the
+  // static Theorem-3 structure.
+  Rng rng(3);
+  const size_t n = 80;
+  const auto keys = UniformKeys(n, &rng);
+  std::vector<double> weights(n);
+  for (double& w : weights) w = 0.5 + rng.NextDouble();
+
+  const ChunkedRangeSampler static_sampler(keys, weights);
+  DynamicRangeSampler treap(&rng);
+  for (size_t i = 0; i < n; ++i) treap.Insert(keys[i], weights[i]);
+
+  const double lo = keys[10];
+  const double hi = keys[69];
+  std::vector<uint64_t> static_counts(60, 0);
+  std::vector<size_t> positions;
+  static_sampler.Query(lo, hi, 120000, &rng, &positions);
+  for (size_t p : positions) ++static_counts[p - 10];
+
+  std::vector<uint64_t> treap_counts(60, 0);
+  std::vector<double> out;
+  treap.Query(lo, hi, 120000, &rng, &out);
+  std::map<double, size_t> key_index;
+  for (size_t i = 10; i <= 69; ++i) key_index[keys[i]] = i - 10;
+  for (double key : out) ++treap_counts[key_index.at(key)];
+
+  const std::vector<double> range_weights(weights.begin() + 10,
+                                          weights.begin() + 70);
+  testing::ExpectDistributionClose(static_counts,
+                                   testing::Normalize(range_weights));
+  testing::ExpectDistributionClose(treap_counts,
+                                   testing::Normalize(range_weights));
+}
+
+TEST(IntegrationTest, EmStackAgreesWithInMemoryOracle) {
+  // Unsorted values -> external sort -> B-tree -> EM range sampler; the
+  // whole stack's sampling law must match the in-memory computation.
+  const size_t kB = 16;
+  em::BlockDevice device(kB);
+  Rng rng(4);
+  em::EmArray raw(&device, 1);
+  std::vector<uint64_t> values;
+  {
+    em::EmWriter writer(&raw);
+    for (int i = 0; i < 600; ++i) {
+      const uint64_t v = rng.Next64() % 5000;
+      writer.Append1(v);
+      values.push_back(v);
+    }
+    writer.Finish();
+  }
+  em::EmArray sorted = em::ExternalSort(raw, 4 * kB);
+  std::sort(values.begin(), values.end());
+
+  em::EmRangeSampler sampler(&sorted, 4 * kB, &rng);
+  const uint64_t lo = 1000;
+  const uint64_t hi = 4000;
+  std::vector<uint64_t> in_range;
+  for (uint64_t v : values) {
+    if (v >= lo && v <= hi) in_range.push_back(v);
+  }
+  ASSERT_FALSE(in_range.empty());
+
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(sampler.Query(lo, hi, 100000, &rng, &out));
+  std::map<uint64_t, uint64_t> freq;
+  for (uint64_t v : out) {
+    ASSERT_GE(v, lo);
+    ASSERT_LE(v, hi);
+    ++freq[v];
+  }
+  // Duplicates in the data weight values by multiplicity.
+  std::map<uint64_t, double> multiplicity;
+  for (uint64_t v : in_range) multiplicity[v] += 1.0;
+  ASSERT_EQ(freq.size(), multiplicity.size());
+  std::vector<uint64_t> counts;
+  std::vector<double> weights;
+  for (const auto& [v, m] : multiplicity) {
+    counts.push_back(freq[v]);
+    weights.push_back(m);
+  }
+  testing::ExpectDistributionClose(counts, testing::Normalize(weights));
+}
+
+TEST(IntegrationTest, SubtreeSamplerOverKdStyleDecomposition) {
+  // WeightedTree built to mirror a quadtree hierarchy, sampled via both
+  // the top-down sampler and the Lemma-4 sampler.
+  Rng rng(5);
+  WeightedTree tree;
+  std::vector<WeightedTree::NodeId> level = {tree.root()};
+  for (int depth = 0; depth < 3; ++depth) {
+    std::vector<WeightedTree::NodeId> next;
+    for (auto node : level) {
+      for (int c = 0; c < 4; ++c) next.push_back(tree.AddChild(node));
+    }
+    level = std::move(next);
+  }
+  for (auto leaf : level) tree.SetLeafWeight(leaf, 0.5 + rng.NextDouble());
+  tree.Finalize();
+
+  const TreeSampler top_down(&tree);
+  const SubtreeSampler euler(&tree);
+  const auto q = tree.Children(tree.Children(tree.root())[2])[1];
+
+  std::map<WeightedTree::NodeId, uint64_t> freq_a;
+  std::map<WeightedTree::NodeId, uint64_t> freq_b;
+  std::vector<WeightedTree::NodeId> out;
+  top_down.Query(q, 60000, &rng, &out);
+  for (auto leaf : out) ++freq_a[leaf];
+  out.clear();
+  euler.Query(q, 60000, &rng, &out);
+  for (auto leaf : out) ++freq_b[leaf];
+  ASSERT_EQ(freq_a.size(), freq_b.size());
+
+  std::vector<uint64_t> counts_a;
+  std::vector<uint64_t> counts_b;
+  std::vector<double> leaf_weights;
+  for (const auto& [leaf, count] : freq_a) {
+    counts_a.push_back(count);
+    counts_b.push_back(freq_b[leaf]);
+    leaf_weights.push_back(tree.Weight(leaf));
+  }
+  testing::ExpectDistributionClose(counts_a,
+                                   testing::Normalize(leaf_weights));
+  testing::ExpectDistributionClose(counts_b,
+                                   testing::Normalize(leaf_weights));
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,91 @@
+#include "iqs/sketch/kmv_sketch.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/util/rng.h"
+
+namespace iqs {
+namespace {
+
+TEST(KmvSketchTest, ExactBelowK) {
+  KmvSketch sketch(64);
+  for (uint64_t i = 0; i < 50; ++i) sketch.Add(i);
+  EXPECT_DOUBLE_EQ(sketch.EstimateDistinct(), 50.0);
+}
+
+TEST(KmvSketchTest, IdempotentInsertions) {
+  KmvSketch sketch(64);
+  for (int round = 0; round < 10; ++round) {
+    for (uint64_t i = 0; i < 30; ++i) sketch.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(sketch.EstimateDistinct(), 30.0);
+}
+
+TEST(KmvSketchTest, EstimateWithinRelativeError) {
+  // The paper's algorithm needs the estimate within [U/2, 1.5U]; with
+  // k = 64 the standard error is ~12.5%, so check a 40% band across many
+  // cardinalities (deterministic given the fixed hash).
+  for (uint64_t n : {500u, 5000u, 50000u, 200000u}) {
+    KmvSketch sketch(64);
+    for (uint64_t i = 0; i < n; ++i) sketch.Add(i * 2654435761ULL + 17);
+    const double estimate = sketch.EstimateDistinct();
+    EXPECT_GT(estimate, 0.5 * static_cast<double>(n)) << "n=" << n;
+    EXPECT_LT(estimate, 1.5 * static_cast<double>(n)) << "n=" << n;
+  }
+}
+
+TEST(KmvSketchTest, LargerKTightensEstimate) {
+  const uint64_t n = 100000;
+  double err_small = 0.0;
+  double err_large = 0.0;
+  for (uint64_t salt = 0; salt < 5; ++salt) {
+    KmvSketch small(16);
+    KmvSketch large(1024);
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t element = i * 0x9e3779b97f4a7c15ULL + salt;
+      small.Add(element);
+      large.Add(element);
+    }
+    err_small += std::abs(small.EstimateDistinct() - n) / n;
+    err_large += std::abs(large.EstimateDistinct() - n) / n;
+  }
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST(KmvSketchTest, MergeEqualsUnionSketch) {
+  KmvSketch a(32);
+  KmvSketch b(32);
+  KmvSketch both(32);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    a.Add(i);
+    both.Add(i);
+  }
+  for (uint64_t i = 500; i < 1500; ++i) {
+    b.Add(i);
+    both.Add(i);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.EstimateDistinct(), both.EstimateDistinct());
+}
+
+TEST(KmvSketchTest, MergeWithDisjointSets) {
+  KmvSketch a(64);
+  KmvSketch b(64);
+  for (uint64_t i = 0; i < 2000; ++i) a.Add(i);
+  for (uint64_t i = 2000; i < 4000; ++i) b.Add(i);
+  a.Merge(b);
+  const double estimate = a.EstimateDistinct();
+  EXPECT_GT(estimate, 2000.0);
+  EXPECT_LT(estimate, 6000.0);
+}
+
+TEST(KmvSketchTest, BoundedMemory) {
+  KmvSketch sketch(32);
+  for (uint64_t i = 0; i < 100000; ++i) sketch.Add(i);
+  EXPECT_EQ(sketch.stored(), 32u);
+}
+
+}  // namespace
+}  // namespace iqs

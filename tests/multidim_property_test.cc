@@ -1,0 +1,171 @@
+// Parameterized property sweeps for the 2-d IQS structures: law,
+// containment, and independence across structure kind x weight shape x
+// query shape (gtest TEST_P).
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/iqs.h"
+#include "test_util.h"
+
+namespace iqs::multidim {
+namespace {
+
+enum class StructureKind { kKd, kQuad, kRangeTree };
+enum class WeightShape { kUnit, kSkewed };
+enum class QueryShape { kSquare, kSlabX, kSlabY, kFull };
+
+using Param = std::tuple<StructureKind, WeightShape, QueryShape>;
+
+class MultidimPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  static constexpr size_t kN = 300;
+
+  void SetUp() override {
+    Rng rng(31);
+    for (const auto& [x, y] : Points2D(kN, 2, &rng)) points_.push_back({x, y});
+    weights_.resize(kN);
+    for (double& w : weights_) {
+      w = std::get<1>(GetParam()) == WeightShape::kUnit
+              ? 1.0
+              : std::pow(rng.NextDouble(), 3.0) * 10.0 + 0.1;
+    }
+    switch (std::get<2>(GetParam())) {
+      case QueryShape::kSquare:
+        query_ = {0.3, 0.7, 0.3, 0.7};
+        break;
+      case QueryShape::kSlabX:
+        query_ = {0.45, 0.55, -1.0, 2.0};
+        break;
+      case QueryShape::kSlabY:
+        query_ = {-1.0, 2.0, 0.45, 0.55};
+        break;
+      case QueryShape::kFull:
+        query_ = {-1.0, 2.0, -1.0, 2.0};
+        break;
+    }
+  }
+
+  // Runs one query of `s` samples through the selected structure.
+  bool RunQuery(size_t s, Rng* rng, std::vector<Point2>* out) {
+    switch (std::get<0>(GetParam())) {
+      case StructureKind::kKd: {
+        if (kd_ == nullptr) {
+          kd_ = std::make_unique<KdTreeSampler>(points_, weights_);
+        }
+        return kd_->QueryRect(query_, s, rng, out);
+      }
+      case StructureKind::kQuad: {
+        if (quad_ == nullptr) {
+          quad_ = std::make_unique<QuadtreeSampler>(points_, weights_);
+        }
+        return quad_->QueryRect(query_, s, rng, out);
+      }
+      case StructureKind::kRangeTree: {
+        if (range_tree_ == nullptr) {
+          range_tree_ =
+              std::make_unique<RangeTree2DSampler>(points_, weights_);
+        }
+        return range_tree_->QueryRect(query_, s, rng, out);
+      }
+    }
+    return false;
+  }
+
+  std::vector<Point2> points_;
+  std::vector<double> weights_;
+  Rect query_;
+  std::unique_ptr<KdTreeSampler> kd_;
+  std::unique_ptr<QuadtreeSampler> quad_;
+  std::unique_ptr<RangeTree2DSampler> range_tree_;
+};
+
+TEST_P(MultidimPropertyTest, LawAndContainment) {
+  Rng rng(32);
+  std::map<std::pair<double, double>, size_t> index_of;
+  std::vector<double> qualified_weights;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (query_.Contains(points_[i])) {
+      index_of[{points_[i].x, points_[i].y}] = qualified_weights.size();
+      qualified_weights.push_back(weights_[i]);
+    }
+  }
+  std::vector<Point2> out;
+  const bool nonempty = RunQuery(120000, &rng, &out);
+  ASSERT_EQ(nonempty, !qualified_weights.empty());
+  if (!nonempty) return;
+  std::vector<size_t> samples;
+  for (const Point2& p : out) {
+    const auto it = index_of.find({p.x, p.y});
+    ASSERT_NE(it, index_of.end()) << "sample escaped the query rect";
+    samples.push_back(it->second);
+  }
+  iqs::testing::ExpectSamplesMatchWeights(samples, qualified_weights);
+}
+
+TEST_P(MultidimPropertyTest, RepeatedQueriesDiffer) {
+  Rng rng(33);
+  std::vector<Point2> first;
+  std::vector<Point2> second;
+  if (!RunQuery(20, &rng, &first)) GTEST_SKIP();
+  RunQuery(20, &rng, &second);
+  bool identical = first.size() == second.size();
+  if (identical) {
+    for (size_t i = 0; i < first.size(); ++i) {
+      identical = identical && first[i] == second[i];
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+std::string Name(const ::testing::TestParamInfo<Param>& info) {
+  std::string name;
+  switch (std::get<0>(info.param)) {
+    case StructureKind::kKd:
+      name += "Kd";
+      break;
+    case StructureKind::kQuad:
+      name += "Quad";
+      break;
+    case StructureKind::kRangeTree:
+      name += "RangeTree";
+      break;
+  }
+  name += std::get<1>(info.param) == WeightShape::kUnit ? "Unit" : "Skew";
+  switch (std::get<2>(info.param)) {
+    case QueryShape::kSquare:
+      name += "Square";
+      break;
+    case QueryShape::kSlabX:
+      name += "SlabX";
+      break;
+    case QueryShape::kSlabY:
+      name += "SlabY";
+      break;
+    case QueryShape::kFull:
+      name += "Full";
+      break;
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultidimPropertyTest,
+    ::testing::Combine(::testing::Values(StructureKind::kKd,
+                                         StructureKind::kQuad,
+                                         StructureKind::kRangeTree),
+                       ::testing::Values(WeightShape::kUnit,
+                                         WeightShape::kSkewed),
+                       ::testing::Values(QueryShape::kSquare,
+                                         QueryShape::kSlabX,
+                                         QueryShape::kSlabY,
+                                         QueryShape::kFull)),
+    Name);
+
+}  // namespace
+}  // namespace iqs::multidim

@@ -1,0 +1,170 @@
+// Parameterized property sweeps: the invariants every IQS structure must
+// hold, swept across dataset distribution, weight skew, range shape, and
+// sample size (gtest TEST_P / INSTANTIATE_TEST_SUITE_P).
+//
+// Invariant 1 (law): the empirical sample distribution over a range
+// matches the normalized weights of the range (chi-square).
+// Invariant 2 (independence): with s = 1 and a repeated identical query,
+// consecutive outputs are uncorrelated.
+// Invariant 3 (containment): samples never escape the range.
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/iqs.h"
+#include "test_util.h"
+
+namespace iqs {
+namespace {
+
+enum class DataShape { kUniform, kClustered };
+enum class WeightShape { kUnit, kZipfHalf, kZipfTwo };
+enum class RangeShape { kFull, kMiddle, kTiny, kPrefix };
+
+using PropertyParam = std::tuple<DataShape, WeightShape, RangeShape>;
+
+class RangeSamplingPropertyTest
+    : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  static constexpr size_t kN = 512;
+
+  void SetUp() override {
+    Rng rng(uint64_t(17) * (1 + static_cast<uint64_t>(
+                                    std::get<0>(GetParam()) ==
+                                    DataShape::kClustered)));
+    keys_ = std::get<0>(GetParam()) == DataShape::kUniform
+                ? UniformKeys(kN, &rng)
+                : ClusteredKeys(kN, 4, &rng);
+    switch (std::get<1>(GetParam())) {
+      case WeightShape::kUnit:
+        weights_ = ZipfWeights(kN, 0.0, &rng);
+        break;
+      case WeightShape::kZipfHalf:
+        weights_ = ZipfWeights(kN, 0.5, &rng);
+        break;
+      case WeightShape::kZipfTwo:
+        weights_ = ZipfWeights(kN, 2.0, &rng);
+        break;
+    }
+    switch (std::get<2>(GetParam())) {
+      case RangeShape::kFull:
+        a_ = 0;
+        b_ = kN - 1;
+        break;
+      case RangeShape::kMiddle:
+        a_ = kN / 4;
+        b_ = 3 * kN / 4;
+        break;
+      case RangeShape::kTiny:
+        a_ = kN / 2;
+        b_ = kN / 2 + 3;
+        break;
+      case RangeShape::kPrefix:
+        a_ = 0;
+        b_ = kN / 8;
+        break;
+    }
+  }
+
+  std::vector<double> keys_;
+  std::vector<double> weights_;
+  size_t a_ = 0;
+  size_t b_ = 0;
+};
+
+TEST_P(RangeSamplingPropertyTest, LawAndContainment) {
+  Rng rng(99);
+  const ChunkedRangeSampler sampler(keys_, weights_);
+  std::vector<size_t> out;
+  sampler.QueryPositions(a_, b_, 150000, &rng, &out);
+  std::vector<uint64_t> counts(b_ - a_ + 1, 0);
+  for (size_t p : out) {
+    ASSERT_GE(p, a_);
+    ASSERT_LE(p, b_);
+    ++counts[p - a_];
+  }
+  std::vector<double> range_weights(weights_.begin() + a_,
+                                    weights_.begin() + b_ + 1);
+  testing::ExpectDistributionClose(counts, testing::Normalize(range_weights));
+}
+
+TEST_P(RangeSamplingPropertyTest, ConsecutiveQueriesUncorrelated) {
+  Rng rng(100);
+  const ChunkedRangeSampler sampler(keys_, weights_);
+  std::vector<double> series;
+  for (int q = 0; q < 20000; ++q) {
+    std::vector<size_t> out;
+    sampler.QueryPositions(a_, b_, 1, &rng, &out);
+    series.push_back(static_cast<double>(out[0]));
+  }
+  std::vector<double> lagged(series.begin() + 1, series.end());
+  series.pop_back();
+  EXPECT_LT(std::abs(PearsonCorrelation(series, lagged)), 0.03);
+}
+
+TEST_P(RangeSamplingPropertyTest, WorSubsetsAreDistinctAndContained) {
+  Rng rng(101);
+  const ChunkedRangeSampler sampler(keys_, weights_);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<size_t> out;
+    const size_t s = 1 + static_cast<size_t>(rng.Below(
+                             std::min<size_t>(b_ - a_ + 1, 32)));
+    WorQueryPositions(sampler, weights_, a_, b_, s, &rng, &out);
+    ASSERT_EQ(out.size(), s);
+    std::sort(out.begin(), out.end());
+    for (size_t i = 1; i < out.size(); ++i) ASSERT_NE(out[i - 1], out[i]);
+    ASSERT_GE(out.front(), a_);
+    ASSERT_LE(out.back(), b_);
+  }
+}
+
+std::string ParamName(
+    const ::testing::TestParamInfo<PropertyParam>& info) {
+  std::string name;
+  name += std::get<0>(info.param) == DataShape::kUniform ? "Uni" : "Clus";
+  switch (std::get<1>(info.param)) {
+    case WeightShape::kUnit:
+      name += "W0";
+      break;
+    case WeightShape::kZipfHalf:
+      name += "W05";
+      break;
+    case WeightShape::kZipfTwo:
+      name += "W2";
+      break;
+  }
+  switch (std::get<2>(info.param)) {
+    case RangeShape::kFull:
+      name += "Full";
+      break;
+    case RangeShape::kMiddle:
+      name += "Mid";
+      break;
+    case RangeShape::kTiny:
+      name += "Tiny";
+      break;
+    case RangeShape::kPrefix:
+      name += "Pre";
+      break;
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RangeSamplingPropertyTest,
+    ::testing::Combine(::testing::Values(DataShape::kUniform,
+                                         DataShape::kClustered),
+                       ::testing::Values(WeightShape::kUnit,
+                                         WeightShape::kZipfHalf,
+                                         WeightShape::kZipfTwo),
+                       ::testing::Values(RangeShape::kFull,
+                                         RangeShape::kMiddle,
+                                         RangeShape::kTiny,
+                                         RangeShape::kPrefix)),
+    ParamName);
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,51 @@
+#include "iqs/range/rmq.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/util/rng.h"
+
+namespace iqs {
+namespace {
+
+TEST(RmqTest, SingleElement) {
+  SparseTableRmq rmq(std::vector<uint32_t>{42});
+  EXPECT_EQ(rmq.ArgMin(0, 0), 0u);
+}
+
+TEST(RmqTest, MatchesBruteForce) {
+  Rng rng(1);
+  std::vector<uint32_t> values(257);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<uint32_t>(i);
+  }
+  for (size_t i = values.size(); i > 1; --i) {
+    std::swap(values[i - 1], values[rng.Below(i)]);
+  }
+  SparseTableRmq rmq(values);
+  for (int trial = 0; trial < 3000; ++trial) {
+    size_t a = rng.Below(values.size());
+    size_t b = rng.Below(values.size());
+    if (a > b) std::swap(a, b);
+    size_t want = a;
+    for (size_t i = a; i <= b; ++i) {
+      if (values[i] < values[want]) want = i;
+    }
+    EXPECT_EQ(rmq.ArgMin(a, b), want);
+  }
+}
+
+TEST(RmqTest, PowerOfTwoBoundaries) {
+  std::vector<uint32_t> values(64);
+  for (size_t i = 0; i < 64; ++i) values[i] = static_cast<uint32_t>(64 - i);
+  SparseTableRmq rmq(values);
+  // Decreasing values: min is always the right endpoint.
+  for (size_t a = 0; a < 64; ++a) {
+    for (size_t b = a; b < 64; ++b) {
+      ASSERT_EQ(rmq.ArgMin(a, b), b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,104 @@
+#include "iqs/util/rng.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace iqs {
+namespace {
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next64() == b.Next64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ZeroSeedWorks) {
+  Rng rng(0);
+  uint64_t x = 0;
+  for (int i = 0; i < 16; ++i) x |= rng.Next64();
+  EXPECT_NE(x, 0u);
+}
+
+TEST(RngTest, BelowStaysInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 40)}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(bound), bound);
+  }
+}
+
+TEST(RngTest, BelowIsUniform) {
+  Rng rng(11);
+  constexpr size_t kBound = 17;
+  std::vector<uint64_t> counts(kBound, 0);
+  for (int i = 0; i < 170000; ++i) ++counts[rng.Below(kBound)];
+  testing::ExpectDistributionClose(
+      counts, std::vector<double>(kBound, 1.0 / kBound));
+}
+
+TEST(RngTest, UniformCoversInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.Uniform(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(5);
+  double min = 1.0;
+  double max = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    min = std::min(min, d);
+    max = std::max(max, d);
+  }
+  EXPECT_LT(min, 0.001);
+  EXPECT_GT(max, 0.999);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(9);
+  const double p = 0.3;
+  int heads = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) heads += rng.Bernoulli(p);
+  EXPECT_NEAR(static_cast<double>(heads) / trials, p, 0.01);
+}
+
+TEST(RngTest, SplitProducesDistinctStream) {
+  Rng parent(13);
+  Rng child = parent.Split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.Next64() == child.Next64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~uint64_t{0});
+  Rng rng(1);
+  EXPECT_GE(rng(), Rng::min());
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,132 @@
+#include "iqs/em/sample_pool.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/em/em_array.h"
+#include "test_util.h"
+
+namespace iqs::em {
+namespace {
+
+struct Fixture {
+  Fixture(size_t n, size_t block_words)
+      : device(block_words), data(&device, 1) {
+    EmWriter writer(&data);
+    for (uint64_t i = 0; i < n; ++i) writer.Append1(i);
+    writer.Finish();
+  }
+
+  BlockDevice device;
+  EmArray data;
+};
+
+TEST(SamplePoolTest, SamplesAreUniformOverData) {
+  Fixture f(64, 8);
+  Rng rng(1);
+  SamplePool pool(&f.data, 0, 64, 8 * 8, &rng);
+  std::vector<uint64_t> out;
+  pool.Query(128000, &rng, &out);  // forces many rebuilds
+  std::vector<uint64_t> counts(64, 0);
+  for (uint64_t v : out) {
+    ASSERT_LT(v, 64u);
+    ++counts[v];
+  }
+  iqs::testing::ExpectDistributionClose(counts,
+                                        std::vector<double>(64, 1.0 / 64));
+}
+
+TEST(SamplePoolTest, SubrangePoolStaysInRange) {
+  Fixture f(100, 8);
+  Rng rng(2);
+  SamplePool pool(&f.data, 30, 40, 8 * 8, &rng);
+  std::vector<uint64_t> out;
+  pool.Query(40000, &rng, &out);
+  std::vector<uint64_t> counts(40, 0);
+  for (uint64_t v : out) {
+    ASSERT_GE(v, 30u);
+    ASSERT_LT(v, 70u);
+    ++counts[v - 30];
+  }
+  iqs::testing::ExpectDistributionClose(counts,
+                                        std::vector<double>(40, 1.0 / 40));
+}
+
+TEST(SamplePoolTest, QueryIoIsBlockGranular) {
+  const size_t kB = 64;
+  Fixture f(1 << 14, kB);
+  Rng rng(3);
+  SamplePool pool(&f.data, 0, 1 << 14, 16 * kB, &rng);
+  // A query of s consecutive clean samples costs ~ s/B reads.
+  f.device.ResetCounters();
+  std::vector<uint64_t> out;
+  pool.Query(1024, &rng, &out);
+  EXPECT_LE(f.device.total_ios(), 1024 / kB + 2);
+  EXPECT_EQ(pool.rebuilds(), 1u);  // only the constructor build
+}
+
+TEST(SamplePoolTest, RebuildTriggersWhenPoolExhausted) {
+  Fixture f(256, 8);
+  Rng rng(4);
+  SamplePool pool(&f.data, 0, 256, 8 * 8, &rng);
+  std::vector<uint64_t> out;
+  pool.Query(256, &rng, &out);
+  EXPECT_EQ(pool.rebuilds(), 1u);
+  pool.Query(1, &rng, &out);
+  EXPECT_EQ(pool.rebuilds(), 2u);
+}
+
+TEST(SamplePoolTest, AmortizedIoBeatsNaiveForLargeS) {
+  const size_t kB = 64;
+  const size_t n = 1 << 15;
+  Fixture f(n, kB);
+  Rng rng(5);
+  SamplePool pool(&f.data, 0, n, 16 * kB, &rng);
+
+  const size_t s = n;  // consume one full pool + trigger one rebuild
+  f.device.ResetCounters();
+  std::vector<uint64_t> out;
+  pool.Query(s, &rng, &out);
+  const uint64_t pool_ios = f.device.total_ios();
+
+  f.device.ResetCounters();
+  out.clear();
+  SamplePool::NaiveQuery(f.data, 0, n, s, &rng, &out);
+  const uint64_t naive_ios = f.device.total_ios();
+
+  EXPECT_EQ(naive_ios, s);
+  // Pool: ~ s/B (reads) + one rebuild ~ c * (n/B) log(n/B) — far below s.
+  EXPECT_LT(pool_ios, naive_ios / 2);
+}
+
+TEST(SamplePoolTest, SuccessiveQueriesAreIndependentDraws) {
+  // Consecutive small queries consume disjoint pool entries, which are
+  // i.i.d. — check the lag-1 correlation over query outputs is ~0.
+  Fixture f(128, 8);
+  Rng rng(6);
+  SamplePool pool(&f.data, 0, 128, 8 * 8, &rng);
+  std::vector<double> series;
+  for (int q = 0; q < 20000; ++q) {
+    std::vector<uint64_t> out;
+    pool.Query(1, &rng, &out);
+    series.push_back(static_cast<double>(out[0]));
+  }
+  std::vector<double> lagged(series.begin() + 1, series.end());
+  series.pop_back();
+  EXPECT_LT(std::abs(PearsonCorrelation(series, lagged)), 0.03);
+}
+
+TEST(SamplePoolNaiveTest, UniformToo) {
+  Fixture f(32, 8);
+  Rng rng(7);
+  std::vector<uint64_t> out;
+  SamplePool::NaiveQuery(f.data, 0, 32, 64000, &rng, &out);
+  std::vector<uint64_t> counts(32, 0);
+  for (uint64_t v : out) ++counts[v];
+  iqs::testing::ExpectDistributionClose(counts,
+                                        std::vector<double>(32, 1.0 / 32));
+}
+
+}  // namespace
+}  // namespace iqs::em

@@ -1,0 +1,213 @@
+#include "iqs/sampling/set_sampler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/sampling/multinomial.h"
+#include "iqs/util/rng.h"
+#include "test_util.h"
+
+namespace iqs {
+namespace {
+
+TEST(UniformWrTest, MarginalIsUniform) {
+  Rng rng(1);
+  std::vector<size_t> samples;
+  UniformWrSample(20, 200000, &rng, &samples);
+  testing::ExpectSamplesMatchWeights(samples, std::vector<double>(20, 1.0));
+}
+
+class WorSizeTest : public ::testing::TestWithParam<std::pair<size_t, size_t>> {
+};
+
+TEST_P(WorSizeTest, DistinctAndInRange) {
+  const auto [n, s] = GetParam();
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<size_t> samples;
+    UniformWorSample(n, s, &rng, &samples);
+    ASSERT_EQ(samples.size(), s);
+    std::set<size_t> distinct(samples.begin(), samples.end());
+    EXPECT_EQ(distinct.size(), s) << "WoR sample has duplicates";
+    for (size_t v : samples) EXPECT_LT(v, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, WorSizeTest,
+    ::testing::Values(std::pair<size_t, size_t>{10, 1},
+                      std::pair<size_t, size_t>{10, 5},
+                      std::pair<size_t, size_t>{10, 10},
+                      std::pair<size_t, size_t>{1000, 3},
+                      std::pair<size_t, size_t>{1000, 999},
+                      std::pair<size_t, size_t>{7, 0}));
+
+TEST(UniformWorTest, InclusionProbabilityUniform) {
+  // Every element appears in a WoR(n=12, s=4) sample with probability 1/3.
+  Rng rng(3);
+  constexpr size_t kN = 12;
+  constexpr size_t kS = 4;
+  std::vector<uint64_t> inclusion(kN, 0);
+  constexpr int kTrials = 60000;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<size_t> samples;
+    UniformWorSample(kN, kS, &rng, &samples);
+    for (size_t v : samples) ++inclusion[v];
+  }
+  // Total inclusions = kTrials * kS spread uniformly over kN slots.
+  testing::ExpectDistributionClose(inclusion,
+                                   std::vector<double>(kN, 1.0 / kN));
+}
+
+TEST(UniformWorTest, SparsePathUniform) {
+  // s << n exercises Floyd's algorithm (hash path).
+  Rng rng(4);
+  constexpr size_t kN = 1000;
+  std::vector<uint64_t> inclusion(kN, 0);
+  for (int t = 0; t < 20000; ++t) {
+    std::vector<size_t> samples;
+    UniformWorSample(kN, 5, &rng, &samples);
+    for (size_t v : samples) ++inclusion[v];
+  }
+  testing::ExpectDistributionClose(inclusion,
+                                   std::vector<double>(kN, 1.0 / kN));
+}
+
+TEST(WorToWrTest, MatchesDirectWrLaw) {
+  // Over a small ground set, the full s-tuple multiset law of
+  // WoR->WR-converted samples must match direct WR sampling. Compare the
+  // distribution of sorted triples over n = 4, s = 3 (20 multisets).
+  Rng rng(5);
+  constexpr size_t kN = 4;
+  constexpr size_t kS = 3;
+  auto encode = [](std::vector<size_t> v) {
+    std::sort(v.begin(), v.end());
+    return v[0] * 25 + v[1] * 5 + v[2];
+  };
+  std::map<size_t, uint64_t> via_conversion;
+  std::map<size_t, uint64_t> direct;
+  constexpr int kTrials = 120000;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<size_t> wor;
+    UniformWorSample(kN, kS, &rng, &wor);
+    via_conversion[encode(WorToWr(wor, kN, &rng))]++;
+    std::vector<size_t> wr;
+    UniformWrSample(kN, kS, &rng, &wr);
+    direct[encode(wr)]++;
+  }
+  // Chi-square of conversion counts against direct empirical frequencies
+  // is awkward; instead compare both against the exact WR law.
+  std::vector<uint64_t> counts;
+  std::vector<double> probs;
+  for (size_t a = 0; a < kN; ++a) {
+    for (size_t b = a; b < kN; ++b) {
+      for (size_t c = b; c < kN; ++c) {
+        const size_t code = a * 25 + b * 5 + c;
+        counts.push_back(via_conversion[code]);
+        // Multiset {a,b,c} probability: permutations / n^s.
+        double perms = 6.0;
+        if (a == b && b == c) {
+          perms = 1.0;
+        } else if (a == b || b == c) {
+          perms = 3.0;
+        }
+        probs.push_back(perms / 64.0);
+      }
+    }
+  }
+  testing::ExpectDistributionClose(counts, probs);
+}
+
+TEST(WeightedWorTest, SizeAndDistinctness) {
+  Rng rng(6);
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0, 5.0};
+  for (size_t s = 0; s <= weights.size(); ++s) {
+    std::vector<size_t> out;
+    WeightedWorSample(weights, s, &rng, &out);
+    ASSERT_EQ(out.size(), s);
+    std::set<size_t> distinct(out.begin(), out.end());
+    EXPECT_EQ(distinct.size(), s);
+  }
+}
+
+TEST(WeightedWorTest, HeavyElementAlmostAlwaysIncluded) {
+  Rng rng(7);
+  const std::vector<double> weights = {1.0, 1.0, 1.0, 1000.0};
+  int included = 0;
+  constexpr int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<size_t> out;
+    WeightedWorSample(weights, 1, &rng, &out);
+    included += (out[0] == 3);
+  }
+  EXPECT_GT(included, kTrials * 0.99);
+}
+
+TEST(WeightedWorTest, FirstDrawMarginalMatchesWeights) {
+  // With s = 1, Efraimidis-Spirakis reduces to plain weighted sampling.
+  Rng rng(8);
+  const std::vector<double> weights = {1.0, 2.0, 4.0, 3.0};
+  std::vector<size_t> samples;
+  for (int t = 0; t < 100000; ++t) {
+    std::vector<size_t> out;
+    WeightedWorSample(weights, 1, &rng, &out);
+    samples.push_back(out[0]);
+  }
+  testing::ExpectSamplesMatchWeights(samples, weights);
+}
+
+TEST(ReservoirTest, UniformOverStream) {
+  Rng rng(9);
+  constexpr size_t kStream = 50;
+  constexpr size_t kS = 5;
+  std::vector<uint64_t> inclusion(kStream, 0);
+  for (int t = 0; t < 40000; ++t) {
+    ReservoirSampler reservoir(kS);
+    for (size_t v = 0; v < kStream; ++v) reservoir.Offer(v, &rng);
+    ASSERT_EQ(reservoir.sample().size(), kS);
+    for (size_t v : reservoir.sample()) ++inclusion[v];
+  }
+  testing::ExpectDistributionClose(
+      inclusion, std::vector<double>(kStream, 1.0 / kStream));
+}
+
+TEST(ReservoirTest, ShortStreamKeepsEverything) {
+  Rng rng(10);
+  ReservoirSampler reservoir(10);
+  for (size_t v = 0; v < 4; ++v) reservoir.Offer(v, &rng);
+  EXPECT_EQ(reservoir.sample().size(), 4u);
+}
+
+TEST(MultinomialTest, CountsSumToS) {
+  Rng rng(11);
+  const std::vector<double> weights = {1.0, 2.0, 3.0};
+  const auto counts = MultinomialSplit(weights, 1000, &rng);
+  uint64_t total = 0;
+  for (uint32_t c : counts) total += c;
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(MultinomialTest, MarginalsMatchWeights) {
+  Rng rng(12);
+  const std::vector<double> weights = {1.0, 2.0, 5.0, 2.0};
+  std::vector<uint64_t> aggregate(weights.size(), 0);
+  for (int t = 0; t < 500; ++t) {
+    const auto counts = MultinomialSplit(weights, 1000, &rng);
+    for (size_t i = 0; i < counts.size(); ++i) aggregate[i] += counts[i];
+  }
+  testing::ExpectDistributionClose(aggregate, testing::Normalize(weights));
+}
+
+TEST(MultinomialTest, ZeroSamplesAllZero) {
+  Rng rng(13);
+  const std::vector<double> weights = {1.0, 1.0};
+  const auto counts = MultinomialSplit(weights, 0, &rng);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 0u);
+}
+
+}  // namespace
+}  // namespace iqs

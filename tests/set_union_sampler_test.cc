@@ -1,0 +1,235 @@
+#include "iqs/setunion/set_union_sampler.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/util/rng.h"
+#include "test_util.h"
+
+namespace iqs {
+namespace {
+
+TEST(SetUnionSamplerTest, DisjointSetsUniformOverUnion) {
+  Rng build_rng(1);
+  Rng rng(2);
+  std::vector<std::vector<uint64_t>> sets = {
+      {1, 2, 3}, {10, 11}, {20, 21, 22, 23}};
+  SetUnionSampler sampler(sets, &build_rng);
+  const std::vector<size_t> all = {0, 1, 2};
+  std::map<uint64_t, uint64_t> freq;
+  for (int i = 0; i < 90000; ++i) {
+    const auto sample = sampler.Sample(all, &rng);
+    ASSERT_TRUE(sample.has_value());
+    ++freq[*sample];
+  }
+  ASSERT_EQ(freq.size(), 9u);
+  std::vector<uint64_t> counts;
+  for (const auto& [element, count] : freq) counts.push_back(count);
+  testing::ExpectDistributionClose(counts, std::vector<double>(9, 1.0 / 9));
+}
+
+TEST(SetUnionSamplerTest, OverlapDoesNotBias) {
+  // Element 5 appears in all three sets; it must NOT be 3x as likely.
+  Rng build_rng(3);
+  Rng rng(4);
+  std::vector<std::vector<uint64_t>> sets = {
+      {5, 1, 2}, {5, 3}, {5, 4, 6, 7}};
+  SetUnionSampler sampler(sets, &build_rng);
+  const std::vector<size_t> all = {0, 1, 2};
+  std::map<uint64_t, uint64_t> freq;
+  for (int i = 0; i < 80000; ++i) {
+    ++freq[*sampler.Sample(all, &rng)];
+  }
+  ASSERT_EQ(freq.size(), 7u);  // union is {1, 2, 3, 4, 5, 6, 7}
+  std::vector<uint64_t> counts;
+  for (const auto& [element, count] : freq) counts.push_back(count);
+  testing::ExpectDistributionClose(counts,
+                                   std::vector<double>(freq.size(),
+                                                       1.0 / freq.size()));
+}
+
+TEST(SetUnionSamplerTest, SubcollectionQueriesRestrictSupport) {
+  Rng build_rng(5);
+  Rng rng(6);
+  std::vector<std::vector<uint64_t>> sets = {{1, 2}, {3, 4}, {5, 6}};
+  SetUnionSampler sampler(sets, &build_rng);
+  const std::vector<size_t> g = {0, 2};
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto sample = sampler.Sample(g, &rng);
+    ASSERT_TRUE(sample.has_value());
+    seen.insert(*sample);
+  }
+  EXPECT_EQ(seen, (std::set<uint64_t>{1, 2, 5, 6}));
+}
+
+TEST(SetUnionSamplerTest, LargeOverlappingCollection) {
+  Rng build_rng(7);
+  Rng rng(8);
+  // 40 sets of 200 elements each over a universe of 2000: heavy overlap.
+  std::vector<std::vector<uint64_t>> sets(40);
+  Rng data_rng(9);
+  for (auto& set : sets) {
+    std::set<uint64_t> chosen;
+    while (chosen.size() < 200) chosen.insert(data_rng.Below(2000));
+    set.assign(chosen.begin(), chosen.end());
+  }
+  SetUnionSampler sampler(sets, &build_rng);
+  std::vector<size_t> g;
+  for (size_t i = 0; i < 10; ++i) g.push_back(i * 4);
+  // Oracle union.
+  std::set<uint64_t> oracle;
+  for (size_t id : g) oracle.insert(sets[id].begin(), sets[id].end());
+
+  std::map<uint64_t, uint64_t> freq;
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) {
+    const auto sample = sampler.Sample(g, &rng);
+    ASSERT_TRUE(sample.has_value());
+    ASSERT_TRUE(oracle.contains(*sample));
+    ++freq[*sample];
+  }
+  // Every union element reachable and frequencies uniform.
+  EXPECT_EQ(freq.size(), oracle.size());
+  std::vector<uint64_t> counts;
+  for (const auto& [element, count] : freq) counts.push_back(count);
+  testing::ExpectDistributionClose(
+      counts, std::vector<double>(oracle.size(), 1.0 / oracle.size()));
+}
+
+TEST(SetUnionSamplerTest, EstimateUnionSizeWithinBand) {
+  Rng build_rng(10);
+  std::vector<std::vector<uint64_t>> sets(10);
+  for (size_t i = 0; i < 10; ++i) {
+    for (uint64_t e = 0; e < 500; ++e) {
+      sets[i].push_back(i * 250 + e);  // 50% overlap with the next set
+    }
+  }
+  SetUnionSampler sampler(sets, &build_rng);
+  std::vector<size_t> all;
+  for (size_t i = 0; i < 10; ++i) all.push_back(i);
+  const double truth = 9 * 250 + 500;  // 2750 distinct
+  const double estimate = sampler.EstimateUnionSize(all);
+  EXPECT_GT(estimate, truth / 2);
+  EXPECT_LT(estimate, truth * 1.5);
+}
+
+TEST(SetUnionSamplerTest, EmptySetsHandled) {
+  Rng build_rng(11);
+  Rng rng(12);
+  std::vector<std::vector<uint64_t>> sets = {{}, {7}, {}};
+  SetUnionSampler sampler(sets, &build_rng);
+  const std::vector<size_t> empty_only = {0, 2};
+  EXPECT_FALSE(sampler.Sample(empty_only, &rng).has_value());
+  const std::vector<size_t> with_seven = {0, 1};
+  const auto sample = sampler.Sample(with_seven, &rng);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(*sample, 7u);
+}
+
+TEST(SetUnionSamplerTest, SampleManyDrawsIndependent) {
+  Rng build_rng(13);
+  Rng rng(14);
+  std::vector<std::vector<uint64_t>> sets = {{1, 2, 3, 4}};
+  SetUnionSampler sampler(sets, &build_rng);
+  std::vector<uint64_t> out;
+  const std::vector<size_t> g = {0};
+  ASSERT_TRUE(sampler.SampleMany(g, 40000, &rng, &out));
+  ASSERT_EQ(out.size(), 40000u);
+  std::map<uint64_t, uint64_t> freq;
+  for (uint64_t v : out) ++freq[v];
+  std::vector<uint64_t> counts;
+  for (const auto& [element, count] : freq) counts.push_back(count);
+  testing::ExpectDistributionClose(counts, std::vector<double>(4, 0.25));
+}
+
+TEST(SetUnionSamplerTest, WeightedSamplingMatchesWeights) {
+  Rng build_rng(20);
+  Rng rng(21);
+  std::vector<std::vector<uint64_t>> sets = {{1, 2, 5}, {5, 3, 4}};
+  const std::unordered_map<uint64_t, double> weights = {
+      {1, 1.0}, {2, 2.0}, {3, 3.0}, {4, 4.0}, {5, 5.0}};
+  SetUnionSampler sampler(sets, &build_rng, {}, weights);
+  const std::vector<size_t> all = {0, 1};
+  std::map<uint64_t, uint64_t> freq;
+  for (int i = 0; i < 150000; ++i) {
+    ++freq[*sampler.SampleWeighted(all, &rng)];
+  }
+  ASSERT_EQ(freq.size(), 5u);
+  std::vector<uint64_t> counts;
+  std::vector<double> want;
+  for (const auto& [element, count] : freq) {
+    counts.push_back(count);
+    want.push_back(weights.at(element));
+  }
+  testing::ExpectDistributionClose(counts, testing::Normalize(want));
+}
+
+TEST(SetUnionSamplerTest, WeightedOverlapDoesNotBias) {
+  // Element 9 is in both sets with weight 2; it must carry mass 2, not 4.
+  Rng build_rng(22);
+  Rng rng(23);
+  std::vector<std::vector<uint64_t>> sets = {{9, 1}, {9, 2}};
+  const std::unordered_map<uint64_t, double> weights = {
+      {9, 2.0}, {1, 1.0}, {2, 1.0}};
+  SetUnionSampler sampler(sets, &build_rng, {}, weights);
+  const std::vector<size_t> all = {0, 1};
+  size_t nines = 0;
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    nines += (*sampler.SampleWeighted(all, &rng) == 9);
+  }
+  EXPECT_NEAR(static_cast<double>(nines) / trials, 0.5, 0.01);
+}
+
+TEST(SetUnionSamplerTest, DefaultWeightsMakeWeightedEqualUniform) {
+  Rng build_rng(24);
+  Rng rng(25);
+  std::vector<std::vector<uint64_t>> sets = {{1, 2, 3, 4}};
+  SetUnionSampler sampler(sets, &build_rng);
+  const std::vector<size_t> g = {0};
+  std::map<uint64_t, uint64_t> freq;
+  for (int i = 0; i < 40000; ++i) {
+    ++freq[*sampler.SampleWeighted(g, &rng)];
+  }
+  std::vector<uint64_t> counts;
+  for (const auto& [element, count] : freq) counts.push_back(count);
+  testing::ExpectDistributionClose(counts, std::vector<double>(4, 0.25));
+}
+
+TEST(SetUnionSamplerTest, RebuildPreservesLaw) {
+  Rng build_rng(26);
+  Rng rng(27);
+  std::vector<std::vector<uint64_t>> sets = {{1, 2, 3}, {3, 4, 5, 6}};
+  SetUnionSampler sampler(sets, &build_rng);
+  const std::vector<size_t> all = {0, 1};
+  std::map<uint64_t, uint64_t> freq;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 6000; ++i) ++freq[*sampler.Sample(all, &rng)];
+    sampler.Rebuild(&rng);
+  }
+  ASSERT_EQ(freq.size(), 6u);
+  std::vector<uint64_t> counts;
+  for (const auto& [element, count] : freq) counts.push_back(count);
+  testing::ExpectDistributionClose(counts,
+                                   std::vector<double>(6, 1.0 / 6));
+}
+
+TEST(SetUnionSamplerTest, NaiveBaselineUniform) {
+  Rng rng(15);
+  std::vector<std::vector<uint64_t>> sets = {{1, 2, 5}, {5, 9}};
+  const std::vector<size_t> all = {0, 1};
+  std::map<uint64_t, uint64_t> freq;
+  for (int i = 0; i < 40000; ++i) {
+    ++freq[*SetUnionSampler::NaiveUnionSample(sets, all, &rng)];
+  }
+  ASSERT_EQ(freq.size(), 4u);  // {1, 2, 5, 9}
+  std::vector<uint64_t> counts;
+  for (const auto& [element, count] : freq) counts.push_back(count);
+  testing::ExpectDistributionClose(counts, std::vector<double>(4, 0.25));
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,101 @@
+#include "iqs/util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/util/rng.h"
+
+namespace iqs {
+namespace {
+
+TEST(GammaTest, KnownValues) {
+  // Q(0.5, x) = erfc(sqrt(x)).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(RegularizedGammaQ(0.5, x), std::erfc(std::sqrt(x)), 1e-10);
+  }
+  // Q(1, x) = exp(-x).
+  for (double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaQ(1.0, x), std::exp(-x), 1e-10);
+  }
+  // Q(a, 0) = 1.
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(3.0, 0.0), 1.0);
+}
+
+TEST(GammaTest, MonotoneDecreasingInX) {
+  double prev = 1.0;
+  for (double x = 0.5; x < 30.0; x += 0.5) {
+    const double q = RegularizedGammaQ(4.0, x);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+}
+
+TEST(ChiSquareTest, AcceptsExactFit) {
+  // Perfectly proportional counts: statistic 0, p-value 1.
+  const std::vector<uint64_t> counts = {100, 200, 300, 400};
+  const std::vector<double> probs = {0.1, 0.2, 0.3, 0.4};
+  const ChiSquareResult result = ChiSquareGoodnessOfFit(counts, probs);
+  EXPECT_NEAR(result.statistic, 0.0, 1e-9);
+  EXPECT_GT(result.p_value, 0.999);
+}
+
+TEST(ChiSquareTest, RejectsGrossMismatch) {
+  const std::vector<uint64_t> counts = {1000, 10, 10, 10};
+  const std::vector<double> probs = {0.25, 0.25, 0.25, 0.25};
+  const ChiSquareResult result = ChiSquareGoodnessOfFit(counts, probs);
+  EXPECT_LT(result.p_value, 1e-9);
+}
+
+TEST(ChiSquareTest, AcceptsFairSamples) {
+  Rng rng(123);
+  std::vector<uint64_t> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.Below(10)];
+  const ChiSquareResult result =
+      ChiSquareGoodnessOfFit(counts, std::vector<double>(10, 0.1));
+  EXPECT_GT(result.p_value, 1e-4);
+}
+
+TEST(ChiSquareTest, MergesSparseCategories) {
+  // 1000 categories with tiny expected counts must not blow up: they are
+  // merged until expectations are >= 5.
+  std::vector<uint64_t> counts(1000, 1);
+  std::vector<double> probs(1000, 0.001);
+  const ChiSquareResult result = ChiSquareGoodnessOfFit(counts, probs);
+  EXPECT_GT(result.p_value, 0.5);
+  EXPECT_LT(result.degrees_of_freedom, 1000);
+}
+
+TEST(StatsTest, MeanAndVariance) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(x), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(x), 1.25);
+}
+
+TEST(CorrelationTest, PerfectAndAnti) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  std::vector<double> neg(y.rbegin(), y.rend());
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, IndependentSeriesNearZero) {
+  Rng rng(77);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.NextDouble());
+    y.push_back(rng.NextDouble());
+  }
+  EXPECT_LT(std::abs(PearsonCorrelation(x, y)), 0.03);
+}
+
+TEST(CorrelationTest, DegenerateSeriesReturnsZero) {
+  const std::vector<double> constant = {3.0, 3.0, 3.0};
+  const std::vector<double> varying = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(constant, varying), 0.0);
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,146 @@
+#include "iqs/tree/subtree_sampler.h"
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/tree/weighted_tree.h"
+#include "iqs/util/rng.h"
+#include "test_util.h"
+
+namespace iqs {
+namespace {
+
+WeightedTree BuildFixedTree(std::vector<WeightedTree::NodeId>* leaves) {
+  // root -> {a, b, c}; a -> {a1, a2}; b leaf; c -> {c1, c2, c3}.
+  WeightedTree tree;
+  const auto a = tree.AddChild(tree.root());
+  const auto b = tree.AddChild(tree.root());
+  const auto c = tree.AddChild(tree.root());
+  const auto a1 = tree.AddChild(a);
+  const auto a2 = tree.AddChild(a);
+  const auto c1 = tree.AddChild(c);
+  const auto c2 = tree.AddChild(c);
+  const auto c3 = tree.AddChild(c);
+  tree.SetLeafWeight(b, 4.0);
+  tree.SetLeafWeight(a1, 1.0);
+  tree.SetLeafWeight(a2, 2.0);
+  tree.SetLeafWeight(c1, 3.0);
+  tree.SetLeafWeight(c2, 1.0);
+  tree.SetLeafWeight(c3, 2.0);
+  tree.Finalize();
+  *leaves = {a1, a2, b, c1, c2, c3};
+  return tree;
+}
+
+TEST(SubtreeSamplerTest, LeafIntervalsAreContiguousDfsRuns) {
+  std::vector<WeightedTree::NodeId> leaves;
+  WeightedTree tree = BuildFixedTree(&leaves);
+  SubtreeSampler sampler(&tree);
+  // DFT order: a1 a2 b c1 c2 c3 (children in insertion order).
+  for (size_t p = 0; p < leaves.size(); ++p) {
+    EXPECT_EQ(sampler.LeafAt(p), leaves[p]);
+  }
+  const auto [root_lo, root_hi] = sampler.LeafInterval(tree.root());
+  EXPECT_EQ(root_lo, 0u);
+  EXPECT_EQ(root_hi, 5u);
+  // Subtree of node "c" (children c1..c3) spans positions 3..5.
+  const auto c = tree.Parent(leaves[3]);
+  const auto [c_lo, c_hi] = sampler.LeafInterval(c);
+  EXPECT_EQ(c_lo, 3u);
+  EXPECT_EQ(c_hi, 5u);
+}
+
+TEST(SubtreeSamplerTest, RootQueryMatchesWeights) {
+  Rng rng(1);
+  std::vector<WeightedTree::NodeId> leaves;
+  WeightedTree tree = BuildFixedTree(&leaves);
+  SubtreeSampler sampler(&tree);
+  std::vector<WeightedTree::NodeId> out;
+  sampler.Query(tree.root(), 200000, &rng, &out);
+  std::unordered_map<WeightedTree::NodeId, size_t> index_of;
+  std::vector<double> weights;
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    index_of[leaves[i]] = i;
+    weights.push_back(tree.Weight(leaves[i]));
+  }
+  std::vector<size_t> samples;
+  for (auto leaf : out) samples.push_back(index_of.at(leaf));
+  testing::ExpectSamplesMatchWeights(samples, weights);
+}
+
+TEST(SubtreeSamplerTest, SubtreeQueryRestrictsToSubtree) {
+  Rng rng(2);
+  std::vector<WeightedTree::NodeId> leaves;
+  WeightedTree tree = BuildFixedTree(&leaves);
+  SubtreeSampler sampler(&tree);
+  const auto c = tree.Parent(leaves[3]);
+  std::vector<WeightedTree::NodeId> out;
+  sampler.Query(c, 120000, &rng, &out);
+  std::set<WeightedTree::NodeId> allowed = {leaves[3], leaves[4], leaves[5]};
+  std::vector<size_t> samples;
+  for (auto leaf : out) {
+    ASSERT_TRUE(allowed.contains(leaf));
+    samples.push_back(leaf == leaves[3] ? 0 : (leaf == leaves[4] ? 1 : 2));
+  }
+  testing::ExpectSamplesMatchWeights(samples, {3.0, 1.0, 2.0});
+}
+
+TEST(SubtreeSamplerTest, LeafQueryReturnsThatLeaf) {
+  Rng rng(3);
+  std::vector<WeightedTree::NodeId> leaves;
+  WeightedTree tree = BuildFixedTree(&leaves);
+  SubtreeSampler sampler(&tree);
+  std::vector<WeightedTree::NodeId> out;
+  sampler.Query(leaves[1], 10, &rng, &out);
+  for (auto leaf : out) EXPECT_EQ(leaf, leaves[1]);
+}
+
+TEST(SubtreeSamplerTest, AgreesWithTopDownSamplerOnRandomTrees) {
+  // Property test: the Lemma-4 structure and the Section-3.2 top-down
+  // sampler must induce the same law on every subtree. Build a biggish
+  // random tree and chi-square the two sampling methods per subtree
+  // against the exact leaf weights.
+  Rng rng(4);
+  WeightedTree tree;
+  std::vector<WeightedTree::NodeId> internal = {tree.root()};
+  std::vector<WeightedTree::NodeId> all_nodes = {tree.root()};
+  for (int grow = 0; grow < 60; ++grow) {
+    const auto parent = internal[rng.Below(internal.size())];
+    const auto child = tree.AddChild(parent);
+    internal.push_back(child);
+    all_nodes.push_back(child);
+  }
+  std::vector<WeightedTree::NodeId> leaves;
+  for (auto node : all_nodes) {
+    if (tree.Children(node).empty()) {
+      tree.SetLeafWeight(node, 0.5 + rng.NextDouble());
+      leaves.push_back(node);
+    }
+  }
+  tree.Finalize();
+  SubtreeSampler sampler(&tree);
+
+  // Check three random subtrees (including the root).
+  std::vector<WeightedTree::NodeId> queries = {tree.root()};
+  queries.push_back(all_nodes[1 + rng.Below(all_nodes.size() - 1)]);
+  queries.push_back(all_nodes[1 + rng.Below(all_nodes.size() - 1)]);
+  for (auto q : queries) {
+    const auto [lo, hi] = sampler.LeafInterval(q);
+    std::vector<double> weights;
+    for (size_t p = lo; p <= hi; ++p) {
+      weights.push_back(tree.Weight(sampler.LeafAt(p)));
+    }
+    std::unordered_map<WeightedTree::NodeId, size_t> index_of;
+    for (size_t p = lo; p <= hi; ++p) index_of[sampler.LeafAt(p)] = p - lo;
+    std::vector<WeightedTree::NodeId> out;
+    sampler.Query(q, 60000, &rng, &out);
+    std::vector<size_t> samples;
+    for (auto leaf : out) samples.push_back(index_of.at(leaf));
+    testing::ExpectSamplesMatchWeights(samples, weights);
+  }
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,121 @@
+#include "iqs/tree/tree_sampler.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/tree/weighted_tree.h"
+#include "iqs/util/rng.h"
+#include "test_util.h"
+
+namespace iqs {
+namespace {
+
+// Builds a random tree with `num_leaves` leaves, random fanouts, and
+// weights in (0.1, 2.1); returns (tree, leaf ids).
+std::pair<WeightedTree, std::vector<WeightedTree::NodeId>> RandomTree(
+    size_t num_leaves, Rng* rng) {
+  WeightedTree tree;
+  std::vector<WeightedTree::NodeId> frontier = {tree.root()};
+  std::vector<WeightedTree::NodeId> leaves;
+  // Grow until we have enough frontier nodes, then weight them as leaves.
+  while (frontier.size() < num_leaves) {
+    const size_t pick = rng->Below(frontier.size());
+    const WeightedTree::NodeId parent = frontier[pick];
+    frontier.erase(frontier.begin() + static_cast<ptrdiff_t>(pick));
+    const size_t fanout = 2 + rng->Below(4);
+    for (size_t c = 0; c < fanout && frontier.size() < num_leaves + fanout;
+         ++c) {
+      frontier.push_back(tree.AddChild(parent));
+    }
+  }
+  for (WeightedTree::NodeId leaf : frontier) {
+    tree.SetLeafWeight(leaf, 0.1 + 2.0 * rng->NextDouble());
+    leaves.push_back(leaf);
+  }
+  tree.Finalize();
+  return {std::move(tree), std::move(leaves)};
+}
+
+TEST(WeightedTreeTest, FinalizeComputesSubtreeWeights) {
+  WeightedTree tree;
+  const auto a = tree.AddChild(tree.root());
+  const auto b = tree.AddChild(tree.root());
+  const auto c = tree.AddChild(a);
+  const auto d = tree.AddChild(a);
+  tree.SetLeafWeight(b, 5.0);
+  tree.SetLeafWeight(c, 1.0);
+  tree.SetLeafWeight(d, 2.0);
+  tree.Finalize();
+  EXPECT_DOUBLE_EQ(tree.Weight(a), 3.0);
+  EXPECT_DOUBLE_EQ(tree.Weight(tree.root()), 8.0);
+  EXPECT_EQ(tree.SubtreeLeafCount(tree.root()), 3u);
+  EXPECT_EQ(tree.SubtreeLeafCount(a), 2u);
+}
+
+TEST(TreeSamplerTest, RootQueryMatchesLeafWeights) {
+  Rng rng(1);
+  auto [tree, leaves] = RandomTree(40, &rng);
+  TreeSampler sampler(&tree);
+  std::unordered_map<WeightedTree::NodeId, size_t> index_of;
+  std::vector<double> weights;
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    index_of[leaves[i]] = i;
+    weights.push_back(tree.Weight(leaves[i]));
+  }
+  std::vector<WeightedTree::NodeId> out;
+  sampler.Query(tree.root(), 200000, &rng, &out);
+  std::vector<size_t> samples;
+  for (auto leaf : out) samples.push_back(index_of.at(leaf));
+  testing::ExpectSamplesMatchWeights(samples, weights);
+}
+
+TEST(TreeSamplerTest, SubtreeQueryRestrictsAndMatches) {
+  Rng rng(2);
+  // Fixed small tree: root -> {x, y}; x -> {l1, l2}; y leaf.
+  WeightedTree tree;
+  const auto x = tree.AddChild(tree.root());
+  const auto y = tree.AddChild(tree.root());
+  const auto l1 = tree.AddChild(x);
+  const auto l2 = tree.AddChild(x);
+  tree.SetLeafWeight(y, 10.0);
+  tree.SetLeafWeight(l1, 1.0);
+  tree.SetLeafWeight(l2, 3.0);
+  tree.Finalize();
+  TreeSampler sampler(&tree);
+  std::vector<WeightedTree::NodeId> out;
+  sampler.Query(x, 80000, &rng, &out);
+  size_t hits_l1 = 0;
+  for (auto leaf : out) {
+    ASSERT_TRUE(leaf == l1 || leaf == l2) << "sample escaped subtree";
+    hits_l1 += (leaf == l1);
+  }
+  EXPECT_NEAR(static_cast<double>(hits_l1) / out.size(), 0.25, 0.01);
+}
+
+TEST(TreeSamplerTest, LeafQueryReturnsLeaf) {
+  Rng rng(3);
+  WeightedTree tree;
+  const auto a = tree.AddChild(tree.root());
+  const auto b = tree.AddChild(tree.root());
+  tree.SetLeafWeight(a, 1.0);
+  tree.SetLeafWeight(b, 1.0);
+  tree.Finalize();
+  TreeSampler sampler(&tree);
+  EXPECT_EQ(sampler.SampleLeaf(a, &rng), a);
+}
+
+TEST(TreeSamplerTest, PathTreeWorks) {
+  // Degenerate unary-chain tree: fanout-1 nodes all the way down.
+  Rng rng(4);
+  WeightedTree tree;
+  WeightedTree::NodeId node = tree.root();
+  for (int i = 0; i < 200; ++i) node = tree.AddChild(node);
+  tree.SetLeafWeight(node, 1.0);
+  tree.Finalize();
+  TreeSampler sampler(&tree);
+  EXPECT_EQ(sampler.SampleLeaf(tree.root(), &rng), node);
+}
+
+}  // namespace
+}  // namespace iqs

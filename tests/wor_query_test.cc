@@ -1,0 +1,230 @@
+#include "iqs/sampling/wor_query.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/range/chunked_range_sampler.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+#include "test_util.h"
+
+namespace iqs {
+namespace {
+
+struct Fixture {
+  explicit Fixture(size_t n, double alpha = 0.0) {
+    Rng rng(1);
+    keys = UniformKeys(n, &rng);
+    weights = ZipfWeights(n, alpha, &rng);
+    sampler = std::make_unique<ChunkedRangeSampler>(keys, weights);
+  }
+  std::vector<double> keys;
+  std::vector<double> weights;
+  std::unique_ptr<ChunkedRangeSampler> sampler;
+};
+
+TEST(WorQueryTest, DistinctInRangeRightSize) {
+  Fixture f(300);
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t a = rng.Below(300);
+    size_t b = rng.Below(300);
+    if (a > b) std::swap(a, b);
+    const size_t s = 1 + rng.Below(40);
+    std::vector<size_t> out;
+    WorQueryPositions(*f.sampler, {}, a, b, s, &rng, &out);
+    EXPECT_EQ(out.size(), std::min(s, b - a + 1));
+    std::set<size_t> distinct(out.begin(), out.end());
+    EXPECT_EQ(distinct.size(), out.size());
+    for (size_t p : out) {
+      EXPECT_GE(p, a);
+      EXPECT_LE(p, b);
+    }
+  }
+}
+
+TEST(WorQueryTest, UniformInclusionProbabilities) {
+  // WoR(range of 20, s = 5): every position included w.p. 1/4.
+  Fixture f(64);
+  Rng rng(3);
+  std::vector<uint64_t> inclusion(20, 0);
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<size_t> out;
+    WorQueryPositions(*f.sampler, {}, 10, 29, 5, &rng, &out);
+    for (size_t p : out) ++inclusion[p - 10];
+  }
+  testing::ExpectDistributionClose(inclusion,
+                                   std::vector<double>(20, 1.0 / 20));
+}
+
+TEST(WorQueryTest, SubsetLawIsUniformOnSmallDomain) {
+  // Over a range of 5 with s = 2, each of the 10 subsets must be equally
+  // likely (the defining property of WoR sampling).
+  Fixture f(40);
+  Rng rng(4);
+  std::map<std::pair<size_t, size_t>, uint64_t> freq;
+  const int trials = 60000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<size_t> out;
+    WorQueryPositions(*f.sampler, {}, 20, 24, 2, &rng, &out);
+    ASSERT_EQ(out.size(), 2u);
+    auto key = std::minmax(out[0], out[1]);
+    ++freq[key];
+  }
+  ASSERT_EQ(freq.size(), 10u);
+  std::vector<uint64_t> counts;
+  for (const auto& [subset, count] : freq) counts.push_back(count);
+  testing::ExpectDistributionClose(counts, std::vector<double>(10, 0.1));
+}
+
+TEST(WorQueryTest, DenseRegimeTakesWholeRange) {
+  Fixture f(100);
+  Rng rng(5);
+  std::vector<size_t> out;
+  WorQueryPositions(*f.sampler, {}, 10, 19, 10, &rng, &out);
+  std::set<size_t> distinct(out.begin(), out.end());
+  EXPECT_EQ(distinct.size(), 10u);
+  // Oversized s clamps.
+  out.clear();
+  WorQueryPositions(*f.sampler, {}, 10, 19, 100, &rng, &out);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(WorQueryTest, WeightedInclusionMonotoneInWeight) {
+  // Weighted WoR: heavier elements must be included more often.
+  const size_t n = 16;
+  Rng rng(6);
+  const auto keys = UniformKeys(n, &rng);
+  std::vector<double> weights(n, 1.0);
+  weights[3] = 8.0;   // heavy
+  weights[11] = 0.125;  // light
+  ChunkedRangeSampler sampler(keys, weights);
+  std::vector<uint64_t> inclusion(n, 0);
+  const int trials = 30000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<size_t> out;
+    WorQueryPositions(sampler, weights, 0, n - 1, 4, &rng, &out);
+    ASSERT_EQ(out.size(), 4u);
+    for (size_t p : out) ++inclusion[p];
+  }
+  EXPECT_GT(inclusion[3], inclusion[0] * 2);
+  EXPECT_LT(inclusion[11] * 2, inclusion[0]);
+}
+
+TEST(WorQueryTest, WeightedFirstMarginalMatchesWeights) {
+  // The first element of a weighted WoR sample has the plain weighted
+  // law. Recover it via s = 1.
+  const size_t n = 8;
+  Rng rng(7);
+  const auto keys = UniformKeys(n, &rng);
+  const std::vector<double> weights = {1, 2, 3, 4, 4, 3, 2, 1};
+  ChunkedRangeSampler sampler(keys, weights);
+  std::vector<size_t> samples;
+  for (int t = 0; t < 120000; ++t) {
+    std::vector<size_t> out;
+    WorQueryPositions(sampler, weights, 0, n - 1, 1, &rng, &out);
+    samples.push_back(out[0]);
+  }
+  testing::ExpectSamplesMatchWeights(samples, weights);
+}
+
+TEST(WorQueryTest, ExtremeSkewFallbackStillCorrect) {
+  // One element holds ~all the weight: the WR-dedupe loop exhausts its
+  // budget and the scan fallback must deliver distinct samples.
+  const size_t n = 64;
+  Rng rng(8);
+  const auto keys = UniformKeys(n, &rng);
+  std::vector<double> weights(n, 1e-9);
+  weights[17] = 1.0;
+  ChunkedRangeSampler sampler(keys, weights);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<size_t> out;
+    WorQueryPositions(sampler, weights, 0, n - 1, 8, &rng, &out);
+    ASSERT_EQ(out.size(), 8u);
+    std::set<size_t> distinct(out.begin(), out.end());
+    EXPECT_EQ(distinct.size(), 8u);
+    EXPECT_TRUE(distinct.contains(17));  // the heavy one is ~always in
+  }
+}
+
+TEST(WorQueryTest, WeightedSubsetLawMatchesSuccessiveSampling) {
+  // Exact-law check on a tiny domain: weighted WoR ("successive
+  // sampling") of s = 2 from 3 elements. P({i,j}) = P(i first) * P(j
+  // second | i gone) + the symmetric term.
+  Rng rng(10);
+  const std::vector<double> keys = {1.0, 2.0, 3.0};
+  const std::vector<double> weights = {1.0, 2.0, 3.0};
+  ChunkedRangeSampler sampler(keys, weights);
+
+  const double total = 6.0;
+  auto pair_prob = [&](size_t i, size_t j) {
+    return weights[i] / total * weights[j] / (total - weights[i]) +
+           weights[j] / total * weights[i] / (total - weights[j]);
+  };
+  std::map<std::pair<size_t, size_t>, uint64_t> freq;
+  const int trials = 150000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<size_t> out;
+    WorQueryPositions(sampler, weights, 0, 2, 2, &rng, &out);
+    ASSERT_EQ(out.size(), 2u);
+    ++freq[std::minmax(out[0], out[1])];
+  }
+  std::vector<uint64_t> counts;
+  std::vector<double> probs;
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = i + 1; j < 3; ++j) {
+      counts.push_back(freq[{i, j}]);
+      probs.push_back(pair_prob(i, j));
+    }
+  }
+  testing::ExpectDistributionClose(counts, probs);
+}
+
+TEST(WorQueryTest, WeightedSubsetLawSparsePath) {
+  // Same exact-law check through the sparse (WR-dedupe) code path:
+  // range of 4 with s = 2 (s*2 == range, not greater -> sparse regime).
+  Rng rng(11);
+  const std::vector<double> keys = {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0};
+  const std::vector<double> weights = {9, 9, 1.0, 2.0, 3.0, 4.0, 9, 9};
+  ChunkedRangeSampler sampler(keys, weights);
+
+  const size_t a = 2;
+  const size_t b = 5;
+  const double total = 10.0;
+  auto pair_prob = [&](size_t i, size_t j) {
+    return weights[i] / total * weights[j] / (total - weights[i]) +
+           weights[j] / total * weights[i] / (total - weights[j]);
+  };
+  std::map<std::pair<size_t, size_t>, uint64_t> freq;
+  const int trials = 150000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<size_t> out;
+    WorQueryPositions(sampler, weights, a, b, 2, &rng, &out);
+    ASSERT_EQ(out.size(), 2u);
+    ++freq[std::minmax(out[0], out[1])];
+  }
+  std::vector<uint64_t> counts;
+  std::vector<double> probs;
+  for (size_t i = a; i <= b; ++i) {
+    for (size_t j = i + 1; j <= b; ++j) {
+      counts.push_back(freq[{i, j}]);
+      probs.push_back(pair_prob(i, j));
+    }
+  }
+  testing::ExpectDistributionClose(counts, probs);
+}
+
+TEST(WorQueryTest, KeyIntervalForm) {
+  Fixture f(50);
+  Rng rng(9);
+  std::vector<size_t> out;
+  EXPECT_FALSE(WorQuery(*f.sampler, {}, 2.0, 3.0, 4, &rng, &out));
+  EXPECT_TRUE(WorQuery(*f.sampler, {}, 0.0, 1.0, 4, &rng, &out));
+  EXPECT_EQ(out.size(), 4u);
+}
+
+}  // namespace
+}  // namespace iqs
