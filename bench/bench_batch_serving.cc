@@ -1,0 +1,391 @@
+// E19 — batched query-serving fast path.
+//
+// Sweeps batch size x sample size x n over the three 1-d RangeSampler
+// implementations and compares three serving strategies on the same
+// workload:
+//   * seed:   a faithful replica of the pre-batch-path QueryPositions
+//             loop (fresh heap allocations per query, one RNG state
+//             round-trip per draw, per-draw cover picks) — the fixed
+//             baseline for trajectory tracking across PRs;
+//   * single: looping today's single-query path (which already received
+//             the scratch-hoisting and block-RNG satellite fixes);
+//   * batch:  one QueryBatch call with a reused ScratchArena/BatchResult
+//             (multinomial cover splits, grouped prefetched descents,
+//             block RNG, zero steady-state allocations).
+// All three draw from identical per-query distributions (see
+// batch_serving_test.cc); the differences are pure constant factors.
+//
+// Reports samples/sec and writes BENCH_batch_serving.json (array of row
+// objects) for trajectory tracking.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iqs/alias/alias_table.h"
+#include "iqs/range/aug_range_sampler.h"
+#include "iqs/range/bst_range_sampler.h"
+#include "iqs/range/chunked_range_sampler.h"
+#include "iqs/range/static_bst.h"
+#include "iqs/sampling/multinomial.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------------------------
+// Seed-path replicas. These reproduce, through public APIs, the exact
+// query algorithms the repo seed shipped, including their per-query heap
+// allocations, so the baseline stays fixed as the library improves.
+
+// Seed BstRangeSampler::QueryPositions: fresh cover + weight vectors, a
+// fresh alias table over the cover, then one alias pick and one
+// root-to-leaf walk (one RNG draw per step) per sample.
+class SeedBstLoop {
+ public:
+  explicit SeedBstLoop(const iqs::BstRangeSampler& sampler)
+      : sampler_(sampler) {}
+
+  void Query(double lo, double hi, size_t s, iqs::Rng* rng,
+             std::vector<size_t>* out) const {
+    size_t a = 0;
+    size_t b = 0;
+    if (!sampler_.ResolveInterval(lo, hi, &a, &b)) return;
+    const iqs::StaticBst& tree = sampler_.tree();
+    std::vector<iqs::StaticBst::NodeId> cover;
+    tree.CanonicalCover(a, b, &cover);
+    std::vector<double> cover_weights;
+    cover_weights.reserve(cover.size());
+    for (const auto u : cover) cover_weights.push_back(tree.NodeWeight(u));
+    iqs::AliasTable cover_alias(cover_weights);
+    out->reserve(out->size() + s);
+    for (size_t i = 0; i < s; ++i) {
+      const auto u = cover[cover_alias.Sample(rng)];
+      out->push_back(tree.SampleLeaf(u, rng));
+    }
+  }
+
+ private:
+  const iqs::BstRangeSampler& sampler_;
+};
+
+// Seed AugRangeSampler: per-node alias tables; a query takes a fresh
+// cover, a MultinomialSplit that builds a fresh alias table and returns a
+// fresh counts vector, then one per-draw urn pick per sample.
+class SeedAugLoop {
+ public:
+  SeedAugLoop(const std::vector<double>& keys,
+              const std::vector<double>& weights)
+      : keys_(keys), tree_(weights) {
+    node_alias_.resize(tree_.num_nodes());
+    std::vector<double> scratch;
+    for (iqs::StaticBst::NodeId u = 0; u < tree_.num_nodes(); ++u) {
+      if (tree_.IsLeaf(u)) continue;
+      scratch.assign(weights.begin() + static_cast<ptrdiff_t>(tree_.RangeLo(u)),
+                     weights.begin() +
+                         static_cast<ptrdiff_t>(tree_.RangeHi(u)) + 1);
+      node_alias_[u].Build(scratch);
+    }
+  }
+
+  void Query(double lo, double hi, size_t s, iqs::Rng* rng,
+             std::vector<size_t>* out) const {
+    const auto first =
+        std::lower_bound(keys_.begin(), keys_.end(), lo);
+    if (first == keys_.end() || *first > hi) return;
+    const auto last = std::upper_bound(first, keys_.end(), hi);
+    const size_t a = static_cast<size_t>(first - keys_.begin());
+    const size_t b = static_cast<size_t>(last - keys_.begin()) - 1;
+
+    std::vector<iqs::StaticBst::NodeId> cover;
+    tree_.CanonicalCover(a, b, &cover);
+    std::vector<double> cover_weights;
+    cover_weights.reserve(cover.size());
+    for (const auto u : cover) cover_weights.push_back(tree_.NodeWeight(u));
+    const std::vector<uint32_t> counts =
+        iqs::MultinomialSplit(cover_weights, s, rng);
+    out->reserve(out->size() + s);
+    for (size_t i = 0; i < cover.size(); ++i) {
+      const auto u = cover[i];
+      const size_t node_lo = tree_.RangeLo(u);
+      if (tree_.IsLeaf(u)) {
+        for (uint32_t k = 0; k < counts[i]; ++k) out->push_back(node_lo);
+        continue;
+      }
+      const iqs::AliasTable& table = node_alias_[u];
+      for (uint32_t k = 0; k < counts[i]; ++k) {
+        out->push_back(node_lo + table.Sample(rng));
+      }
+    }
+  }
+
+ private:
+  std::vector<double> keys_;
+  iqs::StaticBst tree_;
+  std::vector<iqs::AliasTable> node_alias_;
+};
+
+// Seed ChunkedRangeSampler: q1/q2/q3 split with an allocating
+// MultinomialSplit, partial chunks served by copying the span's weights
+// into a fresh vector and building a fresh alias table, middle chunks by
+// a seed-aug query over chunk weights plus one per-draw chunk-table pick.
+class SeedChunkedLoop {
+ public:
+  SeedChunkedLoop(const std::vector<double>& keys,
+                  const std::vector<double>& weights, size_t chunk_size)
+      : keys_(keys), weights_(weights), chunk_size_(chunk_size) {
+    const size_t n = weights_.size();
+    const size_t g = (n + chunk_size_ - 1) / chunk_size_;
+    std::vector<double> chunk_weights(g, 0.0);
+    chunk_alias_.resize(g);
+    std::vector<double> scratch;
+    for (size_t c = 0; c < g; ++c) {
+      scratch.assign(
+          weights_.begin() + static_cast<ptrdiff_t>(ChunkStart(c)),
+          weights_.begin() + static_cast<ptrdiff_t>(ChunkEnd(c)) + 1);
+      chunk_alias_[c].Build(scratch);
+      for (const double w : scratch) chunk_weights[c] += w;
+    }
+    chunk_weight_prefix_.assign(g + 1, 0.0);
+    for (size_t c = 0; c < g; ++c) {
+      chunk_weight_prefix_[c + 1] = chunk_weight_prefix_[c] + chunk_weights[c];
+    }
+    std::vector<double> chunk_keys(g);
+    for (size_t c = 0; c < g; ++c) chunk_keys[c] = static_cast<double>(c);
+    chunk_level_ = std::make_unique<SeedAugLoop>(chunk_keys, chunk_weights);
+  }
+
+  void Query(double lo, double hi, size_t s, iqs::Rng* rng,
+             std::vector<size_t>* out) const {
+    const auto first = std::lower_bound(keys_.begin(), keys_.end(), lo);
+    if (first == keys_.end() || *first > hi) return;
+    const auto last = std::upper_bound(first, keys_.end(), hi);
+    const size_t a = static_cast<size_t>(first - keys_.begin());
+    const size_t b = static_cast<size_t>(last - keys_.begin()) - 1;
+
+    out->reserve(out->size() + s);
+    const size_t ca = a / chunk_size_;
+    const size_t cb = b / chunk_size_;
+    if (ca == cb) {
+      SampleFromSpan(a, b, s, rng, out);
+      return;
+    }
+    const size_t q1_hi = ChunkEnd(ca);
+    const size_t q3_lo = ChunkStart(cb);
+    double w1 = 0.0;
+    for (size_t i = a; i <= q1_hi; ++i) w1 += weights_[i];
+    double w3 = 0.0;
+    for (size_t i = q3_lo; i <= b; ++i) w3 += weights_[i];
+    const bool has_middle = cb > ca + 1;
+    const double w2 =
+        has_middle ? chunk_weight_prefix_[cb] - chunk_weight_prefix_[ca + 1]
+                   : 0.0;
+    const double part_weights[3] = {w1, w2, w3};
+    const std::vector<uint32_t> counts =
+        iqs::MultinomialSplit(part_weights, s, rng);
+    SampleFromSpan(a, q1_hi, counts[0], rng, out);
+    SampleFromSpan(q3_lo, b, counts[2], rng, out);
+    if (counts[1] > 0) {
+      std::vector<size_t> chunk_draws;
+      chunk_draws.reserve(counts[1]);
+      chunk_level_->Query(static_cast<double>(ca + 1),
+                          static_cast<double>(cb - 1), counts[1], rng,
+                          &chunk_draws);
+      for (const size_t chunk : chunk_draws) {
+        out->push_back(ChunkStart(chunk) + chunk_alias_[chunk].Sample(rng));
+      }
+    }
+  }
+
+ private:
+  size_t ChunkStart(size_t chunk) const { return chunk * chunk_size_; }
+  size_t ChunkEnd(size_t chunk) const {
+    return std::min(ChunkStart(chunk) + chunk_size_, weights_.size()) - 1;
+  }
+
+  void SampleFromSpan(size_t lo, size_t hi, size_t count, iqs::Rng* rng,
+                      std::vector<size_t>* out) const {
+    if (count == 0) return;
+    std::vector<double> span_weights(
+        weights_.begin() + static_cast<ptrdiff_t>(lo),
+        weights_.begin() + static_cast<ptrdiff_t>(hi) + 1);
+    iqs::AliasTable table(span_weights);
+    for (size_t i = 0; i < count; ++i) out->push_back(lo + table.Sample(rng));
+  }
+
+  std::vector<double> keys_;
+  std::vector<double> weights_;
+  size_t chunk_size_;
+  std::vector<iqs::AliasTable> chunk_alias_;
+  std::vector<double> chunk_weight_prefix_;
+  std::unique_ptr<SeedAugLoop> chunk_level_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct Row {
+  std::string sampler;
+  size_t n = 0;
+  size_t batch = 0;
+  size_t s = 0;
+  double seed_sps = 0.0;
+  double single_sps = 0.0;
+  double batch_sps = 0.0;
+  double speedup_vs_seed = 0.0;
+  double speedup_vs_single = 0.0;
+};
+
+// Runs `fn` (one whole batch per call) until ~0.2s elapsed, returns
+// batches/sec.
+template <typename Fn>
+double Measure(Fn&& fn) {
+  fn();  // warm-up (also grows arena/result buffers to steady state)
+  size_t reps = 0;
+  const Clock::time_point start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++reps;
+    elapsed = SecondsSince(start);
+  } while (elapsed < 0.2);
+  return static_cast<double>(reps) / elapsed;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E19: batched serving throughput (samples/sec) — seed loop vs "
+      "current single loop vs QueryBatch\n");
+  std::printf("%-22s %9s %6s %5s %11s %11s %11s %8s %8s\n", "sampler", "n",
+              "batch", "s", "seed sps", "single sps", "batch sps", "x seed",
+              "x single");
+
+  std::vector<Row> rows;
+  for (const size_t n : {size_t{1} << 16, size_t{1} << 20}) {
+    iqs::Rng data_rng(1);
+    const auto keys = iqs::UniformKeys(n, &data_rng);
+    const auto weights = iqs::ZipfWeights(n, 1.0, &data_rng);
+
+    const auto bst = std::make_unique<iqs::BstRangeSampler>(keys, weights);
+    const auto aug = std::make_unique<iqs::AugRangeSampler>(keys, weights);
+    const auto chunked =
+        std::make_unique<iqs::ChunkedRangeSampler>(keys, weights);
+    const SeedBstLoop seed_bst(*bst);
+    const SeedAugLoop seed_aug(keys, weights);
+    const SeedChunkedLoop seed_chunked(keys, weights, chunked->chunk_size());
+
+    struct Lane {
+      const iqs::RangeSampler* sampler;
+      std::function<void(double, double, size_t, iqs::Rng*,
+                         std::vector<size_t>*)>
+          seed_query;
+    };
+    const Lane lanes[3] = {
+        {bst.get(),
+         [&](double lo, double hi, size_t s, iqs::Rng* rng,
+             std::vector<size_t>* out) {
+           seed_bst.Query(lo, hi, s, rng, out);
+         }},
+        {aug.get(),
+         [&](double lo, double hi, size_t s, iqs::Rng* rng,
+             std::vector<size_t>* out) {
+           seed_aug.Query(lo, hi, s, rng, out);
+         }},
+        {chunked.get(),
+         [&](double lo, double hi, size_t s, iqs::Rng* rng,
+             std::vector<size_t>* out) {
+           seed_chunked.Query(lo, hi, s, rng, out);
+         }},
+    };
+
+    for (const Lane& lane : lanes) {
+      for (const size_t batch : {size_t{64}, size_t{512}}) {
+        for (const size_t s : {size_t{16}, size_t{64}, size_t{256}}) {
+          // Fixed query set per config: ~n/8-selectivity intervals.
+          iqs::Rng query_rng(2);
+          std::vector<iqs::BatchQuery> queries;
+          for (size_t i = 0; i < batch; ++i) {
+            const auto [lo, hi] =
+                iqs::IntervalWithSelectivity(keys, n / 8, &query_rng);
+            queries.push_back({lo, hi, s});
+          }
+
+          iqs::Rng seed_rng(3);
+          std::vector<size_t> seed_out;
+          const double seed_bps = Measure([&] {
+            seed_out.clear();
+            for (const iqs::BatchQuery& q : queries) {
+              lane.seed_query(q.lo, q.hi, q.s, &seed_rng, &seed_out);
+            }
+          });
+
+          iqs::Rng single_rng(3);
+          std::vector<size_t> single_out;
+          const double single_bps = Measure([&] {
+            single_out.clear();
+            for (const iqs::BatchQuery& q : queries) {
+              lane.sampler->Query(q.lo, q.hi, q.s, &single_rng, &single_out);
+            }
+          });
+
+          iqs::Rng batch_rng(3);
+          iqs::ScratchArena arena;
+          iqs::BatchResult result;
+          const double batch_bps = Measure([&] {
+            lane.sampler->QueryBatch(queries, &batch_rng, &arena, &result);
+          });
+
+          Row row;
+          row.sampler = std::string(lane.sampler->name());
+          row.n = n;
+          row.batch = batch;
+          row.s = s;
+          const double spb = static_cast<double>(batch * s);
+          row.seed_sps = seed_bps * spb;
+          row.single_sps = single_bps * spb;
+          row.batch_sps = batch_bps * spb;
+          row.speedup_vs_seed = batch_bps / seed_bps;
+          row.speedup_vs_single = batch_bps / single_bps;
+          rows.push_back(row);
+
+          std::printf(
+              "%-22s %9zu %6zu %5zu %11.3e %11.3e %11.3e %7.2fx %7.2fx\n",
+              row.sampler.c_str(), n, batch, s, row.seed_sps, row.single_sps,
+              row.batch_sps, row.speedup_vs_seed, row.speedup_vs_single);
+        }
+      }
+    }
+  }
+
+  std::FILE* json = std::fopen("BENCH_batch_serving.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "[\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(
+          json,
+          "  {\"sampler\": \"%s\", \"n\": %zu, \"batch\": %zu, \"s\": %zu, "
+          "\"seed_sps\": %.6e, \"single_sps\": %.6e, \"batch_sps\": %.6e, "
+          "\"speedup_vs_seed\": %.4f, \"speedup_vs_single\": %.4f}%s\n",
+          r.sampler.c_str(), r.n, r.batch, r.s, r.seed_sps, r.single_sps,
+          r.batch_sps, r.speedup_vs_seed, r.speedup_vs_single,
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "]\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_batch_serving.json (%zu rows)\n", rows.size());
+  }
+  return 0;
+}

@@ -1,6 +1,8 @@
 #include "iqs/alias/alias_table.h"
 
+#include <algorithm>
 #include <limits>
+#include <span>
 
 #include "iqs/util/check.h"
 
@@ -54,8 +56,34 @@ void AliasTable::Build(std::span<const double> weights) {
 
 void AliasTable::SampleMany(size_t count, Rng* rng,
                             std::vector<size_t>* out) const {
-  out->reserve(out->size() + count);
-  for (size_t i = 0; i < count; ++i) out->push_back(Sample(rng));
+  const size_t base = out->size();
+  out->resize(base + count);
+  SampleBlock(rng, 0, std::span<size_t>(*out).subspan(base));
+}
+
+void AliasTable::SampleBlock(Rng* rng, size_t base,
+                             std::span<size_t> out) const {
+  IQS_DCHECK(!urns_.empty());
+  constexpr size_t kBlock = 256;
+  uint64_t urn_idx[kBlock];
+  double coin[kBlock];
+  const Urn* urns = urns_.data();
+  constexpr size_t kPrefetchDistance = 16;
+  for (size_t done = 0; done < out.size();) {
+    const size_t m = std::min(out.size() - done, kBlock);
+    rng->FillBelow(urns_.size(), std::span<uint64_t>(urn_idx, m));
+    rng->FillDoubles(std::span<double>(coin, m));
+    const size_t lead = std::min(m, kPrefetchDistance);
+    for (size_t j = 0; j < lead; ++j) __builtin_prefetch(&urns[urn_idx[j]]);
+    for (size_t j = 0; j < m; ++j) {
+      if (j + kPrefetchDistance < m) {
+        __builtin_prefetch(&urns[urn_idx[j + kPrefetchDistance]]);
+      }
+      const Urn& u = urns[urn_idx[j]];
+      out[done + j] = base + (coin[j] < u.primary_prob ? u.primary : u.alias);
+    }
+    done += m;
+  }
 }
 
 }  // namespace iqs

@@ -51,7 +51,30 @@ class AliasTable {
   }
 
   // Draws `count` independent samples, appending them to `out`.
+  // Reserves once and draws through the block path below.
   void SampleMany(size_t count, Rng* rng, std::vector<size_t>* out) const;
+
+  // Block-sampling fast path: fills `out` with independent samples, each
+  // offset by `base` (callers sampling within a subrange pass its start).
+  // Consumes randomness through Rng::FillBelow / Rng::FillDoubles in
+  // fixed-size stack blocks, so the urn-lookup loop has no per-draw RNG
+  // state round-trips, and software-prefetches urns a fixed distance
+  // ahead — on tables bigger than cache the random urn loads then miss
+  // concurrently instead of one at a time. Per-sample distribution
+  // identical to Sample().
+  void SampleBlock(Rng* rng, size_t base, std::span<size_t> out) const;
+
+  // Decomposed sampling for caller-managed prefetch pipelines (e.g. the
+  // chunked sampler's middle-chunk loop): resolve an urn pick made with
+  // caller-supplied randomness. `urn` must be < size(), `coin` in [0, 1);
+  // with uniform inputs the result distribution equals Sample().
+  size_t SampleAt(uint64_t urn, double coin) const {
+    const Urn& u = urns_[urn];
+    return coin < u.primary_prob ? u.primary : u.alias;
+  }
+
+  // Requests the cache line holding urn `i`.
+  void PrefetchUrn(uint64_t i) const { __builtin_prefetch(&urns_[i]); }
 
   bool empty() const { return urns_.empty(); }
   size_t size() const { return urns_.size(); }

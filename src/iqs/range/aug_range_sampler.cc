@@ -1,5 +1,6 @@
 #include "iqs/range/aug_range_sampler.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "iqs/sampling/multinomial.h"
@@ -45,10 +46,14 @@ void AugRangeSampler::QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
                                      std::vector<size_t>* out) const {
   IQS_CHECK(a <= b && b < n());
   if (s == 0) return;
-  std::vector<StaticBst::NodeId> cover;
+  // Per-call temporaries hoisted into thread-local scratch (see
+  // BstRangeSampler::QueryPositions).
+  thread_local std::vector<StaticBst::NodeId> cover;
+  thread_local std::vector<double> cover_weights;
+  cover.clear();
   tree_.CanonicalCover(a, b, &cover);
 
-  std::vector<double> cover_weights;
+  cover_weights.clear();
   cover_weights.reserve(cover.size());
   for (StaticBst::NodeId u : cover) {
     cover_weights.push_back(tree_.NodeWeight(u));
@@ -66,6 +71,77 @@ void AugRangeSampler::QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
     const AliasTable& table = node_alias_[u];
     for (uint32_t k = 0; k < counts[i]; ++k) {
       out->push_back(lo + table.Sample(rng));
+    }
+  }
+}
+
+void AugRangeSampler::QueryPositionsBatch(
+    std::span<const PositionQuery> queries, Rng* rng, ScratchArena* arena,
+    std::vector<size_t>* out) const {
+  // Same multinomial split as the single-query path, but the per-node urn
+  // picks of EVERY query are flattened into one cross-batch pipeline: a
+  // planning pass records (table, base) per draw, then fixed-size blocks
+  // run urn-index generation + prefetch for the whole block before any
+  // urn is read. The urn loads — the only cache misses on this path —
+  // therefore overlap across all queries of the batch instead of
+  // serializing inside each cover node's little group.
+  size_t total = 0;
+  for (const PositionQuery& q : queries) total += q.s;
+  if (total == 0) return;
+
+  const std::span<const AliasTable*> tables =
+      arena->Alloc<const AliasTable*>(total);
+  const std::span<size_t> bases = arena->Alloc<size_t>(total);
+  const size_t max_cover = tree_.MaxCoverSize();
+  size_t d = 0;
+  for (const PositionQuery& q : queries) {
+    if (q.s == 0) continue;
+    IQS_CHECK(q.a <= q.b && q.b < n());
+    const std::span<StaticBst::NodeId> cover =
+        arena->Alloc<StaticBst::NodeId>(max_cover);
+    const size_t t = tree_.CanonicalCover(q.a, q.b, cover);
+    const std::span<double> cover_weights = arena->Alloc<double>(t);
+    for (size_t i = 0; i < t; ++i) {
+      cover_weights[i] = tree_.NodeWeight(cover[i]);
+    }
+    const std::span<uint32_t> counts = arena->Alloc<uint32_t>(t);
+    MultinomialSplitScratch(cover_weights, q.s, rng, arena, counts);
+    for (size_t i = 0; i < t; ++i) {
+      const StaticBst::NodeId u = cover[i];
+      const AliasTable* table = tree_.IsLeaf(u) ? nullptr : &node_alias_[u];
+      const size_t lo = tree_.RangeLo(u);
+      for (uint32_t k = 0; k < counts[i]; ++k) {
+        tables[d] = table;
+        bases[d] = lo;
+        ++d;
+      }
+    }
+  }
+  IQS_DCHECK(d == total);
+
+  const size_t base_out = out->size();
+  out->resize(base_out + total);
+  const std::span<size_t> dst =
+      std::span<size_t>(*out).subspan(base_out, total);
+  // Small enough that every urn line prefetched in the first pass is still
+  // resident when the second pass reads it.
+  constexpr size_t kBlock = 256;
+  const std::span<uint64_t> urn_idx = arena->Alloc<uint64_t>(kBlock);
+  const std::span<double> coins = arena->Alloc<double>(kBlock);
+  for (size_t start = 0; start < total; start += kBlock) {
+    const size_t m = std::min(kBlock, total - start);
+    rng->FillDoubles(coins.first(m));
+    for (size_t i = 0; i < m; ++i) {
+      const AliasTable* table = tables[start + i];
+      if (table == nullptr) continue;
+      urn_idx[i] = rng->Below(table->size());
+      table->PrefetchUrn(urn_idx[i]);
+    }
+    for (size_t i = 0; i < m; ++i) {
+      const AliasTable* table = tables[start + i];
+      dst[start + i] =
+          bases[start + i] +
+          (table == nullptr ? 0 : table->SampleAt(urn_idx[i], coins[i]));
     }
   }
 }

@@ -32,6 +32,12 @@ class AugRangeSampler : public RangeSampler {
   void QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
                       std::vector<size_t>* out) const override;
 
+  // Batched fast path: allocation-free multinomial split per query, block
+  // draws from the prebuilt per-node alias tables.
+  void QueryPositionsBatch(std::span<const PositionQuery> queries, Rng* rng,
+                           ScratchArena* arena,
+                           std::vector<size_t>* out) const override;
+
   size_t MemoryBytes() const override;
 
   std::string_view name() const override { return "alias-augmented"; }

@@ -1,6 +1,7 @@
 #include "iqs/range/bst_range_sampler.h"
 
 #include "iqs/alias/alias_table.h"
+#include "iqs/sampling/multinomial.h"
 
 namespace iqs {
 
@@ -14,22 +15,72 @@ void BstRangeSampler::QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
                                      std::vector<size_t>* out) const {
   IQS_CHECK(a <= b && b < n());
   if (s == 0) return;
-  std::vector<StaticBst::NodeId> cover;
+  // Per-call temporaries hoisted into thread-local scratch: steady-state
+  // queries reuse capacity instead of round-tripping the heap.
+  thread_local std::vector<StaticBst::NodeId> cover;
+  thread_local std::vector<double> cover_weights;
+  thread_local AliasTable cover_alias;
+  cover.clear();
   tree_.CanonicalCover(a, b, &cover);
 
   // Alias table over the canonical nodes, then tree sampling below the
   // chosen node for every draw (paper Section 3.2).
-  std::vector<double> cover_weights;
+  cover_weights.clear();
   cover_weights.reserve(cover.size());
   for (StaticBst::NodeId u : cover) {
     cover_weights.push_back(tree_.NodeWeight(u));
   }
-  AliasTable cover_alias(cover_weights);
+  cover_alias.Build(cover_weights);
   out->reserve(out->size() + s);
   for (size_t i = 0; i < s; ++i) {
     const StaticBst::NodeId u = cover[cover_alias.Sample(rng)];
     out->push_back(tree_.SampleLeaf(u, rng));
   }
+}
+
+void BstRangeSampler::QueryPositionsBatch(
+    std::span<const PositionQuery> queries, Rng* rng, ScratchArena* arena,
+    std::vector<size_t>* out) const {
+  // Multinomial fast path (paper Section 4.1 applied to tree sampling):
+  // split each query's budget across its canonical cover in one draw, so
+  // the per-sample cover pick disappears — then line up ONE descent lane
+  // per requested sample across the entire batch and run them all through
+  // a single grouped DescendToLeaves. With thousands of independent lanes
+  // the bottom-of-tree node loads (the cache misses that dominate the
+  // single-query path) overlap instead of serializing, and shared
+  // top-of-subtree nodes stay hot across every query of the batch.
+  size_t total = 0;
+  for (const PositionQuery& q : queries) total += q.s;
+  if (total == 0) return;
+
+  const std::span<StaticBst::NodeId> lanes =
+      arena->Alloc<StaticBst::NodeId>(total);
+  const size_t max_cover = tree_.MaxCoverSize();
+  size_t lane = 0;
+  for (const PositionQuery& q : queries) {
+    if (q.s == 0) continue;
+    IQS_CHECK(q.a <= q.b && q.b < n());
+    const std::span<StaticBst::NodeId> cover =
+        arena->Alloc<StaticBst::NodeId>(max_cover);
+    const size_t t = tree_.CanonicalCover(q.a, q.b, cover);
+    const std::span<double> cover_weights = arena->Alloc<double>(t);
+    for (size_t i = 0; i < t; ++i) {
+      cover_weights[i] = tree_.NodeWeight(cover[i]);
+    }
+    const std::span<uint32_t> counts = arena->Alloc<uint32_t>(t);
+    MultinomialSplitScratch(cover_weights, q.s, rng, arena, counts);
+    for (size_t i = 0; i < t; ++i) {
+      for (uint32_t k = 0; k < counts[i]; ++k) lanes[lane++] = cover[i];
+    }
+  }
+  IQS_DCHECK(lane == total);
+
+  tree_.DescendToLeaves(lanes, rng, arena);
+
+  const size_t base = out->size();
+  out->resize(base + total);
+  const std::span<size_t> dst = std::span<size_t>(*out).subspan(base, total);
+  for (size_t i = 0; i < total; ++i) dst[i] = tree_.RangeLo(lanes[i]);
 }
 
 }  // namespace iqs

@@ -27,6 +27,12 @@ class BstRangeSampler : public RangeSampler {
   void QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
                       std::vector<size_t>* out) const override;
 
+  // Batched fast path: one multinomial split over the canonical cover per
+  // query, then grouped (level-synchronous, prefetched) subtree descents.
+  void QueryPositionsBatch(std::span<const PositionQuery> queries, Rng* rng,
+                           ScratchArena* arena,
+                           std::vector<size_t>* out) const override;
+
   size_t MemoryBytes() const override {
     return tree_.MemoryBytes() + keys_.capacity() * sizeof(double);
   }

@@ -42,10 +42,13 @@ void ChunkedRangeSampler::SampleFromSpan(size_t lo, size_t hi, size_t count,
                                          Rng* rng,
                                          std::vector<size_t>* out) const {
   if (count == 0) return;
-  std::vector<double> span_weights(
-      weights_.begin() + static_cast<ptrdiff_t>(lo),
-      weights_.begin() + static_cast<ptrdiff_t>(hi) + 1);
-  AliasTable table(span_weights);
+  // Spans are at most one chunk (Θ(log n) elements); thread-local scratch
+  // keeps the per-query alias build allocation-free in steady state.
+  thread_local std::vector<double> span_weights;
+  thread_local AliasTable table;
+  span_weights.assign(weights_.begin() + static_cast<ptrdiff_t>(lo),
+                      weights_.begin() + static_cast<ptrdiff_t>(hi) + 1);
+  table.Build(span_weights);
   for (size_t i = 0; i < count; ++i) out->push_back(lo + table.Sample(rng));
 }
 
@@ -93,6 +96,85 @@ void ChunkedRangeSampler::QueryPositions(size_t a, size_t b, size_t s,
     for (size_t chunk : chunk_draws) {
       out->push_back(ChunkStart(chunk) + chunk_alias_[chunk].Sample(rng));
     }
+  }
+}
+
+void ChunkedRangeSampler::QueryPositionsBatch(
+    std::span<const PositionQuery> queries, Rng* rng, ScratchArena* arena,
+    std::vector<size_t>* out) const {
+  // Mirrors QueryPositions' q1/q2/q3 split (paper Figure 2) but with all
+  // temporaries in the arena, inverse-CDF block draws for the partial
+  // chunks, and the chunk-level Lemma-2 structure invoked through its own
+  // batched path.
+  thread_local std::vector<size_t> chunk_draws;
+  for (const PositionQuery& q : queries) {
+    if (q.s == 0) continue;
+    IQS_CHECK(q.a <= q.b && q.b < n());
+    const size_t base = out->size();
+    out->resize(base + q.s);
+    const std::span<size_t> dst = std::span<size_t>(*out).subspan(base, q.s);
+
+    const size_t ca = q.a / chunk_size_;
+    const size_t cb = q.b / chunk_size_;
+    const std::span<const double> weights(weights_);
+    if (ca == cb) {
+      CategoricalSampleScratch(weights.subspan(q.a, q.b - q.a + 1), rng,
+                               arena, q.a, dst);
+      continue;
+    }
+
+    const size_t q1_hi = ChunkEnd(ca);
+    const size_t q3_lo = ChunkStart(cb);
+    double w1 = 0.0;
+    for (size_t i = q.a; i <= q1_hi; ++i) w1 += weights_[i];
+    double w3 = 0.0;
+    for (size_t i = q3_lo; i <= q.b; ++i) w3 += weights_[i];
+    const bool has_middle = cb > ca + 1;
+    const double w2 =
+        has_middle ? chunk_weight_prefix_[cb] - chunk_weight_prefix_[ca + 1]
+                   : 0.0;
+
+    const double part_weights[3] = {w1, w2, w3};
+    const std::span<uint32_t> counts = arena->Alloc<uint32_t>(3);
+    MultinomialSplitScratch(part_weights, q.s, rng, arena, counts);
+
+    size_t written = 0;
+    CategoricalSampleScratch(weights.subspan(q.a, q1_hi - q.a + 1), rng,
+                             arena, q.a, dst.subspan(written, counts[0]));
+    written += counts[0];
+    CategoricalSampleScratch(weights.subspan(q3_lo, q.b - q3_lo + 1), rng,
+                             arena, q3_lo, dst.subspan(written, counts[2]));
+    written += counts[2];
+
+    if (counts[1] > 0) {
+      IQS_DCHECK(has_middle);
+      chunk_draws.clear();
+      const PositionQuery middle{ca + 1, cb - 1, counts[1]};
+      chunk_level_->QueryPositionsBatch({&middle, 1}, rng, arena,
+                                        &chunk_draws);
+      // Three-pass prefetch pipeline over the drawn chunks: every element
+      // draw chains table header -> urn line -> sample, and each pass
+      // issues its loads for all draws so the misses of a dependent stage
+      // overlap across draws instead of serializing per draw.
+      const size_t m = chunk_draws.size();
+      const std::span<uint64_t> urn_idx = arena->Alloc<uint64_t>(m);
+      const std::span<double> coins = arena->Alloc<double>(m);
+      rng->FillDoubles(coins);
+      for (size_t i = 0; i < m; ++i) {
+        __builtin_prefetch(&chunk_alias_[chunk_draws[i]]);
+      }
+      for (size_t i = 0; i < m; ++i) {
+        const AliasTable& table = chunk_alias_[chunk_draws[i]];
+        urn_idx[i] = rng->Below(table.size());
+        table.PrefetchUrn(urn_idx[i]);
+      }
+      for (size_t i = 0; i < m; ++i) {
+        const size_t chunk = chunk_draws[i];
+        dst[written++] = ChunkStart(chunk) +
+                         chunk_alias_[chunk].SampleAt(urn_idx[i], coins[i]);
+      }
+    }
+    IQS_DCHECK(written == q.s);
   }
 }
 

@@ -38,6 +38,13 @@ class ChunkedRangeSampler : public RangeSampler {
   void QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
                       std::vector<size_t>* out) const override;
 
+  // Batched fast path: arena-resident q1/q2/q3 split with block draws for
+  // the partial chunks and the chunk-level structure's batched path for
+  // the aligned middle.
+  void QueryPositionsBatch(std::span<const PositionQuery> queries, Rng* rng,
+                           ScratchArena* arena,
+                           std::vector<size_t>* out) const override;
+
   size_t MemoryBytes() const override;
 
   std::string_view name() const override { return "chunked-linear-space"; }

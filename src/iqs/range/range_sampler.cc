@@ -32,4 +32,43 @@ bool RangeSampler::Query(double lo, double hi, size_t s, Rng* rng,
   return true;
 }
 
+void RangeSampler::QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
+                              ScratchArena* arena,
+                              BatchResult* result) const {
+  result->Clear();
+  arena->Reset();
+  const size_t q = queries.size();
+  result->resolved.resize(q);
+  result->offsets.resize(q + 1);
+
+  // Resolve all intervals up front; unresolved queries keep s == 0 so the
+  // position pass below can stay branch-light.
+  const std::span<PositionQuery> resolved = arena->Alloc<PositionQuery>(q);
+  size_t total_samples = 0;
+  for (size_t i = 0; i < q; ++i) {
+    PositionQuery& pq = resolved[i];
+    const bool ok =
+        ResolveInterval(queries[i].lo, queries[i].hi, &pq.a, &pq.b);
+    result->resolved[i] = ok ? 1 : 0;
+    pq.s = ok ? queries[i].s : 0;
+    result->offsets[i] = total_samples;
+    total_samples += pq.s;
+  }
+  result->offsets[q] = total_samples;
+
+  result->positions.clear();
+  result->positions.reserve(total_samples);
+  QueryPositionsBatch(resolved, rng, arena, &result->positions);
+  IQS_CHECK(result->positions.size() == total_samples);
+}
+
+void RangeSampler::QueryPositionsBatch(std::span<const PositionQuery> queries,
+                                       Rng* rng, ScratchArena* /*arena*/,
+                                       std::vector<size_t>* out) const {
+  for (const PositionQuery& q : queries) {
+    if (q.s == 0) continue;
+    QueryPositions(q.a, q.b, q.s, rng, out);
+  }
+}
+
 }  // namespace iqs

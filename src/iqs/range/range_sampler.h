@@ -22,8 +22,48 @@
 
 #include "iqs/util/check.h"
 #include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
 
 namespace iqs {
+
+// One query of a serving batch: draw `s` independent weighted samples from
+// S ∩ [lo, hi].
+struct BatchQuery {
+  double lo = 0.0;
+  double hi = 0.0;
+  size_t s = 0;
+};
+
+// A position-space batch request (interval already resolved).
+struct PositionQuery {
+  size_t a = 0;
+  size_t b = 0;
+  size_t s = 0;
+};
+
+// Flat result of a QueryBatch call. Samples for query i occupy
+// positions[offsets[i] .. offsets[i+1]); an unresolved (empty-interval)
+// query has resolved[i] == 0 and an empty slice. Reusing one BatchResult
+// across calls amortizes its buffers away.
+struct BatchResult {
+  std::vector<size_t> positions;
+  std::vector<size_t> offsets;   // size num_queries() + 1
+  std::vector<uint8_t> resolved;  // 1 iff the query interval was nonempty
+
+  size_t num_queries() const { return resolved.size(); }
+
+  std::span<const size_t> SamplesFor(size_t i) const {
+    IQS_DCHECK(i + 1 < offsets.size());
+    return std::span<const size_t>(positions)
+        .subspan(offsets[i], offsets[i + 1] - offsets[i]);
+  }
+
+  void Clear() {
+    positions.clear();
+    offsets.clear();
+    resolved.clear();
+  }
+};
 
 class RangeSampler {
  public:
@@ -55,6 +95,26 @@ class RangeSampler {
   // Resolves [lo, hi] to the inclusive position range it covers. Returns
   // false if empty.
   bool ResolveInterval(double lo, double hi, size_t* a, size_t* b) const;
+
+  // Batched serving fast path. Resolves every query interval once, then
+  // hands the resolved requests to QueryPositionsBatch in one call; the
+  // result is written into `result` (cleared first) as a flat buffer with
+  // per-query offsets. All scratch comes from `arena`; with a reused arena
+  // and result the steady state performs zero heap allocations beyond the
+  // result buffers' retained capacity. Each query's draws obey the same
+  // ORDERING CONTRACT as QueryPositions (i.i.d. multiset, unspecified
+  // order), and draws are independent across queries of the batch.
+  void QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, BatchResult* result) const;
+
+  // Position-space batch hook. Appends, for each query in order, exactly
+  // q.s sampled positions to `out` (contiguous per query). The base
+  // implementation loops over QueryPositions; subclasses override it with
+  // grouped multinomial sampling over the canonical cover, which turns s
+  // independent O(log n) descents into O(cover + s) grouped work.
+  virtual void QueryPositionsBatch(std::span<const PositionQuery> queries,
+                                   Rng* rng, ScratchArena* arena,
+                                   std::vector<size_t>* out) const;
 
   // Heap footprint, for the space experiment (DESIGN.md E4).
   virtual size_t MemoryBytes() const = 0;

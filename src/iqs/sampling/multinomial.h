@@ -8,12 +8,14 @@
 #ifndef IQS_SAMPLING_MULTINOMIAL_H_
 #define IQS_SAMPLING_MULTINOMIAL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "iqs/alias/alias_table.h"
 #include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
 
 namespace iqs {
 
@@ -26,6 +28,85 @@ inline std::vector<uint32_t> MultinomialSplit(std::span<const double> weights,
   AliasTable alias(weights);
   for (size_t i = 0; i < s; ++i) ++counts[alias.Sample(rng)];
   return counts;
+}
+
+// Allocation-free variant for the batched serving path. Writes the same
+// Multinomial(s; weights / sum(weights)) law into `counts` (which must
+// have size weights.size(); zeroed here). Covers are O(log n) pieces, so
+// instead of building an alias table per query this draws by inverse CDF
+// over an arena-resident prefix array — O(s log t) with t tiny — with
+// block randomness. O(t + s log t) time, zero heap allocations.
+inline void MultinomialSplitScratch(std::span<const double> weights, size_t s,
+                                    Rng* rng, ScratchArena* arena,
+                                    std::span<uint32_t> counts) {
+  IQS_DCHECK(counts.size() == weights.size());
+  std::fill(counts.begin(), counts.end(), 0u);
+  if (s == 0) return;
+  const size_t t = weights.size();
+  if (t == 1) {
+    counts[0] = static_cast<uint32_t>(s);
+    return;
+  }
+  const std::span<double> prefix = arena->Alloc<double>(t + 1);
+  prefix[0] = 0.0;
+  for (size_t i = 0; i < t; ++i) prefix[i + 1] = prefix[i] + weights[i];
+  const double total = prefix[t];
+  IQS_DCHECK(total > 0.0);
+
+  constexpr size_t kBlock = 256;
+  const std::span<double> rnd = arena->Alloc<double>(std::min(s, kBlock));
+  for (size_t done = 0; done < s;) {
+    const size_t m = std::min(s - done, kBlock);
+    rng->FillDoubles(rnd.first(m));
+    for (size_t j = 0; j < m; ++j) {
+      // upper_bound lands past every prefix <= r*total; with r < 1 and
+      // positive piece weights the index is in [1, t].
+      const double r = rnd[j] * total;
+      const size_t idx = static_cast<size_t>(
+          std::upper_bound(prefix.begin() + 1, prefix.end(), r) -
+          (prefix.begin() + 1));
+      ++counts[std::min(idx, t - 1)];
+    }
+    done += m;
+  }
+}
+
+// Draws out.size() independent categorical samples over `weights` (index i
+// with probability w_i / W), writing `base + index` into `out`. Same
+// inverse-CDF-with-block-randomness scheme as MultinomialSplitScratch;
+// intended for the small weight spans of the batched serving path (covers,
+// partial chunks), where building an alias table per call would cost more
+// than it saves. O(t + s log t), zero heap allocations.
+inline void CategoricalSampleScratch(std::span<const double> weights,
+                                     Rng* rng, ScratchArena* arena,
+                                     size_t base, std::span<size_t> out) {
+  if (out.empty()) return;
+  const size_t t = weights.size();
+  if (t == 1) {
+    for (size_t& v : out) v = base;
+    return;
+  }
+  const std::span<double> prefix = arena->Alloc<double>(t + 1);
+  prefix[0] = 0.0;
+  for (size_t i = 0; i < t; ++i) prefix[i + 1] = prefix[i] + weights[i];
+  const double total = prefix[t];
+  IQS_DCHECK(total > 0.0);
+
+  constexpr size_t kBlock = 256;
+  const std::span<double> rnd =
+      arena->Alloc<double>(std::min(out.size(), kBlock));
+  for (size_t done = 0; done < out.size();) {
+    const size_t m = std::min(out.size() - done, kBlock);
+    rng->FillDoubles(rnd.first(m));
+    for (size_t j = 0; j < m; ++j) {
+      const double r = rnd[j] * total;
+      const size_t idx = static_cast<size_t>(
+          std::upper_bound(prefix.begin() + 1, prefix.end(), r) -
+          (prefix.begin() + 1));
+      out[done + j] = base + std::min(idx, t - 1);
+    }
+    done += m;
+  }
 }
 
 }  // namespace iqs

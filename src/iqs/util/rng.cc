@@ -38,4 +38,43 @@ uint64_t Rng::Below(uint64_t bound) {
   return static_cast<uint64_t>(m >> 64);
 }
 
+void Rng::FillDoubles(std::span<double> out) {
+  // Keep the four state words in locals for the whole block; the member
+  // loop in NextDouble() forces a load/store per draw.
+  uint64_t s0 = s_[0];
+  uint64_t s1 = s_[1];
+  uint64_t s2 = s_[2];
+  uint64_t s3 = s_[3];
+  for (double& d : out) {
+    const uint64_t result = Rotl(s0 + s3, 23) + s0;
+    const uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = Rotl(s3, 45);
+    d = static_cast<double>(result >> 11) * 0x1.0p-53;
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+void Rng::FillBelow(uint64_t bound, std::span<uint64_t> out) {
+  IQS_DCHECK(bound > 0);
+  // Lemire fast path first: one multiply per element, no branch taken in
+  // the overwhelmingly common case; rejected lanes are patched after.
+  const uint64_t threshold = -bound % bound;
+  for (uint64_t& v : out) {
+    const __uint128_t m = static_cast<__uint128_t>(Next64()) * bound;
+    v = static_cast<uint64_t>(m >> 64);
+    if (static_cast<uint64_t>(m) < threshold) {
+      // Rare rejection (probability threshold / 2^64): redraw in place.
+      v = Below(bound);
+    }
+  }
+}
+
 }  // namespace iqs

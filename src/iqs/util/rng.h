@@ -12,6 +12,7 @@
 #define IQS_UTIL_RNG_H_
 
 #include <cstdint>
+#include <span>
 
 #include "iqs/util/check.h"
 
@@ -68,6 +69,19 @@ class Rng {
 
   // Returns true with probability `p` (clamped to [0, 1]).
   bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Block primitives for batched sampling inner loops: filling a buffer in
+  // one call keeps the xoshiro state in registers across iterations and
+  // gives the compiler a vectorizable loop, where the per-call equivalents
+  // reload state each draw. Element distributions are identical to
+  // NextDouble() / Below() respectively.
+
+  // Fills `out` with independent uniform doubles in [0, 1).
+  void FillDoubles(std::span<double> out);
+
+  // Fills `out` with independent uniform integers in [0, bound).
+  // `bound` must be positive.
+  void FillBelow(uint64_t bound, std::span<uint64_t> out);
 
   // Returns a generator seeded from this one's stream; useful for giving
   // each worker/structure an independent stream.

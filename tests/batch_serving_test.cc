@@ -1,0 +1,205 @@
+// Tests for the batched query-serving fast path: QueryBatch /
+// QueryPositionsBatch structure, the zero-steady-state-allocation arena
+// contract, and — most importantly — chi-square evidence (alpha 1e-6, per
+// test_util.h conventions) that the batched multinomial/grouped path draws
+// from exactly the same per-query distribution as the single-query
+// per-sample path, on uniform, Zipf, and clustered workloads.
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/range/aug_range_sampler.h"
+#include "iqs/range/bst_range_sampler.h"
+#include "iqs/range/chunked_range_sampler.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
+#include "test_util.h"
+
+namespace iqs {
+namespace {
+
+enum class SamplerKind { kBst, kAug, kChunked };
+enum class Workload { kUniform, kZipf, kClustered };
+
+std::unique_ptr<RangeSampler> MakeSampler(SamplerKind kind,
+                                          const std::vector<double>& keys,
+                                          const std::vector<double>& weights) {
+  switch (kind) {
+    case SamplerKind::kBst:
+      return std::make_unique<BstRangeSampler>(keys, weights);
+    case SamplerKind::kAug:
+      return std::make_unique<AugRangeSampler>(keys, weights);
+    case SamplerKind::kChunked:
+      return std::make_unique<ChunkedRangeSampler>(keys, weights);
+  }
+  return nullptr;
+}
+
+struct Data {
+  std::vector<double> keys;
+  std::vector<double> weights;
+};
+
+Data MakeWorkload(Workload workload, size_t n, Rng* rng) {
+  switch (workload) {
+    case Workload::kUniform:
+      return {UniformKeys(n, rng), std::vector<double>(n, 1.0)};
+    case Workload::kZipf:
+      return {UniformKeys(n, rng), ZipfWeights(n, 1.0, rng)};
+    case Workload::kClustered:
+      return {ClusteredKeys(n, 5, rng), ZipfWeights(n, 0.5, rng)};
+  }
+  return {};
+}
+
+// Restricts `weights` to [a, b], zero elsewhere — the expected per-draw
+// law for any range query over [a, b].
+std::vector<double> RangeWeights(const std::vector<double>& weights, size_t a,
+                                 size_t b) {
+  std::vector<double> restricted(weights.size(), 0.0);
+  for (size_t i = a; i <= b; ++i) restricted[i] = weights[i];
+  return restricted;
+}
+
+class BatchEquivalence
+    : public ::testing::TestWithParam<std::tuple<SamplerKind, Workload>> {};
+
+TEST_P(BatchEquivalence, BatchedAndSinglePathsDrawSameDistribution) {
+  const auto [kind, workload] = GetParam();
+  Rng data_rng(101);
+  const size_t n = 1500;
+  const Data data = MakeWorkload(workload, n, &data_rng);
+  const auto sampler = MakeSampler(kind, data.keys, data.weights);
+
+  // One awkward range (straddles chunk boundaries and forces a multi-node
+  // cover) exercised heavily by both paths.
+  const size_t a = 137;
+  const size_t b = 1201;
+  const size_t s = 96;
+  const size_t rounds = 1500;
+
+  Rng single_rng(7);
+  std::vector<size_t> single_samples;
+  for (size_t round = 0; round < rounds; ++round) {
+    sampler->QueryPositions(a, b, s, &single_rng, &single_samples);
+  }
+
+  Rng batch_rng(8);
+  ScratchArena arena;
+  std::vector<size_t> batch_samples;
+  std::vector<PositionQuery> queries(8, PositionQuery{a, b, s});
+  for (size_t round = 0; round < rounds / queries.size(); ++round) {
+    sampler->QueryPositionsBatch(queries, &batch_rng, &arena,
+                                 &batch_samples);
+    arena.Reset();
+  }
+
+  const std::vector<double> expected = RangeWeights(data.weights, a, b);
+  testing::ExpectSamplesMatchWeights(single_samples, expected);
+  testing::ExpectSamplesMatchWeights(batch_samples, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSamplersAllWorkloads, BatchEquivalence,
+    ::testing::Combine(::testing::Values(SamplerKind::kBst, SamplerKind::kAug,
+                                         SamplerKind::kChunked),
+                       ::testing::Values(Workload::kUniform, Workload::kZipf,
+                                         Workload::kClustered)));
+
+TEST(QueryBatchTest, FlatResultSlicesMatchQueries) {
+  Rng rng(1);
+  const size_t n = 512;
+  const auto keys = UniformKeys(n, &rng);
+  const std::vector<double> weights(n, 1.0);
+  const AugRangeSampler sampler(keys, weights);
+
+  // Mix of resolvable queries, an empty interval, and s == 0.
+  const std::vector<BatchQuery> queries = {
+      {keys[10], keys[200], 32},
+      {keys[300] + 1e-12, keys[300] + 2e-12, 16},  // empty: between keys
+      {keys[0], keys[n - 1], 8},
+      {keys[50], keys[60], 0},
+  };
+  ScratchArena arena;
+  BatchResult result;
+  Rng qrng(2);
+  sampler.QueryBatch(queries, &qrng, &arena, &result);
+
+  ASSERT_EQ(result.num_queries(), queries.size());
+  EXPECT_EQ(result.resolved[0], 1);
+  EXPECT_EQ(result.resolved[1], 0);
+  EXPECT_EQ(result.resolved[2], 1);
+  EXPECT_EQ(result.resolved[3], 1);
+  EXPECT_EQ(result.SamplesFor(0).size(), 32u);
+  EXPECT_EQ(result.SamplesFor(1).size(), 0u);
+  EXPECT_EQ(result.SamplesFor(2).size(), 8u);
+  EXPECT_EQ(result.SamplesFor(3).size(), 0u);
+  EXPECT_EQ(result.positions.size(), 40u);
+  for (const size_t p : result.SamplesFor(0)) {
+    EXPECT_GE(p, 10u);
+    EXPECT_LE(p, 200u);
+  }
+  for (const size_t p : result.SamplesFor(2)) EXPECT_LT(p, n);
+}
+
+TEST(QueryBatchTest, SteadyStateMakesNoArenaAllocations) {
+  Rng rng(3);
+  const size_t n = 4096;
+  const auto keys = UniformKeys(n, &rng);
+  const auto weights = ZipfWeights(n, 1.0, &rng);
+  const ChunkedRangeSampler sampler(keys, weights);
+
+  std::vector<BatchQuery> queries;
+  for (int i = 0; i < 64; ++i) {
+    const auto [lo, hi] = IntervalWithSelectivity(keys, 700, &rng);
+    queries.push_back({lo, hi, 64});
+  }
+  ScratchArena arena;
+  BatchResult result;
+  Rng qrng(4);
+  sampler.QueryBatch(queries, &qrng, &arena, &result);  // warm-up growth
+  sampler.QueryBatch(queries, &qrng, &arena, &result);  // coalesce
+  const size_t warm_blocks = arena.blocks_allocated();
+  for (int round = 0; round < 20; ++round) {
+    sampler.QueryBatch(queries, &qrng, &arena, &result);
+  }
+  EXPECT_EQ(arena.blocks_allocated(), warm_blocks)
+      << "batched serving must be allocation-free in steady state";
+}
+
+TEST(QueryBatchTest, BatchDrawsAreIndependentAcrossQueries) {
+  // Two identical queries in one batch must not be correlated: the
+  // fraction of rounds where both queries pick the same position matches
+  // the collision probability of independent draws.
+  Rng rng(5);
+  const size_t n = 64;
+  const auto keys = UniformKeys(n, &rng);
+  const std::vector<double> weights(n, 1.0);
+  const BstRangeSampler sampler(keys, weights);
+
+  const std::vector<BatchQuery> queries = {{keys[0], keys[n - 1], 1},
+                                           {keys[0], keys[n - 1], 1}};
+  ScratchArena arena;
+  BatchResult result;
+  Rng qrng(6);
+  int collisions = 0;
+  const int rounds = 60000;
+  for (int round = 0; round < rounds; ++round) {
+    sampler.QueryBatch(queries, &qrng, &arena, &result);
+    collisions +=
+        result.SamplesFor(0)[0] == result.SamplesFor(1)[0] ? 1 : 0;
+  }
+  // Collision probability for two independent uniform draws over n values
+  // is 1/n; 5-sigma band at rounds trials.
+  const double expect = static_cast<double>(rounds) / n;
+  const double sigma = std::sqrt(expect * (1.0 - 1.0 / n));
+  EXPECT_NEAR(static_cast<double>(collisions), expect, 5 * sigma);
+}
+
+}  // namespace
+}  // namespace iqs
