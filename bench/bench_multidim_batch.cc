@@ -1,0 +1,194 @@
+// E20 — multidim batched serving through the shared CoverExecutor.
+//
+// Sweeps n x s over the three 2-d samplers (kd-tree, quadtree, 2-d range
+// tree) and compares, on identical workloads of fixed-selectivity random
+// rectangles:
+//   * single: looping the established QueryRect path (per-query cover
+//             vectors + per-query engine call);
+//   * batch:  one QueryBatch call with a reused ScratchArena /
+//             PointBatchResult — all queries' covers in one CoverPlan, one
+//             CoverExecutor run (multinomial splits + cross-query grouped
+//             draws; the range tree additionally coalesces groups by
+//             secondary node).
+// Both paths draw from identical per-query distributions (see
+// batch_serving_test.cc MultidimBatchTest); differences are pure constant
+// factors. Reports samples/sec and writes BENCH_multidim_batch.json.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "iqs/multidim/kd_sampler.h"
+#include "iqs/multidim/multidim_batch.h"
+#include "iqs/multidim/quadtree.h"
+#include "iqs/multidim/range_tree.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using iqs::multidim::Point2;
+using iqs::multidim::PointBatchResult;
+using iqs::multidim::Rect;
+using iqs::multidim::RectBatchQuery;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+template <typename Fn>
+double Measure(Fn&& fn) {
+  fn();  // warm-up (grows arena/result buffers to steady state)
+  size_t reps = 0;
+  const Clock::time_point start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++reps;
+    elapsed = SecondsSince(start);
+  } while (elapsed < 0.2);
+  return static_cast<double>(reps) / elapsed;
+}
+
+std::vector<Point2> RandomPoints(size_t n, iqs::Rng* rng) {
+  std::vector<Point2> points(n);
+  for (auto& p : points) {
+    p.x = rng->NextDouble();
+    p.y = rng->NextDouble();
+  }
+  return points;
+}
+
+struct Row {
+  std::string structure;
+  size_t n = 0;
+  size_t batch = 0;
+  size_t s = 0;
+  double single_sps = 0.0;
+  double batch_sps = 0.0;
+  double speedup = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E20: multidim batched serving throughput (samples/sec) — looped "
+      "QueryRect vs QueryBatch over the shared CoverExecutor\n");
+  std::printf("%-12s %9s %6s %5s %12s %12s %8s\n", "structure", "n", "batch",
+              "s", "single sps", "batch sps", "speedup");
+
+  std::vector<Row> rows;
+  const size_t batch = 128;
+  for (const size_t n : {size_t{1} << 14, size_t{1} << 17}) {
+    iqs::Rng data_rng(1);
+    const auto points = RandomPoints(n, &data_rng);
+    const auto weights = iqs::ZipfWeights(n, 1.0, &data_rng);
+
+    const iqs::multidim::KdTreeSampler kd(points, weights);
+    const iqs::multidim::QuadtreeSampler quad(points, weights);
+    const iqs::multidim::RangeTree2DSampler rtree(points, weights);
+
+    struct Lane {
+      const char* name;
+      std::function<void(const Rect&, size_t, iqs::Rng*,
+                         std::vector<Point2>*)>
+          single;
+      std::function<void(const std::vector<RectBatchQuery>&, iqs::Rng*,
+                         iqs::ScratchArena*, PointBatchResult*)>
+          batch_call;
+    };
+    const Lane lanes[3] = {
+        {"kd-tree",
+         [&](const Rect& q, size_t s, iqs::Rng* rng,
+             std::vector<Point2>* out) { kd.QueryRect(q, s, rng, out); },
+         [&](const std::vector<RectBatchQuery>& qs, iqs::Rng* rng,
+             iqs::ScratchArena* arena, PointBatchResult* result) {
+           kd.QueryBatch(qs, rng, arena, result);
+         }},
+        {"quadtree",
+         [&](const Rect& q, size_t s, iqs::Rng* rng,
+             std::vector<Point2>* out) { quad.QueryRect(q, s, rng, out); },
+         [&](const std::vector<RectBatchQuery>& qs, iqs::Rng* rng,
+             iqs::ScratchArena* arena, PointBatchResult* result) {
+           quad.QueryBatch(qs, rng, arena, result);
+         }},
+        {"range-tree",
+         [&](const Rect& q, size_t s, iqs::Rng* rng,
+             std::vector<Point2>* out) { rtree.QueryRect(q, s, rng, out); },
+         [&](const std::vector<RectBatchQuery>& qs, iqs::Rng* rng,
+             iqs::ScratchArena* arena, PointBatchResult* result) {
+           rtree.QueryBatch(qs, rng, arena, result);
+         }},
+    };
+
+    for (const Lane& lane : lanes) {
+      for (const size_t s : {size_t{16}, size_t{64}, size_t{256}}) {
+        // Fixed query set per config: ~1/8-area rectangles, so covers are
+        // nontrivial on every structure.
+        iqs::Rng query_rng(2);
+        const double side = std::sqrt(0.125);
+        std::vector<RectBatchQuery> queries;
+        for (size_t i = 0; i < batch; ++i) {
+          const double x = query_rng.NextDouble() * (1.0 - side);
+          const double y = query_rng.NextDouble() * (1.0 - side);
+          queries.push_back({Rect{x, x + side, y, y + side}, s});
+        }
+
+        iqs::Rng single_rng(3);
+        std::vector<Point2> single_out;
+        const double single_bps = Measure([&] {
+          single_out.clear();
+          for (const RectBatchQuery& q : queries) {
+            lane.single(q.rect, q.s, &single_rng, &single_out);
+          }
+        });
+
+        iqs::Rng batch_rng(3);
+        iqs::ScratchArena arena;
+        PointBatchResult result;
+        const double batch_bps = Measure([&] {
+          lane.batch_call(queries, &batch_rng, &arena, &result);
+        });
+
+        Row row;
+        row.structure = lane.name;
+        row.n = n;
+        row.batch = batch;
+        row.s = s;
+        const double spb = static_cast<double>(batch * s);
+        row.single_sps = single_bps * spb;
+        row.batch_sps = batch_bps * spb;
+        row.speedup = batch_bps / single_bps;
+        rows.push_back(row);
+
+        std::printf("%-12s %9zu %6zu %5zu %12.3e %12.3e %7.2fx\n",
+                    row.structure.c_str(), n, batch, s, row.single_sps,
+                    row.batch_sps, row.speedup);
+      }
+    }
+  }
+
+  std::FILE* json = std::fopen("BENCH_multidim_batch.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "[\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(json,
+                   "  {\"structure\": \"%s\", \"n\": %zu, \"batch\": %zu, "
+                   "\"s\": %zu, \"single_sps\": %.6e, \"batch_sps\": %.6e, "
+                   "\"speedup\": %.4f}%s\n",
+                   r.structure.c_str(), r.n, r.batch, r.s, r.single_sps,
+                   r.batch_sps, r.speedup, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "]\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_multidim_batch.json (%zu rows)\n", rows.size());
+  }
+  return 0;
+}

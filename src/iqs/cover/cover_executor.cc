@@ -1,0 +1,55 @@
+#include "iqs/cover/cover_executor.h"
+
+#include "iqs/range/range_sampler.h"
+
+namespace iqs {
+
+CoverSplit CoverExecutor::Split(const CoverPlan& plan, Rng* rng,
+                                ScratchArena* arena) {
+  const size_t g = plan.num_groups();
+  const std::span<uint32_t> counts = arena->Alloc<uint32_t>(g);
+  const std::span<double> weights = arena->Alloc<double>(g);
+  const std::span<const CoverGroup> groups = plan.groups();
+  for (size_t i = 0; i < g; ++i) weights[i] = groups[i].weight;
+
+  for (size_t q = 0; q < plan.num_queries(); ++q) {
+    const size_t first = plan.first_group(q);
+    const size_t t = plan.end_group(q) - first;
+    if (t == 0) continue;
+    MultinomialSplitScratch(weights.subspan(first, t), plan.budget(q), rng,
+                            arena, counts.subspan(first, t));
+  }
+
+  const std::span<size_t> offsets = arena->Alloc<size_t>(g + 1);
+  size_t total = 0;
+  for (size_t i = 0; i < g; ++i) {
+    offsets[i] = total;
+    total += counts[i];
+  }
+  offsets[g] = total;
+  return CoverSplit{counts, offsets, total};
+}
+
+void CoverExecutor::ExecuteOverSampler(const CoverPlan& plan,
+                                       const RangeSampler& sampler, Rng* rng,
+                                       ScratchArena* arena,
+                                       std::vector<size_t>* out) {
+  const CoverSplit split = Split(plan, rng, arena);
+  if (split.total == 0) return;
+  // Lower nonzero groups to position-space requests; QueryPositionsBatch
+  // appends each request's draws contiguously in order, which is exactly
+  // the flat layout Split's offsets describe.
+  const std::span<const CoverGroup> groups = plan.groups();
+  const std::span<PositionQuery> requests =
+      arena->Alloc<PositionQuery>(groups.size());
+  size_t m = 0;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (split.counts[i] == 0) continue;
+    requests[m++] = PositionQuery{groups[i].lo, groups[i].hi,
+                                  static_cast<size_t>(split.counts[i])};
+  }
+  out->reserve(out->size() + split.total);
+  sampler.QueryPositionsBatch(requests.first(m), rng, arena, out);
+}
+
+}  // namespace iqs

@@ -1,0 +1,85 @@
+// The shared batched sampling pipeline over CoverPlans (paper Section 4.1
+// applied uniformly; engineering of DESIGN.md E19/E20).
+//
+// Every serving path in the library funnels through this layer: a
+// structure enumerates each query's weighted disjoint groups into a
+// CoverPlan, and the executor runs the whole batch through one pipeline —
+// per-query multinomial budget splits (inverse-CDF with block RNG), flat
+// per-group output offsets, arena scratch, and a single invocation of the
+// structure's draw backend over ALL draws of the batch, so backend cache
+// misses (tree-node loads, alias-urn loads) overlap across queries
+// instead of serializing inside each one.
+//
+// Two consumption styles:
+//   * Execute(plan, ..., backend): for structures with their own grouped
+//     draw kernel (StaticBst lane descents, per-node alias pipelines).
+//     `backend(ctx)` receives the split and the flat destination and
+//     draws every sample of the batch in one pass.
+//   * ExecuteOverSampler(plan, sampler, ...): for structures whose groups
+//     are plain position ranges over one RangeSampler (CoverageEngine,
+//     subtree Euler intervals, the integer sampler). Lowers nonzero
+//     groups to PositionQuery spans and runs the sampler's own
+//     QueryPositionsBatch once.
+
+#ifndef IQS_COVER_COVER_EXECUTOR_H_
+#define IQS_COVER_COVER_EXECUTOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "iqs/cover/cover_plan.h"
+#include "iqs/sampling/multinomial.h"
+#include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
+
+namespace iqs {
+
+class RangeSampler;
+
+// Result of the budget-splitting stage, arena-resident. For group g of
+// the plan, counts[g] samples are owed and must be written to
+// dst[offsets[g] .. offsets[g+1]); queries stay contiguous in dst because
+// a query's groups are contiguous in the plan.
+struct CoverSplit {
+  std::span<const uint32_t> counts;  // per group
+  std::span<const size_t> offsets;   // per group, size num_groups() + 1
+  size_t total = 0;                  // == offsets.back()
+};
+
+class CoverExecutor {
+ public:
+  // Stage 1: splits every query's budget Multinomial(s; group weights)
+  // and lays out flat output offsets. O(groups + total samples) with all
+  // scratch from `arena`.
+  static CoverSplit Split(const CoverPlan& plan, Rng* rng,
+                          ScratchArena* arena);
+
+  // Full pipeline for structures with a custom grouped draw kernel.
+  // Appends plan.TotalSamples() positions to `out`; `backend` is invoked
+  // once (when there is work) as backend(plan, split, dst) with dst the
+  // flat destination span, and must write dst[offsets[g] ..) for every
+  // group g. Draws for query q land contiguously, in group order — the
+  // usual i.i.d.-multiset ORDERING CONTRACT (see RangeSampler).
+  template <typename DrawBackend>
+  static void Execute(const CoverPlan& plan, Rng* rng, ScratchArena* arena,
+                      DrawBackend&& backend, std::vector<size_t>* out) {
+    const CoverSplit split = Split(plan, rng, arena);
+    if (split.total == 0) return;
+    const size_t base = out->size();
+    out->resize(base + split.total);
+    backend(plan, split,
+            std::span<size_t>(*out).subspan(base, split.total));
+  }
+
+  // Full pipeline for plans whose groups are position ranges over
+  // `sampler`: one QueryPositionsBatch call over the nonzero groups.
+  static void ExecuteOverSampler(const CoverPlan& plan,
+                                 const RangeSampler& sampler, Rng* rng,
+                                 ScratchArena* arena,
+                                 std::vector<size_t>* out);
+};
+
+}  // namespace iqs
+
+#endif  // IQS_COVER_COVER_EXECUTOR_H_

@@ -1,6 +1,8 @@
 #include "iqs/cover/coverage_engine.h"
 
-#include "iqs/sampling/multinomial.h"
+#include <numeric>
+
+#include "iqs/cover/cover_executor.h"
 #include "iqs/util/check.h"
 
 namespace iqs {
@@ -13,54 +15,81 @@ std::vector<double> PositionKeys(size_t n) {
   return keys;
 }
 
+// Single-query entry points share per-thread serving state so they ride
+// the batched pipeline without a signature change.
+ScratchArena* LocalArena() {
+  thread_local ScratchArena arena;
+  return &arena;
+}
+
 }  // namespace
 
 CoverageEngine::CoverageEngine(std::span<const double> position_weights)
     : sampler_(PositionKeys(position_weights.size()), position_weights) {}
 
+void CoverageEngine::SampleBatch(const CoverPlan& plan, Rng* rng,
+                                 ScratchArena* arena,
+                                 std::vector<size_t>* out) const {
+  CoverExecutor::ExecuteOverSampler(plan, sampler_, rng, arena, out);
+}
+
 void CoverageEngine::Sample(std::span<const CoverRange> cover, size_t s,
                             Rng* rng, std::vector<size_t>* out) const {
   if (s == 0 || cover.empty()) return;
-  std::vector<double> weights;
-  weights.reserve(cover.size());
+  thread_local CoverPlan plan;
+  plan.Clear();
+  plan.BeginQuery(s);
   for (const CoverRange& range : cover) {
     IQS_DCHECK(range.lo <= range.hi);
-    weights.push_back(range.weight);
+    plan.AddGroup(range);
   }
-  const std::vector<uint32_t> counts = MultinomialSplit(weights, s, rng);
-  out->reserve(out->size() + s);
-  for (size_t i = 0; i < cover.size(); ++i) {
-    if (counts[i] == 0) continue;
-    sampler_.QueryPositions(cover[i].lo, cover[i].hi, counts[i], rng, out);
-  }
+  ScratchArena* arena = LocalArena();
+  arena->Reset();
+  SampleBatch(plan, rng, arena, out);
 }
 
-void CoverageEngine::SampleWithRejection(
-    std::span<const CoverRange> cover, size_t s,
-    const std::function<bool(size_t)>& accepts, Rng* rng,
-    std::vector<size_t>* out) const {
+void CoverageEngine::SampleWithRejection(std::span<const CoverRange> cover,
+                                         size_t s,
+                                         FunctionRef<bool(size_t)> accepts,
+                                         Rng* rng, ScratchArena* arena,
+                                         std::vector<size_t>* out) const {
   if (s == 0 || cover.empty()) return;
+  thread_local CoverPlan plan;
   out->reserve(out->size() + s);
+  const size_t base = out->size();
   size_t produced = 0;
-  // Draw candidate batches of the remaining deficit; with a constant-
-  // density approximate cover, each batch converts a constant fraction, so
-  // the expected total work is O(s).
-  std::vector<size_t> candidates;
+  // Draw candidate batches of the remaining deficit directly into `out`
+  // and compact the accepted ones in place — no candidate buffer; the
+  // split/draw scratch of every retry round comes from `arena`. With a
+  // constant-density approximate cover each round converts a constant
+  // fraction, so the expected total work is O(s).
   size_t round = 0;
   while (produced < s) {
-    candidates.clear();
-    Sample(cover, s - produced, rng, &candidates);
-    for (size_t position : candidates) {
-      if (accepts(position)) {
-        out->push_back(position);
-        ++produced;
-      }
+    plan.Clear();
+    plan.BeginQuery(s - produced);
+    for (const CoverRange& range : cover) plan.AddGroup(range);
+    SampleBatch(plan, rng, arena, out);
+    size_t write = base + produced;
+    for (size_t read = write; read < out->size(); ++read) {
+      if (accepts((*out)[read])) (*out)[write++] = (*out)[read];
     }
+    produced = write - base;
+    out->resize(base + produced);
     // Guard against a cover that contains no qualifying element at all —
     // a caller bug: the acceptance rate would be 0 and the loop endless.
     IQS_CHECK(++round < 64 * (s + 1) &&
               "rejection sampling is not converging; is the cover valid?");
   }
+}
+
+void CoverageEngine::SampleWithRejection(std::span<const CoverRange> cover,
+                                         size_t s,
+                                         FunctionRef<bool(size_t)> accepts,
+                                         Rng* rng,
+                                         std::vector<size_t>* out) const {
+  ScratchArena* arena = LocalArena();
+  arena->Reset();
+  SampleWithRejection(cover, s, accepts, rng, arena, out);
 }
 
 }  // namespace iqs

@@ -10,6 +10,12 @@
 // samples inside each range with the Theorem-3 chunked structure, our
 // stand-in for Lemma 4 (see DESIGN.md section 2.4).
 //
+// Serving goes through the shared CoverExecutor: SampleBatch takes a
+// whole CoverPlan (many queries, each already reduced to cover groups)
+// and runs the one batched pipeline — multinomial splits, grouped
+// cross-query draws on the chunked sampler's batched path, arena scratch.
+// Sample() is the single-query convenience over the same machinery.
+//
 // Theorem 6 is the same engine plus rejection: SampleWithRejection takes
 // an *approximate* cover — ranges that may contain non-qualifying
 // elements — and an acceptance predicate. The output law is exactly
@@ -20,23 +26,16 @@
 #ifndef IQS_COVER_COVERAGE_ENGINE_H_
 #define IQS_COVER_COVERAGE_ENGINE_H_
 
-#include <functional>
-#include <numeric>
 #include <span>
 #include <vector>
 
+#include "iqs/cover/cover_plan.h"
 #include "iqs/range/chunked_range_sampler.h"
+#include "iqs/util/function_ref.h"
 #include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
 
 namespace iqs {
-
-// One piece of a cover: the elements at positions [lo, hi] with total
-// weight `weight`.
-struct CoverRange {
-  size_t lo = 0;
-  size_t hi = 0;
-  double weight = 0.0;
-};
 
 class CoverageEngine {
  public:
@@ -49,27 +48,37 @@ class CoverageEngine {
   void Sample(std::span<const CoverRange> cover, size_t s, Rng* rng,
               std::vector<size_t>* out) const;
 
+  // Batched Theorem 5: every query of `plan` has been reduced to cover
+  // groups (group positions index this engine's position space); appends
+  // plan.TotalSamples() positions to `out`, contiguous per query in plan
+  // order, via one CoverExecutor run over the chunked sampler's batched
+  // path. All scratch from `arena`; zero steady-state heap allocations
+  // with a reused arena.
+  void SampleBatch(const CoverPlan& plan, Rng* rng, ScratchArena* arena,
+                   std::vector<size_t>* out) const;
+
   // Theorem 6: the cover may overshoot the true result; every candidate
   // position is filtered through `accepts`, and rejected draws are retried
   // until `s` samples pass. Expected O(|cover| + s) when the cover is a
   // constant-density approximate cover. `cover_element_weight` of each
   // range must count all elements in the range (qualifying or not).
+  // `accepts` is a non-owning FunctionRef — no allocation per call — and
+  // all retry scratch comes from `arena`.
   void SampleWithRejection(std::span<const CoverRange> cover, size_t s,
-                           const std::function<bool(size_t)>& accepts,
-                           Rng* rng, std::vector<size_t>* out) const;
+                           FunctionRef<bool(size_t)> accepts, Rng* rng,
+                           ScratchArena* arena,
+                           std::vector<size_t>* out) const;
+
+  // Convenience overload using the engine's thread-local arena.
+  void SampleWithRejection(std::span<const CoverRange> cover, size_t s,
+                           FunctionRef<bool(size_t)> accepts, Rng* rng,
+                           std::vector<size_t>* out) const;
 
   size_t MemoryBytes() const { return sampler_.MemoryBytes(); }
 
  private:
   ChunkedRangeSampler sampler_;
 };
-
-// Convenience: total weight of a cover.
-inline double CoverWeight(std::span<const CoverRange> cover) {
-  double total = 0.0;
-  for (const CoverRange& range : cover) total += range.weight;
-  return total;
-}
 
 }  // namespace iqs
 

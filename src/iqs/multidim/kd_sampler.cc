@@ -19,6 +19,12 @@ bool KdTreeSampler::QueryRect(const Rect& q, size_t s, Rng* rng,
   return true;
 }
 
+void KdTreeSampler::QueryBatch(std::span<const RectBatchQuery> queries,
+                               Rng* rng, ScratchArena* arena,
+                               PointBatchResult* result) const {
+  internal::ServeRectBatch(tree_, engine_, queries, rng, arena, result);
+}
+
 bool KdTreeSampler::QueryDisk(const Point2& center, double radius, size_t s,
                               Rng* rng, std::vector<Point2>* out) const {
   std::vector<CoverRange> cover;

@@ -16,8 +16,10 @@
 
 #include "iqs/cover/coverage_engine.h"
 #include "iqs/multidim/kd_tree.h"
+#include "iqs/multidim/multidim_batch.h"
 #include "iqs/multidim/point.h"
 #include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
 
 namespace iqs::multidim {
 
@@ -32,6 +34,15 @@ class KdTreeSampler {
   // rectangle is empty of points. O(sqrt n + s).
   bool QueryRect(const Rect& q, size_t s, Rng* rng,
                  std::vector<Point2>* out) const;
+
+  // Batched serving fast path (mirrors RangeSampler::QueryBatch): covers
+  // every rectangle once, then serves all draws of the batch through one
+  // CoverExecutor run over the shared coverage engine. Same per-query law
+  // as QueryRect; draws are independent across queries. All scratch comes
+  // from `arena`; with a reused arena and result the steady state performs
+  // zero heap allocations beyond retained capacity.
+  void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, PointBatchResult* result) const;
 
   // Same for the disk dist(center, .) <= radius, using the exact cover.
   bool QueryDisk(const Point2& center, double radius, size_t s, Rng* rng,

@@ -120,4 +120,35 @@ bool KdTreeNdSampler::QueryBox(const BoxNd& q, size_t s, Rng* rng,
   return true;
 }
 
+void KdTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
+                                 Rng* rng, ScratchArena* arena,
+                                 BatchResult* result) const {
+  result->Clear();
+  arena->Reset();
+  thread_local CoverPlan plan;
+  thread_local std::vector<CoverRange> cover;
+  plan.Clear();
+  const size_t q = queries.size();
+  result->resolved.resize(q);
+  result->offsets.resize(q + 1);
+  size_t total_samples = 0;
+  for (size_t i = 0; i < q; ++i) {
+    result->offsets[i] = total_samples;
+    cover.clear();
+    tree_.CoverQuery(queries[i].box, &cover);
+    const bool ok = !cover.empty();
+    result->resolved[i] = ok ? 1 : 0;
+    plan.BeginQuery(queries[i].s);
+    if (!ok || queries[i].s == 0) continue;
+    for (const CoverRange& range : cover) plan.AddGroup(range);
+    total_samples += queries[i].s;
+  }
+  result->offsets[q] = total_samples;
+
+  result->positions.clear();
+  result->positions.reserve(total_samples);
+  engine_.SampleBatch(plan, rng, arena, &result->positions);
+  IQS_CHECK(result->positions.size() == total_samples);
+}
+
 }  // namespace iqs::multidim

@@ -16,8 +16,10 @@
 #include <vector>
 
 #include "iqs/cover/coverage_engine.h"
+#include "iqs/range/range_sampler.h"  // BatchResult
 #include "iqs/util/check.h"
 #include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
 
 namespace iqs::multidim {
 
@@ -55,6 +57,13 @@ struct BoxNd {
     }
     return true;
   }
+};
+
+// One box query of a serving batch: draw `s` independent weighted samples
+// from S ∩ box.
+struct BoxBatchQuery {
+  BoxNd box;
+  size_t s = 0;
 };
 
 class KdTreeNd {
@@ -115,6 +124,13 @@ class KdTreeNdSampler {
   // POSITIONS (resolve coordinates via tree().PointAt). False when empty.
   bool QueryBox(const BoxNd& q, size_t s, Rng* rng,
                 std::vector<size_t>* out) const;
+
+  // Batched serving fast path (mirrors RangeSampler::QueryBatch): covers
+  // every box once, then serves all draws of the batch through one
+  // CoverExecutor run over the shared coverage engine. result->positions
+  // holds positions; resolve via tree().PointAt.
+  void QueryBatch(std::span<const BoxBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, BatchResult* result) const;
 
   const KdTreeNd& tree() const { return tree_; }
 

@@ -139,6 +139,12 @@ void Quadtree::Report(const Rect& q, std::vector<size_t>* out) const {
   }
 }
 
+void QuadtreeSampler::QueryBatch(std::span<const RectBatchQuery> queries,
+                                 Rng* rng, ScratchArena* arena,
+                                 PointBatchResult* result) const {
+  internal::ServeRectBatch(tree_, engine_, queries, rng, arena, result);
+}
+
 bool QuadtreeSampler::QueryRect(const Rect& q, size_t s, Rng* rng,
                                 std::vector<Point2>* out) const {
   std::vector<CoverRange> cover;

@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "iqs/cover/coverage_engine.h"
+#include "iqs/multidim/multidim_batch.h"
 #include "iqs/multidim/point.h"
 #include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
 
 namespace iqs::multidim {
 
@@ -78,6 +80,11 @@ class QuadtreeSampler {
   // Draws `s` independent weighted samples from S ∩ q; false if empty.
   bool QueryRect(const Rect& q, size_t s, Rng* rng,
                  std::vector<Point2>* out) const;
+
+  // Batched serving fast path — one CoverExecutor run over the whole
+  // batch; see KdTreeSampler::QueryBatch.
+  void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, PointBatchResult* result) const;
 
   const Quadtree& tree() const { return tree_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "iqs/cover/cover_executor.h"
 #include "iqs/sampling/multinomial.h"
 #include "iqs/util/check.h"
 
@@ -152,8 +153,7 @@ void RangeTree2DSampler::CollectPieces(const Rect& q, size_t a, size_t b,
   }
 }
 
-bool RangeTree2DSampler::QueryRect(const Rect& q, size_t s, Rng* rng,
-                                   std::vector<Point2>* out) const {
+bool RangeTree2DSampler::ResolveX(const Rect& q, size_t* a, size_t* b) const {
   // x-range in x-sorted positions.
   auto x_key = [&](size_t i) { return points_by_x_[i].x; };
   size_t lo = 0;
@@ -167,8 +167,8 @@ bool RangeTree2DSampler::QueryRect(const Rect& q, size_t s, Rng* rng,
       hi = mid;
     }
   }
-  const size_t a = lo;
-  size_t lo2 = a;
+  *a = lo;
+  size_t lo2 = lo;
   size_t hi2 = points_by_x_.size();
   while (lo2 < hi2) {
     const size_t mid = (lo2 + hi2) / 2;
@@ -178,8 +178,16 @@ bool RangeTree2DSampler::QueryRect(const Rect& q, size_t s, Rng* rng,
       hi2 = mid;
     }
   }
-  if (a >= lo2) return false;  // empty x-range
-  const size_t b = lo2 - 1;
+  if (*a >= lo2) return false;  // empty x-range
+  *b = lo2 - 1;
+  return true;
+}
+
+bool RangeTree2DSampler::QueryRect(const Rect& q, size_t s, Rng* rng,
+                                   std::vector<Point2>* out) const {
+  size_t a = 0;
+  size_t b = 0;
+  if (!ResolveX(q, &a, &b)) return false;
 
   std::vector<Piece> pieces;
   CollectPieces(q, a, b, &pieces);
@@ -205,6 +213,98 @@ bool RangeTree2DSampler::QueryRect(const Rect& q, size_t s, Rng* rng,
     }
   }
   return true;
+}
+
+void RangeTree2DSampler::QueryBatch(std::span<const RectBatchQuery> queries,
+                                    Rng* rng, ScratchArena* arena,
+                                    PointBatchResult* result) const {
+  result->Clear();
+  arena->Reset();
+  thread_local CoverPlan plan;
+  thread_local std::vector<Piece> pieces;
+  thread_local std::vector<size_t> positions;
+  plan.Clear();
+  pieces.clear();
+  const size_t nq = queries.size();
+  result->resolved.resize(nq);
+  result->offsets.resize(nq + 1);
+  size_t total_samples = 0;
+  for (size_t i = 0; i < nq; ++i) {
+    result->offsets[i] = total_samples;
+    plan.BeginQuery(queries[i].s);
+    size_t a = 0;
+    size_t b = 0;
+    if (!ResolveX(queries[i].rect, &a, &b)) {
+      result->resolved[i] = 0;
+      continue;
+    }
+    const size_t piece_base = pieces.size();
+    CollectPieces(queries[i].rect, a, b, &pieces);
+    const bool ok = pieces.size() > piece_base;
+    result->resolved[i] = ok ? 1 : 0;
+    if (!ok || queries[i].s == 0) continue;
+    for (size_t j = piece_base; j < pieces.size(); ++j) {
+      plan.AddGroup(pieces[j].y_a, pieces[j].y_b, pieces[j].weight, j);
+    }
+    total_samples += queries[i].s;
+  }
+  result->offsets[nq] = total_samples;
+
+  const CoverSplit split = CoverExecutor::Split(plan, rng, arena);
+  IQS_CHECK(split.total == total_samples);
+  result->points.resize(total_samples);
+  if (total_samples == 0) return;
+
+  // Coalesce nonzero groups by their secondary node so every piece that
+  // hits the same node's y-structure — across all queries of the batch —
+  // rides one chunked QueryPositionsBatch call. Each group's draws land
+  // at split.offsets[g] of the flat output, which keeps every query's
+  // slice contiguous regardless of the serving order.
+  const std::span<const CoverGroup> groups = plan.groups();
+  const std::span<uint32_t> order = arena->Alloc<uint32_t>(groups.size());
+  size_t active = 0;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (split.counts[g] > 0) order[active++] = static_cast<uint32_t>(g);
+  }
+  std::sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(active),
+            [&](uint32_t ga, uint32_t gb) {
+              const uint32_t na = pieces[groups[ga].tag].node;
+              const uint32_t nb = pieces[groups[gb].tag].node;
+              return na != nb ? na < nb : ga < gb;
+            });
+
+  const std::span<PositionQuery> requests =
+      arena->Alloc<PositionQuery>(active);
+  for (size_t run = 0; run < active;) {
+    const uint32_t node_id = pieces[groups[order[run]].tag].node;
+    size_t run_end = run;
+    size_t m = 0;
+    while (run_end < active &&
+           pieces[groups[order[run_end]].tag].node == node_id) {
+      const Piece& piece = pieces[groups[order[run_end]].tag];
+      requests[m++] = PositionQuery{
+          piece.y_a, piece.y_b,
+          static_cast<size_t>(split.counts[order[run_end]])};
+      ++run_end;
+    }
+    const Node& node = nodes_[node_id];
+    positions.clear();
+    node.sampler->QueryPositionsBatch(requests.first(m), rng, arena,
+                                      &positions);
+    // QueryPositionsBatch appends each request's draws contiguously in
+    // order; scatter them back to the groups' flat slices.
+    size_t cursor = 0;
+    for (size_t k = run; k < run_end; ++k) {
+      const uint32_t g = order[k];
+      const size_t dst = split.offsets[g];
+      for (uint32_t d = 0; d < split.counts[g]; ++d) {
+        const size_t y_pos = positions[cursor++];
+        result->points[dst + d] = points_by_x_[node.ids_by_y[y_pos]];
+      }
+    }
+    IQS_DCHECK(cursor == positions.size());
+    run = run_end;
+  }
 }
 
 void RangeTree2DSampler::Report(const Rect& q, std::vector<size_t>* out) const {

@@ -25,9 +25,11 @@
 #include <span>
 #include <vector>
 
+#include "iqs/multidim/multidim_batch.h"
 #include "iqs/multidim/point.h"
 #include "iqs/range/chunked_range_sampler.h"
 #include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
 
 namespace iqs::multidim {
 
@@ -43,6 +45,15 @@ class RangeTree2DSampler {
   // to `out`; false when the rectangle holds no point.
   bool QueryRect(const Rect& q, size_t s, Rng* rng,
                  std::vector<Point2>* out) const;
+
+  // Batched serving fast path (mirrors RangeSampler::QueryBatch). All
+  // queries' pieces are enumerated into one CoverPlan; the CoverExecutor
+  // performs the multinomial splits, then the per-group draws are
+  // coalesced BY SECONDARY NODE so pieces of different queries that land
+  // in the same node's y-structure share one chunked batched call (and
+  // its cross-query prefetch pipeline).
+  void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, PointBatchResult* result) const;
 
   // Reporting oracle for tests.
   void Report(const Rect& q, std::vector<size_t>* out) const;
@@ -82,6 +93,9 @@ class RangeTree2DSampler {
   // node via the cascading bridges; [a, b] is the inclusive x-range.
   void CollectPieces(const Rect& q, size_t a, size_t b,
                      std::vector<Piece>* pieces) const;
+
+  // Resolves the query's x-interval to inclusive x-order positions.
+  bool ResolveX(const Rect& q, size_t* a, size_t* b) const;
 
   size_t leaf_size_;
   std::vector<Point2> points_by_x_;  // x-sorted; "id" = x-order position

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "iqs/cover/cover_executor.h"
 #include "iqs/sampling/multinomial.h"
 #include "iqs/util/check.h"
 
@@ -190,6 +191,99 @@ bool RangeTreeNdSampler::QueryBox(const BoxNd& q, size_t s, Rng* rng,
     }
   }
   return true;
+}
+
+void RangeTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
+                                    Rng* rng, ScratchArena* arena,
+                                    BatchResult* result) const {
+  result->Clear();
+  arena->Reset();
+  thread_local CoverPlan plan;
+  thread_local std::vector<Piece> pieces;
+  thread_local std::vector<size_t> positions;
+  plan.Clear();
+  pieces.clear();
+  const size_t nq = queries.size();
+  result->resolved.resize(nq);
+  result->offsets.resize(nq + 1);
+  size_t total_samples = 0;
+  for (size_t i = 0; i < nq; ++i) {
+    IQS_CHECK(queries[i].box.dim() == dim_);
+    result->offsets[i] = total_samples;
+    plan.BeginQuery(queries[i].s);
+    const size_t piece_base = pieces.size();
+    CollectPieces(*root_, queries[i].box, &pieces);
+    const bool ok = pieces.size() > piece_base;
+    result->resolved[i] = ok ? 1 : 0;
+    if (!ok || queries[i].s == 0) continue;
+    for (size_t j = piece_base; j < pieces.size(); ++j) {
+      // Singleton pieces (leaf_structure == nullptr) carry the point id in
+      // `a`; lo/hi are unused by the split stage.
+      plan.AddGroup(pieces[j].a, pieces[j].b, pieces[j].weight, j);
+    }
+    total_samples += queries[i].s;
+  }
+  result->offsets[nq] = total_samples;
+
+  const CoverSplit split = CoverExecutor::Split(plan, rng, arena);
+  IQS_CHECK(split.total == total_samples);
+  result->positions.assign(total_samples, 0);
+  if (total_samples == 0) return;
+
+  // Serve singleton groups directly; coalesce the rest by final-level
+  // structure so shared leaf samplers get one batched call each.
+  const std::span<const CoverGroup> groups = plan.groups();
+  const std::span<uint32_t> order = arena->Alloc<uint32_t>(groups.size());
+  size_t active = 0;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (split.counts[g] == 0) continue;
+    const Piece& piece = pieces[groups[g].tag];
+    if (piece.leaf_structure == nullptr) {
+      const size_t dst = split.offsets[g];
+      for (uint32_t d = 0; d < split.counts[g]; ++d) {
+        result->positions[dst + d] = piece.a;
+      }
+      continue;
+    }
+    order[active++] = static_cast<uint32_t>(g);
+  }
+  std::sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(active),
+            [&](uint32_t ga, uint32_t gb) {
+              const auto* sa = pieces[groups[ga].tag].leaf_structure;
+              const auto* sb = pieces[groups[gb].tag].leaf_structure;
+              return sa != sb ? sa < sb : ga < gb;
+            });
+
+  const std::span<PositionQuery> requests =
+      arena->Alloc<PositionQuery>(active);
+  for (size_t run = 0; run < active;) {
+    const LevelStructure* structure =
+        pieces[groups[order[run]].tag].leaf_structure;
+    size_t run_end = run;
+    size_t m = 0;
+    while (run_end < active &&
+           pieces[groups[order[run_end]].tag].leaf_structure == structure) {
+      const Piece& piece = pieces[groups[order[run_end]].tag];
+      requests[m++] = PositionQuery{
+          piece.a, piece.b,
+          static_cast<size_t>(split.counts[order[run_end]])};
+      ++run_end;
+    }
+    positions.clear();
+    structure->sampler->QueryPositionsBatch(requests.first(m), rng, arena,
+                                            &positions);
+    size_t cursor = 0;
+    for (size_t k = run; k < run_end; ++k) {
+      const uint32_t g = order[k];
+      const size_t dst = split.offsets[g];
+      for (uint32_t d = 0; d < split.counts[g]; ++d) {
+        result->positions[dst + d] =
+            structure->ids_sorted[positions[cursor++]];
+      }
+    }
+    IQS_DCHECK(cursor == positions.size());
+    run = run_end;
+  }
 }
 
 void RangeTreeNdSampler::Report(const BoxNd& q,

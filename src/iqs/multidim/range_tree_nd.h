@@ -24,9 +24,11 @@
 #include <span>
 #include <vector>
 
-#include "iqs/multidim/kd_tree_nd.h"  // BoxNd
+#include "iqs/multidim/kd_tree_nd.h"  // BoxNd, BoxBatchQuery
 #include "iqs/range/chunked_range_sampler.h"
+#include "iqs/range/range_sampler.h"  // BatchResult
 #include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
 
 namespace iqs::multidim {
 
@@ -47,6 +49,14 @@ class RangeTreeNdSampler {
   // ids (indices into the constructor order). False when the box is empty.
   bool QueryBox(const BoxNd& q, size_t s, Rng* rng,
                 std::vector<size_t>* out) const;
+
+  // Batched serving fast path: all queries' pieces go into one CoverPlan,
+  // the CoverExecutor performs the multinomial splits, and per-group
+  // draws are coalesced BY FINAL-LEVEL STRUCTURE so pieces of different
+  // queries that share a leaf sampler ride one chunked batched call.
+  // result->positions holds point ids (constructor order).
+  void QueryBatch(std::span<const BoxBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, BatchResult* result) const;
 
   // Reporting oracle (brute force; for tests).
   void Report(const BoxNd& q, std::vector<size_t>* out) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "iqs/cover/cover_executor.h"
 #include "iqs/sampling/multinomial.h"
 
 namespace iqs {
@@ -78,72 +79,76 @@ void AugRangeSampler::QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
 void AugRangeSampler::QueryPositionsBatch(
     std::span<const PositionQuery> queries, Rng* rng, ScratchArena* arena,
     std::vector<size_t>* out) const {
-  // Same multinomial split as the single-query path, but the per-node urn
-  // picks of EVERY query are flattened into one cross-batch pipeline: a
-  // planning pass records (table, base) per draw, then fixed-size blocks
-  // run urn-index generation + prefetch for the whole block before any
-  // urn is read. The urn loads — the only cache misses on this path —
-  // therefore overlap across all queries of the batch instead of
-  // serializing inside each cover node's little group.
-  size_t total = 0;
-  for (const PositionQuery& q : queries) total += q.s;
-  if (total == 0) return;
-
-  const std::span<const AliasTable*> tables =
-      arena->Alloc<const AliasTable*>(total);
-  const std::span<size_t> bases = arena->Alloc<size_t>(total);
+  // Cover enumeration only; the CoverExecutor owns the multinomial split
+  // and output layout. The draw backend flattens the per-node urn picks
+  // of EVERY query into one cross-batch pipeline: a planning pass records
+  // (table, base) per draw, then fixed-size blocks run urn-index
+  // generation + prefetch for the whole block before any urn is read. The
+  // urn loads — the only cache misses on this path — therefore overlap
+  // across all queries of the batch instead of serializing inside each
+  // cover node's little group.
+  thread_local CoverPlan plan;
+  plan.Clear();
   const size_t max_cover = tree_.MaxCoverSize();
-  size_t d = 0;
+  const std::span<StaticBst::NodeId> cover =
+      arena->Alloc<StaticBst::NodeId>(max_cover);
   for (const PositionQuery& q : queries) {
+    plan.BeginQuery(q.s);
     if (q.s == 0) continue;
     IQS_CHECK(q.a <= q.b && q.b < n());
-    const std::span<StaticBst::NodeId> cover =
-        arena->Alloc<StaticBst::NodeId>(max_cover);
     const size_t t = tree_.CanonicalCover(q.a, q.b, cover);
-    const std::span<double> cover_weights = arena->Alloc<double>(t);
-    for (size_t i = 0; i < t; ++i) {
-      cover_weights[i] = tree_.NodeWeight(cover[i]);
-    }
-    const std::span<uint32_t> counts = arena->Alloc<uint32_t>(t);
-    MultinomialSplitScratch(cover_weights, q.s, rng, arena, counts);
     for (size_t i = 0; i < t; ++i) {
       const StaticBst::NodeId u = cover[i];
-      const AliasTable* table = tree_.IsLeaf(u) ? nullptr : &node_alias_[u];
-      const size_t lo = tree_.RangeLo(u);
-      for (uint32_t k = 0; k < counts[i]; ++k) {
-        tables[d] = table;
-        bases[d] = lo;
-        ++d;
-      }
+      plan.AddGroup(tree_.RangeLo(u), tree_.RangeHi(u), tree_.NodeWeight(u),
+                    u);
     }
   }
-  IQS_DCHECK(d == total);
 
-  const size_t base_out = out->size();
-  out->resize(base_out + total);
-  const std::span<size_t> dst =
-      std::span<size_t>(*out).subspan(base_out, total);
-  // Small enough that every urn line prefetched in the first pass is still
-  // resident when the second pass reads it.
-  constexpr size_t kBlock = 256;
-  const std::span<uint64_t> urn_idx = arena->Alloc<uint64_t>(kBlock);
-  const std::span<double> coins = arena->Alloc<double>(kBlock);
-  for (size_t start = 0; start < total; start += kBlock) {
-    const size_t m = std::min(kBlock, total - start);
-    rng->FillDoubles(coins.first(m));
-    for (size_t i = 0; i < m; ++i) {
-      const AliasTable* table = tables[start + i];
-      if (table == nullptr) continue;
-      urn_idx[i] = rng->Below(table->size());
-      table->PrefetchUrn(urn_idx[i]);
-    }
-    for (size_t i = 0; i < m; ++i) {
-      const AliasTable* table = tables[start + i];
-      dst[start + i] =
-          bases[start + i] +
-          (table == nullptr ? 0 : table->SampleAt(urn_idx[i], coins[i]));
-    }
-  }
+  CoverExecutor::Execute(
+      plan, rng, arena,
+      [&](const CoverPlan& p, const CoverSplit& split, std::span<size_t> dst) {
+        const size_t total = split.total;
+        const std::span<const AliasTable*> tables =
+            arena->Alloc<const AliasTable*>(total);
+        const std::span<size_t> bases = arena->Alloc<size_t>(total);
+        const std::span<const CoverGroup> groups = p.groups();
+        size_t d = 0;
+        for (size_t g = 0; g < groups.size(); ++g) {
+          const auto u = static_cast<StaticBst::NodeId>(groups[g].tag);
+          const AliasTable* table =
+              tree_.IsLeaf(u) ? nullptr : &node_alias_[u];
+          const size_t lo = groups[g].lo;
+          for (uint32_t k = 0; k < split.counts[g]; ++k) {
+            tables[d] = table;
+            bases[d] = lo;
+            ++d;
+          }
+        }
+        IQS_DCHECK(d == total);
+
+        // Small enough that every urn line prefetched in the first pass
+        // is still resident when the second pass reads it.
+        constexpr size_t kBlock = 256;
+        const std::span<uint64_t> urn_idx = arena->Alloc<uint64_t>(kBlock);
+        const std::span<double> coins = arena->Alloc<double>(kBlock);
+        for (size_t start = 0; start < total; start += kBlock) {
+          const size_t m = std::min(kBlock, total - start);
+          rng->FillDoubles(coins.first(m));
+          for (size_t i = 0; i < m; ++i) {
+            const AliasTable* table = tables[start + i];
+            if (table == nullptr) continue;
+            urn_idx[i] = rng->Below(table->size());
+            table->PrefetchUrn(urn_idx[i]);
+          }
+          for (size_t i = 0; i < m; ++i) {
+            const AliasTable* table = tables[start + i];
+            dst[start + i] =
+                bases[start + i] +
+                (table == nullptr ? 0 : table->SampleAt(urn_idx[i], coins[i]));
+          }
+        }
+      },
+      out);
 }
 
 size_t AugRangeSampler::MemoryBytes() const {

@@ -32,8 +32,9 @@ class AugRangeSampler : public RangeSampler {
   void QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
                       std::vector<size_t>* out) const override;
 
-  // Batched fast path: allocation-free multinomial split per query, block
-  // draws from the prebuilt per-node alias tables.
+  // Batched fast path: enumerates canonical covers into a CoverPlan for
+  // the shared CoverExecutor; the draw backend pipelines prefetched urn
+  // loads from the prebuilt per-node alias tables across the whole batch.
   void QueryPositionsBatch(std::span<const PositionQuery> queries, Rng* rng,
                            ScratchArena* arena,
                            std::vector<size_t>* out) const override;

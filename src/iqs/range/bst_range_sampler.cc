@@ -1,6 +1,7 @@
 #include "iqs/range/bst_range_sampler.h"
 
 #include "iqs/alias/alias_table.h"
+#include "iqs/cover/cover_executor.h"
 #include "iqs/sampling/multinomial.h"
 
 namespace iqs {
@@ -41,46 +42,49 @@ void BstRangeSampler::QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
 void BstRangeSampler::QueryPositionsBatch(
     std::span<const PositionQuery> queries, Rng* rng, ScratchArena* arena,
     std::vector<size_t>* out) const {
-  // Multinomial fast path (paper Section 4.1 applied to tree sampling):
-  // split each query's budget across its canonical cover in one draw, so
-  // the per-sample cover pick disappears — then line up ONE descent lane
-  // per requested sample across the entire batch and run them all through
-  // a single grouped DescendToLeaves. With thousands of independent lanes
-  // the bottom-of-tree node loads (the cache misses that dominate the
+  // Cover enumeration only; the CoverExecutor owns the batched pipeline
+  // (multinomial split per query, flat offsets, arena scratch). The draw
+  // backend lines up ONE descent lane per requested sample across the
+  // entire batch and runs them all through a single grouped
+  // DescendToLeaves: with thousands of independent lanes the
+  // bottom-of-tree node loads (the cache misses that dominate the
   // single-query path) overlap instead of serializing, and shared
   // top-of-subtree nodes stay hot across every query of the batch.
-  size_t total = 0;
-  for (const PositionQuery& q : queries) total += q.s;
-  if (total == 0) return;
-
-  const std::span<StaticBst::NodeId> lanes =
-      arena->Alloc<StaticBst::NodeId>(total);
+  thread_local CoverPlan plan;
+  plan.Clear();
   const size_t max_cover = tree_.MaxCoverSize();
-  size_t lane = 0;
+  const std::span<StaticBst::NodeId> cover =
+      arena->Alloc<StaticBst::NodeId>(max_cover);
   for (const PositionQuery& q : queries) {
+    plan.BeginQuery(q.s);
     if (q.s == 0) continue;
     IQS_CHECK(q.a <= q.b && q.b < n());
-    const std::span<StaticBst::NodeId> cover =
-        arena->Alloc<StaticBst::NodeId>(max_cover);
     const size_t t = tree_.CanonicalCover(q.a, q.b, cover);
-    const std::span<double> cover_weights = arena->Alloc<double>(t);
     for (size_t i = 0; i < t; ++i) {
-      cover_weights[i] = tree_.NodeWeight(cover[i]);
-    }
-    const std::span<uint32_t> counts = arena->Alloc<uint32_t>(t);
-    MultinomialSplitScratch(cover_weights, q.s, rng, arena, counts);
-    for (size_t i = 0; i < t; ++i) {
-      for (uint32_t k = 0; k < counts[i]; ++k) lanes[lane++] = cover[i];
+      const StaticBst::NodeId u = cover[i];
+      plan.AddGroup(tree_.RangeLo(u), tree_.RangeHi(u), tree_.NodeWeight(u),
+                    u);
     }
   }
-  IQS_DCHECK(lane == total);
 
-  tree_.DescendToLeaves(lanes, rng, arena);
-
-  const size_t base = out->size();
-  out->resize(base + total);
-  const std::span<size_t> dst = std::span<size_t>(*out).subspan(base, total);
-  for (size_t i = 0; i < total; ++i) dst[i] = tree_.RangeLo(lanes[i]);
+  CoverExecutor::Execute(
+      plan, rng, arena,
+      [&](const CoverPlan& p, const CoverSplit& split, std::span<size_t> dst) {
+        const std::span<StaticBst::NodeId> lanes =
+            arena->Alloc<StaticBst::NodeId>(split.total);
+        const std::span<const CoverGroup> groups = p.groups();
+        size_t lane = 0;
+        for (size_t g = 0; g < groups.size(); ++g) {
+          const auto u = static_cast<StaticBst::NodeId>(groups[g].tag);
+          for (uint32_t k = 0; k < split.counts[g]; ++k) lanes[lane++] = u;
+        }
+        IQS_DCHECK(lane == split.total);
+        tree_.DescendToLeaves(lanes, rng, arena);
+        for (size_t i = 0; i < split.total; ++i) {
+          dst[i] = tree_.RangeLo(lanes[i]);
+        }
+      },
+      out);
 }
 
 }  // namespace iqs

@@ -27,8 +27,9 @@ class BstRangeSampler : public RangeSampler {
   void QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
                       std::vector<size_t>* out) const override;
 
-  // Batched fast path: one multinomial split over the canonical cover per
-  // query, then grouped (level-synchronous, prefetched) subtree descents.
+  // Batched fast path: enumerates canonical covers into a CoverPlan and
+  // serves them through the shared CoverExecutor, with grouped
+  // (level-synchronous, prefetched) subtree descents as the draw backend.
   void QueryPositionsBatch(std::span<const PositionQuery> queries, Rng* rng,
                            ScratchArena* arena,
                            std::vector<size_t>* out) const override;

@@ -3,9 +3,20 @@
 #include <bit>
 #include <cmath>
 
+#include "iqs/cover/cover_executor.h"
 #include "iqs/sampling/multinomial.h"
 
 namespace iqs {
+
+namespace {
+
+// Group tags for the batched path: a query's cover is its q1/q2/q3 split
+// (paper Figure 2) — partial-chunk spans drawn categorically, and the
+// chunk-aligned middle served through the chunk-level Lemma-2 structure.
+constexpr uint64_t kSpanGroup = 0;
+constexpr uint64_t kMiddleGroup = 1;
+
+}  // namespace
 
 ChunkedRangeSampler::ChunkedRangeSampler(std::span<const double> keys,
                                          std::span<const double> weights,
@@ -102,80 +113,117 @@ void ChunkedRangeSampler::QueryPositions(size_t a, size_t b, size_t s,
 void ChunkedRangeSampler::QueryPositionsBatch(
     std::span<const PositionQuery> queries, Rng* rng, ScratchArena* arena,
     std::vector<size_t>* out) const {
-  // Mirrors QueryPositions' q1/q2/q3 split (paper Figure 2) but with all
-  // temporaries in the arena, inverse-CDF block draws for the partial
-  // chunks, and the chunk-level Lemma-2 structure invoked through its own
-  // batched path.
-  thread_local std::vector<size_t> chunk_draws;
+  // Cover enumeration only — each query's q1/q2/q3 split becomes 1-3 plan
+  // groups — with the CoverExecutor owning the multinomial splits and
+  // output layout. The draw backend serves partial-chunk spans by
+  // inverse-CDF block draws, and gathers the chunk-aligned middles of ALL
+  // queries into a single chunk-level batched call (itself the Lemma-2
+  // cross-batch pipeline) followed by one blocked
+  // prefetch-then-read pass over every middle draw of the batch: each
+  // element draw chains table header -> urn line -> sample, and issuing
+  // each stage's loads for a whole block lets the misses of a dependent
+  // stage overlap across draws instead of serializing per draw.
+  thread_local CoverPlan plan;
+  plan.Clear();
   for (const PositionQuery& q : queries) {
+    plan.BeginQuery(q.s);
     if (q.s == 0) continue;
     IQS_CHECK(q.a <= q.b && q.b < n());
-    const size_t base = out->size();
-    out->resize(base + q.s);
-    const std::span<size_t> dst = std::span<size_t>(*out).subspan(base, q.s);
-
     const size_t ca = q.a / chunk_size_;
     const size_t cb = q.b / chunk_size_;
-    const std::span<const double> weights(weights_);
     if (ca == cb) {
-      CategoricalSampleScratch(weights.subspan(q.a, q.b - q.a + 1), rng,
-                               arena, q.a, dst);
+      double w = 0.0;
+      for (size_t i = q.a; i <= q.b; ++i) w += weights_[i];
+      plan.AddGroup(q.a, q.b, w, kSpanGroup);
       continue;
     }
-
     const size_t q1_hi = ChunkEnd(ca);
     const size_t q3_lo = ChunkStart(cb);
     double w1 = 0.0;
     for (size_t i = q.a; i <= q1_hi; ++i) w1 += weights_[i];
+    plan.AddGroup(q.a, q1_hi, w1, kSpanGroup);
+    if (cb > ca + 1) {
+      const double w2 =
+          chunk_weight_prefix_[cb] - chunk_weight_prefix_[ca + 1];
+      plan.AddGroup(ChunkStart(ca + 1), ChunkEnd(cb - 1), w2, kMiddleGroup);
+    }
     double w3 = 0.0;
     for (size_t i = q3_lo; i <= q.b; ++i) w3 += weights_[i];
-    const bool has_middle = cb > ca + 1;
-    const double w2 =
-        has_middle ? chunk_weight_prefix_[cb] - chunk_weight_prefix_[ca + 1]
-                   : 0.0;
-
-    const double part_weights[3] = {w1, w2, w3};
-    const std::span<uint32_t> counts = arena->Alloc<uint32_t>(3);
-    MultinomialSplitScratch(part_weights, q.s, rng, arena, counts);
-
-    size_t written = 0;
-    CategoricalSampleScratch(weights.subspan(q.a, q1_hi - q.a + 1), rng,
-                             arena, q.a, dst.subspan(written, counts[0]));
-    written += counts[0];
-    CategoricalSampleScratch(weights.subspan(q3_lo, q.b - q3_lo + 1), rng,
-                             arena, q3_lo, dst.subspan(written, counts[2]));
-    written += counts[2];
-
-    if (counts[1] > 0) {
-      IQS_DCHECK(has_middle);
-      chunk_draws.clear();
-      const PositionQuery middle{ca + 1, cb - 1, counts[1]};
-      chunk_level_->QueryPositionsBatch({&middle, 1}, rng, arena,
-                                        &chunk_draws);
-      // Three-pass prefetch pipeline over the drawn chunks: every element
-      // draw chains table header -> urn line -> sample, and each pass
-      // issues its loads for all draws so the misses of a dependent stage
-      // overlap across draws instead of serializing per draw.
-      const size_t m = chunk_draws.size();
-      const std::span<uint64_t> urn_idx = arena->Alloc<uint64_t>(m);
-      const std::span<double> coins = arena->Alloc<double>(m);
-      rng->FillDoubles(coins);
-      for (size_t i = 0; i < m; ++i) {
-        __builtin_prefetch(&chunk_alias_[chunk_draws[i]]);
-      }
-      for (size_t i = 0; i < m; ++i) {
-        const AliasTable& table = chunk_alias_[chunk_draws[i]];
-        urn_idx[i] = rng->Below(table.size());
-        table.PrefetchUrn(urn_idx[i]);
-      }
-      for (size_t i = 0; i < m; ++i) {
-        const size_t chunk = chunk_draws[i];
-        dst[written++] = ChunkStart(chunk) +
-                         chunk_alias_[chunk].SampleAt(urn_idx[i], coins[i]);
-      }
-    }
-    IQS_DCHECK(written == q.s);
+    plan.AddGroup(q3_lo, q.b, w3, kSpanGroup);
   }
+
+  CoverExecutor::Execute(
+      plan, rng, arena,
+      [&](const CoverPlan& p, const CoverSplit& split, std::span<size_t> dst) {
+        const std::span<const CoverGroup> groups = p.groups();
+        const std::span<const double> weights(weights_);
+
+        // Partial-chunk spans: block inverse-CDF draws straight into the
+        // group's slice. Also count the middle work for the second stage.
+        size_t num_middles = 0;
+        size_t middle_total = 0;
+        for (size_t g = 0; g < groups.size(); ++g) {
+          if (split.counts[g] == 0) continue;
+          if (groups[g].tag == kMiddleGroup) {
+            ++num_middles;
+            middle_total += split.counts[g];
+            continue;
+          }
+          CategoricalSampleScratch(
+              weights.subspan(groups[g].lo, groups[g].hi - groups[g].lo + 1),
+              rng, arena, groups[g].lo,
+              dst.subspan(split.offsets[g], split.counts[g]));
+        }
+        if (middle_total == 0) return;
+
+        // Chunk-aligned middles of the whole batch in one chunk-level
+        // batched call; middle_dst[i] remembers where draw i lands.
+        const std::span<PositionQuery> middle_queries =
+            arena->Alloc<PositionQuery>(num_middles);
+        const std::span<size_t> middle_dst =
+            arena->Alloc<size_t>(middle_total);
+        size_t mq = 0;
+        size_t md = 0;
+        for (size_t g = 0; g < groups.size(); ++g) {
+          if (groups[g].tag != kMiddleGroup || split.counts[g] == 0) continue;
+          middle_queries[mq++] =
+              PositionQuery{groups[g].lo / chunk_size_,
+                            groups[g].hi / chunk_size_,
+                            static_cast<size_t>(split.counts[g])};
+          for (uint32_t k = 0; k < split.counts[g]; ++k) {
+            middle_dst[md++] = split.offsets[g] + k;
+          }
+        }
+        IQS_DCHECK(md == middle_total);
+        thread_local std::vector<size_t> chunk_draws;
+        chunk_draws.clear();
+        chunk_level_->QueryPositionsBatch(middle_queries, rng, arena,
+                                          &chunk_draws);
+        IQS_DCHECK(chunk_draws.size() == middle_total);
+
+        constexpr size_t kBlock = 256;
+        const std::span<uint64_t> urn_idx = arena->Alloc<uint64_t>(kBlock);
+        const std::span<double> coins = arena->Alloc<double>(kBlock);
+        for (size_t start = 0; start < middle_total; start += kBlock) {
+          const size_t m = std::min(kBlock, middle_total - start);
+          rng->FillDoubles(coins.first(m));
+          for (size_t i = 0; i < m; ++i) {
+            __builtin_prefetch(&chunk_alias_[chunk_draws[start + i]]);
+          }
+          for (size_t i = 0; i < m; ++i) {
+            const AliasTable& table = chunk_alias_[chunk_draws[start + i]];
+            urn_idx[i] = rng->Below(table.size());
+            table.PrefetchUrn(urn_idx[i]);
+          }
+          for (size_t i = 0; i < m; ++i) {
+            const size_t chunk = chunk_draws[start + i];
+            dst[middle_dst[start + i]] =
+                ChunkStart(chunk) +
+                chunk_alias_[chunk].SampleAt(urn_idx[i], coins[i]);
+          }
+        }
+      },
+      out);
 }
 
 size_t ChunkedRangeSampler::MemoryBytes() const {

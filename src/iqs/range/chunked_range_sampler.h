@@ -38,9 +38,10 @@ class ChunkedRangeSampler : public RangeSampler {
   void QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
                       std::vector<size_t>* out) const override;
 
-  // Batched fast path: arena-resident q1/q2/q3 split with block draws for
-  // the partial chunks and the chunk-level structure's batched path for
-  // the aligned middle.
+  // Batched fast path: enumerates each query's q1/q2/q3 split into a
+  // CoverPlan served by the shared CoverExecutor — block draws for the
+  // partial chunks, and ALL queries' chunk-aligned middles gathered into
+  // one chunk-level batched call plus one blocked alias pipeline.
   void QueryPositionsBatch(std::span<const PositionQuery> queries, Rng* rng,
                            ScratchArena* arena,
                            std::vector<size_t>* out) const override;

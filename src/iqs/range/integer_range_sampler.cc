@@ -135,4 +135,31 @@ bool IntegerRangeSampler::Query(uint64_t lo, uint64_t hi, size_t s,
   return true;
 }
 
+void IntegerRangeSampler::QueryBatch(std::span<const IntegerBatchQuery> queries,
+                                     Rng* rng, ScratchArena* arena,
+                                     BatchResult* result) const {
+  result->Clear();
+  arena->Reset();
+  const size_t q = queries.size();
+  result->resolved.resize(q);
+  result->offsets.resize(q + 1);
+
+  const std::span<PositionQuery> resolved = arena->Alloc<PositionQuery>(q);
+  size_t total_samples = 0;
+  for (size_t i = 0; i < q; ++i) {
+    PositionQuery& pq = resolved[i];
+    const bool ok = ResolveInterval(queries[i].lo, queries[i].hi, &pq.a, &pq.b);
+    result->resolved[i] = ok ? 1 : 0;
+    pq.s = ok ? queries[i].s : 0;
+    result->offsets[i] = total_samples;
+    total_samples += pq.s;
+  }
+  result->offsets[q] = total_samples;
+
+  result->positions.clear();
+  result->positions.reserve(total_samples);
+  sampler_->QueryPositionsBatch(resolved, rng, arena, &result->positions);
+  IQS_CHECK(result->positions.size() == total_samples);
+}
+
 }  // namespace iqs

@@ -25,9 +25,18 @@
 #include <vector>
 
 #include "iqs/range/chunked_range_sampler.h"
+#include "iqs/range/range_sampler.h"  // BatchResult
 #include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
 
 namespace iqs {
+
+// One integer-interval query of a serving batch.
+struct IntegerBatchQuery {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  size_t s = 0;
+};
 
 // Static predecessor index over sorted distinct uint64 keys drawn from
 // [0, 2^key_bits). Predecessor(q) = index of the largest key <= q in
@@ -74,6 +83,13 @@ class IntegerRangeSampler {
 
   // Resolves [lo, hi] to inclusive positions via the y-fast index.
   bool ResolveInterval(uint64_t lo, uint64_t hi, size_t* a, size_t* b) const;
+
+  // Batched serving fast path (mirrors RangeSampler::QueryBatch): every
+  // interval is resolved once through the y-fast index, then all draws
+  // ride the Theorem-3 structure's single CoverExecutor run.
+  // result->positions holds sorted-order positions.
+  void QueryBatch(std::span<const IntegerBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, BatchResult* result) const;
 
   uint64_t key_at(size_t position) const { return keys_[position]; }
   size_t n() const { return keys_.size(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "iqs/cover/cover_executor.h"
 #include "iqs/sampling/multinomial.h"
 #include "iqs/util/check.h"
 
@@ -99,6 +100,107 @@ bool LogarithmicRangeSampler::Query(double lo, double hi, size_t s, Rng* rng,
     }
   }
   return true;
+}
+
+void LogarithmicRangeSampler::QueryBatch(std::span<const KeyBatchQuery> queries,
+                                         Rng* rng, ScratchArena* arena,
+                                         KeyBatchResult* result) const {
+  result->Clear();
+  arena->Reset();
+  struct Part {
+    const Component* component;
+    size_t a;
+    size_t b;
+  };
+  thread_local CoverPlan plan;
+  thread_local std::vector<Part> parts;
+  thread_local std::vector<size_t> positions;
+  plan.Clear();
+  parts.clear();
+  const size_t nq = queries.size();
+  result->resolved.resize(nq);
+  result->offsets.resize(nq + 1);
+  size_t total_samples = 0;
+  for (size_t i = 0; i < nq; ++i) {
+    result->offsets[i] = total_samples;
+    plan.BeginQuery(queries[i].s);
+    if (queries[i].lo > queries[i].hi || size_ == 0) {
+      result->resolved[i] = 0;
+      continue;
+    }
+    const size_t part_base = parts.size();
+    for (const auto& component : components_) {
+      if (component == nullptr) continue;
+      size_t a = 0;
+      size_t b = 0;
+      if (!component->sampler->ResolveInterval(queries[i].lo, queries[i].hi,
+                                               &a, &b)) {
+        continue;
+      }
+      parts.push_back({component.get(), a, b});
+    }
+    const bool ok = parts.size() > part_base;
+    result->resolved[i] = ok ? 1 : 0;
+    if (!ok || queries[i].s == 0) continue;
+    for (size_t j = part_base; j < parts.size(); ++j) {
+      const Part& part = parts[j];
+      plan.AddGroup(part.a, part.b,
+                    part.component->weight_prefix[part.b + 1] -
+                        part.component->weight_prefix[part.a],
+                    j);
+    }
+    total_samples += queries[i].s;
+  }
+  result->offsets[nq] = total_samples;
+
+  const CoverSplit split = CoverExecutor::Split(plan, rng, arena);
+  IQS_CHECK(split.total == total_samples);
+  result->keys.resize(total_samples);
+  if (total_samples == 0) return;
+
+  // Coalesce nonzero groups by component: every query's draws into the
+  // same Bentley-Saxe component share one chunked batched call, then
+  // scatter back to each group's flat slice.
+  const std::span<const CoverGroup> groups = plan.groups();
+  const std::span<uint32_t> order = arena->Alloc<uint32_t>(groups.size());
+  size_t active = 0;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (split.counts[g] > 0) order[active++] = static_cast<uint32_t>(g);
+  }
+  std::sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(active),
+            [&](uint32_t ga, uint32_t gb) {
+              const Component* ca = parts[groups[ga].tag].component;
+              const Component* cb = parts[groups[gb].tag].component;
+              return ca != cb ? ca < cb : ga < gb;
+            });
+
+  const std::span<PositionQuery> requests =
+      arena->Alloc<PositionQuery>(active);
+  for (size_t run = 0; run < active;) {
+    const Component* component = parts[groups[order[run]].tag].component;
+    size_t run_end = run;
+    size_t m = 0;
+    while (run_end < active &&
+           parts[groups[order[run_end]].tag].component == component) {
+      const Part& part = parts[groups[order[run_end]].tag];
+      requests[m++] = PositionQuery{
+          part.a, part.b, static_cast<size_t>(split.counts[order[run_end]])};
+      ++run_end;
+    }
+    positions.clear();
+    component->sampler->QueryPositionsBatch(requests.first(m), rng, arena,
+                                            &positions);
+    size_t cursor = 0;
+    for (size_t k = run; k < run_end; ++k) {
+      const uint32_t g = order[k];
+      const size_t dst = split.offsets[g];
+      for (uint32_t d = 0; d < split.counts[g]; ++d) {
+        result->keys[dst + d] = component->keys[positions[cursor++]];
+      }
+    }
+    IQS_DCHECK(cursor == positions.size());
+    run = run_end;
+  }
 }
 
 double LogarithmicRangeSampler::RangeWeight(double lo, double hi) const {

@@ -24,13 +24,46 @@
 #ifndef IQS_RANGE_LOGARITHMIC_RANGE_SAMPLER_H_
 #define IQS_RANGE_LOGARITHMIC_RANGE_SAMPLER_H_
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "iqs/range/chunked_range_sampler.h"
+#include "iqs/util/check.h"
 #include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
 
 namespace iqs {
+
+// One key-interval query of a serving batch.
+struct KeyBatchQuery {
+  double lo = 0.0;
+  double hi = 0.0;
+  size_t s = 0;
+};
+
+// Flat result of a key-returning QueryBatch call: keys for query i occupy
+// keys[offsets[i] .. offsets[i+1]).
+struct KeyBatchResult {
+  std::vector<double> keys;
+  std::vector<size_t> offsets;    // size num_queries() + 1
+  std::vector<uint8_t> resolved;  // 1 iff the interval was nonempty
+
+  size_t num_queries() const { return resolved.size(); }
+
+  std::span<const double> SamplesFor(size_t i) const {
+    IQS_DCHECK(i + 1 < offsets.size());
+    return std::span<const double>(keys).subspan(
+        offsets[i], offsets[i + 1] - offsets[i]);
+  }
+
+  void Clear() {
+    keys.clear();
+    offsets.clear();
+    resolved.clear();
+  }
+};
 
 class LogarithmicRangeSampler {
  public:
@@ -45,6 +78,14 @@ class LogarithmicRangeSampler {
   // O(log² n + s).
   bool Query(double lo, double hi, size_t s, Rng* rng,
              std::vector<double>* out) const;
+
+  // Batched serving fast path: every query contributes one cover group
+  // per component its interval intersects; the CoverExecutor performs the
+  // multinomial splits, and draws are coalesced BY COMPONENT so all
+  // queries' draws into one Bentley-Saxe component ride a single chunked
+  // batched call.
+  void QueryBatch(std::span<const KeyBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, KeyBatchResult* result) const;
 
   // Total weight of keys in [lo, hi]. O(log² n).
   double RangeWeight(double lo, double hi) const;

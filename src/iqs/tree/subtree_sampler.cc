@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "iqs/cover/cover_executor.h"
+
 namespace iqs {
 
 SubtreeSampler::SubtreeSampler(const WeightedTree* tree) : tree_(tree) {
@@ -63,6 +65,37 @@ void SubtreeSampler::Query(WeightedTree::NodeId q, size_t s, Rng* rng,
                                  &positions);
   out->reserve(out->size() + s);
   for (size_t p : positions) out->push_back(leaf_sequence_[p]);
+}
+
+void SubtreeSampler::QueryBatch(std::span<const SubtreeBatchQuery> queries,
+                                Rng* rng, ScratchArena* arena,
+                                BatchResult* result) const {
+  result->Clear();
+  arena->Reset();
+  thread_local CoverPlan plan;
+  plan.Clear();
+  const size_t nq = queries.size();
+  result->resolved.resize(nq);
+  result->offsets.resize(nq + 1);
+  size_t total_samples = 0;
+  for (size_t i = 0; i < nq; ++i) {
+    const WeightedTree::NodeId u = queries[i].node;
+    IQS_CHECK(u < tree_->num_nodes());
+    result->offsets[i] = total_samples;
+    result->resolved[i] = 1;
+    plan.BeginQuery(queries[i].s);
+    if (queries[i].s == 0) continue;
+    plan.AddGroup(interval_lo_[u], interval_hi_[u], tree_->Weight(u), u);
+    total_samples += queries[i].s;
+  }
+  result->offsets[nq] = total_samples;
+
+  result->positions.clear();
+  result->positions.reserve(total_samples);
+  CoverExecutor::ExecuteOverSampler(plan, *range_sampler_, rng, arena,
+                                    &result->positions);
+  IQS_CHECK(result->positions.size() == total_samples);
+  for (size_t& p : result->positions) p = leaf_sequence_[p];
 }
 
 size_t SubtreeSampler::MemoryBytes() const {

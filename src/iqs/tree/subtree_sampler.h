@@ -17,13 +17,23 @@
 #define IQS_TREE_SUBTREE_SAMPLER_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "iqs/range/chunked_range_sampler.h"
+#include "iqs/range/range_sampler.h"  // BatchResult
 #include "iqs/tree/weighted_tree.h"
 #include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
 
 namespace iqs {
+
+// One subtree query of a serving batch: draw `s` independent weighted
+// leaf samples from the subtree of `node`.
+struct SubtreeBatchQuery {
+  WeightedTree::NodeId node = 0;
+  size_t s = 0;
+};
 
 class SubtreeSampler {
  public:
@@ -34,6 +44,15 @@ class SubtreeSampler {
   // appending leaf ids to `out`. O(log n + s).
   void Query(WeightedTree::NodeId q, size_t s, Rng* rng,
              std::vector<WeightedTree::NodeId>* out) const;
+
+  // Batched serving fast path: each query's subtree is exactly one
+  // Euler-tour group (Proposition 1), so the whole batch rides a single
+  // CoverExecutor run over the Theorem-3 chunked structure — the grouped
+  // cross-query pipeline of RangeSampler::QueryBatch applied to Π.
+  // result->positions holds leaf ids. Every query resolves (a subtree
+  // always contains a leaf).
+  void QueryBatch(std::span<const SubtreeBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, BatchResult* result) const;
 
   // The Euler-tour leaf interval of node q (inclusive positions in Π).
   std::pair<size_t, size_t> LeafInterval(WeightedTree::NodeId q) const {

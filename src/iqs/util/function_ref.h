@@ -1,0 +1,49 @@
+// Non-owning, non-allocating callable reference — the std::function_ref
+// of P0792 (C++26), reduced to what hot paths here need. Unlike
+// std::function, constructing one from a capturing lambda never heap-
+// allocates; it stores one object pointer plus one trampoline pointer.
+//
+// Lifetime: a FunctionRef does not extend the callable's lifetime. Bind
+// only to callables that outlive every Call — fine for the dominant use,
+// passing a lambda down a synchronous call chain (e.g. the acceptance
+// predicate of CoverageEngine::SampleWithRejection).
+
+#ifndef IQS_UTIL_FUNCTION_REF_H_
+#define IQS_UTIL_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace iqs {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function_ref.
+  FunctionRef(F&& f)
+      : object_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        trampoline_([](void* object, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return trampoline_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_;
+  R (*trampoline_)(void*, Args...);
+};
+
+}  // namespace iqs
+
+#endif  // IQS_UTIL_FUNCTION_REF_H_

@@ -7,11 +7,17 @@
 
 #include <cmath>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "iqs/multidim/kd_sampler.h"
+#include "iqs/multidim/multidim_batch.h"
+#include "iqs/multidim/quadtree.h"
+#include "iqs/multidim/range_tree.h"
 #include "iqs/range/aug_range_sampler.h"
 #include "iqs/range/bst_range_sampler.h"
 #include "iqs/range/chunked_range_sampler.h"
@@ -199,6 +205,173 @@ TEST(QueryBatchTest, BatchDrawsAreIndependentAcrossQueries) {
   const double expect = static_cast<double>(rounds) / n;
   const double sigma = std::sqrt(expect * (1.0 - 1.0 / n));
   EXPECT_NEAR(static_cast<double>(collisions), expect, 5 * sigma);
+}
+
+// ---------------------------------------------------------------------------
+// Multidim QueryBatch: the 2-d samplers now serve batches through the same
+// CoverExecutor layer; per-query law must match the single-query path.
+
+std::vector<multidim::Point2> RandomPoints(size_t n, Rng* rng) {
+  std::vector<multidim::Point2> points(n);
+  for (auto& p : points) {
+    p.x = rng->NextDouble();
+    p.y = rng->NextDouble();
+  }
+  return points;
+}
+
+// Chi-square batch-vs-single equivalence for any sampler exposing
+// QueryRect + QueryBatch over Point2 results.
+template <typename Sampler>
+void ExpectRectBatchEquivalence(const Sampler& sampler,
+                                const std::vector<multidim::Point2>& points,
+                                const std::vector<double>& weights,
+                                const multidim::Rect& rect, uint64_t seed) {
+  const size_t n = points.size();
+  std::map<std::pair<double, double>, size_t> index;
+  for (size_t i = 0; i < n; ++i) index[{points[i].x, points[i].y}] = i;
+  std::vector<double> expected(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (rect.Contains(points[i])) expected[i] = weights[i];
+  }
+
+  const size_t s = 64;
+  const size_t rounds = 1200;
+  Rng single_rng(seed);
+  std::vector<multidim::Point2> single;
+  for (size_t round = 0; round < rounds; ++round) {
+    ASSERT_TRUE(sampler.QueryRect(rect, s, &single_rng, &single));
+  }
+
+  Rng batch_rng(seed + 1);
+  ScratchArena arena;
+  multidim::PointBatchResult result;
+  const std::vector<multidim::RectBatchQuery> queries(
+      8, multidim::RectBatchQuery{rect, s});
+  std::vector<size_t> batch_ids;
+  for (size_t round = 0; round < rounds / queries.size(); ++round) {
+    sampler.QueryBatch(queries, &batch_rng, &arena, &result);
+    ASSERT_EQ(result.points.size(), queries.size() * s);
+    for (const auto& p : result.points) {
+      batch_ids.push_back(index.at({p.x, p.y}));
+    }
+  }
+  std::vector<size_t> single_ids;
+  single_ids.reserve(single.size());
+  for (const auto& p : single) single_ids.push_back(index.at({p.x, p.y}));
+
+  testing::ExpectSamplesMatchWeights(single_ids, expected);
+  testing::ExpectSamplesMatchWeights(batch_ids, expected);
+}
+
+TEST(MultidimBatchTest, KdTreeBatchMatchesSingleQueryLaw) {
+  Rng rng(21);
+  const size_t n = 600;
+  const auto points = RandomPoints(n, &rng);
+  const auto weights = ZipfWeights(n, 1.0, &rng);
+  const multidim::KdTreeSampler sampler(points, weights);
+  const multidim::Rect rect{0.15, 0.85, 0.2, 0.9};
+  ExpectRectBatchEquivalence(sampler, points, weights, rect, 22);
+}
+
+TEST(MultidimBatchTest, QuadtreeBatchMatchesSingleQueryLaw) {
+  Rng rng(23);
+  const size_t n = 600;
+  const auto points = RandomPoints(n, &rng);
+  const auto weights = ZipfWeights(n, 0.5, &rng);
+  const multidim::QuadtreeSampler sampler(points, weights);
+  const multidim::Rect rect{0.1, 0.7, 0.25, 0.95};
+  ExpectRectBatchEquivalence(sampler, points, weights, rect, 24);
+}
+
+TEST(MultidimBatchTest, RangeTreeBatchMatchesSingleQueryLaw) {
+  Rng rng(25);
+  const size_t n = 600;
+  const auto points = RandomPoints(n, &rng);
+  const auto weights = ZipfWeights(n, 1.0, &rng);
+  const multidim::RangeTree2DSampler sampler(points, weights);
+  const multidim::Rect rect{0.2, 0.8, 0.1, 0.75};
+  ExpectRectBatchEquivalence(sampler, points, weights, rect, 26);
+}
+
+TEST(MultidimBatchTest, BatchHandlesEmptyAndZeroSampleQueries) {
+  Rng rng(27);
+  const auto points = RandomPoints(300, &rng);
+  const multidim::KdTreeSampler sampler(points, {});
+  const std::vector<multidim::RectBatchQuery> queries = {
+      {multidim::Rect{0.0, 1.0, 0.0, 1.0}, 16},
+      {multidim::Rect{2.0, 3.0, 2.0, 3.0}, 8},  // off the point cloud
+      {multidim::Rect{0.0, 1.0, 0.0, 1.0}, 0},
+  };
+  ScratchArena arena;
+  multidim::PointBatchResult result;
+  Rng qrng(28);
+  sampler.QueryBatch(queries, &qrng, &arena, &result);
+  ASSERT_EQ(result.num_queries(), 3u);
+  EXPECT_EQ(result.resolved[0], 1);
+  EXPECT_EQ(result.resolved[1], 0);
+  EXPECT_EQ(result.resolved[2], 1);
+  EXPECT_EQ(result.SamplesFor(0).size(), 16u);
+  EXPECT_EQ(result.SamplesFor(1).size(), 0u);
+  EXPECT_EQ(result.SamplesFor(2).size(), 0u);
+}
+
+TEST(MultidimBatchTest, BatchDrawsAreIndependentAcrossQueries) {
+  // Two identical single-draw rect queries in one batch: collision rate
+  // must match independent uniform draws (1/n), as in the 1-d test above.
+  Rng rng(29);
+  const size_t n = 64;
+  const auto points = RandomPoints(n, &rng);
+  const multidim::KdTreeSampler sampler(points, {});
+  std::map<std::pair<double, double>, size_t> index;
+  for (size_t i = 0; i < n; ++i) index[{points[i].x, points[i].y}] = i;
+
+  const multidim::Rect all{0.0, 1.0, 0.0, 1.0};
+  const std::vector<multidim::RectBatchQuery> queries = {{all, 1}, {all, 1}};
+  ScratchArena arena;
+  multidim::PointBatchResult result;
+  Rng qrng(30);
+  int collisions = 0;
+  const int rounds = 60000;
+  for (int round = 0; round < rounds; ++round) {
+    sampler.QueryBatch(queries, &qrng, &arena, &result);
+    const auto a = result.SamplesFor(0)[0];
+    const auto b = result.SamplesFor(1)[0];
+    collisions += (index.at({a.x, a.y}) == index.at({b.x, b.y})) ? 1 : 0;
+  }
+  const double expect = static_cast<double>(rounds) / n;
+  const double sigma = std::sqrt(expect * (1.0 - 1.0 / n));
+  EXPECT_NEAR(static_cast<double>(collisions), expect, 5 * sigma);
+}
+
+TEST(MultidimBatchTest, SteadyStateMakesNoArenaAllocations) {
+  Rng rng(31);
+  const size_t n = 2048;
+  const auto points = RandomPoints(n, &rng);
+  const auto weights = ZipfWeights(n, 1.0, &rng);
+  const multidim::KdTreeSampler kd(points, weights);
+  const multidim::RangeTree2DSampler rtree(points, weights);
+
+  std::vector<multidim::RectBatchQuery> queries;
+  for (int i = 0; i < 32; ++i) {
+    const double x = rng.NextDouble() * 0.5;
+    const double y = rng.NextDouble() * 0.5;
+    queries.push_back({multidim::Rect{x, x + 0.4, y, y + 0.4}, 48});
+  }
+  ScratchArena arena;
+  multidim::PointBatchResult result;
+  Rng qrng(32);
+  for (int round = 0; round < 3; ++round) {  // warm-up growth + coalesce
+    kd.QueryBatch(queries, &qrng, &arena, &result);
+    rtree.QueryBatch(queries, &qrng, &arena, &result);
+  }
+  const size_t warm_blocks = arena.blocks_allocated();
+  for (int round = 0; round < 20; ++round) {
+    kd.QueryBatch(queries, &qrng, &arena, &result);
+    rtree.QueryBatch(queries, &qrng, &arena, &result);
+  }
+  EXPECT_EQ(arena.blocks_allocated(), warm_blocks)
+      << "multidim batched serving must be allocation-free in steady state";
 }
 
 }  // namespace

@@ -151,5 +151,75 @@ TEST(IntegerRangeSamplerTest, DenseUniverse) {
                                    std::vector<double>(128, 1.0 / 128));
 }
 
+TEST(IntegerRangeSamplerTest, BatchMatchesSingleQueryLaw) {
+  // Chi-square equivalence (alpha 1e-6): QueryBatch (y-fast resolve + one
+  // CoverExecutor run) must draw from the same law as the looped single
+  // path.
+  Rng rng(51);
+  const auto keys = MakeKeys(400, uint64_t{1} << 32, &rng);
+  std::vector<double> weights(keys.size());
+  for (size_t i = 0; i < weights.size(); ++i) weights[i] = 1.0 + (i % 5);
+  const IntegerRangeSampler sampler(keys, weights, 32);
+
+  const uint64_t lo = keys[37];
+  const uint64_t hi = keys[351];
+  size_t a = 0;
+  size_t b = 0;
+  ASSERT_TRUE(sampler.ResolveInterval(lo, hi, &a, &b));
+  const size_t s = 64;
+  const size_t rounds = 1600;
+
+  Rng single_rng(52);
+  std::vector<size_t> single;
+  for (size_t round = 0; round < rounds; ++round) {
+    ASSERT_TRUE(sampler.Query(lo, hi, s, &single_rng, &single));
+  }
+
+  Rng batch_rng(53);
+  ScratchArena arena;
+  BatchResult result;
+  const std::vector<IntegerBatchQuery> queries(8,
+                                               IntegerBatchQuery{lo, hi, s});
+  std::vector<size_t> batch;
+  for (size_t round = 0; round < rounds / queries.size(); ++round) {
+    sampler.QueryBatch(queries, &batch_rng, &arena, &result);
+    ASSERT_EQ(result.positions.size(), queries.size() * s);
+    batch.insert(batch.end(), result.positions.begin(),
+                 result.positions.end());
+  }
+
+  std::vector<double> expected(keys.size(), 0.0);
+  for (size_t i = a; i <= b; ++i) expected[i] = weights[i];
+  testing::ExpectSamplesMatchWeights(single, expected);
+  testing::ExpectSamplesMatchWeights(batch, expected);
+}
+
+TEST(IntegerRangeSamplerTest, BatchFlagsEmptyIntervals) {
+  Rng rng(54);
+  const std::vector<uint64_t> keys = {10, 20, 30, 40};
+  const std::vector<double> weights(4, 1.0);
+  const IntegerRangeSampler sampler(keys, weights, 16);
+  const std::vector<IntegerBatchQuery> queries = {
+      {0, 5, 8},    // below every key
+      {11, 19, 8},  // gap between keys
+      {15, 35, 8},
+      {25, 25, 4},  // empty single point
+  };
+  ScratchArena arena;
+  BatchResult result;
+  sampler.QueryBatch(queries, &rng, &arena, &result);
+  ASSERT_EQ(result.num_queries(), 4u);
+  EXPECT_EQ(result.resolved[0], 0);
+  EXPECT_EQ(result.resolved[1], 0);
+  EXPECT_EQ(result.resolved[2], 1);
+  EXPECT_EQ(result.resolved[3], 0);
+  EXPECT_EQ(result.SamplesFor(2).size(), 8u);
+  EXPECT_EQ(result.positions.size(), 8u);
+  for (const size_t p : result.SamplesFor(2)) {
+    EXPECT_GE(p, 1u);  // key 20
+    EXPECT_LE(p, 2u);  // key 30
+  }
+}
+
 }  // namespace
 }  // namespace iqs

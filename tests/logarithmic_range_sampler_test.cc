@@ -140,5 +140,91 @@ TEST(LogarithmicSamplerTest, RepeatedQueriesIndependent) {
   EXPECT_NE(first, second);
 }
 
+TEST(LogarithmicSamplerTest, BatchMatchesSingleQueryLaw) {
+  // Chi-square equivalence (alpha 1e-6): QueryBatch — one CoverExecutor
+  // split over all components of all queries, draws coalesced by
+  // component — must match the looped single path.
+  Rng rng(61);
+  LogarithmicRangeSampler sampler;
+  const size_t n = 300;  // several live components (300 = 0b100101100)
+  const auto keys = UniformKeys(n, &rng);
+  std::vector<double> weights(n);
+  std::map<double, size_t> index;
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 + (i % 4);
+    index[keys[i]] = i;
+  }
+  // Random insertion order so merges interleave the key space.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  for (size_t i = n; i > 1; --i) std::swap(order[i - 1], order[rng.Below(i)]);
+  for (size_t i : order) sampler.Insert(keys[i], weights[i]);
+  ASSERT_GT(sampler.num_components(), 2u);
+
+  const double lo = keys[20];
+  const double hi = keys[260];
+  const size_t s = 64;
+  const size_t rounds = 1600;
+
+  Rng single_rng(62);
+  std::vector<size_t> single;
+  std::vector<double> scratch;
+  for (size_t round = 0; round < rounds; ++round) {
+    scratch.clear();
+    ASSERT_TRUE(sampler.Query(lo, hi, s, &single_rng, &scratch));
+    for (double key : scratch) single.push_back(index.at(key));
+  }
+
+  Rng batch_rng(63);
+  ScratchArena arena;
+  KeyBatchResult result;
+  const std::vector<KeyBatchQuery> queries(8, KeyBatchQuery{lo, hi, s});
+  std::vector<size_t> batch;
+  for (size_t round = 0; round < rounds / queries.size(); ++round) {
+    sampler.QueryBatch(queries, &batch_rng, &arena, &result);
+    ASSERT_EQ(result.keys.size(), queries.size() * s);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(result.resolved[i], 1);
+    }
+    for (double key : result.keys) batch.push_back(index.at(key));
+  }
+
+  std::vector<double> expected(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (keys[i] >= lo && keys[i] <= hi) expected[i] = weights[i];
+  }
+  testing::ExpectSamplesMatchWeights(single, expected);
+  testing::ExpectSamplesMatchWeights(batch, expected);
+}
+
+TEST(LogarithmicSamplerTest, BatchFlagsEmptyIntervalsAndEmptySampler) {
+  Rng rng(64);
+  LogarithmicRangeSampler empty;
+  const std::vector<KeyBatchQuery> probe = {{0.0, 1.0, 4}};
+  ScratchArena arena;
+  KeyBatchResult result;
+  empty.QueryBatch(probe, &rng, &arena, &result);
+  ASSERT_EQ(result.num_queries(), 1u);
+  EXPECT_EQ(result.resolved[0], 0);
+  EXPECT_TRUE(result.keys.empty());
+
+  LogarithmicRangeSampler sampler;
+  sampler.Insert(0.25, 1.0);
+  sampler.Insert(0.75, 2.0);
+  const std::vector<KeyBatchQuery> queries = {
+      {0.3, 0.6, 8},   // gap between keys
+      {0.0, 1.0, 8},
+      {0.7, 0.8, 0},   // resolved but zero samples
+  };
+  sampler.QueryBatch(queries, &rng, &arena, &result);
+  ASSERT_EQ(result.num_queries(), 3u);
+  EXPECT_EQ(result.resolved[0], 0);
+  EXPECT_EQ(result.resolved[1], 1);
+  EXPECT_EQ(result.resolved[2], 1);
+  EXPECT_EQ(result.SamplesFor(0).size(), 0u);
+  EXPECT_EQ(result.SamplesFor(1).size(), 8u);
+  EXPECT_EQ(result.SamplesFor(2).size(), 0u);
+}
+
 }  // namespace
 }  // namespace iqs

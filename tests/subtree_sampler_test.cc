@@ -142,5 +142,57 @@ TEST(SubtreeSamplerTest, AgreesWithTopDownSamplerOnRandomTrees) {
   }
 }
 
+TEST(SubtreeSamplerTest, BatchMatchesSingleQueryLaw) {
+  // Chi-square equivalence (alpha 1e-6): QueryBatch through the shared
+  // CoverExecutor must draw each query from the same subtree law as the
+  // single-query path.
+  std::vector<WeightedTree::NodeId> leaves;
+  WeightedTree tree = BuildFixedTree(&leaves);
+  SubtreeSampler sampler(&tree);
+  const auto a = tree.Parent(leaves[0]);  // subtree {a1, a2}
+  const auto c = tree.Parent(leaves[3]);  // subtree {c1, c2, c3}
+
+  const std::vector<SubtreeBatchQuery> queries = {
+      {tree.root(), 16}, {a, 8}, {c, 0}, {c, 8}};
+  const size_t rounds = 4000;
+
+  Rng single_rng(41);
+  std::vector<std::vector<size_t>> single(queries.size());
+  std::vector<WeightedTree::NodeId> scratch;
+  for (size_t round = 0; round < rounds; ++round) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      scratch.clear();
+      sampler.Query(queries[i].node, queries[i].s, &single_rng, &scratch);
+      single[i].insert(single[i].end(), scratch.begin(), scratch.end());
+    }
+  }
+
+  Rng batch_rng(42);
+  ScratchArena arena;
+  BatchResult result;
+  std::vector<std::vector<size_t>> batch(queries.size());
+  for (size_t round = 0; round < rounds; ++round) {
+    sampler.QueryBatch(queries, &batch_rng, &arena, &result);
+    ASSERT_EQ(result.num_queries(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(result.resolved[i], 1);
+      const auto slice = result.SamplesFor(i);
+      ASSERT_EQ(slice.size(), queries[i].s);
+      batch[i].insert(batch[i].end(), slice.begin(), slice.end());
+    }
+  }
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (queries[i].s == 0) continue;
+    const auto [lo, hi] = sampler.LeafInterval(queries[i].node);
+    std::vector<double> expected(tree.num_nodes(), 0.0);
+    for (size_t p = lo; p <= hi; ++p) {
+      expected[sampler.LeafAt(p)] = tree.Weight(sampler.LeafAt(p));
+    }
+    testing::ExpectSamplesMatchWeights(single[i], expected);
+    testing::ExpectSamplesMatchWeights(batch[i], expected);
+  }
+}
+
 }  // namespace
 }  // namespace iqs
