@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# Runs every bench binary and collects one JSON file per bench into an
+# output directory, so PR-over-PR perf trajectories can be diffed.
+#
+#   bench/export_bench_json.sh [build_dir] [out_dir]
+#
+# Defaults: build_dir=build, out_dir=bench/results.
+#
+# Two kinds of bench binaries exist (see bench/CMakeLists.txt):
+#   * google-benchmark timing benches — exported via
+#     --benchmark_out=<out>/<name>.json --benchmark_out_format=json;
+#   * plain table executables (EM model, independence, space, the E19/E20/
+#     E21 serving sweeps) — these ignore argv and write their own
+#     BENCH_<name>.json into the working directory, so we run them inside
+#     <out> and keep whatever BENCH_*.json they produce. They must be
+#     listed here by name (probing with a flag would run the full sweep).
+set -eu
+
+is_table_bench() {
+  case "$1" in
+    bench_space|bench_em_sampling|bench_em_range|bench_independence| \
+    bench_approx_iqs|bench_deamortized|bench_batch_serving| \
+    bench_multidim_batch|bench_parallel_serving)
+      return 0 ;;
+    *)
+      return 1 ;;
+  esac
+}
+
+build_dir=${1:-build}
+out_dir=${2:-bench/results}
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "error: $build_dir/bench not found — build first:" >&2
+  echo "  cmake -B $build_dir -G Ninja && cmake --build $build_dir" >&2
+  exit 1
+fi
+
+mkdir -p "$out_dir"
+out_abs=$(cd "$out_dir" && pwd)
+
+for bench in "$build_dir"/bench/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  bench_abs=$(cd "$(dirname "$bench")" && pwd)/$name
+  if is_table_bench "$name"; then
+    echo "== $name (table) =="
+    (cd "$out_abs" && "$bench_abs")
+  else
+    echo "== $name (google-benchmark) =="
+    "$bench_abs" --benchmark_out="$out_abs/$name.json" \
+      --benchmark_out_format=json
+  fi
+done
+
+echo
+echo "JSON written to $out_dir:"
+ls "$out_abs"/*.json 2>/dev/null || echo "  (none)"

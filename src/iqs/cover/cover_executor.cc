@@ -1,6 +1,9 @@
 #include "iqs/cover/cover_executor.h"
 
+#include <algorithm>
+
 #include "iqs/range/range_sampler.h"
+#include "iqs/util/thread_pool.h"
 
 namespace iqs {
 
@@ -50,6 +53,111 @@ void CoverExecutor::ExecuteOverSampler(const CoverPlan& plan,
   }
   out->reserve(out->size() + split.total);
   sampler.QueryPositionsBatch(requests.first(m), rng, arena, out);
+}
+
+void CoverExecutor::ExecuteParallel(const CoverPlan& plan, Rng* rng,
+                                    ScratchArena* arena,
+                                    const BatchOptions& opts,
+                                    CoverQueryDrawFn draw,
+                                    std::vector<size_t>* out) {
+  IQS_CHECK(!opts.sequential());
+  const size_t nq = plan.num_queries();
+  const size_t g = plan.num_groups();
+  ScopedPool pool(opts);
+
+  // One word of the caller's stream keys the whole batch (so repeated
+  // batches stay independent); from here on every draw is a pure function
+  // of (key, query index), independent of thread count and sharding.
+  const Rng base(rng->Next64());
+
+  const std::span<Rng> rngs = arena->Alloc<Rng>(nq);
+  const std::span<uint32_t> counts = arena->Alloc<uint32_t>(g);
+  const std::span<double> weights = arena->Alloc<double>(g);
+  const std::span<const CoverGroup> groups = plan.groups();
+  for (size_t i = 0; i < g; ++i) weights[i] = groups[i].weight;
+
+  // Pass 1: per-query budget splits. Queries own disjoint slices of
+  // `counts`, and each worker's scratch is its own arena, so shards never
+  // write shared state.
+  ParallelForShards(
+      pool.get(), nq, [&](size_t first, size_t last, size_t worker) {
+        ScratchArena* wa = pool->worker_arena(worker);
+        for (size_t q = first; q < last; ++q) {
+          rngs[q] = base.ForkStream(q);
+          const size_t fg = plan.first_group(q);
+          const size_t t = plan.end_group(q) - fg;
+          if (t == 0) continue;
+          wa->Reset();
+          MultinomialSplitScratch(weights.subspan(fg, t), plan.budget(q),
+                                  &rngs[q], wa, counts.subspan(fg, t));
+        }
+      });
+
+  // Offsets are a cheap sequential prefix sum over groups.
+  const std::span<size_t> offsets = arena->Alloc<size_t>(g + 1);
+  size_t total = 0;
+  for (size_t i = 0; i < g; ++i) {
+    offsets[i] = total;
+    total += counts[i];
+  }
+  offsets[g] = total;
+  const CoverSplit split{counts, offsets, total};
+  if (total == 0) return;
+
+  const size_t base_size = out->size();
+  out->resize(base_size + total);
+  const std::span<size_t> dst =
+      std::span<size_t>(*out).subspan(base_size, total);
+
+  // Pass 2: draws. Each query continues the substream its split left off
+  // at and writes only its own offset slices of dst.
+  ParallelForShards(
+      pool.get(), nq, [&](size_t first, size_t last, size_t worker) {
+        ScratchArena* wa = pool->worker_arena(worker);
+        for (size_t q = first; q < last; ++q) {
+          if (offsets[plan.end_group(q)] == offsets[plan.first_group(q)]) {
+            continue;
+          }
+          wa->Reset();
+          draw(plan, split, dst, q, &rngs[q], wa);
+        }
+      });
+}
+
+void CoverExecutor::ExecuteOverSamplerParallel(const CoverPlan& plan,
+                                               const RangeSampler& sampler,
+                                               Rng* rng, ScratchArena* arena,
+                                               const BatchOptions& opts,
+                                               std::vector<size_t>* out) {
+  ExecuteParallel(
+      plan, rng, arena, opts,
+      [&sampler](const CoverPlan& plan, const CoverSplit& split,
+                 std::span<size_t> dst, size_t q, Rng* qrng,
+                 ScratchArena* wa) {
+        // Lower the query's nonzero groups to position requests and run
+        // the sampler's grouped kernel once for this query. The sampler
+        // appends per request contiguously in order, which is exactly the
+        // query's slice of the flat offsets — stage through a per-thread
+        // buffer because QueryPositionsBatch appends to a vector.
+        const size_t fg = plan.first_group(q);
+        const size_t eg = plan.end_group(q);
+        const std::span<const CoverGroup> groups = plan.groups();
+        const std::span<PositionQuery> requests =
+            wa->Alloc<PositionQuery>(eg - fg);
+        size_t m = 0;
+        for (size_t i = fg; i < eg; ++i) {
+          if (split.counts[i] == 0) continue;
+          requests[m++] = PositionQuery{groups[i].lo, groups[i].hi,
+                                        static_cast<size_t>(split.counts[i])};
+        }
+        thread_local std::vector<size_t> buf;
+        buf.clear();
+        sampler.QueryPositionsBatch(requests.first(m), qrng, wa, &buf);
+        IQS_DCHECK(buf.size() == split.offsets[eg] - split.offsets[fg]);
+        std::copy(buf.begin(), buf.end(),
+                  dst.begin() + split.offsets[fg]);
+      },
+      out);
 }
 
 }  // namespace iqs

@@ -30,6 +30,8 @@
 
 #include "iqs/cover/cover_plan.h"
 #include "iqs/sampling/multinomial.h"
+#include "iqs/util/batch_options.h"
+#include "iqs/util/function_ref.h"
 #include "iqs/util/rng.h"
 #include "iqs/util/scratch_arena.h"
 
@@ -78,6 +80,38 @@ class CoverExecutor {
                                  const RangeSampler& sampler, Rng* rng,
                                  ScratchArena* arena,
                                  std::vector<size_t>* out);
+
+  // Per-query draw callback for the parallel pipeline. Must write
+  // dst[split.offsets[g] .. split.offsets[g+1]) for every group g of query
+  // q — nothing else — drawing only from `rng` (the query's substream,
+  // already advanced past its budget split) with scratch from `arena`
+  // (the worker's, Reset before the call). Runs concurrently for
+  // different q.
+  using CoverQueryDrawFn =
+      FunctionRef<void(const CoverPlan&, const CoverSplit&,
+                       std::span<size_t> dst, size_t q, Rng* rng,
+                       ScratchArena* arena)>;
+
+  // Parallel pipeline (opts.num_threads >= 1 required; see BatchOptions
+  // for the mode semantics). Consumes ONE word of `rng` as the batch key,
+  // then runs both the budget splits and the draws under per-query
+  // ForkStream substreams, sharded over the pool in contiguous query
+  // ranges — so the appended output is bit-identical for every thread
+  // count. Same output layout and ordering contract as Execute; `arena`
+  // (the caller's) holds the split and substream state, per-worker draw
+  // scratch comes from the pool.
+  static void ExecuteParallel(const CoverPlan& plan, Rng* rng,
+                              ScratchArena* arena, const BatchOptions& opts,
+                              CoverQueryDrawFn draw, std::vector<size_t>* out);
+
+  // Parallel counterpart of ExecuteOverSampler: each query's nonzero
+  // groups are lowered to PositionQuery spans and drawn through the
+  // sampler's sequential QueryPositionsBatch under the query's substream.
+  static void ExecuteOverSamplerParallel(const CoverPlan& plan,
+                                         const RangeSampler& sampler, Rng* rng,
+                                         ScratchArena* arena,
+                                         const BatchOptions& opts,
+                                         std::vector<size_t>* out);
 };
 
 }  // namespace iqs

@@ -1,5 +1,6 @@
 #include "iqs/cover/coverage_engine.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "iqs/cover/cover_executor.h"
@@ -31,6 +32,17 @@ void CoverageEngine::SampleBatch(const CoverPlan& plan, Rng* rng,
                                  ScratchArena* arena,
                                  std::vector<size_t>* out) const {
   CoverExecutor::ExecuteOverSampler(plan, sampler_, rng, arena, out);
+}
+
+void CoverageEngine::SampleBatch(const CoverPlan& plan, Rng* rng,
+                                 ScratchArena* arena, std::vector<size_t>* out,
+                                 const BatchOptions& opts) const {
+  if (opts.sequential()) {
+    CoverExecutor::ExecuteOverSampler(plan, sampler_, rng, arena, out);
+    return;
+  }
+  CoverExecutor::ExecuteOverSamplerParallel(plan, sampler_, rng, arena, opts,
+                                            out);
 }
 
 void CoverageEngine::Sample(std::span<const CoverRange> cover, size_t s,
@@ -77,6 +89,47 @@ void CoverageEngine::SampleWithRejection(std::span<const CoverRange> cover,
     out->resize(base + produced);
     // Guard against a cover that contains no qualifying element at all —
     // a caller bug: the acceptance rate would be 0 and the loop endless.
+    IQS_CHECK(++round < 64 * (s + 1) &&
+              "rejection sampling is not converging; is the cover valid?");
+  }
+}
+
+void CoverageEngine::SampleWithRejection(std::span<const CoverRange> cover,
+                                         size_t s,
+                                         FunctionRef<bool(size_t)> accepts,
+                                         Rng* rng, ScratchArena* arena,
+                                         std::vector<size_t>* out,
+                                         const BatchOptions& opts) const {
+  if (opts.sequential()) {
+    SampleWithRejection(cover, s, accepts, rng, arena, out);
+    return;
+  }
+  if (s == 0 || cover.empty()) return;
+  thread_local CoverPlan plan;
+  out->reserve(out->size() + s);
+  const size_t base = out->size();
+  size_t produced = 0;
+  size_t round = 0;
+  while (produced < s) {
+    // Cut the deficit into fixed-size sub-queries: the slicing depends
+    // only on the deficit (never on the thread count), each slice runs
+    // under its own substream, and slices land contiguously in plan
+    // order — so the round's candidate block is bit-identical for every
+    // thread count, and the sequential compaction below keeps it so.
+    constexpr size_t kSlice = 1024;
+    const size_t deficit = s - produced;
+    plan.Clear();
+    for (size_t done = 0; done < deficit; done += kSlice) {
+      plan.BeginQuery(std::min(kSlice, deficit - done));
+      for (const CoverRange& range : cover) plan.AddGroup(range);
+    }
+    SampleBatch(plan, rng, arena, out, opts);
+    size_t write = base + produced;
+    for (size_t read = write; read < out->size(); ++read) {
+      if (accepts((*out)[read])) (*out)[write++] = (*out)[read];
+    }
+    produced = write - base;
+    out->resize(base + produced);
     IQS_CHECK(++round < 64 * (s + 1) &&
               "rejection sampling is not converging; is the cover valid?");
   }

@@ -31,6 +31,7 @@
 
 #include "iqs/cover/cover_plan.h"
 #include "iqs/range/chunked_range_sampler.h"
+#include "iqs/util/batch_options.h"
 #include "iqs/util/function_ref.h"
 #include "iqs/util/rng.h"
 #include "iqs/util/scratch_arena.h"
@@ -57,6 +58,13 @@ class CoverageEngine {
   void SampleBatch(const CoverPlan& plan, Rng* rng, ScratchArena* arena,
                    std::vector<size_t>* out) const;
 
+  // As above with execution options: opts.num_threads >= 1 serves the
+  // plan's queries in the deterministic parallel mode (per-query RNG
+  // substreams, output bit-identical across thread counts; see
+  // BatchOptions).
+  void SampleBatch(const CoverPlan& plan, Rng* rng, ScratchArena* arena,
+                   std::vector<size_t>* out, const BatchOptions& opts) const;
+
   // Theorem 6: the cover may overshoot the true result; every candidate
   // position is filtered through `accepts`, and rejected draws are retried
   // until `s` samples pass. Expected O(|cover| + s) when the cover is a
@@ -68,6 +76,16 @@ class CoverageEngine {
                            FunctionRef<bool(size_t)> accepts, Rng* rng,
                            ScratchArena* arena,
                            std::vector<size_t>* out) const;
+
+  // As above with execution options. In parallel mode each retry round's
+  // deficit is cut into fixed-size sub-queries (so shardable work exists
+  // even for one big query) served under per-sub-query substreams; the
+  // acceptance filtering stays sequential. Output is bit-identical across
+  // thread counts.
+  void SampleWithRejection(std::span<const CoverRange> cover, size_t s,
+                           FunctionRef<bool(size_t)> accepts, Rng* rng,
+                           ScratchArena* arena, std::vector<size_t>* out,
+                           const BatchOptions& opts) const;
 
   // Convenience overload using the engine's thread-local arena.
   void SampleWithRejection(std::span<const CoverRange> cover, size_t s,

@@ -21,8 +21,9 @@ bool KdTreeSampler::QueryRect(const Rect& q, size_t s, Rng* rng,
 
 void KdTreeSampler::QueryBatch(std::span<const RectBatchQuery> queries,
                                Rng* rng, ScratchArena* arena,
-                               PointBatchResult* result) const {
-  internal::ServeRectBatch(tree_, engine_, queries, rng, arena, result);
+                               PointBatchResult* result,
+                               const BatchOptions& opts) const {
+  internal::ServeRectBatch(tree_, engine_, queries, rng, arena, result, opts);
 }
 
 bool KdTreeSampler::QueryDisk(const Point2& center, double radius, size_t s,

@@ -41,8 +41,11 @@ class KdTreeSampler {
   // as QueryRect; draws are independent across queries. All scratch comes
   // from `arena`; with a reused arena and result the steady state performs
   // zero heap allocations beyond retained capacity.
+  // opts.num_threads >= 1 serves the batch in the deterministic parallel
+  // mode (see BatchOptions).
   void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
-                  ScratchArena* arena, PointBatchResult* result) const;
+                  ScratchArena* arena, PointBatchResult* result,
+                  const BatchOptions& opts = {}) const;
 
   // Same for the disk dist(center, .) <= radius, using the exact cover.
   bool QueryDisk(const Point2& center, double radius, size_t s, Rng* rng,

@@ -122,7 +122,8 @@ bool KdTreeNdSampler::QueryBox(const BoxNd& q, size_t s, Rng* rng,
 
 void KdTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
                                  Rng* rng, ScratchArena* arena,
-                                 BatchResult* result) const {
+                                 BatchResult* result,
+                                 const BatchOptions& opts) const {
   result->Clear();
   arena->Reset();
   thread_local CoverPlan plan;
@@ -147,7 +148,7 @@ void KdTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
 
   result->positions.clear();
   result->positions.reserve(total_samples);
-  engine_.SampleBatch(plan, rng, arena, &result->positions);
+  engine_.SampleBatch(plan, rng, arena, &result->positions, opts);
   IQS_CHECK(result->positions.size() == total_samples);
 }
 

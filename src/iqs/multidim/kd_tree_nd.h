@@ -129,8 +129,11 @@ class KdTreeNdSampler {
   // every box once, then serves all draws of the batch through one
   // CoverExecutor run over the shared coverage engine. result->positions
   // holds positions; resolve via tree().PointAt.
+  // opts.num_threads >= 1 serves the batch in the deterministic parallel
+  // mode (see BatchOptions).
   void QueryBatch(std::span<const BoxBatchQuery> queries, Rng* rng,
-                  ScratchArena* arena, BatchResult* result) const;
+                  ScratchArena* arena, BatchResult* result,
+                  const BatchOptions& opts = {}) const;
 
   const KdTreeNd& tree() const { return tree_; }
 

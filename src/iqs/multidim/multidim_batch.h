@@ -17,6 +17,7 @@
 
 #include "iqs/cover/coverage_engine.h"
 #include "iqs/multidim/point.h"
+#include "iqs/util/batch_options.h"
 #include "iqs/util/check.h"
 #include "iqs/util/rng.h"
 #include "iqs/util/scratch_arena.h"
@@ -64,7 +65,8 @@ namespace internal {
 template <typename Tree>
 void ServeRectBatch(const Tree& tree, const CoverageEngine& engine,
                     std::span<const RectBatchQuery> queries, Rng* rng,
-                    ScratchArena* arena, PointBatchResult* result) {
+                    ScratchArena* arena, PointBatchResult* result,
+                    const BatchOptions& opts = {}) {
   result->Clear();
   arena->Reset();
   thread_local CoverPlan plan;
@@ -90,7 +92,7 @@ void ServeRectBatch(const Tree& tree, const CoverageEngine& engine,
 
   positions.clear();
   positions.reserve(total_samples);
-  engine.SampleBatch(plan, rng, arena, &positions);
+  engine.SampleBatch(plan, rng, arena, &positions, opts);
   IQS_CHECK(positions.size() == total_samples);
   result->points.reserve(total_samples);
   for (size_t p : positions) result->points.push_back(tree.PointAt(p));

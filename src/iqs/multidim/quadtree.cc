@@ -141,8 +141,9 @@ void Quadtree::Report(const Rect& q, std::vector<size_t>* out) const {
 
 void QuadtreeSampler::QueryBatch(std::span<const RectBatchQuery> queries,
                                  Rng* rng, ScratchArena* arena,
-                                 PointBatchResult* result) const {
-  internal::ServeRectBatch(tree_, engine_, queries, rng, arena, result);
+                                 PointBatchResult* result,
+                                 const BatchOptions& opts) const {
+  internal::ServeRectBatch(tree_, engine_, queries, rng, arena, result, opts);
 }
 
 bool QuadtreeSampler::QueryRect(const Rect& q, size_t s, Rng* rng,

@@ -83,8 +83,11 @@ class QuadtreeSampler {
 
   // Batched serving fast path — one CoverExecutor run over the whole
   // batch; see KdTreeSampler::QueryBatch.
+  // opts.num_threads >= 1 serves the batch in the deterministic parallel
+  // mode (see BatchOptions).
   void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
-                  ScratchArena* arena, PointBatchResult* result) const;
+                  ScratchArena* arena, PointBatchResult* result,
+                  const BatchOptions& opts = {}) const;
 
   const Quadtree& tree() const { return tree_; }
 

@@ -217,7 +217,8 @@ bool RangeTree2DSampler::QueryRect(const Rect& q, size_t s, Rng* rng,
 
 void RangeTree2DSampler::QueryBatch(std::span<const RectBatchQuery> queries,
                                     Rng* rng, ScratchArena* arena,
-                                    PointBatchResult* result) const {
+                                    PointBatchResult* result,
+                                    const BatchOptions& opts) const {
   result->Clear();
   arena->Reset();
   thread_local CoverPlan plan;
@@ -260,6 +261,11 @@ void RangeTree2DSampler::QueryBatch(std::span<const RectBatchQuery> queries,
   // rides one chunked QueryPositionsBatch call. Each group's draws land
   // at split.offsets[g] of the flat output, which keeps every query's
   // slice contiguous regardless of the serving order.
+  //
+  // `pieces`/`plan` are thread_local, so lambdas that may run on pool
+  // workers must go through these caller-bound views — a bare `pieces`
+  // inside the lambda would resolve to the worker's own (empty) instance.
+  const std::span<const Piece> batch_pieces(pieces);
   const std::span<const CoverGroup> groups = plan.groups();
   const std::span<uint32_t> order = arena->Alloc<uint32_t>(groups.size());
   size_t active = 0;
@@ -268,43 +274,78 @@ void RangeTree2DSampler::QueryBatch(std::span<const RectBatchQuery> queries,
   }
   std::sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(active),
             [&](uint32_t ga, uint32_t gb) {
-              const uint32_t na = pieces[groups[ga].tag].node;
-              const uint32_t nb = pieces[groups[gb].tag].node;
+              const uint32_t na = batch_pieces[groups[ga].tag].node;
+              const uint32_t nb = batch_pieces[groups[gb].tag].node;
               return na != nb ? na < nb : ga < gb;
             });
 
-  const std::span<PositionQuery> requests =
-      arena->Alloc<PositionQuery>(active);
-  for (size_t run = 0; run < active;) {
-    const uint32_t node_id = pieces[groups[order[run]].tag].node;
-    size_t run_end = run;
-    size_t m = 0;
-    while (run_end < active &&
-           pieces[groups[order[run_end]].tag].node == node_id) {
-      const Piece& piece = pieces[groups[order[run_end]].tag];
-      requests[m++] = PositionQuery{
-          piece.y_a, piece.y_b,
-          static_cast<size_t>(split.counts[order[run_end]])};
-      ++run_end;
+  // Run boundaries over the sorted order: one run per secondary node.
+  const std::span<size_t> run_start = arena->Alloc<size_t>(active + 1);
+  size_t num_runs = 0;
+  for (size_t k = 0; k < active;) {
+    run_start[num_runs++] = k;
+    const uint32_t node_id = batch_pieces[groups[order[k]].tag].node;
+    while (k < active && batch_pieces[groups[order[k]].tag].node == node_id) {
+      ++k;
     }
-    const Node& node = nodes_[node_id];
-    positions.clear();
-    node.sampler->QueryPositionsBatch(requests.first(m), rng, arena,
-                                      &positions);
+  }
+  run_start[num_runs] = active;
+
+  // Serves run r (groups order[run_start[r] .. run_start[r+1])) with the
+  // given rng/scratch/staging buffer. Each group's draws land at
+  // split.offsets[g] of the flat output, so runs write disjoint slices.
+  auto serve_run = [&](size_t r, Rng* run_rng, ScratchArena* scratch,
+                       std::vector<size_t>* staged) {
+    const size_t rs = run_start[r];
+    const size_t re = run_start[r + 1];
+    const Node& node = nodes_[batch_pieces[groups[order[rs]].tag].node];
+    const std::span<PositionQuery> requests =
+        scratch->Alloc<PositionQuery>(re - rs);
+    size_t m = 0;
+    for (size_t k = rs; k < re; ++k) {
+      const Piece& piece = batch_pieces[groups[order[k]].tag];
+      requests[m++] = PositionQuery{
+          piece.y_a, piece.y_b, static_cast<size_t>(split.counts[order[k]])};
+    }
+    staged->clear();
+    node.sampler->QueryPositionsBatch(requests.first(m), run_rng, scratch,
+                                      staged);
     // QueryPositionsBatch appends each request's draws contiguously in
     // order; scatter them back to the groups' flat slices.
     size_t cursor = 0;
-    for (size_t k = run; k < run_end; ++k) {
+    for (size_t k = rs; k < re; ++k) {
       const uint32_t g = order[k];
       const size_t dst = split.offsets[g];
       for (uint32_t d = 0; d < split.counts[g]; ++d) {
-        const size_t y_pos = positions[cursor++];
+        const size_t y_pos = (*staged)[cursor++];
         result->points[dst + d] = points_by_x_[node.ids_by_y[y_pos]];
       }
     }
-    IQS_DCHECK(cursor == positions.size());
-    run = run_end;
+    IQS_DCHECK(cursor == staged->size());
+  };
+
+  if (opts.sequential()) {
+    for (size_t r = 0; r < num_runs; ++r) {
+      serve_run(r, rng, arena, &positions);
+    }
+    return;
   }
+
+  // Parallel mode: runs are the shardable unit, each under its own
+  // substream — the run composition depends only on the (sequential)
+  // split above, so output is bit-identical for every thread count.
+  ScopedPool pool(opts);
+  const Rng base(rng->Next64());
+  ParallelForShards(
+      pool.get(), num_runs, [&](size_t first, size_t last, size_t worker) {
+        ScratchArena* wa = pool->worker_arena(worker);
+        thread_local std::vector<size_t> staged;
+        for (size_t r = first; r < last; ++r) {
+          Rng run_rng = base.ForkStream(r);
+          wa->Reset();
+          serve_run(r, &run_rng, wa, &staged);
+        }
+      });
 }
 
 void RangeTree2DSampler::Report(const Rect& q, std::vector<size_t>* out) const {

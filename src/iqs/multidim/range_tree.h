@@ -27,6 +27,7 @@
 
 #include "iqs/multidim/multidim_batch.h"
 #include "iqs/multidim/point.h"
+#include "iqs/util/batch_options.h"
 #include "iqs/range/chunked_range_sampler.h"
 #include "iqs/util/rng.h"
 #include "iqs/util/scratch_arena.h"
@@ -51,9 +52,12 @@ class RangeTree2DSampler {
   // performs the multinomial splits, then the per-group draws are
   // coalesced BY SECONDARY NODE so pieces of different queries that land
   // in the same node's y-structure share one chunked batched call (and
-  // its cross-query prefetch pipeline).
+  // its cross-query prefetch pipeline). opts.num_threads >= 1 serves
+  // the coalesced node runs in the deterministic parallel mode, one RNG
+  // substream per run (see BatchOptions).
   void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
-                  ScratchArena* arena, PointBatchResult* result) const;
+                  ScratchArena* arena, PointBatchResult* result,
+                  const BatchOptions& opts = {}) const;
 
   // Reporting oracle for tests.
   void Report(const Rect& q, std::vector<size_t>* out) const;

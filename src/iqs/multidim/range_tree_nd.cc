@@ -195,7 +195,8 @@ bool RangeTreeNdSampler::QueryBox(const BoxNd& q, size_t s, Rng* rng,
 
 void RangeTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
                                     Rng* rng, ScratchArena* arena,
-                                    BatchResult* result) const {
+                                    BatchResult* result,
+                                    const BatchOptions& opts) const {
   result->Clear();
   arena->Reset();
   thread_local CoverPlan plan;
@@ -232,12 +233,17 @@ void RangeTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
 
   // Serve singleton groups directly; coalesce the rest by final-level
   // structure so shared leaf samplers get one batched call each.
+  //
+  // `pieces`/`plan` are thread_local, so lambdas that may run on pool
+  // workers must go through these caller-bound views — a bare `pieces`
+  // inside the lambda would resolve to the worker's own (empty) instance.
+  const std::span<const Piece> batch_pieces(pieces);
   const std::span<const CoverGroup> groups = plan.groups();
   const std::span<uint32_t> order = arena->Alloc<uint32_t>(groups.size());
   size_t active = 0;
   for (size_t g = 0; g < groups.size(); ++g) {
     if (split.counts[g] == 0) continue;
-    const Piece& piece = pieces[groups[g].tag];
+    const Piece& piece = batch_pieces[groups[g].tag];
     if (piece.leaf_structure == nullptr) {
       const size_t dst = split.offsets[g];
       for (uint32_t d = 0; d < split.counts[g]; ++d) {
@@ -249,41 +255,77 @@ void RangeTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
   }
   std::sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(active),
             [&](uint32_t ga, uint32_t gb) {
-              const auto* sa = pieces[groups[ga].tag].leaf_structure;
-              const auto* sb = pieces[groups[gb].tag].leaf_structure;
+              const auto* sa = batch_pieces[groups[ga].tag].leaf_structure;
+              const auto* sb = batch_pieces[groups[gb].tag].leaf_structure;
               return sa != sb ? sa < sb : ga < gb;
             });
 
-  const std::span<PositionQuery> requests =
-      arena->Alloc<PositionQuery>(active);
-  for (size_t run = 0; run < active;) {
+  // Run boundaries over the sorted order: one run per leaf structure.
+  const std::span<size_t> run_start = arena->Alloc<size_t>(active + 1);
+  size_t num_runs = 0;
+  for (size_t k = 0; k < active;) {
+    run_start[num_runs++] = k;
     const LevelStructure* structure =
-        pieces[groups[order[run]].tag].leaf_structure;
-    size_t run_end = run;
-    size_t m = 0;
-    while (run_end < active &&
-           pieces[groups[order[run_end]].tag].leaf_structure == structure) {
-      const Piece& piece = pieces[groups[order[run_end]].tag];
-      requests[m++] = PositionQuery{
-          piece.a, piece.b,
-          static_cast<size_t>(split.counts[order[run_end]])};
-      ++run_end;
+        batch_pieces[groups[order[k]].tag].leaf_structure;
+    while (k < active &&
+           batch_pieces[groups[order[k]].tag].leaf_structure == structure) {
+      ++k;
     }
-    positions.clear();
-    structure->sampler->QueryPositionsBatch(requests.first(m), rng, arena,
-                                            &positions);
+  }
+  run_start[num_runs] = active;
+
+  // Serves run r with the given rng/scratch/staging buffer; runs write
+  // disjoint slices of the flat output.
+  auto serve_run = [&](size_t r, Rng* run_rng, ScratchArena* scratch,
+                       std::vector<size_t>* staged) {
+    const size_t rs = run_start[r];
+    const size_t re = run_start[r + 1];
+    const LevelStructure* structure =
+        batch_pieces[groups[order[rs]].tag].leaf_structure;
+    const std::span<PositionQuery> requests =
+        scratch->Alloc<PositionQuery>(re - rs);
+    size_t m = 0;
+    for (size_t k = rs; k < re; ++k) {
+      const Piece& piece = batch_pieces[groups[order[k]].tag];
+      requests[m++] = PositionQuery{
+          piece.a, piece.b, static_cast<size_t>(split.counts[order[k]])};
+    }
+    staged->clear();
+    structure->sampler->QueryPositionsBatch(requests.first(m), run_rng,
+                                            scratch, staged);
     size_t cursor = 0;
-    for (size_t k = run; k < run_end; ++k) {
+    for (size_t k = rs; k < re; ++k) {
       const uint32_t g = order[k];
       const size_t dst = split.offsets[g];
       for (uint32_t d = 0; d < split.counts[g]; ++d) {
         result->positions[dst + d] =
-            structure->ids_sorted[positions[cursor++]];
+            structure->ids_sorted[(*staged)[cursor++]];
       }
     }
-    IQS_DCHECK(cursor == positions.size());
-    run = run_end;
+    IQS_DCHECK(cursor == staged->size());
+  };
+
+  if (opts.sequential()) {
+    for (size_t r = 0; r < num_runs; ++r) {
+      serve_run(r, rng, arena, &positions);
+    }
+    return;
   }
+
+  // Parallel mode: runs are the shardable unit, each under its own
+  // substream (see RangeTree2DSampler::QueryBatch).
+  ScopedPool pool(opts);
+  const Rng base(rng->Next64());
+  ParallelForShards(
+      pool.get(), num_runs, [&](size_t first, size_t last, size_t worker) {
+        ScratchArena* wa = pool->worker_arena(worker);
+        thread_local std::vector<size_t> staged;
+        for (size_t r = first; r < last; ++r) {
+          Rng run_rng = base.ForkStream(r);
+          wa->Reset();
+          serve_run(r, &run_rng, wa, &staged);
+        }
+      });
 }
 
 void RangeTreeNdSampler::Report(const BoxNd& q,

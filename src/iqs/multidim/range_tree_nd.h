@@ -27,6 +27,7 @@
 #include "iqs/multidim/kd_tree_nd.h"  // BoxNd, BoxBatchQuery
 #include "iqs/range/chunked_range_sampler.h"
 #include "iqs/range/range_sampler.h"  // BatchResult
+#include "iqs/util/batch_options.h"
 #include "iqs/util/rng.h"
 #include "iqs/util/scratch_arena.h"
 
@@ -55,8 +56,12 @@ class RangeTreeNdSampler {
   // draws are coalesced BY FINAL-LEVEL STRUCTURE so pieces of different
   // queries that share a leaf sampler ride one chunked batched call.
   // result->positions holds point ids (constructor order).
+  // opts.num_threads >= 1 serves the coalesced structure runs in the
+  // deterministic parallel mode, one RNG substream per run (see
+  // BatchOptions).
   void QueryBatch(std::span<const BoxBatchQuery> queries, Rng* rng,
-                  ScratchArena* arena, BatchResult* result) const;
+                  ScratchArena* arena, BatchResult* result,
+                  const BatchOptions& opts = {}) const;
 
   // Reporting oracle (brute force; for tests).
   void Report(const BoxNd& q, std::vector<size_t>* out) const;

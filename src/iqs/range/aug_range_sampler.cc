@@ -76,9 +76,57 @@ void AugRangeSampler::QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
   }
 }
 
+void AugRangeSampler::DrawGroupedAlias(const CoverPlan& plan,
+                                       const CoverSplit& split,
+                                       size_t first_group, size_t end_group,
+                                       std::span<size_t> dst, Rng* rng,
+                                       ScratchArena* arena) const {
+  const size_t base = split.offsets[first_group];
+  const size_t total = split.offsets[end_group] - base;
+  if (total == 0) return;
+  const std::span<const AliasTable*> tables =
+      arena->Alloc<const AliasTable*>(total);
+  const std::span<size_t> bases = arena->Alloc<size_t>(total);
+  const std::span<const CoverGroup> groups = plan.groups();
+  size_t d = 0;
+  for (size_t g = first_group; g < end_group; ++g) {
+    const auto u = static_cast<StaticBst::NodeId>(groups[g].tag);
+    const AliasTable* table = tree_.IsLeaf(u) ? nullptr : &node_alias_[u];
+    const size_t lo = groups[g].lo;
+    for (uint32_t k = 0; k < split.counts[g]; ++k) {
+      tables[d] = table;
+      bases[d] = lo;
+      ++d;
+    }
+  }
+  IQS_DCHECK(d == total);
+
+  // Small enough that every urn line prefetched in the first pass is
+  // still resident when the second pass reads it.
+  constexpr size_t kBlock = 256;
+  const std::span<uint64_t> urn_idx = arena->Alloc<uint64_t>(kBlock);
+  const std::span<double> coins = arena->Alloc<double>(kBlock);
+  for (size_t start = 0; start < total; start += kBlock) {
+    const size_t m = std::min(kBlock, total - start);
+    rng->FillDoubles(coins.first(m));
+    for (size_t i = 0; i < m; ++i) {
+      const AliasTable* table = tables[start + i];
+      if (table == nullptr) continue;
+      urn_idx[i] = rng->Below(table->size());
+      table->PrefetchUrn(urn_idx[i]);
+    }
+    for (size_t i = 0; i < m; ++i) {
+      const AliasTable* table = tables[start + i];
+      dst[base + start + i] =
+          bases[start + i] +
+          (table == nullptr ? 0 : table->SampleAt(urn_idx[i], coins[i]));
+    }
+  }
+}
+
 void AugRangeSampler::QueryPositionsBatch(
     std::span<const PositionQuery> queries, Rng* rng, ScratchArena* arena,
-    std::vector<size_t>* out) const {
+    std::vector<size_t>* out, const BatchOptions& opts) const {
   // Cover enumeration only; the CoverExecutor owns the multinomial split
   // and output layout. The draw backend flattens the per-node urn picks
   // of EVERY query into one cross-batch pipeline: a planning pass records
@@ -104,49 +152,25 @@ void AugRangeSampler::QueryPositionsBatch(
     }
   }
 
+  if (!opts.sequential()) {
+    // Parallel mode: the same blocked urn pipeline, run per query under
+    // the query's substream (the pipeline is then shorter — one query's
+    // draws — but shards of queries still overlap their misses).
+    CoverExecutor::ExecuteParallel(
+        plan, rng, arena, opts,
+        [this](const CoverPlan& p, const CoverSplit& split,
+               std::span<size_t> dst, size_t q, Rng* qrng, ScratchArena* wa) {
+          DrawGroupedAlias(p, split, p.first_group(q), p.end_group(q), dst,
+                           qrng, wa);
+        },
+        out);
+    return;
+  }
+
   CoverExecutor::Execute(
       plan, rng, arena,
       [&](const CoverPlan& p, const CoverSplit& split, std::span<size_t> dst) {
-        const size_t total = split.total;
-        const std::span<const AliasTable*> tables =
-            arena->Alloc<const AliasTable*>(total);
-        const std::span<size_t> bases = arena->Alloc<size_t>(total);
-        const std::span<const CoverGroup> groups = p.groups();
-        size_t d = 0;
-        for (size_t g = 0; g < groups.size(); ++g) {
-          const auto u = static_cast<StaticBst::NodeId>(groups[g].tag);
-          const AliasTable* table =
-              tree_.IsLeaf(u) ? nullptr : &node_alias_[u];
-          const size_t lo = groups[g].lo;
-          for (uint32_t k = 0; k < split.counts[g]; ++k) {
-            tables[d] = table;
-            bases[d] = lo;
-            ++d;
-          }
-        }
-        IQS_DCHECK(d == total);
-
-        // Small enough that every urn line prefetched in the first pass
-        // is still resident when the second pass reads it.
-        constexpr size_t kBlock = 256;
-        const std::span<uint64_t> urn_idx = arena->Alloc<uint64_t>(kBlock);
-        const std::span<double> coins = arena->Alloc<double>(kBlock);
-        for (size_t start = 0; start < total; start += kBlock) {
-          const size_t m = std::min(kBlock, total - start);
-          rng->FillDoubles(coins.first(m));
-          for (size_t i = 0; i < m; ++i) {
-            const AliasTable* table = tables[start + i];
-            if (table == nullptr) continue;
-            urn_idx[i] = rng->Below(table->size());
-            table->PrefetchUrn(urn_idx[i]);
-          }
-          for (size_t i = 0; i < m; ++i) {
-            const AliasTable* table = tables[start + i];
-            dst[start + i] =
-                bases[start + i] +
-                (table == nullptr ? 0 : table->SampleAt(urn_idx[i], coins[i]));
-          }
-        }
+        DrawGroupedAlias(p, split, 0, p.num_groups(), dst, rng, arena);
       },
       out);
 }

@@ -19,6 +19,9 @@
 
 namespace iqs {
 
+class CoverPlan;
+struct CoverSplit;
+
 class AugRangeSampler : public RangeSampler {
  public:
   AugRangeSampler(std::span<const double> keys,
@@ -34,10 +37,12 @@ class AugRangeSampler : public RangeSampler {
 
   // Batched fast path: enumerates canonical covers into a CoverPlan for
   // the shared CoverExecutor; the draw backend pipelines prefetched urn
-  // loads from the prebuilt per-node alias tables across the whole batch.
+  // loads from the prebuilt per-node alias tables — across the whole
+  // batch when sequential, per query under substreams when parallel.
+  using RangeSampler::QueryPositionsBatch;
   void QueryPositionsBatch(std::span<const PositionQuery> queries, Rng* rng,
-                           ScratchArena* arena,
-                           std::vector<size_t>* out) const override;
+                           ScratchArena* arena, std::vector<size_t>* out,
+                           const BatchOptions& opts) const override;
 
   size_t MemoryBytes() const override;
 
@@ -45,6 +50,14 @@ class AugRangeSampler : public RangeSampler {
 
  private:
   void BuildNodeAliases(std::span<const double> weights);
+
+  // Blocked prefetch-then-read alias pipeline over the plan groups
+  // [first_group, end_group), writing dst[split.offsets[g] ..) for each.
+  // `dst` is the batch-flat destination; scratch comes from `arena`.
+  void DrawGroupedAlias(const CoverPlan& plan, const CoverSplit& split,
+                        size_t first_group, size_t end_group,
+                        std::span<size_t> dst, Rng* rng,
+                        ScratchArena* arena) const;
 
   StaticBst tree_;
   // node_alias_[u] samples a position offset within [RangeLo(u),

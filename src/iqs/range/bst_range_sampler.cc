@@ -41,7 +41,7 @@ void BstRangeSampler::QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
 
 void BstRangeSampler::QueryPositionsBatch(
     std::span<const PositionQuery> queries, Rng* rng, ScratchArena* arena,
-    std::vector<size_t>* out) const {
+    std::vector<size_t>* out, const BatchOptions& opts) const {
   // Cover enumeration only; the CoverExecutor owns the batched pipeline
   // (multinomial split per query, flat offsets, arena scratch). The draw
   // backend lines up ONE descent lane per requested sample across the
@@ -65,6 +65,37 @@ void BstRangeSampler::QueryPositionsBatch(
       plan.AddGroup(tree_.RangeLo(u), tree_.RangeHi(u), tree_.NodeWeight(u),
                     u);
     }
+  }
+
+  if (!opts.sequential()) {
+    // Parallel mode: the same grouped descent, but one DescendToLeaves per
+    // query under the query's substream, so the lane order (and therefore
+    // the randomness consumption) is a pure function of the query — any
+    // thread count produces identical bytes.
+    CoverExecutor::ExecuteParallel(
+        plan, rng, arena, opts,
+        [this](const CoverPlan& p, const CoverSplit& split,
+               std::span<size_t> dst, size_t q, Rng* qrng, ScratchArena* wa) {
+          const size_t fg = p.first_group(q);
+          const size_t eg = p.end_group(q);
+          const size_t qs = split.offsets[eg] - split.offsets[fg];
+          const std::span<StaticBst::NodeId> lanes =
+              wa->Alloc<StaticBst::NodeId>(qs);
+          const std::span<const CoverGroup> groups = p.groups();
+          size_t lane = 0;
+          for (size_t g = fg; g < eg; ++g) {
+            const auto u = static_cast<StaticBst::NodeId>(groups[g].tag);
+            for (uint32_t k = 0; k < split.counts[g]; ++k) lanes[lane++] = u;
+          }
+          IQS_DCHECK(lane == qs);
+          tree_.DescendToLeaves(lanes, qrng, wa);
+          const size_t base = split.offsets[fg];
+          for (size_t i = 0; i < qs; ++i) {
+            dst[base + i] = tree_.RangeLo(lanes[i]);
+          }
+        },
+        out);
+    return;
   }
 
   CoverExecutor::Execute(

@@ -29,10 +29,12 @@ class BstRangeSampler : public RangeSampler {
 
   // Batched fast path: enumerates canonical covers into a CoverPlan and
   // serves them through the shared CoverExecutor, with grouped
-  // (level-synchronous, prefetched) subtree descents as the draw backend.
+  // (level-synchronous, prefetched) subtree descents as the draw backend —
+  // batch-wide when sequential, per query under substreams when parallel.
+  using RangeSampler::QueryPositionsBatch;
   void QueryPositionsBatch(std::span<const PositionQuery> queries, Rng* rng,
-                           ScratchArena* arena,
-                           std::vector<size_t>* out) const override;
+                           ScratchArena* arena, std::vector<size_t>* out,
+                           const BatchOptions& opts) const override;
 
   size_t MemoryBytes() const override {
     return tree_.MemoryBytes() + keys_.capacity() * sizeof(double);

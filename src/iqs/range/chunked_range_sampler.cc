@@ -112,7 +112,7 @@ void ChunkedRangeSampler::QueryPositions(size_t a, size_t b, size_t s,
 
 void ChunkedRangeSampler::QueryPositionsBatch(
     std::span<const PositionQuery> queries, Rng* rng, ScratchArena* arena,
-    std::vector<size_t>* out) const {
+    std::vector<size_t>* out, const BatchOptions& opts) const {
   // Cover enumeration only — each query's q1/q2/q3 split becomes 1-3 plan
   // groups — with the CoverExecutor owning the multinomial splits and
   // output layout. The draw backend serves partial-chunk spans by
@@ -150,6 +150,65 @@ void ChunkedRangeSampler::QueryPositionsBatch(
     double w3 = 0.0;
     for (size_t i = q3_lo; i <= q.b; ++i) w3 += weights_[i];
     plan.AddGroup(q3_lo, q.b, w3, kSpanGroup);
+  }
+
+  if (!opts.sequential()) {
+    // Parallel mode: each query draws its own spans and (single) middle
+    // group under its substream — the middle goes through the chunk-level
+    // structure's sequential path with the query's rng, then the same
+    // blocked alias pass, so randomness consumption is a pure function of
+    // the query.
+    CoverExecutor::ExecuteParallel(
+        plan, rng, arena, opts,
+        [this](const CoverPlan& p, const CoverSplit& split,
+               std::span<size_t> dst, size_t q, Rng* qrng, ScratchArena* wa) {
+          const std::span<const CoverGroup> groups = p.groups();
+          const std::span<const double> weights(weights_);
+          for (size_t g = p.first_group(q); g < p.end_group(q); ++g) {
+            const size_t count = split.counts[g];
+            if (count == 0) continue;
+            if (groups[g].tag == kSpanGroup) {
+              CategoricalSampleScratch(
+                  weights.subspan(groups[g].lo,
+                                  groups[g].hi - groups[g].lo + 1),
+                  qrng, wa, groups[g].lo,
+                  dst.subspan(split.offsets[g], count));
+              continue;
+            }
+            const PositionQuery middle{groups[g].lo / chunk_size_,
+                                       groups[g].hi / chunk_size_, count};
+            thread_local std::vector<size_t> chunk_draws;
+            chunk_draws.clear();
+            chunk_level_->QueryPositionsBatch(
+                std::span<const PositionQuery>(&middle, 1), qrng, wa,
+                &chunk_draws);
+            IQS_DCHECK(chunk_draws.size() == count);
+            const std::span<size_t> qdst = dst.subspan(split.offsets[g], count);
+            constexpr size_t kBlock = 256;
+            const std::span<uint64_t> urn_idx = wa->Alloc<uint64_t>(kBlock);
+            const std::span<double> coins = wa->Alloc<double>(kBlock);
+            for (size_t start = 0; start < count; start += kBlock) {
+              const size_t m = std::min(kBlock, count - start);
+              qrng->FillDoubles(coins.first(m));
+              for (size_t i = 0; i < m; ++i) {
+                __builtin_prefetch(&chunk_alias_[chunk_draws[start + i]]);
+              }
+              for (size_t i = 0; i < m; ++i) {
+                const AliasTable& table = chunk_alias_[chunk_draws[start + i]];
+                urn_idx[i] = qrng->Below(table.size());
+                table.PrefetchUrn(urn_idx[i]);
+              }
+              for (size_t i = 0; i < m; ++i) {
+                const size_t chunk = chunk_draws[start + i];
+                qdst[start + i] =
+                    ChunkStart(chunk) +
+                    chunk_alias_[chunk].SampleAt(urn_idx[i], coins[i]);
+              }
+            }
+          }
+        },
+        out);
+    return;
   }
 
   CoverExecutor::Execute(

@@ -40,11 +40,14 @@ class ChunkedRangeSampler : public RangeSampler {
 
   // Batched fast path: enumerates each query's q1/q2/q3 split into a
   // CoverPlan served by the shared CoverExecutor — block draws for the
-  // partial chunks, and ALL queries' chunk-aligned middles gathered into
-  // one chunk-level batched call plus one blocked alias pipeline.
+  // partial chunks, and chunk-aligned middles served through the
+  // chunk-level structure plus a blocked alias pipeline (gathered across
+  // the whole batch when sequential, per query under substreams when
+  // parallel).
+  using RangeSampler::QueryPositionsBatch;
   void QueryPositionsBatch(std::span<const PositionQuery> queries, Rng* rng,
-                           ScratchArena* arena,
-                           std::vector<size_t>* out) const override;
+                           ScratchArena* arena, std::vector<size_t>* out,
+                           const BatchOptions& opts) const override;
 
   size_t MemoryBytes() const override;
 

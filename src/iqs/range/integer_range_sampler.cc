@@ -137,7 +137,8 @@ bool IntegerRangeSampler::Query(uint64_t lo, uint64_t hi, size_t s,
 
 void IntegerRangeSampler::QueryBatch(std::span<const IntegerBatchQuery> queries,
                                      Rng* rng, ScratchArena* arena,
-                                     BatchResult* result) const {
+                                     BatchResult* result,
+                                     const BatchOptions& opts) const {
   result->Clear();
   arena->Reset();
   const size_t q = queries.size();
@@ -158,7 +159,8 @@ void IntegerRangeSampler::QueryBatch(std::span<const IntegerBatchQuery> queries,
 
   result->positions.clear();
   result->positions.reserve(total_samples);
-  sampler_->QueryPositionsBatch(resolved, rng, arena, &result->positions);
+  sampler_->QueryPositionsBatch(resolved, rng, arena, &result->positions,
+                                opts);
   IQS_CHECK(result->positions.size() == total_samples);
 }
 

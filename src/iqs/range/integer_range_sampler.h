@@ -88,8 +88,11 @@ class IntegerRangeSampler {
   // interval is resolved once through the y-fast index, then all draws
   // ride the Theorem-3 structure's single CoverExecutor run.
   // result->positions holds sorted-order positions.
+  // opts.num_threads >= 1 serves the batch in the deterministic
+  // parallel mode (see BatchOptions).
   void QueryBatch(std::span<const IntegerBatchQuery> queries, Rng* rng,
-                  ScratchArena* arena, BatchResult* result) const;
+                  ScratchArena* arena, BatchResult* result,
+                  const BatchOptions& opts = {}) const;
 
   uint64_t key_at(size_t position) const { return keys_[position]; }
   size_t n() const { return keys_.size(); }

@@ -35,6 +35,12 @@ bool RangeSampler::Query(double lo, double hi, size_t s, Rng* rng,
 void RangeSampler::QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
                               ScratchArena* arena,
                               BatchResult* result) const {
+  QueryBatch(queries, rng, arena, result, BatchOptions{});
+}
+
+void RangeSampler::QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
+                              ScratchArena* arena, BatchResult* result,
+                              const BatchOptions& opts) const {
   result->Clear();
   arena->Reset();
   const size_t q = queries.size();
@@ -58,17 +64,54 @@ void RangeSampler::QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
 
   result->positions.clear();
   result->positions.reserve(total_samples);
-  QueryPositionsBatch(resolved, rng, arena, &result->positions);
+  QueryPositionsBatch(resolved, rng, arena, &result->positions, opts);
   IQS_CHECK(result->positions.size() == total_samples);
 }
 
 void RangeSampler::QueryPositionsBatch(std::span<const PositionQuery> queries,
-                                       Rng* rng, ScratchArena* /*arena*/,
-                                       std::vector<size_t>* out) const {
-  for (const PositionQuery& q : queries) {
-    if (q.s == 0) continue;
-    QueryPositions(q.a, q.b, q.s, rng, out);
+                                       Rng* rng, ScratchArena* arena,
+                                       std::vector<size_t>* out,
+                                       const BatchOptions& opts) const {
+  if (opts.sequential()) {
+    for (const PositionQuery& q : queries) {
+      if (q.s == 0) continue;
+      QueryPositions(q.a, q.b, q.s, rng, out);
+    }
+    return;
   }
+
+  // Generic parallel fallback: whole requests are the shardable unit,
+  // each served by QueryPositions under its own substream (see
+  // BatchOptions for the determinism argument). Subclasses with grouped
+  // kernels override this with a CoverExecutor::ExecuteParallel pipeline.
+  ScopedPool pool(opts);
+  const Rng base(rng->Next64());
+  const size_t nq = queries.size();
+  const std::span<size_t> offsets = arena->Alloc<size_t>(nq + 1);
+  size_t total = 0;
+  for (size_t i = 0; i < nq; ++i) {
+    offsets[i] = total;
+    total += queries[i].s;
+  }
+  offsets[nq] = total;
+  if (total == 0) return;
+  const size_t base_size = out->size();
+  out->resize(base_size + total);
+  const std::span<size_t> dst =
+      std::span<size_t>(*out).subspan(base_size, total);
+  ParallelForShards(
+      pool.get(), nq, [&](size_t first, size_t last, size_t /*worker*/) {
+        thread_local std::vector<size_t> buf;
+        for (size_t q = first; q < last; ++q) {
+          if (queries[q].s == 0) continue;
+          Rng qrng = base.ForkStream(q);
+          buf.clear();
+          QueryPositions(queries[q].a, queries[q].b, queries[q].s, &qrng,
+                         &buf);
+          IQS_DCHECK(buf.size() == queries[q].s);
+          std::copy(buf.begin(), buf.end(), dst.begin() + offsets[q]);
+        }
+      });
 }
 
 }  // namespace iqs

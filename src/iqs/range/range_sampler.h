@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "iqs/util/batch_options.h"
 #include "iqs/util/check.h"
 #include "iqs/util/rng.h"
 #include "iqs/util/scratch_arena.h"
@@ -107,14 +108,36 @@ class RangeSampler {
   void QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
                   ScratchArena* arena, BatchResult* result) const;
 
+  // As above, with execution options. opts.num_threads >= 1 selects the
+  // deterministic parallel mode (see BatchOptions): same per-query output
+  // law and ordering contract, output bit-identical for every thread
+  // count under a fixed seed, but a different stream assignment than the
+  // sequential default.
+  void QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, BatchResult* result,
+                  const BatchOptions& opts) const;
+
   // Position-space batch hook. Appends, for each query in order, exactly
   // q.s sampled positions to `out` (contiguous per query). The base
   // implementation loops over QueryPositions; subclasses override it with
   // grouped multinomial sampling over the canonical cover, which turns s
   // independent O(log n) descents into O(cover + s) grouped work.
+  void QueryPositionsBatch(std::span<const PositionQuery> queries, Rng* rng,
+                           ScratchArena* arena,
+                           std::vector<size_t>* out) const {
+    QueryPositionsBatch(queries, rng, arena, out, BatchOptions{});
+  }
+
+  // Options-aware hook that overrides dispatch through. With sequential
+  // opts (the default above) behavior is the historical one; in parallel
+  // mode queries are sharded over a worker pool under per-query RNG
+  // substreams. The base implementation shards whole requests over
+  // QueryPositions; cover-based subclasses run their grouped kernels
+  // per query through CoverExecutor::ExecuteParallel instead.
   virtual void QueryPositionsBatch(std::span<const PositionQuery> queries,
                                    Rng* rng, ScratchArena* arena,
-                                   std::vector<size_t>* out) const;
+                                   std::vector<size_t>* out,
+                                   const BatchOptions& opts) const;
 
   // Heap footprint, for the space experiment (DESIGN.md E4).
   virtual size_t MemoryBytes() const = 0;

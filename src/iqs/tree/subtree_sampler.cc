@@ -69,7 +69,8 @@ void SubtreeSampler::Query(WeightedTree::NodeId q, size_t s, Rng* rng,
 
 void SubtreeSampler::QueryBatch(std::span<const SubtreeBatchQuery> queries,
                                 Rng* rng, ScratchArena* arena,
-                                BatchResult* result) const {
+                                BatchResult* result,
+                                const BatchOptions& opts) const {
   result->Clear();
   arena->Reset();
   thread_local CoverPlan plan;
@@ -92,8 +93,14 @@ void SubtreeSampler::QueryBatch(std::span<const SubtreeBatchQuery> queries,
 
   result->positions.clear();
   result->positions.reserve(total_samples);
-  CoverExecutor::ExecuteOverSampler(plan, *range_sampler_, rng, arena,
-                                    &result->positions);
+  if (opts.sequential()) {
+    CoverExecutor::ExecuteOverSampler(plan, *range_sampler_, rng, arena,
+                                      &result->positions);
+  } else {
+    CoverExecutor::ExecuteOverSamplerParallel(plan, *range_sampler_, rng,
+                                              arena, opts,
+                                              &result->positions);
+  }
   IQS_CHECK(result->positions.size() == total_samples);
   for (size_t& p : result->positions) p = leaf_sequence_[p];
 }

@@ -51,8 +51,11 @@ class SubtreeSampler {
   // cross-query pipeline of RangeSampler::QueryBatch applied to Π.
   // result->positions holds leaf ids. Every query resolves (a subtree
   // always contains a leaf).
+  // opts.num_threads >= 1 serves the batch in the deterministic
+  // parallel mode (see BatchOptions).
   void QueryBatch(std::span<const SubtreeBatchQuery> queries, Rng* rng,
-                  ScratchArena* arena, BatchResult* result) const;
+                  ScratchArena* arena, BatchResult* result,
+                  const BatchOptions& opts = {}) const;
 
   // The Euler-tour leaf interval of node q (inclusive positions in Π).
   std::pair<size_t, size_t> LeafInterval(WeightedTree::NodeId q) const {

@@ -38,6 +38,50 @@ uint64_t Rng::Below(uint64_t bound) {
   return static_cast<uint64_t>(m >> 64);
 }
 
+Rng Rng::ForkStream(uint64_t stream_id) const {
+  // Absorb the four parent state words and the stream id through the
+  // SplitMix64 permutation (a bijective 64-bit mix per word, so distinct
+  // ids cannot collapse to one child seed except by 64-bit chance).
+  uint64_t acc = 0x6a09e667f3bcc909ULL ^ stream_id;  // frac(sqrt(2)) bits
+  for (const uint64_t word : s_) {
+    uint64_t sm = acc ^ word;
+    acc = SplitMix64(&sm);
+  }
+  uint64_t sm = acc ^ (stream_id * 0x9e3779b97f4a7c15ULL);
+  Rng child(SplitMix64(&sm));
+  // One long-jump pushes the child 2^192 steps out, so even a child whose
+  // seed lands near the parent's sequence cannot overlap it within any
+  // realistic draw count.
+  child.LongJump();
+  return child;
+}
+
+void Rng::LongJump() {
+  // xoshiro256++ LONG_JUMP polynomial (Blackman & Vigna).
+  static constexpr uint64_t kLongJump[4] = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+  uint64_t s0 = 0;
+  uint64_t s1 = 0;
+  uint64_t s2 = 0;
+  uint64_t s3 = 0;
+  for (const uint64_t jump : kLongJump) {
+    for (int b = 0; b < 64; ++b) {
+      if ((jump & (uint64_t{1} << b)) != 0) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      Next64();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
 void Rng::FillDoubles(std::span<double> out) {
   // Keep the four state words in locals for the whole block; the member
   // loop in NextDouble() forces a load/store per draw.

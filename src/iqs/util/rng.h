@@ -84,8 +84,24 @@ class Rng {
   void FillBelow(uint64_t bound, std::span<uint64_t> out);
 
   // Returns a generator seeded from this one's stream; useful for giving
-  // each worker/structure an independent stream.
+  // each worker/structure an independent stream. ADVANCES this generator.
   Rng Split() { return Rng(Next64()); }
+
+  // Returns the generator for substream `stream_id`, derived
+  // deterministically from this generator's CURRENT state WITHOUT
+  // advancing it: ForkStream is a pure function of (state, stream_id), so
+  // forking the same id twice yields identical generators and the parent
+  // sequence is untouched. Distinct ids give statistically independent
+  // streams — the child state is SplitMix64-seeded from a mix of the
+  // parent state and the id, then separated by one xoshiro256++ long-jump
+  // (2^192 steps). This is the primitive behind deterministic parallel
+  // batch serving: per-query substreams make the output a pure function
+  // of (seed, query index), independent of thread count and sharding.
+  Rng ForkStream(uint64_t stream_id) const;
+
+  // Advances this generator by 2^192 steps of its sequence (the
+  // xoshiro256++ LONG_JUMP polynomial).
+  void LongJump();
 
  private:
   static uint64_t Rotl(uint64_t x, int k) {

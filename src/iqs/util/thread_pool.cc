@@ -1,0 +1,119 @@
+#include "iqs/util/thread_pool.h"
+
+namespace iqs {
+
+ThreadPool::ThreadPool(size_t num_threads) : num_threads_(num_threads) {
+  IQS_CHECK(num_threads >= 1);
+  arenas_.reserve(num_threads_);
+  for (size_t w = 0; w < num_threads_; ++w) {
+    arenas_.push_back(std::make_unique<ScratchArena>());
+  }
+  threads_.reserve(num_threads_ - 1);
+  for (size_t w = 1; w < num_threads_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    IQS_CHECK(current_job_ == nullptr);  // destroying a pool mid-ParallelFor
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::ParallelFor(size_t num_shards,
+                             FunctionRef<void(size_t, size_t)> fn) {
+  if (num_shards == 0) return;
+  if (num_threads_ == 1 || num_shards == 1) {
+    // Inline fast path; also what a transient single-worker pool runs.
+    for (size_t shard = 0; shard < num_shards; ++shard) fn(shard, 0);
+    return;
+  }
+
+  // Deal shards round-robin so every worker starts with local work; the
+  // stealing in RunShards rebalances whatever the deal gets wrong.
+  std::vector<std::deque<size_t>> queues(num_threads_);
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    queues[shard % num_threads_].push_back(shard);
+  }
+  Job job{fn, &queues, /*unclaimed=*/num_shards, /*unfinished=*/num_shards,
+          /*workers_inside=*/0};
+
+  std::unique_lock<std::mutex> lock(mu_);
+  IQS_CHECK(current_job_ == nullptr);  // nested/concurrent ParallelFor
+  current_job_ = &job;
+  ++job_epoch_;
+  job_cv_.notify_all();
+
+  RunShards(&job, /*worker=*/0, &lock);
+  // The caller ran out of claimable work, but stolen shards may still be
+  // executing elsewhere, and `job` lives on this stack frame: wait until
+  // every shard is done AND every background worker has let go of the job
+  // before tearing it down.
+  done_cv_.wait(lock, [&job] {
+    return job.unfinished == 0 && job.workers_inside == 0;
+  });
+  current_job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t worker) {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen_epoch = 0;
+  while (true) {
+    job_cv_.wait(lock, [this, seen_epoch] {
+      return shutdown_ || (current_job_ != nullptr && job_epoch_ != seen_epoch);
+    });
+    if (shutdown_) return;
+    seen_epoch = job_epoch_;
+    Job* job = current_job_;
+    ++job->workers_inside;
+    RunShards(job, worker, &lock);
+    --job->workers_inside;
+    if (job->unfinished == 0 && job->workers_inside == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunShards(Job* job, size_t worker,
+                           std::unique_lock<std::mutex>* lock) {
+  std::vector<std::deque<size_t>>& queues = *job->queues;
+  while (job->unclaimed > 0) {
+    // Own deque first (LIFO: the most recently dealt shard's queries are
+    // the likeliest to share cover nodes with the last one served), then
+    // steal FIFO from the other workers, scanning from the next index so
+    // thieves spread out instead of all raiding worker 0.
+    size_t shard = 0;
+    bool found = false;
+    if (!queues[worker].empty()) {
+      shard = queues[worker].back();
+      queues[worker].pop_back();
+      found = true;
+    } else {
+      for (size_t k = 1; k < num_threads_ && !found; ++k) {
+        std::deque<size_t>& victim = queues[(worker + k) % num_threads_];
+        if (!victim.empty()) {
+          shard = victim.front();
+          victim.pop_front();
+          found = true;
+        }
+      }
+    }
+    // Queues and the unclaimed count change together under mu_, so a
+    // positive count guarantees a find; the bail-out is belt-and-braces.
+    IQS_DCHECK(found);
+    if (!found) return;
+    --job->unclaimed;
+
+    lock->unlock();
+    job->fn(shard, worker);
+    lock->lock();
+
+    if (--job->unfinished == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace iqs

@@ -1,9 +1,11 @@
 #include "iqs/util/rng.h"
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "iqs/util/stats.h"
 #include "test_util.h"
 
 namespace iqs {
@@ -141,6 +143,109 @@ TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
   static_assert(Rng::max() == ~uint64_t{0});
   Rng rng(1);
   EXPECT_GE(rng(), Rng::min());
+}
+
+TEST(RngForkStreamTest, PureInStateAndStreamId) {
+  // Forking the same id twice from the same state yields identical
+  // generators, and forking never advances the parent.
+  Rng parent(99);
+  parent.Next64();  // some arbitrary state, not just the seed
+  Rng probe = parent;
+
+  Rng a = parent.ForkStream(7);
+  Rng b = parent.ForkStream(7);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(parent.Next64(), probe.Next64());
+}
+
+TEST(RngForkStreamTest, DistinctIdsDiverge) {
+  Rng parent(5);
+  Rng a = parent.ForkStream(0);
+  Rng b = parent.ForkStream(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next64() == b.Next64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngForkStreamTest, DistinctParentStatesDiverge) {
+  Rng p1(5);
+  Rng p2(5);
+  p2.Next64();  // one step apart
+  Rng a = p1.ForkStream(0);
+  Rng b = p2.ForkStream(0);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next64() == b.Next64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngForkStreamTest, SubstreamsAreUniform) {
+  // Pool one draw from each of many substreams (the parallel-serving
+  // consumption pattern) and chi-square the pooled empirical law.
+  Rng parent(123);
+  constexpr size_t kBound = 17;
+  constexpr size_t kStreams = 170000;
+  std::vector<uint64_t> counts(kBound, 0);
+  for (size_t stream = 0; stream < kStreams; ++stream) {
+    Rng child = parent.ForkStream(stream);
+    ++counts[child.Below(kBound)];
+  }
+  testing::ExpectDistributionClose(
+      counts, std::vector<double>(kBound, 1.0 / kBound));
+}
+
+TEST(RngForkStreamTest, WithinSubstreamUniform) {
+  // A single substream must itself be a healthy generator.
+  Rng parent(321);
+  Rng child = parent.ForkStream(42);
+  constexpr size_t kBound = 17;
+  std::vector<uint64_t> counts(kBound, 0);
+  for (int i = 0; i < 170000; ++i) ++counts[child.Below(kBound)];
+  testing::ExpectDistributionClose(
+      counts, std::vector<double>(kBound, 1.0 / kBound));
+}
+
+TEST(RngForkStreamTest, AdjacentStreamsUncorrelated) {
+  // Lockstep draws from adjacent stream ids (the worst case for a weak
+  // id mix) should show no linear correlation.
+  Rng parent(777);
+  Rng a = parent.ForkStream(1000);
+  Rng b = parent.ForkStream(1001);
+  constexpr size_t kDraws = 100000;
+  std::vector<double> xs(kDraws);
+  std::vector<double> ys(kDraws);
+  for (size_t i = 0; i < kDraws; ++i) {
+    xs[i] = a.NextDouble();
+    ys[i] = b.NextDouble();
+  }
+  // |r| ~ N(0, 1/sqrt(n)) under independence; 5 sigma ≈ 0.016.
+  EXPECT_LT(std::abs(PearsonCorrelation(xs, ys)), 5.0 / std::sqrt(kDraws));
+}
+
+TEST(RngForkStreamTest, ChildDisagreesWithParentSequence) {
+  // The long-jump pushes the child far from the parent's own sequence:
+  // lockstep outputs must not collide beyond chance.
+  Rng parent(2024);
+  Rng child = parent.ForkStream(0);
+  Rng parent_copy = parent;
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (child.Next64() == parent_copy.Next64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngLongJumpTest, DeterministicAndDiverges) {
+  Rng a(9);
+  Rng b(9);
+  a.LongJump();
+  b.LongJump();
+  EXPECT_EQ(a.Next64(), b.Next64());
+
+  Rng c(9);
+  int same = 0;
+  Rng d(9);
+  d.LongJump();
+  for (int i = 0; i < 100; ++i) same += (c.Next64() == d.Next64());
+  EXPECT_LT(same, 3);
 }
 
 }  // namespace
