@@ -132,7 +132,7 @@ int main() {
           opts.pool = &pool;
           iqs::Rng par_rng(3);
           const double par_bps = Measure([&] {
-            sampler->QueryBatch(queries, &par_rng, &arena, &result, opts);
+            sampler->QueryBatch(queries, &par_rng, &arena, opts, &result);
           });
           if (threads == 1) t1_bps = par_bps;
 

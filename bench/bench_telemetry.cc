@@ -1,0 +1,156 @@
+// E22 — telemetry overhead on the batched serving fast path.
+//
+// Replays the E19 QueryBatch workload (three 1-d samplers, fixed query
+// sets) in three modes:
+//   * off:  BatchOptions{} — no sink; must track E19's batch lane within
+//           noise (the acceptance bar is <2% vs the pre-telemetry E19
+//           JSON, compared offline by diffing bench/results).
+//   * on:   a TelemetrySink attached — measures the cost of live
+//           counters + one latency sample per batch.
+//   * the `on` run's merged counters are exported through MetricsRegistry
+//     and embedded in the output JSON, exercising the exporter end to
+//     end on real serving traffic.
+//
+// Writes BENCH_telemetry.json: {"rows": [...], "telemetry": {...}}.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "iqs/range/aug_range_sampler.h"
+#include "iqs/range/bst_range_sampler.h"
+#include "iqs/range/chunked_range_sampler.h"
+#include "iqs/range/range_sampler.h"
+#include "iqs/util/batch_options.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
+#include "iqs/util/telemetry.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Runs `fn` (one whole batch per call) until ~0.2s elapsed, returns
+// batches/sec. Same protocol as bench_batch_serving (E19).
+template <typename Fn>
+double Measure(Fn&& fn) {
+  fn();  // warm-up (grows arena/result buffers to steady state)
+  size_t reps = 0;
+  const Clock::time_point start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++reps;
+    elapsed = SecondsSince(start);
+  } while (elapsed < 0.2);
+  return static_cast<double>(reps) / elapsed;
+}
+
+struct Row {
+  std::string sampler;
+  size_t n = 0;
+  size_t batch = 0;
+  size_t s = 0;
+  double off_sps = 0.0;
+  double on_sps = 0.0;
+  double overhead_pct = 0.0;  // (off/on - 1) * 100
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E22: telemetry overhead on QueryBatch (samples/sec) — sink "
+      "detached vs attached\n");
+  std::printf("%-22s %9s %6s %5s %12s %12s %9s\n", "sampler", "n", "batch",
+              "s", "off sps", "on sps", "overhead");
+
+  std::vector<Row> rows;
+  iqs::MetricsRegistry registry;
+
+  for (const size_t n : {size_t{1} << 16, size_t{1} << 20}) {
+    iqs::Rng data_rng(1);
+    const auto keys = iqs::UniformKeys(n, &data_rng);
+    const auto weights = iqs::ZipfWeights(n, 1.0, &data_rng);
+
+    const iqs::BstRangeSampler bst(keys, weights);
+    const iqs::AugRangeSampler aug(keys, weights);
+    const iqs::ChunkedRangeSampler chunked(keys, weights);
+    const iqs::RangeSampler* lanes[3] = {&bst, &aug, &chunked};
+
+    for (const iqs::RangeSampler* sampler : lanes) {
+      for (const size_t batch : {size_t{64}, size_t{512}}) {
+        for (const size_t s : {size_t{16}, size_t{256}}) {
+          iqs::Rng query_rng(2);
+          std::vector<iqs::BatchQuery> queries;
+          for (size_t i = 0; i < batch; ++i) {
+            const auto [lo, hi] =
+                iqs::IntervalWithSelectivity(keys, n / 8, &query_rng);
+            queries.push_back({lo, hi, s});
+          }
+
+          iqs::ScratchArena arena;
+          iqs::BatchResult result;
+
+          iqs::Rng off_rng(3);
+          const double off_bps = Measure([&] {
+            sampler->QueryBatch(queries, &off_rng, &arena, &result);
+          });
+
+          iqs::TelemetrySink* sink =
+              registry.GetOrCreate(std::string(sampler->name()));
+          iqs::BatchOptions on_opts;
+          on_opts.telemetry = sink;
+          iqs::Rng on_rng(3);
+          const double on_bps = Measure([&] {
+            sampler->QueryBatch(queries, &on_rng, &arena, on_opts, &result);
+          });
+
+          Row row;
+          row.sampler = std::string(sampler->name());
+          row.n = n;
+          row.batch = batch;
+          row.s = s;
+          const double spb = static_cast<double>(batch * s);
+          row.off_sps = off_bps * spb;
+          row.on_sps = on_bps * spb;
+          row.overhead_pct = (off_bps / on_bps - 1.0) * 100.0;
+          rows.push_back(row);
+
+          std::printf("%-22s %9zu %6zu %5zu %12.3e %12.3e %8.2f%%\n",
+                      row.sampler.c_str(), n, batch, s, row.off_sps,
+                      row.on_sps, row.overhead_pct);
+        }
+      }
+    }
+  }
+
+  const std::string telemetry_json = registry.ToJson();
+  std::printf("\n%s\n", registry.ToText().c_str());
+
+  std::FILE* json = std::fopen("BENCH_telemetry.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(
+          json,
+          "  {\"sampler\": \"%s\", \"n\": %zu, \"batch\": %zu, \"s\": %zu, "
+          "\"off_sps\": %.6e, \"on_sps\": %.6e, \"overhead_pct\": %.3f}%s\n",
+          r.sampler.c_str(), r.n, r.batch, r.s, r.off_sps, r.on_sps,
+          r.overhead_pct, i + 1 < rows.size() ? "," : "");
+    }
+    // Embed the registry dump (itself {"telemetry": {...}}) so the
+    // exporter runs on real traffic.
+    std::fprintf(json, "],\n\"registry\": %s}\n", telemetry_json.c_str());
+    std::fclose(json);
+    std::printf("wrote BENCH_telemetry.json (%zu rows)\n", rows.size());
+  }
+  return 0;
+}

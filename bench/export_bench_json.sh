@@ -20,11 +20,32 @@ is_table_bench() {
   case "$1" in
     bench_space|bench_em_sampling|bench_em_range|bench_independence| \
     bench_approx_iqs|bench_deamortized|bench_batch_serving| \
-    bench_multidim_batch|bench_parallel_serving)
+    bench_multidim_batch|bench_parallel_serving|bench_telemetry)
       return 0 ;;
     *)
       return 1 ;;
   esac
+}
+
+# Table benches that WRITE a BENCH_<name>.json (the serving sweeps);
+# the older EM/space/independence tables only print.
+table_bench_writes_json() {
+  case "$1" in
+    bench_batch_serving|bench_multidim_batch|bench_parallel_serving| \
+    bench_telemetry)
+      return 0 ;;
+    *)
+      return 1 ;;
+  esac
+}
+
+# Fails the run if a bench did not leave its JSON behind (or left it
+# empty) — a silently skipped bench would otherwise look like a perf win.
+require_json() {
+  if [ ! -s "$1" ]; then
+    echo "error: $2 produced no JSON at $1" >&2
+    exit 1
+  fi
 }
 
 build_dir=${1:-build}
@@ -46,10 +67,14 @@ for bench in "$build_dir"/bench/*; do
   if is_table_bench "$name"; then
     echo "== $name (table) =="
     (cd "$out_abs" && "$bench_abs")
+    if table_bench_writes_json "$name"; then
+      require_json "$out_abs/BENCH_${name#bench_}.json" "$name"
+    fi
   else
     echo "== $name (google-benchmark) =="
     "$bench_abs" --benchmark_out="$out_abs/$name.json" \
       --benchmark_out_format=json
+    require_json "$out_abs/$name.json" "$name"
   fi
 done
 

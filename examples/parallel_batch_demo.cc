@@ -70,7 +70,7 @@ int main() {
   iqs::BatchResult parallel;
   iqs::Rng par_rng(7);
   const double par_secs = MeasureSeconds([&] {
-    sampler.QueryBatch(queries, &par_rng, &arena, &parallel, opts);
+    sampler.QueryBatch(queries, &par_rng, &arena, opts, &parallel);
   });
   std::printf("parallel (%2zu threads): %7.1f ms — %.2fx\n", cores,
               1e3 * par_secs, seq_secs / par_secs);
@@ -81,7 +81,7 @@ int main() {
   two.num_threads = 2;
   iqs::BatchResult check;
   iqs::Rng check_rng(7);
-  sampler.QueryBatch(queries, &check_rng, &arena, &check, two);
+  sampler.QueryBatch(queries, &check_rng, &arena, two, &check);
   std::printf("bit-identical at 2 threads vs %zu: %s\n", cores,
               check.positions == parallel.positions ? "yes" : "NO (bug!)");
   return 0;

@@ -7,8 +7,28 @@
 
 namespace iqs {
 
+namespace {
+
+// Randomness words the split stage consumes for query q: s doubles when
+// the budget is split across >= 2 groups, none otherwise (the
+// single-group / empty shortcut in MultinomialSplitScratch).
+uint64_t SplitDrawsForQuery(const CoverPlan& plan, size_t q) {
+  return plan.end_group(q) - plan.first_group(q) >= 2 ? plan.budget(q) : 0;
+}
+
+void RecordSplitStats(const CoverPlan& plan, TelemetrySink* sink) {
+  QueryStats* stats = &sink->shard(0)->stats;
+  stats->queries += plan.num_queries();
+  stats->cover_groups += plan.num_groups();
+  for (size_t q = 0; q < plan.num_queries(); ++q) {
+    stats->rng_draws += SplitDrawsForQuery(plan, q);
+  }
+}
+
+}  // namespace
+
 CoverSplit CoverExecutor::Split(const CoverPlan& plan, Rng* rng,
-                                ScratchArena* arena) {
+                                ScratchArena* arena, TelemetrySink* sink) {
   const size_t g = plan.num_groups();
   const std::span<uint32_t> counts = arena->Alloc<uint32_t>(g);
   const std::span<double> weights = arena->Alloc<double>(g);
@@ -22,6 +42,7 @@ CoverSplit CoverExecutor::Split(const CoverPlan& plan, Rng* rng,
     MultinomialSplitScratch(weights.subspan(first, t), plan.budget(q), rng,
                             arena, counts.subspan(first, t));
   }
+  if (sink != nullptr) RecordSplitStats(plan, sink);
 
   const std::span<size_t> offsets = arena->Alloc<size_t>(g + 1);
   size_t total = 0;
@@ -36,12 +57,19 @@ CoverSplit CoverExecutor::Split(const CoverPlan& plan, Rng* rng,
 void CoverExecutor::ExecuteOverSampler(const CoverPlan& plan,
                                        const RangeSampler& sampler, Rng* rng,
                                        ScratchArena* arena,
+                                       const BatchOptions& opts,
                                        std::vector<size_t>* out) {
-  const CoverSplit split = Split(plan, rng, arena);
+  if (!opts.sequential()) {
+    ExecuteOverSamplerParallel(plan, sampler, rng, arena, opts, out);
+    return;
+  }
+  const CoverSplit split = Split(plan, rng, arena, opts.telemetry);
   if (split.total == 0) return;
   // Lower nonzero groups to position-space requests; QueryPositionsBatch
   // appends each request's draws contiguously in order, which is exactly
-  // the flat layout Split's offsets describe.
+  // the flat layout Split's offsets describe. The nested batch runs
+  // WITHOUT a sink: the executor owns the batch's counters, and passing
+  // the sink down would double-count (telemetry.h ownership table).
   const std::span<const CoverGroup> groups = plan.groups();
   const std::span<PositionQuery> requests =
       arena->Alloc<PositionQuery>(groups.size());
@@ -53,6 +81,20 @@ void CoverExecutor::ExecuteOverSampler(const CoverPlan& plan,
   }
   out->reserve(out->size() + split.total);
   sampler.QueryPositionsBatch(requests.first(m), rng, arena, out);
+  if (opts.telemetry != nullptr) {
+    QueryStats* stats = &opts.telemetry->shard(0)->stats;
+    stats->samples_emitted += split.total;
+    if (arena->capacity_bytes() > stats->arena_bytes_hwm) {
+      stats->arena_bytes_hwm = arena->capacity_bytes();
+    }
+  }
+}
+
+void CoverExecutor::ExecuteOverSampler(const CoverPlan& plan,
+                                       const RangeSampler& sampler, Rng* rng,
+                                       ScratchArena* arena,
+                                       std::vector<size_t>* out) {
+  ExecuteOverSampler(plan, sampler, rng, arena, BatchOptions{}, out);
 }
 
 void CoverExecutor::ExecuteParallel(const CoverPlan& plan, Rng* rng,
@@ -102,6 +144,23 @@ void CoverExecutor::ExecuteParallel(const CoverPlan& plan, Rng* rng,
   }
   offsets[g] = total;
   const CoverSplit split{counts, offsets, total};
+
+  if (opts.telemetry != nullptr) {
+    // Batch-level counters, recorded once on the calling thread (draw
+    // callbacks record per-worker detail into shard(worker) themselves).
+    // The +1 is the batch key drawn above.
+    QueryStats* stats = &opts.telemetry->shard(0)->stats;
+    stats->queries += nq;
+    stats->cover_groups += g;
+    stats->rng_draws += 1;
+    for (size_t q = 0; q < nq; ++q) {
+      stats->rng_draws += SplitDrawsForQuery(plan, q);
+    }
+    stats->samples_emitted += total;
+    if (arena->capacity_bytes() > stats->arena_bytes_hwm) {
+      stats->arena_bytes_hwm = arena->capacity_bytes();
+    }
+  }
   if (total == 0) return;
 
   const size_t base_size = out->size();
@@ -119,7 +178,7 @@ void CoverExecutor::ExecuteParallel(const CoverPlan& plan, Rng* rng,
             continue;
           }
           wa->Reset();
-          draw(plan, split, dst, q, &rngs[q], wa);
+          draw(plan, split, dst, q, worker, &rngs[q], wa);
         }
       });
 }
@@ -132,8 +191,8 @@ void CoverExecutor::ExecuteOverSamplerParallel(const CoverPlan& plan,
   ExecuteParallel(
       plan, rng, arena, opts,
       [&sampler](const CoverPlan& plan, const CoverSplit& split,
-                 std::span<size_t> dst, size_t q, Rng* qrng,
-                 ScratchArena* wa) {
+                 std::span<size_t> dst, size_t q, size_t /*worker*/,
+                 Rng* qrng, ScratchArena* wa) {
         // Lower the query's nonzero groups to position requests and run
         // the sampler's grouped kernel once for this query. The sampler
         // appends per request contiguously in order, which is exactly the

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "iqs/cover/cover_plan.h"
@@ -34,6 +35,7 @@
 #include "iqs/util/function_ref.h"
 #include "iqs/util/rng.h"
 #include "iqs/util/scratch_arena.h"
+#include "iqs/util/telemetry.h"
 
 namespace iqs {
 
@@ -53,9 +55,13 @@ class CoverExecutor {
  public:
   // Stage 1: splits every query's budget Multinomial(s; group weights)
   // and lays out flat output offsets. O(groups + total samples) with all
-  // scratch from `arena`.
+  // scratch from `arena`. When `sink` is non-null the batch's queries,
+  // cover_groups and split-stage rng_draws (one double per sample of
+  // every query with >= 2 groups; single-group queries shortcut with no
+  // randomness) are recorded into shard 0 — the split stage OWNS these
+  // counters (see telemetry.h), so nested pipelines never double-count.
   static CoverSplit Split(const CoverPlan& plan, Rng* rng,
-                          ScratchArena* arena);
+                          ScratchArena* arena, TelemetrySink* sink = nullptr);
 
   // Full pipeline for structures with a custom grouped draw kernel.
   // Appends plan.TotalSamples() positions to `out`; `backend` is invoked
@@ -63,19 +69,47 @@ class CoverExecutor {
   // flat destination span, and must write dst[offsets[g] ..) for every
   // group g. Draws for query q land contiguously, in group order — the
   // usual i.i.d.-multiset ORDERING CONTRACT (see RangeSampler).
+  // opts carries the telemetry sink (samples_emitted, arena high-water);
+  // threading fields are ignored — parallel draws go through
+  // ExecuteParallel.
   template <typename DrawBackend>
   static void Execute(const CoverPlan& plan, Rng* rng, ScratchArena* arena,
-                      DrawBackend&& backend, std::vector<size_t>* out) {
-    const CoverSplit split = Split(plan, rng, arena);
+                      const BatchOptions& opts, DrawBackend&& backend,
+                      std::vector<size_t>* out) {
+    const CoverSplit split = Split(plan, rng, arena, opts.telemetry);
     if (split.total == 0) return;
     const size_t base = out->size();
     out->resize(base + split.total);
     backend(plan, split,
             std::span<size_t>(*out).subspan(base, split.total));
+    if (opts.telemetry != nullptr) {
+      QueryStats* stats = &opts.telemetry->shard(0)->stats;
+      stats->samples_emitted += split.total;
+      if (arena->capacity_bytes() > stats->arena_bytes_hwm) {
+        stats->arena_bytes_hwm = arena->capacity_bytes();
+      }
+    }
+  }
+
+  // Deprecated: pre-BatchOptions order; forwards with default options.
+  template <typename DrawBackend>
+  static void Execute(const CoverPlan& plan, Rng* rng, ScratchArena* arena,
+                      DrawBackend&& backend, std::vector<size_t>* out) {
+    Execute(plan, rng, arena, BatchOptions{},
+            std::forward<DrawBackend>(backend), out);
   }
 
   // Full pipeline for plans whose groups are position ranges over
-  // `sampler`: one QueryPositionsBatch call over the nonzero groups.
+  // `sampler`. Sequential mode lowers the nonzero groups to PositionQuery
+  // spans and runs the sampler's QueryPositionsBatch once over the whole
+  // batch; parallel mode (opts.num_threads >= 1) draws each query through
+  // its own substream — see ExecuteParallel for the determinism contract.
+  static void ExecuteOverSampler(const CoverPlan& plan,
+                                 const RangeSampler& sampler, Rng* rng,
+                                 ScratchArena* arena, const BatchOptions& opts,
+                                 std::vector<size_t>* out);
+
+  // Deprecated: pre-BatchOptions order; forwards with default options.
   static void ExecuteOverSampler(const CoverPlan& plan,
                                  const RangeSampler& sampler, Rng* rng,
                                  ScratchArena* arena,
@@ -86,11 +120,12 @@ class CoverExecutor {
   // q — nothing else — drawing only from `rng` (the query's substream,
   // already advanced past its budget split) with scratch from `arena`
   // (the worker's, Reset before the call). Runs concurrently for
-  // different q.
+  // different q; `worker` identifies the executing pool worker so the
+  // callback may record into a telemetry shard race-free.
   using CoverQueryDrawFn =
       FunctionRef<void(const CoverPlan&, const CoverSplit&,
-                       std::span<size_t> dst, size_t q, Rng* rng,
-                       ScratchArena* arena)>;
+                       std::span<size_t> dst, size_t q, size_t worker,
+                       Rng* rng, ScratchArena* arena)>;
 
   // Parallel pipeline (opts.num_threads >= 1 required; see BatchOptions
   // for the mode semantics). Consumes ONE word of `rng` as the batch key,
@@ -99,14 +134,14 @@ class CoverExecutor {
   // ranges — so the appended output is bit-identical for every thread
   // count. Same output layout and ordering contract as Execute; `arena`
   // (the caller's) holds the split and substream state, per-worker draw
-  // scratch comes from the pool.
+  // scratch comes from the pool. Telemetry (opts.telemetry) records the
+  // batch-level counters into shard 0 on the calling thread — recording
+  // never draws randomness, so attaching a sink cannot change any sample.
   static void ExecuteParallel(const CoverPlan& plan, Rng* rng,
                               ScratchArena* arena, const BatchOptions& opts,
                               CoverQueryDrawFn draw, std::vector<size_t>* out);
 
-  // Parallel counterpart of ExecuteOverSampler: each query's nonzero
-  // groups are lowered to PositionQuery spans and drawn through the
-  // sampler's sequential QueryPositionsBatch under the query's substream.
+  // Deprecated: use ExecuteOverSampler with parallel BatchOptions.
   static void ExecuteOverSamplerParallel(const CoverPlan& plan,
                                          const RangeSampler& sampler, Rng* rng,
                                          ScratchArena* arena,

@@ -29,20 +29,21 @@ CoverageEngine::CoverageEngine(std::span<const double> position_weights)
     : sampler_(PositionKeys(position_weights.size()), position_weights) {}
 
 void CoverageEngine::SampleBatch(const CoverPlan& plan, Rng* rng,
+                                 ScratchArena* arena, const BatchOptions& opts,
+                                 std::vector<size_t>* out) const {
+  CoverExecutor::ExecuteOverSampler(plan, sampler_, rng, arena, opts, out);
+}
+
+void CoverageEngine::SampleBatch(const CoverPlan& plan, Rng* rng,
                                  ScratchArena* arena,
                                  std::vector<size_t>* out) const {
-  CoverExecutor::ExecuteOverSampler(plan, sampler_, rng, arena, out);
+  SampleBatch(plan, rng, arena, BatchOptions{}, out);
 }
 
 void CoverageEngine::SampleBatch(const CoverPlan& plan, Rng* rng,
                                  ScratchArena* arena, std::vector<size_t>* out,
                                  const BatchOptions& opts) const {
-  if (opts.sequential()) {
-    CoverExecutor::ExecuteOverSampler(plan, sampler_, rng, arena, out);
-    return;
-  }
-  CoverExecutor::ExecuteOverSamplerParallel(plan, sampler_, rng, arena, opts,
-                                            out);
+  SampleBatch(plan, rng, arena, opts, out);
 }
 
 void CoverageEngine::Sample(std::span<const CoverRange> cover, size_t s,
@@ -64,6 +65,7 @@ void CoverageEngine::SampleWithRejection(std::span<const CoverRange> cover,
                                          size_t s,
                                          FunctionRef<bool(size_t)> accepts,
                                          Rng* rng, ScratchArena* arena,
+                                         const BatchOptions& opts,
                                          std::vector<size_t>* out) const {
   if (s == 0 || cover.empty()) return;
   thread_local CoverPlan plan;
@@ -76,12 +78,28 @@ void CoverageEngine::SampleWithRejection(std::span<const CoverRange> cover,
   // constant-density approximate cover each round converts a constant
   // fraction, so the expected total work is O(s).
   size_t round = 0;
+  uint64_t attempts = 0;
   while (produced < s) {
+    const size_t deficit = s - produced;
     plan.Clear();
-    plan.BeginQuery(s - produced);
-    for (const CoverRange& range : cover) plan.AddGroup(range);
-    SampleBatch(plan, rng, arena, out);
+    if (opts.sequential()) {
+      plan.BeginQuery(deficit);
+      for (const CoverRange& range : cover) plan.AddGroup(range);
+    } else {
+      // Cut the deficit into fixed-size sub-queries: the slicing depends
+      // only on the deficit (never on the thread count), each slice runs
+      // under its own substream, and slices land contiguously in plan
+      // order — so the round's candidate block is bit-identical for every
+      // thread count, and the sequential compaction below keeps it so.
+      constexpr size_t kSlice = 1024;
+      for (size_t done = 0; done < deficit; done += kSlice) {
+        plan.BeginQuery(std::min(kSlice, deficit - done));
+        for (const CoverRange& range : cover) plan.AddGroup(range);
+      }
+    }
+    SampleBatch(plan, rng, arena, opts, out);
     size_t write = base + produced;
+    attempts += out->size() - write;
     for (size_t read = write; read < out->size(); ++read) {
       if (accepts((*out)[read])) (*out)[write++] = (*out)[read];
     }
@@ -92,6 +110,19 @@ void CoverageEngine::SampleWithRejection(std::span<const CoverRange> cover,
     IQS_CHECK(++round < 64 * (s + 1) &&
               "rejection sampling is not converging; is the cover valid?");
   }
+  if (opts.telemetry != nullptr) {
+    QueryStats* stats = &opts.telemetry->shard(0)->stats;
+    stats->rejection_attempts += attempts;
+    stats->rejection_rounds += round;
+  }
+}
+
+void CoverageEngine::SampleWithRejection(std::span<const CoverRange> cover,
+                                         size_t s,
+                                         FunctionRef<bool(size_t)> accepts,
+                                         Rng* rng, ScratchArena* arena,
+                                         std::vector<size_t>* out) const {
+  SampleWithRejection(cover, s, accepts, rng, arena, BatchOptions{}, out);
 }
 
 void CoverageEngine::SampleWithRejection(std::span<const CoverRange> cover,
@@ -100,39 +131,7 @@ void CoverageEngine::SampleWithRejection(std::span<const CoverRange> cover,
                                          Rng* rng, ScratchArena* arena,
                                          std::vector<size_t>* out,
                                          const BatchOptions& opts) const {
-  if (opts.sequential()) {
-    SampleWithRejection(cover, s, accepts, rng, arena, out);
-    return;
-  }
-  if (s == 0 || cover.empty()) return;
-  thread_local CoverPlan plan;
-  out->reserve(out->size() + s);
-  const size_t base = out->size();
-  size_t produced = 0;
-  size_t round = 0;
-  while (produced < s) {
-    // Cut the deficit into fixed-size sub-queries: the slicing depends
-    // only on the deficit (never on the thread count), each slice runs
-    // under its own substream, and slices land contiguously in plan
-    // order — so the round's candidate block is bit-identical for every
-    // thread count, and the sequential compaction below keeps it so.
-    constexpr size_t kSlice = 1024;
-    const size_t deficit = s - produced;
-    plan.Clear();
-    for (size_t done = 0; done < deficit; done += kSlice) {
-      plan.BeginQuery(std::min(kSlice, deficit - done));
-      for (const CoverRange& range : cover) plan.AddGroup(range);
-    }
-    SampleBatch(plan, rng, arena, out, opts);
-    size_t write = base + produced;
-    for (size_t read = write; read < out->size(); ++read) {
-      if (accepts((*out)[read])) (*out)[write++] = (*out)[read];
-    }
-    produced = write - base;
-    out->resize(base + produced);
-    IQS_CHECK(++round < 64 * (s + 1) &&
-              "rejection sampling is not converging; is the cover valid?");
-  }
+  SampleWithRejection(cover, s, accepts, rng, arena, opts, out);
 }
 
 void CoverageEngine::SampleWithRejection(std::span<const CoverRange> cover,
@@ -142,7 +141,7 @@ void CoverageEngine::SampleWithRejection(std::span<const CoverRange> cover,
                                          std::vector<size_t>* out) const {
   ScratchArena* arena = LocalArena();
   arena->Reset();
-  SampleWithRejection(cover, s, accepts, rng, arena, out);
+  SampleWithRejection(cover, s, accepts, rng, arena, BatchOptions{}, out);
 }
 
 }  // namespace iqs

@@ -54,14 +54,18 @@ class CoverageEngine {
   // plan.TotalSamples() positions to `out`, contiguous per query in plan
   // order, via one CoverExecutor run over the chunked sampler's batched
   // path. All scratch from `arena`; zero steady-state heap allocations
-  // with a reused arena.
+  // with a reused arena. opts selects threading (num_threads >= 1 serves
+  // in the deterministic parallel mode — bit-identical output across
+  // thread counts) and carries the telemetry sink.
+  void SampleBatch(const CoverPlan& plan, Rng* rng, ScratchArena* arena,
+                   const BatchOptions& opts, std::vector<size_t>* out) const;
+
+  // Convenience: default options.
   void SampleBatch(const CoverPlan& plan, Rng* rng, ScratchArena* arena,
                    std::vector<size_t>* out) const;
 
-  // As above with execution options: opts.num_threads >= 1 serves the
-  // plan's queries in the deterministic parallel mode (per-query RNG
-  // substreams, output bit-identical across thread counts; see
-  // BatchOptions).
+  // Deprecated: pre-unification argument order (options last); use the
+  // opts-before-out overload.
   void SampleBatch(const CoverPlan& plan, Rng* rng, ScratchArena* arena,
                    std::vector<size_t>* out, const BatchOptions& opts) const;
 
@@ -71,17 +75,27 @@ class CoverageEngine {
   // constant-density approximate cover. `cover_element_weight` of each
   // range must count all elements in the range (qualifying or not).
   // `accepts` is a non-owning FunctionRef — no allocation per call — and
-  // all retry scratch comes from `arena`.
+  // all retry scratch comes from `arena`. In parallel mode
+  // (opts.num_threads >= 1) each retry round's deficit is cut into
+  // fixed-size sub-queries (so shardable work exists even for one big
+  // query) served under per-sub-query substreams; the acceptance
+  // filtering stays sequential. Output is bit-identical across thread
+  // counts. With a telemetry sink attached, rejection_attempts counts
+  // every candidate tested through `accepts` and rejection_rounds every
+  // retry round (telemetry_test cross-checks both against ground truth).
+  void SampleWithRejection(std::span<const CoverRange> cover, size_t s,
+                           FunctionRef<bool(size_t)> accepts, Rng* rng,
+                           ScratchArena* arena, const BatchOptions& opts,
+                           std::vector<size_t>* out) const;
+
+  // Convenience: default options.
   void SampleWithRejection(std::span<const CoverRange> cover, size_t s,
                            FunctionRef<bool(size_t)> accepts, Rng* rng,
                            ScratchArena* arena,
                            std::vector<size_t>* out) const;
 
-  // As above with execution options. In parallel mode each retry round's
-  // deficit is cut into fixed-size sub-queries (so shardable work exists
-  // even for one big query) served under per-sub-query substreams; the
-  // acceptance filtering stays sequential. Output is bit-identical across
-  // thread counts.
+  // Deprecated: pre-unification argument order (options last); use the
+  // opts-before-out overload.
   void SampleWithRejection(std::span<const CoverRange> cover, size_t s,
                            FunctionRef<bool(size_t)> accepts, Rng* rng,
                            ScratchArena* arena, std::vector<size_t>* out,

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "iqs/util/check.h"
+#include "iqs/util/telemetry.h"
 
 namespace iqs::em {
 
@@ -43,6 +44,7 @@ class BlockDevice {
     IQS_CHECK(id < blocks_.size());
     IQS_CHECK(out.size() == block_words_);
     ++reads_;
+    if (telemetry_ != nullptr) ++telemetry_->shard(0)->stats.em_reads;
     std::copy(blocks_[id].begin(), blocks_[id].end(), out.begin());
   }
 
@@ -51,6 +53,7 @@ class BlockDevice {
     IQS_CHECK(id < blocks_.size());
     IQS_CHECK(in.size() == block_words_);
     ++writes_;
+    if (telemetry_ != nullptr) ++telemetry_->shard(0)->stats.em_writes;
     std::copy(in.begin(), in.end(), blocks_[id].begin());
   }
 
@@ -59,12 +62,19 @@ class BlockDevice {
   uint64_t total_ios() const { return reads_ + writes_; }
   void ResetCounters() { reads_ = writes_ = 0; }
 
+  // Mirrors every I/O into the sink's em_reads / em_writes (shard 0 —
+  // EM-model algorithms are single-threaded), unifying device counters
+  // with the serving MetricsRegistry. The device's own counters keep
+  // working regardless; telemetry_test pins the two equal.
+  void set_telemetry(TelemetrySink* sink) { telemetry_ = sink; }
+
   size_t num_blocks() const { return blocks_.size(); }
 
  private:
   size_t block_words_;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
+  TelemetrySink* telemetry_ = nullptr;  // not owned
   std::vector<std::vector<uint64_t>> blocks_;
 };
 

@@ -26,6 +26,8 @@
 #include "iqs/alias/fenwick_sampler.h"
 #include "iqs/alias/quantized_alias.h"
 #include "iqs/cover/complement_sampler.h"
+#include "iqs/cover/cover_executor.h"
+#include "iqs/cover/cover_plan.h"
 #include "iqs/cover/coverage_engine.h"
 #include "iqs/em/block_device.h"
 #include "iqs/em/btree.h"
@@ -43,6 +45,7 @@
 #include "iqs/multidim/kd_sampler.h"
 #include "iqs/multidim/kd_tree.h"
 #include "iqs/multidim/kd_tree_nd.h"
+#include "iqs/multidim/multidim_batch.h"
 #include "iqs/multidim/point.h"
 #include "iqs/multidim/quadtree.h"
 #include "iqs/multidim/range_tree.h"
@@ -68,9 +71,15 @@
 #include "iqs/tree/subtree_sampler.h"
 #include "iqs/tree/tree_sampler.h"
 #include "iqs/tree/weighted_tree.h"
+#include "iqs/util/batch_options.h"
+#include "iqs/util/check.h"
 #include "iqs/util/distributions.h"
+#include "iqs/util/function_ref.h"
 #include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
 #include "iqs/util/stats.h"
+#include "iqs/util/telemetry.h"
+#include "iqs/util/thread_pool.h"
 
 // Convenience: the paper's headline structure under its problem name.
 namespace iqs {

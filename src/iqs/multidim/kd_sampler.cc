@@ -21,9 +21,22 @@ bool KdTreeSampler::QueryRect(const Rect& q, size_t s, Rng* rng,
 
 void KdTreeSampler::QueryBatch(std::span<const RectBatchQuery> queries,
                                Rng* rng, ScratchArena* arena,
+                               const BatchOptions& opts,
+                               PointBatchResult* result) const {
+  internal::ServeRectBatch(tree_, engine_, queries, rng, arena, opts, result);
+}
+
+void KdTreeSampler::QueryBatch(std::span<const RectBatchQuery> queries,
+                               Rng* rng, ScratchArena* arena,
+                               PointBatchResult* result) const {
+  QueryBatch(queries, rng, arena, BatchOptions{}, result);
+}
+
+void KdTreeSampler::QueryBatch(std::span<const RectBatchQuery> queries,
+                               Rng* rng, ScratchArena* arena,
                                PointBatchResult* result,
                                const BatchOptions& opts) const {
-  internal::ServeRectBatch(tree_, engine_, queries, rng, arena, result, opts);
+  QueryBatch(queries, rng, arena, opts, result);
 }
 
 bool KdTreeSampler::QueryDisk(const Point2& center, double radius, size_t s,

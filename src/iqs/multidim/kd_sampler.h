@@ -42,10 +42,21 @@ class KdTreeSampler {
   // from `arena`; with a reused arena and result the steady state performs
   // zero heap allocations beyond retained capacity.
   // opts.num_threads >= 1 serves the batch in the deterministic parallel
-  // mode (see BatchOptions).
+  // mode, opts.telemetry attaches an observability sink (see
+  // BatchOptions). Canonical order (queries, rng, arena, opts, &result).
+  void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, const BatchOptions& opts,
+                  PointBatchResult* result) const;
+
+  // Convenience: default options.
+  void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, PointBatchResult* result) const;
+
+  // Deprecated: pre-unification argument order (options last); use the
+  // opts-before-result overload.
   void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
                   ScratchArena* arena, PointBatchResult* result,
-                  const BatchOptions& opts = {}) const;
+                  const BatchOptions& opts) const;
 
   // Same for the disk dist(center, .) <= radius, using the exact cover.
   bool QueryDisk(const Point2& center, double radius, size_t s, Rng* rng,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "iqs/util/telemetry.h"
+
 namespace iqs::multidim {
 
 KdTreeNd::KdTreeNd(size_t dim, std::span<const double> coords,
@@ -122,8 +124,9 @@ bool KdTreeNdSampler::QueryBox(const BoxNd& q, size_t s, Rng* rng,
 
 void KdTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
                                  Rng* rng, ScratchArena* arena,
-                                 BatchResult* result,
-                                 const BatchOptions& opts) const {
+                                 const BatchOptions& opts,
+                                 BatchResult* result) const {
+  const uint64_t start_ns = opts.telemetry != nullptr ? TelemetryNowNs() : 0;
   result->Clear();
   arena->Reset();
   thread_local CoverPlan plan;
@@ -148,8 +151,24 @@ void KdTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
 
   result->positions.clear();
   result->positions.reserve(total_samples);
-  engine_.SampleBatch(plan, rng, arena, &result->positions, opts);
+  engine_.SampleBatch(plan, rng, arena, opts, &result->positions);
   IQS_CHECK(result->positions.size() == total_samples);
+  if (opts.telemetry != nullptr) {
+    opts.telemetry->shard(0)->latency.Record(TelemetryNowNs() - start_ns);
+  }
+}
+
+void KdTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
+                                 Rng* rng, ScratchArena* arena,
+                                 BatchResult* result) const {
+  QueryBatch(queries, rng, arena, BatchOptions{}, result);
+}
+
+void KdTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
+                                 Rng* rng, ScratchArena* arena,
+                                 BatchResult* result,
+                                 const BatchOptions& opts) const {
+  QueryBatch(queries, rng, arena, opts, result);
 }
 
 }  // namespace iqs::multidim

@@ -130,10 +130,21 @@ class KdTreeNdSampler {
   // CoverExecutor run over the shared coverage engine. result->positions
   // holds positions; resolve via tree().PointAt.
   // opts.num_threads >= 1 serves the batch in the deterministic parallel
-  // mode (see BatchOptions).
+  // mode (see BatchOptions). Canonical order
+  // (queries, rng, arena, opts, &result).
+  void QueryBatch(std::span<const BoxBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, const BatchOptions& opts,
+                  BatchResult* result) const;
+
+  // Convenience: default options.
+  void QueryBatch(std::span<const BoxBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, BatchResult* result) const;
+
+  // Deprecated: pre-unification argument order (options last); use the
+  // opts-before-result overload.
   void QueryBatch(std::span<const BoxBatchQuery> queries, Rng* rng,
                   ScratchArena* arena, BatchResult* result,
-                  const BatchOptions& opts = {}) const;
+                  const BatchOptions& opts) const;
 
   const KdTreeNd& tree() const { return tree_; }
 

@@ -21,6 +21,7 @@
 #include "iqs/util/check.h"
 #include "iqs/util/rng.h"
 #include "iqs/util/scratch_arena.h"
+#include "iqs/util/telemetry.h"
 
 namespace iqs::multidim {
 
@@ -61,12 +62,14 @@ namespace internal {
 // quadtree): enumerate each query's cover into one CoverPlan, serve every
 // draw of the batch through CoverageEngine::SampleBatch (one CoverExecutor
 // run), then map positions back to points. `Tree` needs CoverQuery() and
-// PointAt().
+// PointAt(). Canonical argument order (queries, rng, arena, opts, result);
+// one batch latency sample is recorded when opts.telemetry is set.
 template <typename Tree>
 void ServeRectBatch(const Tree& tree, const CoverageEngine& engine,
                     std::span<const RectBatchQuery> queries, Rng* rng,
-                    ScratchArena* arena, PointBatchResult* result,
-                    const BatchOptions& opts = {}) {
+                    ScratchArena* arena, const BatchOptions& opts,
+                    PointBatchResult* result) {
+  const uint64_t start_ns = opts.telemetry != nullptr ? TelemetryNowNs() : 0;
   result->Clear();
   arena->Reset();
   thread_local CoverPlan plan;
@@ -92,10 +95,23 @@ void ServeRectBatch(const Tree& tree, const CoverageEngine& engine,
 
   positions.clear();
   positions.reserve(total_samples);
-  engine.SampleBatch(plan, rng, arena, &positions, opts);
+  engine.SampleBatch(plan, rng, arena, opts, &positions);
   IQS_CHECK(positions.size() == total_samples);
   result->points.reserve(total_samples);
   for (size_t p : positions) result->points.push_back(tree.PointAt(p));
+  if (opts.telemetry != nullptr) {
+    opts.telemetry->shard(0)->latency.Record(TelemetryNowNs() - start_ns);
+  }
+}
+
+// Deprecated: pre-unification argument order (options last); use the
+// opts-before-result overload.
+template <typename Tree>
+void ServeRectBatch(const Tree& tree, const CoverageEngine& engine,
+                    std::span<const RectBatchQuery> queries, Rng* rng,
+                    ScratchArena* arena, PointBatchResult* result,
+                    const BatchOptions& opts = {}) {
+  ServeRectBatch(tree, engine, queries, rng, arena, opts, result);
 }
 
 }  // namespace internal

@@ -141,9 +141,22 @@ void Quadtree::Report(const Rect& q, std::vector<size_t>* out) const {
 
 void QuadtreeSampler::QueryBatch(std::span<const RectBatchQuery> queries,
                                  Rng* rng, ScratchArena* arena,
+                                 const BatchOptions& opts,
+                                 PointBatchResult* result) const {
+  internal::ServeRectBatch(tree_, engine_, queries, rng, arena, opts, result);
+}
+
+void QuadtreeSampler::QueryBatch(std::span<const RectBatchQuery> queries,
+                                 Rng* rng, ScratchArena* arena,
+                                 PointBatchResult* result) const {
+  QueryBatch(queries, rng, arena, BatchOptions{}, result);
+}
+
+void QuadtreeSampler::QueryBatch(std::span<const RectBatchQuery> queries,
+                                 Rng* rng, ScratchArena* arena,
                                  PointBatchResult* result,
                                  const BatchOptions& opts) const {
-  internal::ServeRectBatch(tree_, engine_, queries, rng, arena, result, opts);
+  QueryBatch(queries, rng, arena, opts, result);
 }
 
 bool QuadtreeSampler::QueryRect(const Rect& q, size_t s, Rng* rng,

@@ -82,12 +82,22 @@ class QuadtreeSampler {
                  std::vector<Point2>* out) const;
 
   // Batched serving fast path — one CoverExecutor run over the whole
-  // batch; see KdTreeSampler::QueryBatch.
-  // opts.num_threads >= 1 serves the batch in the deterministic parallel
-  // mode (see BatchOptions).
+  // batch; see KdTreeSampler::QueryBatch. Canonical order
+  // (queries, rng, arena, opts, &result); opts.num_threads >= 1 serves
+  // the batch in the deterministic parallel mode (see BatchOptions).
+  void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, const BatchOptions& opts,
+                  PointBatchResult* result) const;
+
+  // Convenience: default options.
+  void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, PointBatchResult* result) const;
+
+  // Deprecated: pre-unification argument order (options last); use the
+  // opts-before-result overload.
   void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
                   ScratchArena* arena, PointBatchResult* result,
-                  const BatchOptions& opts = {}) const;
+                  const BatchOptions& opts) const;
 
   const Quadtree& tree() const { return tree_; }
 

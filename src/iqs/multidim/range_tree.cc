@@ -6,6 +6,7 @@
 #include "iqs/cover/cover_executor.h"
 #include "iqs/sampling/multinomial.h"
 #include "iqs/util/check.h"
+#include "iqs/util/telemetry.h"
 
 namespace iqs::multidim {
 
@@ -217,8 +218,28 @@ bool RangeTree2DSampler::QueryRect(const Rect& q, size_t s, Rng* rng,
 
 void RangeTree2DSampler::QueryBatch(std::span<const RectBatchQuery> queries,
                                     Rng* rng, ScratchArena* arena,
+                                    PointBatchResult* result) const {
+  QueryBatch(queries, rng, arena, BatchOptions{}, result);
+}
+
+void RangeTree2DSampler::QueryBatch(std::span<const RectBatchQuery> queries,
+                                    Rng* rng, ScratchArena* arena,
                                     PointBatchResult* result,
                                     const BatchOptions& opts) const {
+  QueryBatch(queries, rng, arena, opts, result);
+}
+
+void RangeTree2DSampler::QueryBatch(std::span<const RectBatchQuery> queries,
+                                    Rng* rng, ScratchArena* arena,
+                                    const BatchOptions& opts,
+                                    PointBatchResult* result) const {
+  const uint64_t start_ns = opts.telemetry != nullptr ? TelemetryNowNs() : 0;
+  // One batch latency sample regardless of which exit path is taken.
+  auto record_latency = [&] {
+    if (opts.telemetry != nullptr) {
+      opts.telemetry->shard(0)->latency.Record(TelemetryNowNs() - start_ns);
+    }
+  };
   result->Clear();
   arena->Reset();
   thread_local CoverPlan plan;
@@ -251,10 +272,23 @@ void RangeTree2DSampler::QueryBatch(std::span<const RectBatchQuery> queries,
   }
   result->offsets[nq] = total_samples;
 
-  const CoverSplit split = CoverExecutor::Split(plan, rng, arena);
+  const CoverSplit split = CoverExecutor::Split(plan, rng, arena,
+                                                opts.telemetry);
   IQS_CHECK(split.total == total_samples);
   result->points.resize(total_samples);
-  if (total_samples == 0) return;
+  if (opts.telemetry != nullptr) {
+    // Manual-serve path: this QueryBatch owns its draw loops, so it owns
+    // samples_emitted and the arena high-water mark (telemetry.h).
+    QueryStats* stats = &opts.telemetry->shard(0)->stats;
+    stats->samples_emitted += split.total;
+    if (arena->capacity_bytes() > stats->arena_bytes_hwm) {
+      stats->arena_bytes_hwm = arena->capacity_bytes();
+    }
+  }
+  if (total_samples == 0) {
+    record_latency();
+    return;
+  }
 
   // Coalesce nonzero groups by their secondary node so every piece that
   // hits the same node's y-structure — across all queries of the batch —
@@ -328,6 +362,7 @@ void RangeTree2DSampler::QueryBatch(std::span<const RectBatchQuery> queries,
     for (size_t r = 0; r < num_runs; ++r) {
       serve_run(r, rng, arena, &positions);
     }
+    record_latency();
     return;
   }
 
@@ -336,6 +371,9 @@ void RangeTree2DSampler::QueryBatch(std::span<const RectBatchQuery> queries,
   // split above, so output is bit-identical for every thread count.
   ScopedPool pool(opts);
   const Rng base(rng->Next64());
+  if (opts.telemetry != nullptr) {
+    ++opts.telemetry->shard(0)->stats.rng_draws;  // the batch key
+  }
   ParallelForShards(
       pool.get(), num_runs, [&](size_t first, size_t last, size_t worker) {
         ScratchArena* wa = pool->worker_arena(worker);
@@ -346,6 +384,7 @@ void RangeTree2DSampler::QueryBatch(std::span<const RectBatchQuery> queries,
           serve_run(r, &run_rng, wa, &staged);
         }
       });
+  record_latency();
 }
 
 void RangeTree2DSampler::Report(const Rect& q, std::vector<size_t>* out) const {

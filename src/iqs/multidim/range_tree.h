@@ -55,9 +55,20 @@ class RangeTree2DSampler {
   // its cross-query prefetch pipeline). opts.num_threads >= 1 serves
   // the coalesced node runs in the deterministic parallel mode, one RNG
   // substream per run (see BatchOptions).
+  // Canonical order (queries, rng, arena, opts, &result).
+  void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, const BatchOptions& opts,
+                  PointBatchResult* result) const;
+
+  // Convenience: default options.
+  void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, PointBatchResult* result) const;
+
+  // Deprecated: pre-unification argument order (options last); use the
+  // opts-before-result overload.
   void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
                   ScratchArena* arena, PointBatchResult* result,
-                  const BatchOptions& opts = {}) const;
+                  const BatchOptions& opts) const;
 
   // Reporting oracle for tests.
   void Report(const Rect& q, std::vector<size_t>* out) const;

@@ -6,6 +6,7 @@
 #include "iqs/cover/cover_executor.h"
 #include "iqs/sampling/multinomial.h"
 #include "iqs/util/check.h"
+#include "iqs/util/telemetry.h"
 
 namespace iqs::multidim {
 
@@ -195,8 +196,27 @@ bool RangeTreeNdSampler::QueryBox(const BoxNd& q, size_t s, Rng* rng,
 
 void RangeTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
                                     Rng* rng, ScratchArena* arena,
+                                    BatchResult* result) const {
+  QueryBatch(queries, rng, arena, BatchOptions{}, result);
+}
+
+void RangeTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
+                                    Rng* rng, ScratchArena* arena,
                                     BatchResult* result,
                                     const BatchOptions& opts) const {
+  QueryBatch(queries, rng, arena, opts, result);
+}
+
+void RangeTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
+                                    Rng* rng, ScratchArena* arena,
+                                    const BatchOptions& opts,
+                                    BatchResult* result) const {
+  const uint64_t start_ns = opts.telemetry != nullptr ? TelemetryNowNs() : 0;
+  auto record_latency = [&] {
+    if (opts.telemetry != nullptr) {
+      opts.telemetry->shard(0)->latency.Record(TelemetryNowNs() - start_ns);
+    }
+  };
   result->Clear();
   arena->Reset();
   thread_local CoverPlan plan;
@@ -226,10 +246,23 @@ void RangeTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
   }
   result->offsets[nq] = total_samples;
 
-  const CoverSplit split = CoverExecutor::Split(plan, rng, arena);
+  const CoverSplit split = CoverExecutor::Split(plan, rng, arena,
+                                                opts.telemetry);
   IQS_CHECK(split.total == total_samples);
   result->positions.assign(total_samples, 0);
-  if (total_samples == 0) return;
+  if (opts.telemetry != nullptr) {
+    // This path serves draws manually (not via CoverExecutor::Execute), so
+    // it owns the samples_emitted / arena high-water accounting.
+    QueryStats* stats = &opts.telemetry->shard(0)->stats;
+    stats->samples_emitted += split.total;
+    if (arena->capacity_bytes() > stats->arena_bytes_hwm) {
+      stats->arena_bytes_hwm = arena->capacity_bytes();
+    }
+  }
+  if (total_samples == 0) {
+    record_latency();
+    return;
+  }
 
   // Serve singleton groups directly; coalesce the rest by final-level
   // structure so shared leaf samplers get one batched call each.
@@ -309,6 +342,7 @@ void RangeTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
     for (size_t r = 0; r < num_runs; ++r) {
       serve_run(r, rng, arena, &positions);
     }
+    record_latency();
     return;
   }
 
@@ -316,6 +350,9 @@ void RangeTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
   // substream (see RangeTree2DSampler::QueryBatch).
   ScopedPool pool(opts);
   const Rng base(rng->Next64());
+  if (opts.telemetry != nullptr) {
+    ++opts.telemetry->shard(0)->stats.rng_draws;  // the batch key
+  }
   ParallelForShards(
       pool.get(), num_runs, [&](size_t first, size_t last, size_t worker) {
         ScratchArena* wa = pool->worker_arena(worker);
@@ -326,6 +363,7 @@ void RangeTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
           serve_run(r, &run_rng, wa, &staged);
         }
       });
+  record_latency();
 }
 
 void RangeTreeNdSampler::Report(const BoxNd& q,

@@ -58,10 +58,20 @@ class RangeTreeNdSampler {
   // result->positions holds point ids (constructor order).
   // opts.num_threads >= 1 serves the coalesced structure runs in the
   // deterministic parallel mode, one RNG substream per run (see
-  // BatchOptions).
+  // BatchOptions). Canonical order (queries, rng, arena, opts, &result).
+  void QueryBatch(std::span<const BoxBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, const BatchOptions& opts,
+                  BatchResult* result) const;
+
+  // Convenience: default options.
+  void QueryBatch(std::span<const BoxBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, BatchResult* result) const;
+
+  // Deprecated: pre-unification argument order (options last); use the
+  // opts-before-result overload.
   void QueryBatch(std::span<const BoxBatchQuery> queries, Rng* rng,
                   ScratchArena* arena, BatchResult* result,
-                  const BatchOptions& opts = {}) const;
+                  const BatchOptions& opts) const;
 
   // Reporting oracle (brute force; for tests).
   void Report(const BoxNd& q, std::vector<size_t>* out) const;

@@ -126,7 +126,7 @@ void AugRangeSampler::DrawGroupedAlias(const CoverPlan& plan,
 
 void AugRangeSampler::QueryPositionsBatch(
     std::span<const PositionQuery> queries, Rng* rng, ScratchArena* arena,
-    std::vector<size_t>* out, const BatchOptions& opts) const {
+    const BatchOptions& opts, std::vector<size_t>* out) const {
   // Cover enumeration only; the CoverExecutor owns the multinomial split
   // and output layout. The draw backend flattens the per-node urn picks
   // of EVERY query into one cross-batch pipeline: a planning pass records
@@ -159,7 +159,8 @@ void AugRangeSampler::QueryPositionsBatch(
     CoverExecutor::ExecuteParallel(
         plan, rng, arena, opts,
         [this](const CoverPlan& p, const CoverSplit& split,
-               std::span<size_t> dst, size_t q, Rng* qrng, ScratchArena* wa) {
+               std::span<size_t> dst, size_t q, size_t /*worker*/, Rng* qrng,
+               ScratchArena* wa) {
           DrawGroupedAlias(p, split, p.first_group(q), p.end_group(q), dst,
                            qrng, wa);
         },
@@ -168,7 +169,7 @@ void AugRangeSampler::QueryPositionsBatch(
   }
 
   CoverExecutor::Execute(
-      plan, rng, arena,
+      plan, rng, arena, opts,
       [&](const CoverPlan& p, const CoverSplit& split, std::span<size_t> dst) {
         DrawGroupedAlias(p, split, 0, p.num_groups(), dst, rng, arena);
       },

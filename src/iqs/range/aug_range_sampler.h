@@ -41,8 +41,8 @@ class AugRangeSampler : public RangeSampler {
   // batch when sequential, per query under substreams when parallel.
   using RangeSampler::QueryPositionsBatch;
   void QueryPositionsBatch(std::span<const PositionQuery> queries, Rng* rng,
-                           ScratchArena* arena, std::vector<size_t>* out,
-                           const BatchOptions& opts) const override;
+                           ScratchArena* arena, const BatchOptions& opts,
+                           std::vector<size_t>* out) const override;
 
   size_t MemoryBytes() const override;
 

@@ -41,7 +41,7 @@ void BstRangeSampler::QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
 
 void BstRangeSampler::QueryPositionsBatch(
     std::span<const PositionQuery> queries, Rng* rng, ScratchArena* arena,
-    std::vector<size_t>* out, const BatchOptions& opts) const {
+    const BatchOptions& opts, std::vector<size_t>* out) const {
   // Cover enumeration only; the CoverExecutor owns the batched pipeline
   // (multinomial split per query, flat offsets, arena scratch). The draw
   // backend lines up ONE descent lane per requested sample across the
@@ -74,8 +74,9 @@ void BstRangeSampler::QueryPositionsBatch(
     // thread count produces identical bytes.
     CoverExecutor::ExecuteParallel(
         plan, rng, arena, opts,
-        [this](const CoverPlan& p, const CoverSplit& split,
-               std::span<size_t> dst, size_t q, Rng* qrng, ScratchArena* wa) {
+        [this, &opts](const CoverPlan& p, const CoverSplit& split,
+                      std::span<size_t> dst, size_t q, size_t worker,
+                      Rng* qrng, ScratchArena* wa) {
           const size_t fg = p.first_group(q);
           const size_t eg = p.end_group(q);
           const size_t qs = split.offsets[eg] - split.offsets[fg];
@@ -88,7 +89,10 @@ void BstRangeSampler::QueryPositionsBatch(
             for (uint32_t k = 0; k < split.counts[g]; ++k) lanes[lane++] = u;
           }
           IQS_DCHECK(lane == qs);
-          tree_.DescendToLeaves(lanes, qrng, wa);
+          const size_t steps = tree_.DescendToLeaves(lanes, qrng, wa);
+          if (opts.telemetry != nullptr) {
+            opts.telemetry->shard(worker)->stats.nodes_visited += steps;
+          }
           const size_t base = split.offsets[fg];
           for (size_t i = 0; i < qs; ++i) {
             dst[base + i] = tree_.RangeLo(lanes[i]);
@@ -99,7 +103,7 @@ void BstRangeSampler::QueryPositionsBatch(
   }
 
   CoverExecutor::Execute(
-      plan, rng, arena,
+      plan, rng, arena, opts,
       [&](const CoverPlan& p, const CoverSplit& split, std::span<size_t> dst) {
         const std::span<StaticBst::NodeId> lanes =
             arena->Alloc<StaticBst::NodeId>(split.total);
@@ -110,7 +114,10 @@ void BstRangeSampler::QueryPositionsBatch(
           for (uint32_t k = 0; k < split.counts[g]; ++k) lanes[lane++] = u;
         }
         IQS_DCHECK(lane == split.total);
-        tree_.DescendToLeaves(lanes, rng, arena);
+        const size_t steps = tree_.DescendToLeaves(lanes, rng, arena);
+        if (opts.telemetry != nullptr) {
+          opts.telemetry->shard(0)->stats.nodes_visited += steps;
+        }
         for (size_t i = 0; i < split.total; ++i) {
           dst[i] = tree_.RangeLo(lanes[i]);
         }

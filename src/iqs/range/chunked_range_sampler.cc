@@ -112,7 +112,7 @@ void ChunkedRangeSampler::QueryPositions(size_t a, size_t b, size_t s,
 
 void ChunkedRangeSampler::QueryPositionsBatch(
     std::span<const PositionQuery> queries, Rng* rng, ScratchArena* arena,
-    std::vector<size_t>* out, const BatchOptions& opts) const {
+    const BatchOptions& opts, std::vector<size_t>* out) const {
   // Cover enumeration only — each query's q1/q2/q3 split becomes 1-3 plan
   // groups — with the CoverExecutor owning the multinomial splits and
   // output layout. The draw backend serves partial-chunk spans by
@@ -161,7 +161,8 @@ void ChunkedRangeSampler::QueryPositionsBatch(
     CoverExecutor::ExecuteParallel(
         plan, rng, arena, opts,
         [this](const CoverPlan& p, const CoverSplit& split,
-               std::span<size_t> dst, size_t q, Rng* qrng, ScratchArena* wa) {
+               std::span<size_t> dst, size_t q, size_t /*worker*/, Rng* qrng,
+               ScratchArena* wa) {
           const std::span<const CoverGroup> groups = p.groups();
           const std::span<const double> weights(weights_);
           for (size_t g = p.first_group(q); g < p.end_group(q); ++g) {
@@ -212,7 +213,7 @@ void ChunkedRangeSampler::QueryPositionsBatch(
   }
 
   CoverExecutor::Execute(
-      plan, rng, arena,
+      plan, rng, arena, opts,
       [&](const CoverPlan& p, const CoverSplit& split, std::span<size_t> dst) {
         const std::span<const CoverGroup> groups = p.groups();
         const std::span<const double> weights(weights_);

@@ -46,8 +46,8 @@ class ChunkedRangeSampler : public RangeSampler {
   // parallel).
   using RangeSampler::QueryPositionsBatch;
   void QueryPositionsBatch(std::span<const PositionQuery> queries, Rng* rng,
-                           ScratchArena* arena, std::vector<size_t>* out,
-                           const BatchOptions& opts) const override;
+                           ScratchArena* arena, const BatchOptions& opts,
+                           std::vector<size_t>* out) const override;
 
   size_t MemoryBytes() const override;
 

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "iqs/util/check.h"
+#include "iqs/util/telemetry.h"
 
 namespace iqs {
 
@@ -137,8 +138,22 @@ bool IntegerRangeSampler::Query(uint64_t lo, uint64_t hi, size_t s,
 
 void IntegerRangeSampler::QueryBatch(std::span<const IntegerBatchQuery> queries,
                                      Rng* rng, ScratchArena* arena,
+                                     BatchResult* result) const {
+  QueryBatch(queries, rng, arena, BatchOptions{}, result);
+}
+
+void IntegerRangeSampler::QueryBatch(std::span<const IntegerBatchQuery> queries,
+                                     Rng* rng, ScratchArena* arena,
                                      BatchResult* result,
                                      const BatchOptions& opts) const {
+  QueryBatch(queries, rng, arena, opts, result);
+}
+
+void IntegerRangeSampler::QueryBatch(std::span<const IntegerBatchQuery> queries,
+                                     Rng* rng, ScratchArena* arena,
+                                     const BatchOptions& opts,
+                                     BatchResult* result) const {
+  const uint64_t start_ns = opts.telemetry != nullptr ? TelemetryNowNs() : 0;
   result->Clear();
   arena->Reset();
   const size_t q = queries.size();
@@ -159,9 +174,15 @@ void IntegerRangeSampler::QueryBatch(std::span<const IntegerBatchQuery> queries,
 
   result->positions.clear();
   result->positions.reserve(total_samples);
-  sampler_->QueryPositionsBatch(resolved, rng, arena, &result->positions,
-                                opts);
+  // The nested chunked sampler keeps the sink: it is the serving engine
+  // here (this wrapper only resolves intervals), so its counters ARE this
+  // batch's counters. The latency sample is still recorded once, here.
+  sampler_->QueryPositionsBatch(resolved, rng, arena, opts,
+                                &result->positions);
   IQS_CHECK(result->positions.size() == total_samples);
+  if (opts.telemetry != nullptr) {
+    opts.telemetry->shard(0)->latency.Record(TelemetryNowNs() - start_ns);
+  }
 }
 
 }  // namespace iqs

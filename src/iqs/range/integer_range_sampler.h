@@ -89,10 +89,21 @@ class IntegerRangeSampler {
   // ride the Theorem-3 structure's single CoverExecutor run.
   // result->positions holds sorted-order positions.
   // opts.num_threads >= 1 serves the batch in the deterministic
-  // parallel mode (see BatchOptions).
+  // parallel mode (see BatchOptions). Canonical order
+  // (queries, rng, arena, opts, &result).
+  void QueryBatch(std::span<const IntegerBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, const BatchOptions& opts,
+                  BatchResult* result) const;
+
+  // Convenience: default options.
+  void QueryBatch(std::span<const IntegerBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, BatchResult* result) const;
+
+  // Deprecated: pre-unification argument order (options last); use the
+  // opts-before-result overload.
   void QueryBatch(std::span<const IntegerBatchQuery> queries, Rng* rng,
                   ScratchArena* arena, BatchResult* result,
-                  const BatchOptions& opts = {}) const;
+                  const BatchOptions& opts) const;
 
   uint64_t key_at(size_t position) const { return keys_[position]; }
   size_t n() const { return keys_.size(); }

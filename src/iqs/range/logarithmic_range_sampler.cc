@@ -5,6 +5,7 @@
 #include "iqs/cover/cover_executor.h"
 #include "iqs/sampling/multinomial.h"
 #include "iqs/util/check.h"
+#include "iqs/util/telemetry.h"
 
 namespace iqs {
 
@@ -105,6 +106,19 @@ bool LogarithmicRangeSampler::Query(double lo, double hi, size_t s, Rng* rng,
 void LogarithmicRangeSampler::QueryBatch(std::span<const KeyBatchQuery> queries,
                                          Rng* rng, ScratchArena* arena,
                                          KeyBatchResult* result) const {
+  QueryBatch(queries, rng, arena, BatchOptions{}, result);
+}
+
+void LogarithmicRangeSampler::QueryBatch(std::span<const KeyBatchQuery> queries,
+                                         Rng* rng, ScratchArena* arena,
+                                         const BatchOptions& opts,
+                                         KeyBatchResult* result) const {
+  const uint64_t start_ns = opts.telemetry != nullptr ? TelemetryNowNs() : 0;
+  auto record_latency = [&] {
+    if (opts.telemetry != nullptr) {
+      opts.telemetry->shard(0)->latency.Record(TelemetryNowNs() - start_ns);
+    }
+  };
   result->Clear();
   arena->Reset();
   struct Part {
@@ -153,10 +167,22 @@ void LogarithmicRangeSampler::QueryBatch(std::span<const KeyBatchQuery> queries,
   }
   result->offsets[nq] = total_samples;
 
-  const CoverSplit split = CoverExecutor::Split(plan, rng, arena);
+  const CoverSplit split = CoverExecutor::Split(plan, rng, arena,
+                                                opts.telemetry);
   IQS_CHECK(split.total == total_samples);
   result->keys.resize(total_samples);
-  if (total_samples == 0) return;
+  if (opts.telemetry != nullptr) {
+    // Manual serve below: this function owns samples_emitted / arena hwm.
+    QueryStats* stats = &opts.telemetry->shard(0)->stats;
+    stats->samples_emitted += split.total;
+    if (arena->capacity_bytes() > stats->arena_bytes_hwm) {
+      stats->arena_bytes_hwm = arena->capacity_bytes();
+    }
+  }
+  if (total_samples == 0) {
+    record_latency();
+    return;
+  }
 
   // Coalesce nonzero groups by component: every query's draws into the
   // same Bentley-Saxe component share one chunked batched call, then
@@ -201,6 +227,7 @@ void LogarithmicRangeSampler::QueryBatch(std::span<const KeyBatchQuery> queries,
     IQS_DCHECK(cursor == positions.size());
     run = run_end;
   }
+  record_latency();
 }
 
 double LogarithmicRangeSampler::RangeWeight(double lo, double hi) const {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "iqs/range/chunked_range_sampler.h"
+#include "iqs/util/batch_options.h"
 #include "iqs/util/check.h"
 #include "iqs/util/rng.h"
 #include "iqs/util/scratch_arena.h"
@@ -83,7 +84,12 @@ class LogarithmicRangeSampler {
   // per component its interval intersects; the CoverExecutor performs the
   // multinomial splits, and draws are coalesced BY COMPONENT so all
   // queries' draws into one Bentley-Saxe component ride a single chunked
-  // batched call.
+  // batched call. Canonical order (queries, rng, arena, opts, &result).
+  void QueryBatch(std::span<const KeyBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, const BatchOptions& opts,
+                  KeyBatchResult* result) const;
+
+  // Convenience: default options.
   void QueryBatch(std::span<const KeyBatchQuery> queries, Rng* rng,
                   ScratchArena* arena, KeyBatchResult* result) const;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "iqs/util/telemetry.h"
+
 namespace iqs {
 
 RangeSampler::RangeSampler(std::span<const double> keys)
@@ -35,12 +37,19 @@ bool RangeSampler::Query(double lo, double hi, size_t s, Rng* rng,
 void RangeSampler::QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
                               ScratchArena* arena,
                               BatchResult* result) const {
-  QueryBatch(queries, rng, arena, result, BatchOptions{});
+  QueryBatch(queries, rng, arena, BatchOptions{}, result);
 }
 
 void RangeSampler::QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
                               ScratchArena* arena, BatchResult* result,
                               const BatchOptions& opts) const {
+  QueryBatch(queries, rng, arena, opts, result);
+}
+
+void RangeSampler::QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
+                              ScratchArena* arena, const BatchOptions& opts,
+                              BatchResult* result) const {
+  const uint64_t start_ns = opts.telemetry != nullptr ? TelemetryNowNs() : 0;
   result->Clear();
   arena->Reset();
   const size_t q = queries.size();
@@ -64,14 +73,17 @@ void RangeSampler::QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
 
   result->positions.clear();
   result->positions.reserve(total_samples);
-  QueryPositionsBatch(resolved, rng, arena, &result->positions, opts);
+  QueryPositionsBatch(resolved, rng, arena, opts, &result->positions);
   IQS_CHECK(result->positions.size() == total_samples);
+  if (opts.telemetry != nullptr) {
+    opts.telemetry->shard(0)->latency.Record(TelemetryNowNs() - start_ns);
+  }
 }
 
 void RangeSampler::QueryPositionsBatch(std::span<const PositionQuery> queries,
                                        Rng* rng, ScratchArena* arena,
-                                       std::vector<size_t>* out,
-                                       const BatchOptions& opts) const {
+                                       const BatchOptions& opts,
+                                       std::vector<size_t>* out) const {
   if (opts.sequential()) {
     for (const PositionQuery& q : queries) {
       if (q.s == 0) continue;

@@ -97,47 +97,67 @@ class RangeSampler {
   // false if empty.
   bool ResolveInterval(double lo, double hi, size_t* a, size_t* b) const;
 
-  // Batched serving fast path. Resolves every query interval once, then
-  // hands the resolved requests to QueryPositionsBatch in one call; the
-  // result is written into `result` (cleared first) as a flat buffer with
-  // per-query offsets. All scratch comes from `arena`; with a reused arena
-  // and result the steady state performs zero heap allocations beyond the
-  // result buffers' retained capacity. Each query's draws obey the same
-  // ORDERING CONTRACT as QueryPositions (i.i.d. multiset, unspecified
-  // order), and draws are independent across queries of the batch.
+  // Batched serving fast path — THE CANONICAL BATCH SIGNATURE: every
+  // batch entry point in the library (1-d, multidim, tree, integer) takes
+  // (queries, rng, arena, options, &result) in this order. Resolves every
+  // query interval once, then hands the resolved requests to
+  // QueryPositionsBatch in one call; the result is written into `result`
+  // (cleared first) as a flat buffer with per-query offsets. All scratch
+  // comes from `arena`; with a reused arena and result the steady state
+  // performs zero heap allocations beyond the result buffers' retained
+  // capacity. Each query's draws obey the same ORDERING CONTRACT as
+  // QueryPositions (i.i.d. multiset, unspecified order), and draws are
+  // independent across queries of the batch.
+  //
+  // opts.num_threads >= 1 selects the deterministic parallel mode (see
+  // BatchOptions): same per-query output law and ordering contract,
+  // output bit-identical for every thread count under a fixed seed, but a
+  // different stream assignment than the sequential default.
+  // opts.telemetry attaches an observability sink (one latency sample per
+  // batch call plus the pipeline counters; never perturbs the Rng).
+  void QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, const BatchOptions& opts,
+                  BatchResult* result) const;
+
+  // Convenience: default options.
   void QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
                   ScratchArena* arena, BatchResult* result) const;
 
-  // As above, with execution options. opts.num_threads >= 1 selects the
-  // deterministic parallel mode (see BatchOptions): same per-query output
-  // law and ordering contract, output bit-identical for every thread
-  // count under a fixed seed, but a different stream assignment than the
-  // sequential default.
+  // Deprecated: pre-unification argument order (options last); use the
+  // opts-before-result overload.
   void QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
                   ScratchArena* arena, BatchResult* result,
                   const BatchOptions& opts) const;
 
-  // Position-space batch hook. Appends, for each query in order, exactly
-  // q.s sampled positions to `out` (contiguous per query). The base
-  // implementation loops over QueryPositions; subclasses override it with
-  // grouped multinomial sampling over the canonical cover, which turns s
-  // independent O(log n) descents into O(cover + s) grouped work.
+  // Position-space batch hook, in the canonical argument order. Appends,
+  // for each query in order, exactly q.s sampled positions to `out`
+  // (contiguous per query). With sequential opts the base implementation
+  // loops over QueryPositions; subclasses override it with grouped
+  // multinomial sampling over the canonical cover, which turns s
+  // independent O(log n) descents into O(cover + s) grouped work. In
+  // parallel mode queries are sharded over a worker pool under per-query
+  // RNG substreams; the base implementation shards whole requests over
+  // QueryPositions, cover-based subclasses run their grouped kernels per
+  // query through CoverExecutor::ExecuteParallel instead.
+  virtual void QueryPositionsBatch(std::span<const PositionQuery> queries,
+                                   Rng* rng, ScratchArena* arena,
+                                   const BatchOptions& opts,
+                                   std::vector<size_t>* out) const;
+
+  // Convenience: default options.
   void QueryPositionsBatch(std::span<const PositionQuery> queries, Rng* rng,
                            ScratchArena* arena,
                            std::vector<size_t>* out) const {
-    QueryPositionsBatch(queries, rng, arena, out, BatchOptions{});
+    QueryPositionsBatch(queries, rng, arena, BatchOptions{}, out);
   }
 
-  // Options-aware hook that overrides dispatch through. With sequential
-  // opts (the default above) behavior is the historical one; in parallel
-  // mode queries are sharded over a worker pool under per-query RNG
-  // substreams. The base implementation shards whole requests over
-  // QueryPositions; cover-based subclasses run their grouped kernels
-  // per query through CoverExecutor::ExecuteParallel instead.
-  virtual void QueryPositionsBatch(std::span<const PositionQuery> queries,
-                                   Rng* rng, ScratchArena* arena,
-                                   std::vector<size_t>* out,
-                                   const BatchOptions& opts) const;
+  // Deprecated: pre-unification argument order (options last); use the
+  // opts-before-out overload.
+  void QueryPositionsBatch(std::span<const PositionQuery> queries, Rng* rng,
+                           ScratchArena* arena, std::vector<size_t>* out,
+                           const BatchOptions& opts) const {
+    QueryPositionsBatch(queries, rng, arena, opts, out);
+  }
 
   // Heap footprint, for the space experiment (DESIGN.md E4).
   virtual size_t MemoryBytes() const = 0;

@@ -105,9 +105,10 @@ void StaticBst::SampleLeaves(NodeId u, Rng* rng, ScratchArena* arena,
   for (size_t i = 0; i < count; ++i) out[i] = nodes_[lanes[i]].lo;
 }
 
-void StaticBst::DescendToLeaves(std::span<NodeId> lanes, Rng* rng,
-                                ScratchArena* arena) const {
-  if (lanes.empty()) return;
+size_t StaticBst::DescendToLeaves(std::span<NodeId> lanes, Rng* rng,
+                                  ScratchArena* arena) const {
+  if (lanes.empty()) return 0;
+  size_t steps = 0;
   const Node* nodes = nodes_.data();
   // Level-synchronous descent: every pass advances all still-internal
   // lanes one level, drawing the pass's randomness in one block and
@@ -124,6 +125,7 @@ void StaticBst::DescendToLeaves(std::span<NodeId> lanes, Rng* rng,
     bool any_internal = true;
     while (any_internal) {
       any_internal = false;
+      steps += block.size();
       rng->FillDoubles(rnd.first(block.size()));
       for (size_t i = 0; i < block.size(); ++i) {
         const Node& node = nodes[block[i]];
@@ -137,6 +139,7 @@ void StaticBst::DescendToLeaves(std::span<NodeId> lanes, Rng* rng,
       }
     }
   }
+  return steps;
 }
 
 size_t StaticBst::Height() const {

@@ -102,9 +102,11 @@ class StaticBst {
   // independent, so a caller can line up every requested sample of a whole
   // query batch — thousands of lanes — and let their node loads miss the
   // cache concurrently; this is the deepest source of memory-level
-  // parallelism on the batched serving path.
-  void DescendToLeaves(std::span<NodeId> lanes, Rng* rng,
-                       ScratchArena* arena) const;
+  // parallelism on the batched serving path. Returns the number of
+  // lane-level descent steps taken (the node loads that dominate the 1-d
+  // hot path), which callers feed into QueryStats::nodes_visited.
+  size_t DescendToLeaves(std::span<NodeId> lanes, Rng* rng,
+                         ScratchArena* arena) const;
 
   size_t Height() const;
 

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "iqs/cover/cover_executor.h"
+#include "iqs/util/telemetry.h"
 
 namespace iqs {
 
@@ -69,8 +70,22 @@ void SubtreeSampler::Query(WeightedTree::NodeId q, size_t s, Rng* rng,
 
 void SubtreeSampler::QueryBatch(std::span<const SubtreeBatchQuery> queries,
                                 Rng* rng, ScratchArena* arena,
+                                BatchResult* result) const {
+  QueryBatch(queries, rng, arena, BatchOptions{}, result);
+}
+
+void SubtreeSampler::QueryBatch(std::span<const SubtreeBatchQuery> queries,
+                                Rng* rng, ScratchArena* arena,
                                 BatchResult* result,
                                 const BatchOptions& opts) const {
+  QueryBatch(queries, rng, arena, opts, result);
+}
+
+void SubtreeSampler::QueryBatch(std::span<const SubtreeBatchQuery> queries,
+                                Rng* rng, ScratchArena* arena,
+                                const BatchOptions& opts,
+                                BatchResult* result) const {
+  const uint64_t start_ns = opts.telemetry != nullptr ? TelemetryNowNs() : 0;
   result->Clear();
   arena->Reset();
   thread_local CoverPlan plan;
@@ -93,16 +108,13 @@ void SubtreeSampler::QueryBatch(std::span<const SubtreeBatchQuery> queries,
 
   result->positions.clear();
   result->positions.reserve(total_samples);
-  if (opts.sequential()) {
-    CoverExecutor::ExecuteOverSampler(plan, *range_sampler_, rng, arena,
-                                      &result->positions);
-  } else {
-    CoverExecutor::ExecuteOverSamplerParallel(plan, *range_sampler_, rng,
-                                              arena, opts,
-                                              &result->positions);
-  }
+  CoverExecutor::ExecuteOverSampler(plan, *range_sampler_, rng, arena, opts,
+                                    &result->positions);
   IQS_CHECK(result->positions.size() == total_samples);
   for (size_t& p : result->positions) p = leaf_sequence_[p];
+  if (opts.telemetry != nullptr) {
+    opts.telemetry->shard(0)->latency.Record(TelemetryNowNs() - start_ns);
+  }
 }
 
 size_t SubtreeSampler::MemoryBytes() const {

@@ -52,10 +52,21 @@ class SubtreeSampler {
   // result->positions holds leaf ids. Every query resolves (a subtree
   // always contains a leaf).
   // opts.num_threads >= 1 serves the batch in the deterministic
-  // parallel mode (see BatchOptions).
+  // parallel mode (see BatchOptions). Canonical order
+  // (queries, rng, arena, opts, &result).
+  void QueryBatch(std::span<const SubtreeBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, const BatchOptions& opts,
+                  BatchResult* result) const;
+
+  // Convenience: default options.
+  void QueryBatch(std::span<const SubtreeBatchQuery> queries, Rng* rng,
+                  ScratchArena* arena, BatchResult* result) const;
+
+  // Deprecated: pre-unification argument order (options last); use the
+  // opts-before-result overload.
   void QueryBatch(std::span<const SubtreeBatchQuery> queries, Rng* rng,
                   ScratchArena* arena, BatchResult* result,
-                  const BatchOptions& opts = {}) const;
+                  const BatchOptions& opts) const;
 
   // The Euler-tour leaf interval of node q (inclusive positions in Π).
   std::pair<size_t, size_t> LeafInterval(WeightedTree::NodeId q) const {

@@ -38,25 +38,40 @@
 
 namespace iqs {
 
+class TelemetrySink;
+
 struct BatchOptions {
   size_t num_threads = 0;      // 0 = sequential; >= 1 = parallel mode
   ThreadPool* pool = nullptr;  // optional, not owned; see header comment
+
+  // Optional observability sink (iqs/util/telemetry.h), not owned. When
+  // null (the default) the serving path executes the uninstrumented
+  // instruction stream; when set, counters and latency land in per-worker
+  // shards and never touch the Rng, so attaching a sink cannot change any
+  // sample. See the telemetry header for the counter-ownership rules.
+  TelemetrySink* telemetry = nullptr;
 
   bool sequential() const { return num_threads == 0; }
 };
 
 // Resolves a parallel-mode BatchOptions to a usable pool: the caller's,
-// or a transient one owned for the scope of the serving call.
+// or a transient one owned for the scope of the serving call. Also points
+// the pool at the batch's telemetry sink (steal / busy-time counters) for
+// the duration of the serving call.
 class ScopedPool {
  public:
   explicit ScopedPool(const BatchOptions& opts) {
     if (opts.pool != nullptr) {
       pool_ = opts.pool;
-      return;
+    } else {
+      owned_ =
+          std::make_unique<ThreadPool>(std::max<size_t>(1, opts.num_threads));
+      pool_ = owned_.get();
     }
-    owned_ = std::make_unique<ThreadPool>(std::max<size_t>(1, opts.num_threads));
-    pool_ = owned_.get();
+    pool_->set_telemetry(opts.telemetry);
   }
+
+  ~ScopedPool() { pool_->set_telemetry(nullptr); }
 
   ThreadPool* get() const { return pool_; }
   ThreadPool* operator->() const { return pool_; }

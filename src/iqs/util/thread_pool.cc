@@ -1,5 +1,7 @@
 #include "iqs/util/thread_pool.h"
 
+#include "iqs/util/telemetry.h"
+
 namespace iqs {
 
 ThreadPool::ThreadPool(size_t num_threads) : num_threads_(num_threads) {
@@ -29,6 +31,12 @@ void ThreadPool::ParallelFor(size_t num_shards,
   if (num_shards == 0) return;
   if (num_threads_ == 1 || num_shards == 1) {
     // Inline fast path; also what a transient single-worker pool runs.
+    if (telemetry_ != nullptr) {
+      const uint64_t start_ns = TelemetryNowNs();
+      for (size_t shard = 0; shard < num_shards; ++shard) fn(shard, 0);
+      telemetry_->shard(0)->stats.busy_ns += TelemetryNowNs() - start_ns;
+      return;
+    }
     for (size_t shard = 0; shard < num_shards; ++shard) fn(shard, 0);
     return;
   }
@@ -88,6 +96,7 @@ void ThreadPool::RunShards(Job* job, size_t worker,
     // thieves spread out instead of all raiding worker 0.
     size_t shard = 0;
     bool found = false;
+    bool stolen = false;
     if (!queues[worker].empty()) {
       shard = queues[worker].back();
       queues[worker].pop_back();
@@ -99,6 +108,7 @@ void ThreadPool::RunShards(Job* job, size_t worker,
           shard = victim.front();
           victim.pop_front();
           found = true;
+          stolen = true;
         }
       }
     }
@@ -109,7 +119,15 @@ void ThreadPool::RunShards(Job* job, size_t worker,
     --job->unclaimed;
 
     lock->unlock();
-    job->fn(shard, worker);
+    if (telemetry_ != nullptr) {
+      TelemetryShard* tshard = telemetry_->shard(worker);
+      if (stolen) ++tshard->stats.steals;
+      const uint64_t start_ns = TelemetryNowNs();
+      job->fn(shard, worker);
+      tshard->stats.busy_ns += TelemetryNowNs() - start_ns;
+    } else {
+      job->fn(shard, worker);
+    }
     lock->lock();
 
     if (--job->unfinished == 0) done_cv_.notify_all();

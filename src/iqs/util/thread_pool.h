@@ -39,6 +39,8 @@
 
 namespace iqs {
 
+class TelemetrySink;
+
 class ThreadPool {
  public:
   // Spawns `num_threads - 1` background workers; the caller of
@@ -64,6 +66,13 @@ class ThreadPool {
     IQS_CHECK(worker < num_threads_);
     return arenas_[worker].get();
   }
+
+  // Attaches a telemetry sink (iqs/util/telemetry.h) for steal counts and
+  // per-worker busy time, or detaches with nullptr. Must not be called
+  // while a ParallelFor is in flight; ScopedPool scopes it to one batch.
+  // With no sink attached the pool never reads the clock.
+  void set_telemetry(TelemetrySink* sink) { telemetry_ = sink; }
+  TelemetrySink* telemetry() const { return telemetry_; }
 
  private:
   // One ParallelFor call's state, stack-allocated by the caller. Guarded
@@ -92,6 +101,10 @@ class ThreadPool {
   uint64_t job_epoch_ = 0;           // bumped once per ParallelFor
   Job* current_job_ = nullptr;
   bool shutdown_ = false;
+
+  // Set only between ParallelFor calls (see set_telemetry), read by
+  // workers mid-job; each worker writes only its own shard.
+  TelemetrySink* telemetry_ = nullptr;
 };
 
 }  // namespace iqs

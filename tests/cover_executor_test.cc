@@ -114,7 +114,8 @@ TEST(CoverExecutorTest, ExecuteOverSamplerMatchesCoverLaw) {
   std::vector<size_t> out;
   for (int round = 0; round < 3000; ++round) {
     arena.Reset();
-    CoverExecutor::ExecuteOverSampler(plan, sampler, &rng, &arena, &out);
+    CoverExecutor::ExecuteOverSampler(plan, sampler, &rng, &arena,
+                                      BatchOptions{}, &out);
   }
   std::vector<double> expected(n, 0.0);
   for (size_t i = 0; i < 10; ++i) expected[i] = weights[i];

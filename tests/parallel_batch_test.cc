@@ -31,6 +31,7 @@
 #include "iqs/util/distributions.h"
 #include "iqs/util/rng.h"
 #include "iqs/util/scratch_arena.h"
+#include "iqs/util/telemetry.h"
 #include "iqs/util/thread_pool.h"
 #include "test_util.h"
 
@@ -71,7 +72,7 @@ std::vector<size_t> RunParallel(const RangeSampler& sampler,
   BatchOptions opts;
   opts.num_threads = num_threads;
   std::vector<size_t> out;
-  sampler.QueryPositionsBatch(queries, &rng, &arena, &out, opts);
+  sampler.QueryPositionsBatch(queries, &rng, &arena, opts, &out);
   return out;
 }
 
@@ -123,7 +124,7 @@ TEST_P(ParallelInvariance, ParallelModeDrawsTheRightLaw) {
   opts.num_threads = 4;
   opts.pool = &pool;
   std::vector<size_t> out;
-  sampler->QueryPositionsBatch(queries, &rng, &arena, &out, opts);
+  sampler->QueryPositionsBatch(queries, &rng, &arena, opts, &out);
   ASSERT_EQ(out.size(), 64u * 1000u);
   for (size_t p : out) {
     ASSERT_GE(p, a);
@@ -146,8 +147,8 @@ TEST_P(ParallelInvariance, RepeatedBatchesAreIndependent) {
   opts.num_threads = 2;
   std::vector<size_t> first;
   std::vector<size_t> second;
-  sampler->QueryPositionsBatch(queries, &rng, &arena, &first, opts);
-  sampler->QueryPositionsBatch(queries, &rng, &arena, &second, opts);
+  sampler->QueryPositionsBatch(queries, &rng, &arena, opts, &first);
+  sampler->QueryPositionsBatch(queries, &rng, &arena, opts, &second);
   EXPECT_NE(first, second);
 }
 
@@ -171,7 +172,7 @@ TEST(ParallelQueryBatchTest, ResultLayoutMatchesSequentialContract) {
   BatchOptions opts;
   opts.num_threads = 3;
   Rng rng(77);
-  sampler.QueryBatch(queries, &rng, &arena, &parallel_result, opts);
+  sampler.QueryBatch(queries, &rng, &arena, opts, &parallel_result);
 
   ASSERT_EQ(parallel_result.num_queries(), queries.size());
   EXPECT_EQ(parallel_result.resolved.back(), 0);
@@ -185,7 +186,7 @@ TEST(ParallelQueryBatchTest, ResultLayoutMatchesSequentialContract) {
   BatchOptions opts7;
   opts7.num_threads = 7;
   Rng rng7(77);
-  sampler.QueryBatch(queries, &rng7, &arena, &other, opts7);
+  sampler.QueryBatch(queries, &rng7, &arena, opts7, &other);
   EXPECT_EQ(other.positions, parallel_result.positions);
   EXPECT_EQ(other.offsets, parallel_result.offsets);
 }
@@ -216,7 +217,7 @@ TEST(ParallelRangeTree2DTest, BitIdenticalAcrossThreadCounts) {
     multidim::PointBatchResult result;
     BatchOptions opts;
     opts.num_threads = num_threads;
-    sampler.QueryBatch(queries, &rng, &arena, &result, opts);
+    sampler.QueryBatch(queries, &rng, &arena, opts, &result);
     std::vector<double> flat;
     for (const auto& p : result.points) {
       flat.push_back(p.x);
@@ -262,7 +263,7 @@ TEST(ParallelRangeTreeNdTest, BitIdenticalAcrossThreadCounts) {
     BatchResult result;
     BatchOptions opts;
     opts.num_threads = num_threads;
-    sampler.QueryBatch(queries, &rng, &arena, &result, opts);
+    sampler.QueryBatch(queries, &rng, &arena, opts, &result);
     return result.positions;
   };
   const auto reference = run(1);
@@ -297,7 +298,7 @@ TEST(ParallelKdQuadTest, BitIdenticalAcrossThreadCounts) {
     multidim::PointBatchResult result;
     BatchOptions opts;
     opts.num_threads = num_threads;
-    sampler.QueryBatch(queries, &rng, &arena, &result, opts);
+    sampler.QueryBatch(queries, &rng, &arena, opts, &result);
     std::vector<double> flat;
     for (const auto& p : result.points) {
       flat.push_back(p.x);
@@ -341,7 +342,7 @@ TEST(ParallelSubtreeTest, BitIdenticalAcrossThreadCounts) {
     BatchResult result;
     BatchOptions opts;
     opts.num_threads = num_threads;
-    sampler.QueryBatch(queries, &rng, &arena, &result, opts);
+    sampler.QueryBatch(queries, &rng, &arena, opts, &result);
     return result.positions;
   };
   const auto reference = run(1);
@@ -374,7 +375,7 @@ TEST(ParallelRejectionTest, BitIdenticalAcrossThreadCountsAndCorrect) {
     opts.num_threads = num_threads;
     std::vector<size_t> out;
     engine.SampleWithRejection(weighted_cover, 3000, accepts, &rng, &arena,
-                               &out, opts);
+                               opts, &out);
     return out;
   };
   const auto reference = run(1);
@@ -402,9 +403,72 @@ TEST(ParallelRejectionTest, BitIdenticalAcrossThreadCountsAndCorrect) {
   opts.num_threads = 4;
   for (int round = 0; round < 20; ++round) {
     engine.SampleWithRejection(weighted_cover, 3000, accepts, &rng, &arena,
-                               &pooled, opts);
+                               opts, &pooled);
   }
   testing::ExpectSamplesMatchWeights(pooled, restricted);
+}
+
+TEST(ParallelTelemetryTest, SinkDoesNotPerturbOutputAcrossThreadCounts) {
+  // Attaching a TelemetrySink must never touch the RNG stream: with a
+  // sink attached the output stays byte-identical to the sink-free run,
+  // for every thread count.
+  const Data data = MakeData(1500, 19);
+  ChunkedRangeSampler sampler(data.keys, data.weights);
+  const auto queries = MakePositionQueries(1500, 50, 48, 23);
+
+  auto run = [&](size_t num_threads, TelemetrySink* sink) {
+    Rng rng(2024);
+    ScratchArena arena;
+    BatchOptions opts;
+    opts.num_threads = num_threads;
+    opts.telemetry = sink;
+    std::vector<size_t> out;
+    sampler.QueryPositionsBatch(queries, &rng, &arena, opts, &out);
+    return out;
+  };
+  const std::vector<size_t> reference = run(1, nullptr);
+  for (size_t num_threads : kThreadCounts) {
+    TelemetrySink sink;
+    EXPECT_EQ(run(num_threads, &sink), reference)
+        << num_threads << " threads with sink";
+    EXPECT_EQ(run(num_threads, nullptr), reference)
+        << num_threads << " threads without sink";
+    const QueryStats stats = sink.MergedStats();
+    EXPECT_EQ(stats.queries, queries.size());
+    EXPECT_GT(stats.samples_emitted, 0u);
+  }
+}
+
+TEST(ParallelTelemetryTest, MergedCountersInvariantAcrossThreadCounts) {
+  // Counters that describe the WORK (queries, groups, draws, samples) are
+  // scheduling-independent, so their merged totals must agree across
+  // thread counts even though per-shard attribution differs.
+  const Data data = MakeData(1200, 37);
+  BstRangeSampler sampler(data.keys, data.weights);
+  const auto queries = MakePositionQueries(1200, 40, 32, 41);
+
+  auto merged = [&](size_t num_threads) {
+    TelemetrySink sink;
+    Rng rng(606);
+    ScratchArena arena;
+    BatchOptions opts;
+    opts.num_threads = num_threads;
+    opts.telemetry = &sink;
+    std::vector<size_t> out;
+    sampler.QueryPositionsBatch(queries, &rng, &arena, opts, &out);
+    return sink.MergedStats();
+  };
+  const QueryStats reference = merged(1);
+  EXPECT_EQ(reference.queries, queries.size());
+  for (size_t num_threads : kThreadCounts) {
+    const QueryStats stats = merged(num_threads);
+    EXPECT_EQ(stats.queries, reference.queries) << num_threads;
+    EXPECT_EQ(stats.cover_groups, reference.cover_groups) << num_threads;
+    EXPECT_EQ(stats.rng_draws, reference.rng_draws) << num_threads;
+    EXPECT_EQ(stats.samples_emitted, reference.samples_emitted)
+        << num_threads;
+    EXPECT_EQ(stats.nodes_visited, reference.nodes_visited) << num_threads;
+  }
 }
 
 TEST(ParallelPoolReuseTest, PersistentPoolMatchesTransientPools) {
@@ -419,12 +483,12 @@ TEST(ParallelPoolReuseTest, PersistentPoolMatchesTransientPools) {
   Rng rng_a(4242);  // same seed as RunParallel: pool choice must not matter
   ScratchArena arena_a;
   std::vector<size_t> out_a;
-  sampler.QueryPositionsBatch(queries, &rng_a, &arena_a, &out_a, with_pool);
+  sampler.QueryPositionsBatch(queries, &rng_a, &arena_a, with_pool, &out_a);
 
   EXPECT_EQ(out_a, RunParallel(sampler, queries, 3));
   // Same persistent pool serves a second batch cleanly.
   std::vector<size_t> out_b;
-  sampler.QueryPositionsBatch(queries, &rng_a, &arena_a, &out_b, with_pool);
+  sampler.QueryPositionsBatch(queries, &rng_a, &arena_a, with_pool, &out_b);
   EXPECT_NE(out_a, out_b);
 }
 
