@@ -1,0 +1,179 @@
+// E23 — per-kernel SIMD ablation (extends E19's pipeline view down to the
+// three vectorized kernels of DESIGN.md "Kernel dispatch").
+//
+// Every kernel runs twice over the same workload: once with the scalar
+// backend forced and once with the detected SIMD backend (the run is a
+// scalar-only no-op when none is available, e.g. under
+// -DIQS_DISABLE_SIMD). Reported numbers are ns per output element, so
+// rows are comparable across kernels roofline-style: the block-RNG
+// kernels are compute-bound (the vector win is the xoshiro ALU work),
+// while the alias/descent kernels become gather/memory-bound as their
+// tables outgrow cache — the honest expectation is a large win for
+// cache-resident tables and a shrinking one at memory-bound sizes.
+//
+// Writes BENCH_simd_kernels.json: {"backend": ..., "rows": [...]}.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "iqs/alias/alias_table.h"
+#include "iqs/alias/quantized_alias.h"
+#include "iqs/range/static_bst.h"
+#include "iqs/simd/dispatch.h"
+#include "iqs/util/distributions.h"
+#include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Runs `fn` (producing `elems` outputs per call) until ~0.2s elapsed and
+// returns ns per element. Same protocol as bench_batch_serving (E19).
+template <typename Fn>
+double MeasureNsPerElem(size_t elems, Fn&& fn) {
+  fn();  // warm-up
+  size_t reps = 0;
+  const Clock::time_point start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++reps;
+    elapsed = SecondsSince(start);
+  } while (elapsed < 0.2);
+  return elapsed * 1e9 / (static_cast<double>(reps) * elems);
+}
+
+struct Row {
+  std::string kernel;
+  size_t n = 0;       // structure size (0 = none)
+  size_t block = 0;   // outputs per call
+  double scalar_ns = 0.0;
+  double simd_ns = 0.0;
+  double speedup = 0.0;  // scalar_ns / simd_ns
+};
+
+}  // namespace
+
+int main() {
+  const iqs::simd::Backend simd_backend = iqs::simd::ActiveBackend();
+  const std::string backend_name(iqs::simd::BackendName(simd_backend));
+  std::printf("E23: per-kernel SIMD ablation — scalar vs %s (ns/elem)\n",
+              backend_name.c_str());
+  if (simd_backend == iqs::simd::Backend::kScalar) {
+    std::printf("no SIMD backend available; scalar-only run\n");
+  }
+  std::printf("%-18s %9s %7s %11s %11s %8s\n", "kernel", "n", "block",
+              "scalar ns", "simd ns", "speedup");
+
+  std::vector<Row> rows;
+  // Measures `fn` under the scalar backend, then under the detected SIMD
+  // backend, and records the pair.
+  const auto ablate = [&](const std::string& kernel, size_t n, size_t block,
+                          auto&& fn) {
+    Row row;
+    row.kernel = kernel;
+    row.n = n;
+    row.block = block;
+    iqs::simd::ForceBackend(iqs::simd::Backend::kScalar);
+    row.scalar_ns = MeasureNsPerElem(block, fn);
+    iqs::simd::ForceBackend(simd_backend);
+    row.simd_ns = MeasureNsPerElem(block, fn);
+    iqs::simd::ClearForcedBackend();
+    row.speedup = row.scalar_ns / row.simd_ns;
+    rows.push_back(row);
+    std::printf("%-18s %9zu %7zu %11.3f %11.3f %7.2fx\n", kernel.c_str(), n,
+                block, row.scalar_ns, row.simd_ns, row.speedup);
+  };
+
+  constexpr size_t kBlock = 1 << 16;
+
+  // Block RNG: pure compute, the cleanest vector win.
+  {
+    iqs::Rng rng(1);
+    std::vector<double> doubles(kBlock);
+    ablate("fill_doubles", 0, kBlock, [&] { rng.FillDoubles(doubles); });
+    std::vector<uint64_t> below(kBlock);
+    ablate("fill_below", 0, kBlock,
+           [&] { rng.FillBelow(1000003, below); });
+  }
+
+  // Alias draws: urn gathers; table size sweeps cache-resident -> L2/L3.
+  for (const size_t n : {size_t{1} << 10, size_t{1} << 16, size_t{1} << 20}) {
+    iqs::Rng data_rng(2);
+    const auto weights = iqs::ZipfWeights(n, 1.0, &data_rng);
+    const iqs::AliasTable table(weights);
+    iqs::Rng rng(3);
+    std::vector<size_t> out(kBlock);
+    ablate("alias_block", n, kBlock,
+           [&] { table.SampleBlock(&rng, 0, out); });
+  }
+
+  // Heterogeneous targets: the cover-layer shape — many small per-node
+  // tables, a different one per draw.
+  {
+    constexpr size_t kTables = 256;
+    constexpr size_t kUrnsPerTable = 64;
+    iqs::Rng data_rng(4);
+    std::vector<iqs::AliasTable> tables(kTables);
+    for (auto& t : tables) {
+      t.Build(iqs::ZipfWeights(kUrnsPerTable, 1.0, &data_rng));
+    }
+    std::vector<const iqs::AliasTable*> ptrs(kBlock);
+    std::vector<size_t> bases(kBlock, 0);
+    for (size_t i = 0; i < kBlock; ++i) ptrs[i] = &tables[i % kTables];
+    iqs::Rng rng(5);
+    std::vector<size_t> out(kBlock);
+    ablate("alias_targets", kTables * kUrnsPerTable, kBlock, [&] {
+      iqs::AliasTable::SampleTargets(ptrs, bases, &rng, out);
+    });
+  }
+
+  // Quantized alias: 16-bit prob + 32-bit alias gathers.
+  {
+    constexpr size_t kN = size_t{1} << 16;
+    iqs::Rng data_rng(6);
+    const iqs::QuantizedAlias table(iqs::ZipfWeights(kN, 1.0, &data_rng));
+    iqs::Rng rng(7);
+    std::vector<size_t> out(kBlock);
+    ablate("quantized_block", kN, kBlock,
+           [&] { table.SampleBlock(&rng, 0, out); });
+  }
+
+  // Grouped tree descent: level-synchronous node gathers.
+  for (const size_t n : {size_t{1} << 10, size_t{1} << 16}) {
+    iqs::Rng data_rng(8);
+    const iqs::StaticBst tree(iqs::ZipfWeights(n, 1.0, &data_rng));
+    iqs::Rng rng(9);
+    iqs::ScratchArena arena;
+    std::vector<size_t> out(kBlock);
+    ablate("descend_lanes", n, kBlock, [&] {
+      tree.SampleLeaves(tree.root(), &rng, &arena, out);
+    });
+  }
+
+  std::FILE* json = std::fopen("BENCH_simd_kernels.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\"backend\": \"%s\", \"rows\": [\n",
+                 backend_name.c_str());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(json,
+                   "  {\"kernel\": \"%s\", \"n\": %zu, \"block\": %zu, "
+                   "\"scalar_ns\": %.4f, \"simd_ns\": %.4f, "
+                   "\"speedup\": %.3f}%s\n",
+                   r.kernel.c_str(), r.n, r.block, r.scalar_ns, r.simd_ns,
+                   r.speedup, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "]}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_simd_kernels.json (%zu rows)\n", rows.size());
+  }
+  return 0;
+}

@@ -62,7 +62,28 @@ class AliasTable {
   // ahead — on tables bigger than cache the random urn loads then miss
   // concurrently instead of one at a time. Per-sample distribution
   // identical to Sample().
+  //
+  // Under a SIMD backend (simd/dispatch.h) large blocks run the fused
+  // vector kernel — urn pick, coin, urn gather, and compare-blend select
+  // all in-register, one Rng word consumed per vector block as the lane
+  // seed. Same per-sample law (chi-squared in simd_kernels_test); the
+  // scalar backend keeps the bit-stable blocked loop.
   void SampleBlock(Rng* rng, size_t base, std::span<size_t> out) const;
+
+  // Heterogeneous blocked pipeline over per-draw (table, base) pairs —
+  // the shared inner loop of the cover-layer grouped draws
+  // (AugRangeSampler per-node urns, ChunkedRangeSampler per-chunk urns):
+  // out[i] = bases[i] + one draw from *tables[i], or just bases[i] when
+  // tables[i] is null (degenerate single-element group). Blocked like
+  // SampleBlock (coins for a block up front, urn picks + prefetch for the
+  // whole block before any urn line is read) so the dependent misses of
+  // different draws overlap; SIMD backends gather through per-lane table
+  // addresses instead. Scalar randomness consumption is exactly the
+  // historical blocked loops': FillDoubles per block, then one Below per
+  // non-null draw.
+  static void SampleTargets(std::span<const AliasTable* const> tables,
+                            std::span<const size_t> bases, Rng* rng,
+                            std::span<size_t> out);
 
   // Decomposed sampling for caller-managed prefetch pipelines (e.g. the
   // chunked sampler's middle-chunk loop): resolve an urn pick made with

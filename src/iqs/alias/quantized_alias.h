@@ -38,14 +38,25 @@ class QuantizedAlias {
   // Draws one independent sample in O(1): element i is returned with
   // probability within +/- 2*2^-16/n of w(i)/W.
   size_t Sample(Rng* rng) const {
-    IQS_DCHECK(!prob_q16_.empty());
-    const size_t urn = static_cast<size_t>(rng->Below(prob_q16_.size()));
+    IQS_DCHECK(!alias_.empty());
+    const size_t urn = static_cast<size_t>(rng->Below(alias_.size()));
     const uint16_t coin = static_cast<uint16_t>(rng->Next64() >> 48);
     return coin < prob_q16_[urn] ? urn : alias_[urn];
   }
 
-  bool empty() const { return prob_q16_.empty(); }
-  size_t size() const { return prob_q16_.size(); }
+  // Draws `count` independent samples, appending them to `out`.
+  void SampleMany(size_t count, Rng* rng, std::vector<size_t>* out) const;
+
+  // Block fast path: fills `out` with independent samples offset by
+  // `base`, same per-element law as Sample(). Under a SIMD backend
+  // (simd/dispatch.h) large blocks run the fused vector kernel — urn
+  // pick, 16-bit coin, quantized-bias and alias gathers, compare-blend —
+  // seeded by one Rng word per block; the scalar backend draws through
+  // Sample() bit-for-bit.
+  void SampleBlock(Rng* rng, size_t base, std::span<size_t> out) const;
+
+  bool empty() const { return alias_.empty(); }
+  size_t size() const { return alias_.size(); }
 
   // Exact probability this structure assigns to element i (for the error
   // measurements in tests and E13): computable from the quantized urns.
@@ -58,6 +69,9 @@ class QuantizedAlias {
 
  private:
   // Urn i returns i with probability prob_q16_[i] / 2^16, else alias_[i].
+  // prob_q16_ carries one trailing sentinel element beyond size() so the
+  // SIMD 32-bit gather at the last urn stays in bounds (simd/kernels.h);
+  // alias_ is the authoritative urn count.
   std::vector<uint16_t> prob_q16_;
   std::vector<uint32_t> alias_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "iqs/range/range_sampler.h"
+#include "iqs/simd/dispatch.h"
 #include "iqs/util/thread_pool.h"
 
 namespace iqs {
@@ -23,7 +24,18 @@ void RecordSplitStats(const CoverPlan& plan, TelemetrySink* sink) {
   for (size_t q = 0; q < plan.num_queries(); ++q) {
     stats->rng_draws += SplitDrawsForQuery(plan, q);
   }
+  // Tag the batch with the kernel backend serving it, so exported results
+  // are self-describing (telemetry.h).
+  stats->backend_mask |= simd::BackendBit(simd::ActiveBackend());
 }
+
+// Parallel lowering of ExecuteOverSampler: each query's nonzero groups
+// become position requests served by the sampler under the query's
+// substream (defined after ExecuteParallel below).
+void ExecuteOverSamplerParallel(const CoverPlan& plan,
+                                const RangeSampler& sampler, Rng* rng,
+                                ScratchArena* arena, const BatchOptions& opts,
+                                std::vector<size_t>* out);
 
 }  // namespace
 
@@ -90,13 +102,6 @@ void CoverExecutor::ExecuteOverSampler(const CoverPlan& plan,
   }
 }
 
-void CoverExecutor::ExecuteOverSampler(const CoverPlan& plan,
-                                       const RangeSampler& sampler, Rng* rng,
-                                       ScratchArena* arena,
-                                       std::vector<size_t>* out) {
-  ExecuteOverSampler(plan, sampler, rng, arena, BatchOptions{}, out);
-}
-
 void CoverExecutor::ExecuteParallel(const CoverPlan& plan, Rng* rng,
                                     ScratchArena* arena,
                                     const BatchOptions& opts,
@@ -152,6 +157,7 @@ void CoverExecutor::ExecuteParallel(const CoverPlan& plan, Rng* rng,
     QueryStats* stats = &opts.telemetry->shard(0)->stats;
     stats->queries += nq;
     stats->cover_groups += g;
+    stats->backend_mask |= simd::BackendBit(simd::ActiveBackend());
     stats->rng_draws += 1;
     for (size_t q = 0; q < nq; ++q) {
       stats->rng_draws += SplitDrawsForQuery(plan, q);
@@ -183,12 +189,13 @@ void CoverExecutor::ExecuteParallel(const CoverPlan& plan, Rng* rng,
       });
 }
 
-void CoverExecutor::ExecuteOverSamplerParallel(const CoverPlan& plan,
-                                               const RangeSampler& sampler,
-                                               Rng* rng, ScratchArena* arena,
-                                               const BatchOptions& opts,
-                                               std::vector<size_t>* out) {
-  ExecuteParallel(
+namespace {
+
+void ExecuteOverSamplerParallel(const CoverPlan& plan,
+                                const RangeSampler& sampler, Rng* rng,
+                                ScratchArena* arena, const BatchOptions& opts,
+                                std::vector<size_t>* out) {
+  CoverExecutor::ExecuteParallel(
       plan, rng, arena, opts,
       [&sampler](const CoverPlan& plan, const CoverSplit& split,
                  std::span<size_t> dst, size_t q, size_t /*worker*/,
@@ -218,5 +225,7 @@ void CoverExecutor::ExecuteOverSamplerParallel(const CoverPlan& plan,
       },
       out);
 }
+
+}  // namespace
 
 }  // namespace iqs

@@ -91,14 +91,6 @@ class CoverExecutor {
     }
   }
 
-  // Deprecated: pre-BatchOptions order; forwards with default options.
-  template <typename DrawBackend>
-  static void Execute(const CoverPlan& plan, Rng* rng, ScratchArena* arena,
-                      DrawBackend&& backend, std::vector<size_t>* out) {
-    Execute(plan, rng, arena, BatchOptions{},
-            std::forward<DrawBackend>(backend), out);
-  }
-
   // Full pipeline for plans whose groups are position ranges over
   // `sampler`. Sequential mode lowers the nonzero groups to PositionQuery
   // spans and runs the sampler's QueryPositionsBatch once over the whole
@@ -107,12 +99,6 @@ class CoverExecutor {
   static void ExecuteOverSampler(const CoverPlan& plan,
                                  const RangeSampler& sampler, Rng* rng,
                                  ScratchArena* arena, const BatchOptions& opts,
-                                 std::vector<size_t>* out);
-
-  // Deprecated: pre-BatchOptions order; forwards with default options.
-  static void ExecuteOverSampler(const CoverPlan& plan,
-                                 const RangeSampler& sampler, Rng* rng,
-                                 ScratchArena* arena,
                                  std::vector<size_t>* out);
 
   // Per-query draw callback for the parallel pipeline. Must write
@@ -140,13 +126,6 @@ class CoverExecutor {
   static void ExecuteParallel(const CoverPlan& plan, Rng* rng,
                               ScratchArena* arena, const BatchOptions& opts,
                               CoverQueryDrawFn draw, std::vector<size_t>* out);
-
-  // Deprecated: use ExecuteOverSampler with parallel BatchOptions.
-  static void ExecuteOverSamplerParallel(const CoverPlan& plan,
-                                         const RangeSampler& sampler, Rng* rng,
-                                         ScratchArena* arena,
-                                         const BatchOptions& opts,
-                                         std::vector<size_t>* out);
 };
 
 }  // namespace iqs

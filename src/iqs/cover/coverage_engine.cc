@@ -40,12 +40,6 @@ void CoverageEngine::SampleBatch(const CoverPlan& plan, Rng* rng,
   SampleBatch(plan, rng, arena, BatchOptions{}, out);
 }
 
-void CoverageEngine::SampleBatch(const CoverPlan& plan, Rng* rng,
-                                 ScratchArena* arena, std::vector<size_t>* out,
-                                 const BatchOptions& opts) const {
-  SampleBatch(plan, rng, arena, opts, out);
-}
-
 void CoverageEngine::Sample(std::span<const CoverRange> cover, size_t s,
                             Rng* rng, std::vector<size_t>* out) const {
   if (s == 0 || cover.empty()) return;
@@ -123,15 +117,6 @@ void CoverageEngine::SampleWithRejection(std::span<const CoverRange> cover,
                                          Rng* rng, ScratchArena* arena,
                                          std::vector<size_t>* out) const {
   SampleWithRejection(cover, s, accepts, rng, arena, BatchOptions{}, out);
-}
-
-void CoverageEngine::SampleWithRejection(std::span<const CoverRange> cover,
-                                         size_t s,
-                                         FunctionRef<bool(size_t)> accepts,
-                                         Rng* rng, ScratchArena* arena,
-                                         std::vector<size_t>* out,
-                                         const BatchOptions& opts) const {
-  SampleWithRejection(cover, s, accepts, rng, arena, opts, out);
 }
 
 void CoverageEngine::SampleWithRejection(std::span<const CoverRange> cover,

@@ -64,11 +64,6 @@ class CoverageEngine {
   void SampleBatch(const CoverPlan& plan, Rng* rng, ScratchArena* arena,
                    std::vector<size_t>* out) const;
 
-  // Deprecated: pre-unification argument order (options last); use the
-  // opts-before-out overload.
-  void SampleBatch(const CoverPlan& plan, Rng* rng, ScratchArena* arena,
-                   std::vector<size_t>* out, const BatchOptions& opts) const;
-
   // Theorem 6: the cover may overshoot the true result; every candidate
   // position is filtered through `accepts`, and rejected draws are retried
   // until `s` samples pass. Expected O(|cover| + s) when the cover is a
@@ -93,13 +88,6 @@ class CoverageEngine {
                            FunctionRef<bool(size_t)> accepts, Rng* rng,
                            ScratchArena* arena,
                            std::vector<size_t>* out) const;
-
-  // Deprecated: pre-unification argument order (options last); use the
-  // opts-before-out overload.
-  void SampleWithRejection(std::span<const CoverRange> cover, size_t s,
-                           FunctionRef<bool(size_t)> accepts, Rng* rng,
-                           ScratchArena* arena, std::vector<size_t>* out,
-                           const BatchOptions& opts) const;
 
   // Convenience overload using the engine's thread-local arena.
   void SampleWithRejection(std::span<const CoverRange> cover, size_t s,

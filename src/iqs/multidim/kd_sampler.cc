@@ -32,13 +32,6 @@ void KdTreeSampler::QueryBatch(std::span<const RectBatchQuery> queries,
   QueryBatch(queries, rng, arena, BatchOptions{}, result);
 }
 
-void KdTreeSampler::QueryBatch(std::span<const RectBatchQuery> queries,
-                               Rng* rng, ScratchArena* arena,
-                               PointBatchResult* result,
-                               const BatchOptions& opts) const {
-  QueryBatch(queries, rng, arena, opts, result);
-}
-
 bool KdTreeSampler::QueryDisk(const Point2& center, double radius, size_t s,
                               Rng* rng, std::vector<Point2>* out) const {
   std::vector<CoverRange> cover;

@@ -52,12 +52,6 @@ class KdTreeSampler {
   void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
                   ScratchArena* arena, PointBatchResult* result) const;
 
-  // Deprecated: pre-unification argument order (options last); use the
-  // opts-before-result overload.
-  void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
-                  ScratchArena* arena, PointBatchResult* result,
-                  const BatchOptions& opts) const;
-
   // Same for the disk dist(center, .) <= radius, using the exact cover.
   bool QueryDisk(const Point2& center, double radius, size_t s, Rng* rng,
                  std::vector<Point2>* out) const;

@@ -164,11 +164,4 @@ void KdTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
   QueryBatch(queries, rng, arena, BatchOptions{}, result);
 }
 
-void KdTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
-                                 Rng* rng, ScratchArena* arena,
-                                 BatchResult* result,
-                                 const BatchOptions& opts) const {
-  QueryBatch(queries, rng, arena, opts, result);
-}
-
 }  // namespace iqs::multidim

@@ -140,12 +140,6 @@ class KdTreeNdSampler {
   void QueryBatch(std::span<const BoxBatchQuery> queries, Rng* rng,
                   ScratchArena* arena, BatchResult* result) const;
 
-  // Deprecated: pre-unification argument order (options last); use the
-  // opts-before-result overload.
-  void QueryBatch(std::span<const BoxBatchQuery> queries, Rng* rng,
-                  ScratchArena* arena, BatchResult* result,
-                  const BatchOptions& opts) const;
-
   const KdTreeNd& tree() const { return tree_; }
 
   size_t MemoryBytes() const {

@@ -104,16 +104,6 @@ void ServeRectBatch(const Tree& tree, const CoverageEngine& engine,
   }
 }
 
-// Deprecated: pre-unification argument order (options last); use the
-// opts-before-result overload.
-template <typename Tree>
-void ServeRectBatch(const Tree& tree, const CoverageEngine& engine,
-                    std::span<const RectBatchQuery> queries, Rng* rng,
-                    ScratchArena* arena, PointBatchResult* result,
-                    const BatchOptions& opts = {}) {
-  ServeRectBatch(tree, engine, queries, rng, arena, opts, result);
-}
-
 }  // namespace internal
 
 }  // namespace iqs::multidim

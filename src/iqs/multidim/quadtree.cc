@@ -152,13 +152,6 @@ void QuadtreeSampler::QueryBatch(std::span<const RectBatchQuery> queries,
   QueryBatch(queries, rng, arena, BatchOptions{}, result);
 }
 
-void QuadtreeSampler::QueryBatch(std::span<const RectBatchQuery> queries,
-                                 Rng* rng, ScratchArena* arena,
-                                 PointBatchResult* result,
-                                 const BatchOptions& opts) const {
-  QueryBatch(queries, rng, arena, opts, result);
-}
-
 bool QuadtreeSampler::QueryRect(const Rect& q, size_t s, Rng* rng,
                                 std::vector<Point2>* out) const {
   std::vector<CoverRange> cover;

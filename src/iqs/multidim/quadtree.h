@@ -93,12 +93,6 @@ class QuadtreeSampler {
   void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
                   ScratchArena* arena, PointBatchResult* result) const;
 
-  // Deprecated: pre-unification argument order (options last); use the
-  // opts-before-result overload.
-  void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
-                  ScratchArena* arena, PointBatchResult* result,
-                  const BatchOptions& opts) const;
-
   const Quadtree& tree() const { return tree_; }
 
   size_t MemoryBytes() const {

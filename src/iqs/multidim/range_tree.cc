@@ -224,13 +224,6 @@ void RangeTree2DSampler::QueryBatch(std::span<const RectBatchQuery> queries,
 
 void RangeTree2DSampler::QueryBatch(std::span<const RectBatchQuery> queries,
                                     Rng* rng, ScratchArena* arena,
-                                    PointBatchResult* result,
-                                    const BatchOptions& opts) const {
-  QueryBatch(queries, rng, arena, opts, result);
-}
-
-void RangeTree2DSampler::QueryBatch(std::span<const RectBatchQuery> queries,
-                                    Rng* rng, ScratchArena* arena,
                                     const BatchOptions& opts,
                                     PointBatchResult* result) const {
   const uint64_t start_ns = opts.telemetry != nullptr ? TelemetryNowNs() : 0;

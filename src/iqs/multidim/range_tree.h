@@ -64,12 +64,6 @@ class RangeTree2DSampler {
   void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
                   ScratchArena* arena, PointBatchResult* result) const;
 
-  // Deprecated: pre-unification argument order (options last); use the
-  // opts-before-result overload.
-  void QueryBatch(std::span<const RectBatchQuery> queries, Rng* rng,
-                  ScratchArena* arena, PointBatchResult* result,
-                  const BatchOptions& opts) const;
-
   // Reporting oracle for tests.
   void Report(const Rect& q, std::vector<size_t>* out) const;
 

@@ -202,13 +202,6 @@ void RangeTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
 
 void RangeTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
                                     Rng* rng, ScratchArena* arena,
-                                    BatchResult* result,
-                                    const BatchOptions& opts) const {
-  QueryBatch(queries, rng, arena, opts, result);
-}
-
-void RangeTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
-                                    Rng* rng, ScratchArena* arena,
                                     const BatchOptions& opts,
                                     BatchResult* result) const {
   const uint64_t start_ns = opts.telemetry != nullptr ? TelemetryNowNs() : 0;

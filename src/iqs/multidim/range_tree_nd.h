@@ -67,12 +67,6 @@ class RangeTreeNdSampler {
   void QueryBatch(std::span<const BoxBatchQuery> queries, Rng* rng,
                   ScratchArena* arena, BatchResult* result) const;
 
-  // Deprecated: pre-unification argument order (options last); use the
-  // opts-before-result overload.
-  void QueryBatch(std::span<const BoxBatchQuery> queries, Rng* rng,
-                  ScratchArena* arena, BatchResult* result,
-                  const BatchOptions& opts) const;
-
   // Reporting oracle (brute force; for tests).
   void Report(const BoxNd& q, std::vector<size_t>* out) const;
 

@@ -101,27 +101,7 @@ void AugRangeSampler::DrawGroupedAlias(const CoverPlan& plan,
   }
   IQS_DCHECK(d == total);
 
-  // Small enough that every urn line prefetched in the first pass is
-  // still resident when the second pass reads it.
-  constexpr size_t kBlock = 256;
-  const std::span<uint64_t> urn_idx = arena->Alloc<uint64_t>(kBlock);
-  const std::span<double> coins = arena->Alloc<double>(kBlock);
-  for (size_t start = 0; start < total; start += kBlock) {
-    const size_t m = std::min(kBlock, total - start);
-    rng->FillDoubles(coins.first(m));
-    for (size_t i = 0; i < m; ++i) {
-      const AliasTable* table = tables[start + i];
-      if (table == nullptr) continue;
-      urn_idx[i] = rng->Below(table->size());
-      table->PrefetchUrn(urn_idx[i]);
-    }
-    for (size_t i = 0; i < m; ++i) {
-      const AliasTable* table = tables[start + i];
-      dst[base + start + i] =
-          bases[start + i] +
-          (table == nullptr ? 0 : table->SampleAt(urn_idx[i], coins[i]));
-    }
-  }
+  AliasTable::SampleTargets(tables, bases, rng, dst.subspan(base, total));
 }
 
 void AugRangeSampler::QueryPositionsBatch(

@@ -184,28 +184,17 @@ void ChunkedRangeSampler::QueryPositionsBatch(
                 std::span<const PositionQuery>(&middle, 1), qrng, wa,
                 &chunk_draws);
             IQS_DCHECK(chunk_draws.size() == count);
-            const std::span<size_t> qdst = dst.subspan(split.offsets[g], count);
-            constexpr size_t kBlock = 256;
-            const std::span<uint64_t> urn_idx = wa->Alloc<uint64_t>(kBlock);
-            const std::span<double> coins = wa->Alloc<double>(kBlock);
-            for (size_t start = 0; start < count; start += kBlock) {
-              const size_t m = std::min(kBlock, count - start);
-              qrng->FillDoubles(coins.first(m));
-              for (size_t i = 0; i < m; ++i) {
-                __builtin_prefetch(&chunk_alias_[chunk_draws[start + i]]);
-              }
-              for (size_t i = 0; i < m; ++i) {
-                const AliasTable& table = chunk_alias_[chunk_draws[start + i]];
-                urn_idx[i] = qrng->Below(table.size());
-                table.PrefetchUrn(urn_idx[i]);
-              }
-              for (size_t i = 0; i < m; ++i) {
-                const size_t chunk = chunk_draws[start + i];
-                qdst[start + i] =
-                    ChunkStart(chunk) +
-                    chunk_alias_[chunk].SampleAt(urn_idx[i], coins[i]);
-              }
+            const std::span<const AliasTable*> tables =
+                wa->Alloc<const AliasTable*>(count);
+            const std::span<size_t> bases = wa->Alloc<size_t>(count);
+            for (size_t i = 0; i < count; ++i) {
+              const size_t chunk = chunk_draws[i];
+              tables[i] = &chunk_alias_[chunk];
+              __builtin_prefetch(tables[i]);
+              bases[i] = ChunkStart(chunk);
             }
+            AliasTable::SampleTargets(tables, bases, qrng,
+                                      dst.subspan(split.offsets[g], count));
           }
         },
         out);
@@ -261,26 +250,22 @@ void ChunkedRangeSampler::QueryPositionsBatch(
                                           &chunk_draws);
         IQS_DCHECK(chunk_draws.size() == middle_total);
 
-        constexpr size_t kBlock = 256;
-        const std::span<uint64_t> urn_idx = arena->Alloc<uint64_t>(kBlock);
-        const std::span<double> coins = arena->Alloc<double>(kBlock);
-        for (size_t start = 0; start < middle_total; start += kBlock) {
-          const size_t m = std::min(kBlock, middle_total - start);
-          rng->FillDoubles(coins.first(m));
-          for (size_t i = 0; i < m; ++i) {
-            __builtin_prefetch(&chunk_alias_[chunk_draws[start + i]]);
-          }
-          for (size_t i = 0; i < m; ++i) {
-            const AliasTable& table = chunk_alias_[chunk_draws[start + i]];
-            urn_idx[i] = rng->Below(table.size());
-            table.PrefetchUrn(urn_idx[i]);
-          }
-          for (size_t i = 0; i < m; ++i) {
-            const size_t chunk = chunk_draws[start + i];
-            dst[middle_dst[start + i]] =
-                ChunkStart(chunk) +
-                chunk_alias_[chunk].SampleAt(urn_idx[i], coins[i]);
-          }
+        // Draw contiguously through the shared pipeline, then scatter to
+        // each middle draw's slot (the scatter consumes no randomness).
+        const std::span<const AliasTable*> tables =
+            arena->Alloc<const AliasTable*>(middle_total);
+        const std::span<size_t> bases = arena->Alloc<size_t>(middle_total);
+        for (size_t i = 0; i < middle_total; ++i) {
+          const size_t chunk = chunk_draws[i];
+          tables[i] = &chunk_alias_[chunk];
+          __builtin_prefetch(tables[i]);
+          bases[i] = ChunkStart(chunk);
+        }
+        const std::span<size_t> middle_out =
+            arena->Alloc<size_t>(middle_total);
+        AliasTable::SampleTargets(tables, bases, rng, middle_out);
+        for (size_t i = 0; i < middle_total; ++i) {
+          dst[middle_dst[i]] = middle_out[i];
         }
       },
       out);

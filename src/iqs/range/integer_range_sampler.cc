@@ -144,13 +144,6 @@ void IntegerRangeSampler::QueryBatch(std::span<const IntegerBatchQuery> queries,
 
 void IntegerRangeSampler::QueryBatch(std::span<const IntegerBatchQuery> queries,
                                      Rng* rng, ScratchArena* arena,
-                                     BatchResult* result,
-                                     const BatchOptions& opts) const {
-  QueryBatch(queries, rng, arena, opts, result);
-}
-
-void IntegerRangeSampler::QueryBatch(std::span<const IntegerBatchQuery> queries,
-                                     Rng* rng, ScratchArena* arena,
                                      const BatchOptions& opts,
                                      BatchResult* result) const {
   const uint64_t start_ns = opts.telemetry != nullptr ? TelemetryNowNs() : 0;

@@ -99,12 +99,6 @@ class IntegerRangeSampler {
   void QueryBatch(std::span<const IntegerBatchQuery> queries, Rng* rng,
                   ScratchArena* arena, BatchResult* result) const;
 
-  // Deprecated: pre-unification argument order (options last); use the
-  // opts-before-result overload.
-  void QueryBatch(std::span<const IntegerBatchQuery> queries, Rng* rng,
-                  ScratchArena* arena, BatchResult* result,
-                  const BatchOptions& opts) const;
-
   uint64_t key_at(size_t position) const { return keys_[position]; }
   size_t n() const { return keys_.size(); }
 

@@ -41,12 +41,6 @@ void RangeSampler::QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
 }
 
 void RangeSampler::QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
-                              ScratchArena* arena, BatchResult* result,
-                              const BatchOptions& opts) const {
-  QueryBatch(queries, rng, arena, opts, result);
-}
-
-void RangeSampler::QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
                               ScratchArena* arena, const BatchOptions& opts,
                               BatchResult* result) const {
   const uint64_t start_ns = opts.telemetry != nullptr ? TelemetryNowNs() : 0;

@@ -123,12 +123,6 @@ class RangeSampler {
   void QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
                   ScratchArena* arena, BatchResult* result) const;
 
-  // Deprecated: pre-unification argument order (options last); use the
-  // opts-before-result overload.
-  void QueryBatch(std::span<const BatchQuery> queries, Rng* rng,
-                  ScratchArena* arena, BatchResult* result,
-                  const BatchOptions& opts) const;
-
   // Position-space batch hook, in the canonical argument order. Appends,
   // for each query in order, exactly q.s sampled positions to `out`
   // (contiguous per query). With sequential opts the base implementation
@@ -149,14 +143,6 @@ class RangeSampler {
                            ScratchArena* arena,
                            std::vector<size_t>* out) const {
     QueryPositionsBatch(queries, rng, arena, BatchOptions{}, out);
-  }
-
-  // Deprecated: pre-unification argument order (options last); use the
-  // opts-before-out overload.
-  void QueryPositionsBatch(std::span<const PositionQuery> queries, Rng* rng,
-                           ScratchArena* arena, std::vector<size_t>* out,
-                           const BatchOptions& opts) const {
-    QueryPositionsBatch(queries, rng, arena, opts, out);
   }
 
   // Heap footprint, for the space experiment (DESIGN.md E4).

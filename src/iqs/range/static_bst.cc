@@ -1,6 +1,10 @@
 #include "iqs/range/static_bst.h"
 
+#include <cstddef>
 #include <limits>
+
+#include "iqs/simd/dispatch.h"
+#include "iqs/simd/kernels.h"
 
 namespace iqs {
 
@@ -110,6 +114,12 @@ size_t StaticBst::DescendToLeaves(std::span<NodeId> lanes, Rng* rng,
   if (lanes.empty()) return 0;
   size_t steps = 0;
   const Node* nodes = nodes_.data();
+  // The SIMD kernels gather node fields as raw bytes; pin the layout they
+  // assume (simd/kernels.h).
+  static_assert(sizeof(Node) == simd::kNodeStride);
+  static_assert(offsetof(Node, weight) == simd::kNodeWeightOffset);
+  static_assert(offsetof(Node, left) == simd::kNodeLeftOffset);
+  static_assert(kNullNode == simd::kNullNodeId);
   // Level-synchronous descent: every pass advances all still-internal
   // lanes one level, drawing the pass's randomness in one block and
   // prefetching each lane's next node so the node loads of the following
@@ -117,6 +127,30 @@ size_t StaticBst::DescendToLeaves(std::span<NodeId> lanes, Rng* rng,
   // processed in fixed-size chunks — memory-level parallelism saturates
   // well below kLaneBlock, and the chunk bounds the scratch footprint.
   constexpr size_t kLaneBlock = 2048;
+#if IQS_SIMD_HAVE_AVX2 || IQS_SIMD_HAVE_NEON
+  if (lanes.size() >= simd::kDescendDispatchMin) {
+    const simd::Backend backend = simd::ActiveBackend();
+    if (backend != simd::Backend::kScalar) {
+      for (size_t start = 0; start < lanes.size(); start += kLaneBlock) {
+        const std::span<NodeId> block =
+            lanes.subspan(start, std::min(kLaneBlock, lanes.size() - start));
+#if IQS_SIMD_HAVE_AVX2
+        if (backend == simd::Backend::kAvx2) {
+          steps += simd::DescendLanesAvx2(rng->Next64(), nodes, block);
+          continue;
+        }
+#endif
+#if IQS_SIMD_HAVE_NEON
+        if (backend == simd::Backend::kNeon) {
+          steps += simd::DescendLanesNeon(rng->Next64(), nodes, block);
+          continue;
+        }
+#endif
+      }
+      return steps;
+    }
+  }
+#endif
   const std::span<double> rnd =
       arena->Alloc<double>(std::min(lanes.size(), kLaneBlock));
   for (size_t start = 0; start < lanes.size(); start += kLaneBlock) {

@@ -105,6 +105,12 @@ class StaticBst {
   // parallelism on the batched serving path. Returns the number of
   // lane-level descent steps taken (the node loads that dominate the 1-d
   // hot path), which callers feed into QueryStats::nodes_visited.
+  //
+  // Under a SIMD backend (simd/dispatch.h) each lane chunk descends
+  // breadth-synchronously in vector registers — weight/child gathers and
+  // the left/right select all in-lane, one Rng word per chunk as the lane
+  // seed. Same per-lane law (chi-squared in simd_kernels_test); the
+  // scalar backend keeps the bit-stable blocked loop.
   size_t DescendToLeaves(std::span<NodeId> lanes, Rng* rng,
                          ScratchArena* arena) const;
 

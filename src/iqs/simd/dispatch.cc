@@ -1,0 +1,110 @@
+#include "iqs/simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "iqs/util/check.h"
+
+#if IQS_SIMD_HAVE_NEON && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_ASIMD
+#define HWCAP_ASIMD (1 << 1)
+#endif
+#endif
+
+namespace iqs::simd {
+
+namespace {
+
+bool CpuSupports(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+#if IQS_SIMD_HAVE_AVX2
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+#if IQS_SIMD_HAVE_NEON
+#if defined(__linux__)
+      return (getauxval(AT_HWCAP) & HWCAP_ASIMD) != 0;
+#else
+      return true;  // AdvSIMD is architecturally mandatory on aarch64.
+#endif
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Backend DetectBackend() {
+  const char* force_scalar = std::getenv("IQS_FORCE_SCALAR");
+  if (force_scalar != nullptr && force_scalar[0] != '\0') {
+    return Backend::kScalar;
+  }
+  if (CpuSupports(Backend::kAvx2)) return Backend::kAvx2;
+  if (CpuSupports(Backend::kNeon)) return Backend::kNeon;
+  return Backend::kScalar;
+}
+
+// -1 = no override; otherwise the int value of the forced Backend.
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+Backend ActiveBackend() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Backend>(forced);
+  static const Backend detected = DetectBackend();
+  return detected;
+}
+
+bool BackendAvailable(Backend backend) { return CpuSupports(backend); }
+
+void ForceBackend(Backend backend) {
+  IQS_CHECK(BackendAvailable(backend));
+  g_forced.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+void ClearForcedBackend() { g_forced.store(-1, std::memory_order_relaxed); }
+
+std::string_view BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::string_view BackendMaskName(uint64_t mask) {
+  // Masks are tiny (3 bits); enumerate the combinations so callers get a
+  // stable string_view with no allocation.
+  switch (mask & 7) {
+    case 0:
+      return "none";
+    case 1:
+      return "scalar";
+    case 2:
+      return "avx2";
+    case 3:
+      return "scalar+avx2";
+    case 4:
+      return "neon";
+    case 5:
+      return "scalar+neon";
+    case 6:
+      return "avx2+neon";
+    case 7:
+      return "scalar+avx2+neon";
+  }
+  return "none";
+}
+
+}  // namespace iqs::simd

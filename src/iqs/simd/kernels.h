@@ -1,0 +1,157 @@
+// Vector kernel entry points (AVX2 / NEON). Intrinsics live only in the
+// per-backend TUs (kernels_avx2.cc, kernels_neon.cc); this header is
+// portable so it can sit in the umbrella and compile standalone anywhere.
+//
+// Call-site contract (enforced by the dispatch points in rng.cc,
+// alias_table.cc, quantized_alias.cc, static_bst.cc):
+//   * A kernel is only called when ActiveBackend() names its backend,
+//     which implies the CPU supports it.
+//   * `seed` is one word of the caller's Rng stream (rng->Next64());
+//     the kernel expands it via lanes.h. Per-element output law matches
+//     the scalar path (proven by chi-square in simd_kernels_test); the
+//     byte stream does NOT match scalar — see simd/dispatch.h.
+//   * Structure memory is passed as untyped bytes plus the layout
+//     constants below, so kernels gather from the exact arrays the
+//     scalar paths read without aliasing through private struct types.
+//
+// Byte layouts (static_asserted against the real structs at each call
+// site):
+//   Alias urn   16-byte stride: f64 primary_prob @0, u32 primary @8,
+//               u32 alias @12  (AliasTable::Urn).
+//   Bst node    24-byte stride: f64 weight @0, u32 left @8
+//               (StaticBst::Node; left == 0xFFFFFFFF marks a leaf).
+
+#ifndef IQS_SIMD_KERNELS_H_
+#define IQS_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "iqs/simd/dispatch.h"
+
+namespace iqs::simd {
+
+// Layout constants for the untyped structure arrays.
+inline constexpr size_t kUrnStride = 16;
+inline constexpr size_t kUrnProbOffset = 0;
+inline constexpr size_t kUrnPrimaryOffset = 8;
+inline constexpr size_t kUrnAliasOffset = 12;
+inline constexpr size_t kNodeStride = 24;
+inline constexpr size_t kNodeWeightOffset = 0;
+inline constexpr size_t kNodeLeftOffset = 8;
+inline constexpr uint32_t kNullNodeId = ~uint32_t{0};
+
+// Field readers for the scalar tail/patch loops inside the kernel TUs
+// (memcpy keeps the untyped access well-defined).
+inline double UrnProb(const void* urns, uint64_t i) {
+  double prob;
+  std::memcpy(&prob,
+              static_cast<const char*>(urns) + i * kUrnStride + kUrnProbOffset,
+              sizeof(prob));
+  return prob;
+}
+inline uint32_t UrnPrimary(const void* urns, uint64_t i) {
+  uint32_t v;
+  std::memcpy(
+      &v, static_cast<const char*>(urns) + i * kUrnStride + kUrnPrimaryOffset,
+      sizeof(v));
+  return v;
+}
+inline uint32_t UrnAlias(const void* urns, uint64_t i) {
+  uint32_t v;
+  std::memcpy(&v,
+              static_cast<const char*>(urns) + i * kUrnStride + kUrnAliasOffset,
+              sizeof(v));
+  return v;
+}
+inline double NodeWeight(const void* nodes, uint64_t i) {
+  double w;
+  std::memcpy(
+      &w, static_cast<const char*>(nodes) + i * kNodeStride + kNodeWeightOffset,
+      sizeof(w));
+  return w;
+}
+inline uint32_t NodeLeft(const void* nodes, uint64_t i) {
+  uint32_t v;
+  std::memcpy(
+      &v, static_cast<const char*>(nodes) + i * kNodeStride + kNodeLeftOffset,
+      sizeof(v));
+  return v;
+}
+
+// Dispatch thresholds: below these sizes the lane-seeding overhead (17 or
+// 21 SplitMix64 words) exceeds the vector win and call sites stay scalar.
+inline constexpr size_t kFillDispatchMin = 64;
+inline constexpr size_t kAliasDispatchMin = 32;
+inline constexpr size_t kDescendDispatchMin = 16;
+
+#if IQS_SIMD_HAVE_AVX2
+
+// Fills `out` with independent uniform doubles in [0, 1) (52-bit grid).
+void FillDoublesAvx2(uint64_t seed, std::span<double> out);
+
+// Fills `out` with independent uniform integers in [0, bound); exact
+// Lemire acceptance (one threshold divide per call).
+void FillBelowAvx2(uint64_t seed, uint64_t bound, std::span<uint64_t> out);
+
+// Fused alias-table block: out[i] = base + one weighted draw from the
+// `num_urns`-urn table at `urns` (urn pick, coin, gather, compare-blend
+// all in-register).
+void AliasBlockAvx2(uint64_t seed, const void* urns, uint64_t num_urns,
+                    size_t base, std::span<size_t> out);
+
+// Heterogeneous alias pass: out[i] = bases[i] + one draw from the table
+// at urn_ptrs[i] with bounds[i] urns. Gathers through per-lane table
+// addresses; a draw's urn pick rejects (and patches through the scalar
+// lane, exactly) whenever low64(v * bound) < bound — a superset of the
+// exact Lemire threshold that skips the per-lane divide. The direct-
+// accept law deviates from uniform by < bounds[i] * 2^-64 relative
+// (~2^-40 for realistic tables), far below chi-square resolution.
+// urn_ptrs[i] may be null: out[i] = bases[i] (degenerate single-leaf
+// group), consuming no urn randomness for that lane in the scalar path
+// sense — the vector path still burns its lane step.
+void AliasTargetsAvx2(uint64_t seed, const void* const* urn_ptrs,
+                      const uint64_t* bounds, const size_t* bases,
+                      std::span<size_t> out);
+
+// Quantized alias block: urn i returns i with probability
+// prob_q16[i] / 2^16, else alias[i]; out[i] = base + draw. `prob_q16`
+// must be padded with one sentinel element past num_urns (32-bit
+// gathers read 4 bytes from offset 2 * urn).
+void QuantizedBlockAvx2(uint64_t seed, const uint16_t* prob_q16,
+                        const uint32_t* alias, uint64_t num_urns, size_t base,
+                        std::span<size_t> out);
+
+// Level-synchronous weighted descent over a StaticBst node array: each
+// lane starts at lanes[i] and is replaced by a sampled leaf id (law of
+// StaticBst::SampleLeaf). Returns lane-level descent steps counted the
+// way the scalar kernel counts them (lanes.size() per level pass).
+size_t DescendLanesAvx2(uint64_t seed, const void* nodes,
+                        std::span<uint32_t> lanes);
+
+#endif  // IQS_SIMD_HAVE_AVX2
+
+#if IQS_SIMD_HAVE_NEON
+
+// NEON twins of the AVX2 kernels (2-lane; per-lane loads instead of
+// gathers). Same contracts as above.
+void FillDoublesNeon(uint64_t seed, std::span<double> out);
+void FillBelowNeon(uint64_t seed, uint64_t bound, std::span<uint64_t> out);
+void AliasBlockNeon(uint64_t seed, const void* urns, uint64_t num_urns,
+                    size_t base, std::span<size_t> out);
+void AliasTargetsNeon(uint64_t seed, const void* const* urn_ptrs,
+                      const uint64_t* bounds, const size_t* bases,
+                      std::span<size_t> out);
+void QuantizedBlockNeon(uint64_t seed, const uint16_t* prob_q16,
+                        const uint32_t* alias, uint64_t num_urns, size_t base,
+                        std::span<size_t> out);
+size_t DescendLanesNeon(uint64_t seed, const void* nodes,
+                        std::span<uint32_t> lanes);
+
+#endif  // IQS_SIMD_HAVE_NEON
+
+}  // namespace iqs::simd
+
+#endif  // IQS_SIMD_KERNELS_H_

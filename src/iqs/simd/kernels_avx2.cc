@@ -1,0 +1,392 @@
+// AVX2 backend: 4-lane xoshiro256++ with gather-based table kernels.
+// This TU is compiled with -mavx2 (see src/CMakeLists.txt); it is only
+// ENTERED after dispatch.cc's CPUID check, so building it into the
+// library on every x86-64 is safe.
+
+#include "iqs/simd/kernels.h"
+
+#if IQS_SIMD_HAVE_AVX2 && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "iqs/simd/lanes.h"
+#include "iqs/util/check.h"
+
+namespace iqs::simd {
+
+namespace {
+
+constexpr int kLanes = 4;
+
+// Four xoshiro256++ lanes, one state word per register (word-major), plus
+// the scalar tail/patch lane — all derived from one block seed (lanes.h).
+struct VecRng {
+  __m256i s0, s1, s2, s3;
+  XoshiroLane tail;
+
+  explicit VecRng(uint64_t seed) {
+    alignas(32) uint64_t w[4][kLanes];
+    uint64_t* words[4] = {w[0], w[1], w[2], w[3]};
+    tail = SeedLanes(seed, kLanes, words);
+    s0 = _mm256_load_si256(reinterpret_cast<const __m256i*>(w[0]));
+    s1 = _mm256_load_si256(reinterpret_cast<const __m256i*>(w[1]));
+    s2 = _mm256_load_si256(reinterpret_cast<const __m256i*>(w[2]));
+    s3 = _mm256_load_si256(reinterpret_cast<const __m256i*>(w[3]));
+  }
+
+  static __m256i Rotl(__m256i x, int k) {
+    return _mm256_or_si256(_mm256_slli_epi64(x, k),
+                           _mm256_srli_epi64(x, 64 - k));
+  }
+
+  // One xoshiro256++ step of all four lanes.
+  __m256i Next4() {
+    const __m256i result =
+        _mm256_add_epi64(Rotl(_mm256_add_epi64(s0, s3), 23), s0);
+    const __m256i t = _mm256_slli_epi64(s1, 17);
+    s2 = _mm256_xor_si256(s2, s0);
+    s3 = _mm256_xor_si256(s3, s1);
+    s1 = _mm256_xor_si256(s1, s2);
+    s0 = _mm256_xor_si256(s0, s3);
+    s2 = _mm256_xor_si256(s2, t);
+    s3 = Rotl(s3, 45);
+    return result;
+  }
+};
+
+// Uniform [0, 1) on the 52-bit grid: (v >> 12) | exp(1.0) reinterprets as
+// 1.m in [1, 2), minus 1.0 — both steps exact, value == (v >> 12) * 2^-52.
+__m256d ToUnitDoubles(__m256i v) {
+  const __m256i mant =
+      _mm256_or_si256(_mm256_srli_epi64(v, 12),
+                      _mm256_set1_epi64x(0x3FF0000000000000LL));
+  return _mm256_sub_pd(_mm256_castsi256_pd(mant), _mm256_set1_pd(1.0));
+}
+
+// Unsigned 64-bit a < b per lane (AVX2 only has signed compares).
+__m256i CmpLtU64(__m256i a, __m256i b) {
+  const __m256i sign = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(b, sign),
+                            _mm256_xor_si256(a, sign));
+}
+
+// Full 64x64 -> 128 unsigned product per lane from 32-bit partials
+// (_mm256_mul_epu32 multiplies the low halves); returns the high 64 bits
+// and writes the low 64 to *lo_out.
+__m256i MulHiLo64(__m256i a, __m256i b, __m256i* lo_out) {
+  const __m256i mask32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i t = _mm256_mul_epu32(a, b);       // lo(a) * lo(b)
+  const __m256i u = _mm256_mul_epu32(a_hi, b);    // hi(a) * lo(b)
+  const __m256i w = _mm256_mul_epu32(a, b_hi);    // lo(a) * hi(b)
+  const __m256i hh = _mm256_mul_epu32(a_hi, b_hi);
+  // mid collects bits 32..63 of the product plus carries; <= 3 * (2^32-1)
+  // so it fits without overflow.
+  const __m256i mid = _mm256_add_epi64(
+      _mm256_srli_epi64(t, 32),
+      _mm256_add_epi64(_mm256_and_si256(u, mask32),
+                       _mm256_and_si256(w, mask32)));
+  *lo_out = _mm256_or_si256(_mm256_and_si256(t, mask32),
+                            _mm256_slli_epi64(mid, 32));
+  return _mm256_add_epi64(
+      hh, _mm256_add_epi64(
+              _mm256_srli_epi64(u, 32),
+              _mm256_add_epi64(_mm256_srli_epi64(w, 32),
+                               _mm256_srli_epi64(mid, 32))));
+}
+
+int MoveMask64(__m256i mask) {
+  return _mm256_movemask_pd(_mm256_castsi256_pd(mask));
+}
+
+// One exact scalar alias draw through the patch lane.
+size_t ScalarAliasDraw(XoshiroLane* lane, const void* urns,
+                       uint64_t num_urns) {
+  const uint64_t u = lane->Below(num_urns);
+  return lane->NextDouble52() < UrnProb(urns, u) ? UrnPrimary(urns, u)
+                                                 : UrnAlias(urns, u);
+}
+
+}  // namespace
+
+void FillDoublesAvx2(uint64_t seed, std::span<double> out) {
+  VecRng rng(seed);
+  size_t i = 0;
+  const size_t vec_end = out.size() & ~size_t{kLanes - 1};
+  for (; i < vec_end; i += kLanes) {
+    _mm256_storeu_pd(out.data() + i, ToUnitDoubles(rng.Next4()));
+  }
+  for (; i < out.size(); ++i) out[i] = rng.tail.NextDouble52();
+}
+
+void FillBelowAvx2(uint64_t seed, uint64_t bound, std::span<uint64_t> out) {
+  IQS_DCHECK(bound > 0);
+  VecRng rng(seed);
+  const uint64_t threshold = -bound % bound;
+  const __m256i vb = _mm256_set1_epi64x(static_cast<long long>(bound));
+  const __m256i vt = _mm256_set1_epi64x(static_cast<long long>(threshold));
+  size_t i = 0;
+  const size_t vec_end = out.size() & ~size_t{kLanes - 1};
+  for (; i < vec_end; i += kLanes) {
+    __m256i lo;
+    const __m256i hi = MulHiLo64(rng.Next4(), vb, &lo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out.data() + i), hi);
+    // Exact Lemire acceptance; rejected lanes (probability threshold /
+    // 2^64 each) redraw through the patch lane.
+    int rejected = MoveMask64(CmpLtU64(lo, vt));
+    while (rejected != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(rejected));
+      rejected &= rejected - 1;
+      out[i + static_cast<size_t>(lane)] = rng.tail.Below(bound);
+    }
+  }
+  for (; i < out.size(); ++i) out[i] = rng.tail.Below(bound);
+}
+
+void AliasBlockAvx2(uint64_t seed, const void* urns, uint64_t num_urns,
+                    size_t base, std::span<size_t> out) {
+  IQS_DCHECK(num_urns > 0);
+  VecRng rng(seed);
+  const char* bytes = static_cast<const char*>(urns);
+  const uint64_t threshold = -num_urns % num_urns;
+  const __m256i vb = _mm256_set1_epi64x(static_cast<long long>(num_urns));
+  const __m256i vt = _mm256_set1_epi64x(static_cast<long long>(threshold));
+  const __m256i vbase = _mm256_set1_epi64x(static_cast<long long>(base));
+  const __m256i mask32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  size_t i = 0;
+  const size_t vec_end = out.size() & ~size_t{kLanes - 1};
+  for (; i < vec_end; i += kLanes) {
+    __m256i lo;
+    const __m256i urn = MulHiLo64(rng.Next4(), vb, &lo);  // < num_urns
+    const __m256d coin = ToUnitDoubles(rng.Next4());
+    // Urn layout is 16 bytes: prob at +0, (primary | alias << 32) at +8;
+    // index urn * 2 at scale 8 walks the stride.
+    const __m256i idx2 = _mm256_slli_epi64(urn, 1);
+    const __m256d prob =
+        _mm256_i64gather_pd(reinterpret_cast<const double*>(bytes), idx2, 8);
+    const __m256i pair = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(bytes + kUrnPrimaryOffset), idx2,
+        8);
+    const __m256i primary = _mm256_and_si256(pair, mask32);
+    const __m256i alias = _mm256_srli_epi64(pair, 32);
+    const __m256i take_primary =
+        _mm256_castpd_si256(_mm256_cmp_pd(coin, prob, _CMP_LT_OQ));
+    const __m256i sel = _mm256_blendv_epi8(alias, primary, take_primary);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out.data() + i),
+                        _mm256_add_epi64(sel, vbase));
+    int rejected = MoveMask64(CmpLtU64(lo, vt));
+    while (rejected != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(rejected));
+      rejected &= rejected - 1;
+      out[i + static_cast<size_t>(lane)] =
+          base + ScalarAliasDraw(&rng.tail, urns, num_urns);
+    }
+  }
+  for (; i < out.size(); ++i) {
+    out[i] = base + ScalarAliasDraw(&rng.tail, urns, num_urns);
+  }
+}
+
+void AliasTargetsAvx2(uint64_t seed, const void* const* urn_ptrs,
+                      const uint64_t* bounds, const size_t* bases,
+                      std::span<size_t> out) {
+  VecRng rng(seed);
+  // Null-table lanes are steered at a dummy urn that always returns
+  // primary 0, so out[i] = bases[i] with no branches in the vector body.
+  struct UrnPod {
+    double prob;
+    uint32_t primary;
+    uint32_t alias;
+  };
+  static constexpr UrnPod kDummyUrn = {2.0, 0, 0};
+  static_assert(sizeof(UrnPod) == kUrnStride);
+  const __m256i vdummy = _mm256_set1_epi64x(
+      static_cast<long long>(reinterpret_cast<uintptr_t>(&kDummyUrn)));
+  const __m256i vone = _mm256_set1_epi64x(1);
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i mask32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  size_t i = 0;
+  const size_t vec_end = out.size() & ~size_t{kLanes - 1};
+  for (; i < vec_end; i += kLanes) {
+    __m256i addr = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(urn_ptrs + i));
+    __m256i vb = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bounds + i));
+    const __m256i is_null = _mm256_cmpeq_epi64(addr, vzero);
+    addr = _mm256_blendv_epi8(addr, vdummy, is_null);
+    vb = _mm256_blendv_epi8(vb, vone, is_null);
+    __m256i lo;
+    const __m256i urn = MulHiLo64(rng.Next4(), vb, &lo);
+    const __m256d coin = ToUnitDoubles(rng.Next4());
+    // Per-lane bounds make the exact Lemire threshold a divide per draw;
+    // instead reject on the superset low64 < bound and patch exactly —
+    // see the contract in kernels.h.
+    const int rejected0 = MoveMask64(CmpLtU64(lo, vb));
+    // Full 64-bit urn addresses: table base + urn * 16, gathered at
+    // scale 1 off a null base.
+    const __m256i ubyte =
+        _mm256_add_epi64(addr, _mm256_slli_epi64(urn, 4));
+    const __m256d prob = _mm256_i64gather_pd(
+        static_cast<const double*>(nullptr), ubyte, 1);
+    const __m256i pair = _mm256_i64gather_epi64(
+        static_cast<const long long*>(nullptr),
+        _mm256_add_epi64(ubyte, _mm256_set1_epi64x(kUrnPrimaryOffset)), 1);
+    const __m256i primary = _mm256_and_si256(pair, mask32);
+    const __m256i alias = _mm256_srli_epi64(pair, 32);
+    const __m256i take_primary =
+        _mm256_castpd_si256(_mm256_cmp_pd(coin, prob, _CMP_LT_OQ));
+    const __m256i sel = _mm256_blendv_epi8(alias, primary, take_primary);
+    const __m256i vbases = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bases + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out.data() + i),
+                        _mm256_add_epi64(sel, vbases));
+    int rejected = rejected0;
+    while (rejected != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(rejected));
+      rejected &= rejected - 1;
+      const size_t d = i + static_cast<size_t>(lane);
+      const void* table = urn_ptrs[d];
+      out[d] = bases[d] +
+               (table == nullptr
+                    ? 0
+                    : ScalarAliasDraw(&rng.tail, table, bounds[d]));
+    }
+  }
+  for (; i < out.size(); ++i) {
+    const void* table = urn_ptrs[i];
+    out[i] = bases[i] +
+             (table == nullptr ? 0
+                               : ScalarAliasDraw(&rng.tail, table, bounds[i]));
+  }
+}
+
+void QuantizedBlockAvx2(uint64_t seed, const uint16_t* prob_q16,
+                        const uint32_t* alias, uint64_t num_urns, size_t base,
+                        std::span<size_t> out) {
+  IQS_DCHECK(num_urns > 0);
+  VecRng rng(seed);
+  const uint64_t threshold = -num_urns % num_urns;
+  const __m256i vb = _mm256_set1_epi64x(static_cast<long long>(num_urns));
+  const __m256i vt = _mm256_set1_epi64x(static_cast<long long>(threshold));
+  const __m256i vbase = _mm256_set1_epi64x(static_cast<long long>(base));
+  const __m256i mask16 = _mm256_set1_epi64x(0xFFFFLL);
+  size_t i = 0;
+  const size_t vec_end = out.size() & ~size_t{kLanes - 1};
+  for (; i < vec_end; i += kLanes) {
+    __m256i lo;
+    const __m256i urn = MulHiLo64(rng.Next4(), vb, &lo);
+    const __m256i coin =
+        _mm256_srli_epi64(rng.Next4(), 48);  // 16-bit coin per lane
+    // prob_q16 is u16 at stride 2 (one sentinel element of padding lets
+    // the 4-byte gather read the last urn); alias is u32 at stride 4.
+    const __m128i prob32 = _mm256_i64gather_epi32(
+        reinterpret_cast<const int*>(prob_q16), urn, 2);
+    const __m128i alias32 = _mm256_i64gather_epi32(
+        reinterpret_cast<const int*>(alias), urn, 4);
+    const __m256i prob =
+        _mm256_and_si256(_mm256_cvtepu32_epi64(prob32), mask16);
+    const __m256i alias64 = _mm256_cvtepu32_epi64(alias32);
+    // coin < prob, both in [0, 2^16): signed compare is safe.
+    const __m256i take_primary = _mm256_cmpgt_epi64(prob, coin);
+    const __m256i sel = _mm256_blendv_epi8(alias64, urn, take_primary);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out.data() + i),
+                        _mm256_add_epi64(sel, vbase));
+    int rejected = MoveMask64(CmpLtU64(lo, vt));
+    while (rejected != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(rejected));
+      rejected &= rejected - 1;
+      const uint64_t u = rng.tail.Below(num_urns);
+      const uint16_t c = static_cast<uint16_t>(rng.tail.Next64() >> 48);
+      out[i + static_cast<size_t>(lane)] =
+          base + (c < prob_q16[u] ? u : alias[u]);
+    }
+  }
+  for (; i < out.size(); ++i) {
+    const uint64_t u = rng.tail.Below(num_urns);
+    const uint16_t c = static_cast<uint16_t>(rng.tail.Next64() >> 48);
+    out[i] = base + (c < prob_q16[u] ? u : alias[u]);
+  }
+}
+
+size_t DescendLanesAvx2(uint64_t seed, const void* nodes,
+                        std::span<uint32_t> lanes) {
+  VecRng rng(seed);
+  const char* bytes = static_cast<const char*>(nodes);
+  const __m256i vnull = _mm256_set1_epi64x(
+      static_cast<long long>(kNullNodeId));
+  const __m256i vone = _mm256_set1_epi64x(1);
+  const __m256i mask32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  const __m256i vones = _mm256_cmpeq_epi64(vone, vone);
+  const __m256i pack_lo32 = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  const size_t vec_end = lanes.size() & ~size_t{kLanes - 1};
+  size_t steps = 0;
+  // Level-synchronous: every pass advances all still-internal lanes one
+  // level; steps accounting matches the scalar kernel (whole span per
+  // pass). Finished lanes keep burning a coin per pass, as in scalar.
+  bool any_internal = true;
+  while (any_internal) {
+    any_internal = false;
+    steps += lanes.size();
+    size_t i = 0;
+    for (; i < vec_end; i += kLanes) {
+      const __m256i ids = _mm256_cvtepu32_epi64(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(lanes.data() + i)));
+      // Node byte offsets are id * 24 = (id * 3) * 8.
+      const __m256i idx3 =
+          _mm256_add_epi64(_mm256_slli_epi64(ids, 1), ids);
+      const __m256d weight = _mm256_i64gather_pd(
+          reinterpret_cast<const double*>(bytes), idx3, 8);
+      const __m256i leftword = _mm256_i64gather_epi64(
+          reinterpret_cast<const long long*>(bytes + kNodeLeftOffset), idx3,
+          8);
+      const __m256i left = _mm256_and_si256(leftword, mask32);
+      const __m256i is_leaf = _mm256_cmpeq_epi64(left, vnull);
+      const int internal = (~MoveMask64(is_leaf)) & 0xF;
+      const __m256d coin = ToUnitDoubles(rng.Next4());
+      if (internal == 0) continue;
+      any_internal = true;
+      // Left-child weight: masked gather so leaf lanes (left == null)
+      // never touch a wild address.
+      const __m256i lidx3 =
+          _mm256_add_epi64(_mm256_slli_epi64(left, 1), left);
+      const __m256d left_weight = _mm256_mask_i64gather_pd(
+          _mm256_setzero_pd(), reinterpret_cast<const double*>(bytes), lidx3,
+          _mm256_castsi256_pd(_mm256_xor_si256(is_leaf, vones)), 8);
+      const __m256d go_left =
+          _mm256_cmp_pd(_mm256_mul_pd(coin, weight), left_weight, _CMP_LT_OQ);
+      const __m256i next = _mm256_add_epi64(
+          left, _mm256_andnot_si256(_mm256_castpd_si256(go_left), vone));
+      const __m256i new_ids = _mm256_blendv_epi8(next, ids, is_leaf);
+      const __m128i packed = _mm256_castsi256_si128(
+          _mm256_permutevar8x32_epi32(new_ids, pack_lo32));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes.data() + i), packed);
+      int pending = internal;
+      while (pending != 0) {
+        const int lane = __builtin_ctz(static_cast<unsigned>(pending));
+        pending &= pending - 1;
+        __builtin_prefetch(bytes +
+                           uint64_t{lanes[i + static_cast<size_t>(lane)]} *
+                               kNodeStride);
+      }
+    }
+    for (; i < lanes.size(); ++i) {
+      const double coin = rng.tail.NextDouble52();
+      const uint32_t left = NodeLeft(bytes, lanes[i]);
+      if (left == kNullNodeId) continue;
+      const uint32_t next =
+          coin * NodeWeight(bytes, lanes[i]) < NodeWeight(bytes, left)
+              ? left
+              : left + 1;
+      __builtin_prefetch(bytes + uint64_t{next} * kNodeStride);
+      lanes[i] = next;
+      any_internal = true;
+    }
+  }
+  return steps;
+}
+
+}  // namespace iqs::simd
+
+#endif  // IQS_SIMD_HAVE_AVX2 && __AVX2__

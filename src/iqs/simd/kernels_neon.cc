@@ -1,0 +1,245 @@
+// NEON backend (aarch64): 2-lane xoshiro256++ vector generation with
+// per-lane table resolution — AdvSIMD has no gather, so the table kernels
+// vectorize the RNG and coin math and resolve urn/node loads per lane
+// (with the same software prefetch the scalar paths use).
+
+#include "iqs/simd/kernels.h"
+
+#if IQS_SIMD_HAVE_NEON && defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "iqs/simd/lanes.h"
+#include "iqs/util/check.h"
+
+namespace iqs::simd {
+
+namespace {
+
+constexpr int kLanes = 2;
+
+struct VecRng {
+  uint64x2_t s0, s1, s2, s3;
+  XoshiroLane tail;
+
+  explicit VecRng(uint64_t seed) {
+    uint64_t w[4][kLanes];
+    uint64_t* words[4] = {w[0], w[1], w[2], w[3]};
+    tail = SeedLanes(seed, kLanes, words);
+    s0 = vld1q_u64(w[0]);
+    s1 = vld1q_u64(w[1]);
+    s2 = vld1q_u64(w[2]);
+    s3 = vld1q_u64(w[3]);
+  }
+
+  template <int k>
+  static uint64x2_t Rotl(uint64x2_t x) {
+    return vorrq_u64(vshlq_n_u64(x, k), vshrq_n_u64(x, 64 - k));
+  }
+
+  uint64x2_t Next2() {
+    const uint64x2_t result = vaddq_u64(Rotl<23>(vaddq_u64(s0, s3)), s0);
+    const uint64x2_t t = vshlq_n_u64(s1, 17);
+    s2 = veorq_u64(s2, s0);
+    s3 = veorq_u64(s3, s1);
+    s1 = veorq_u64(s1, s2);
+    s0 = veorq_u64(s0, s3);
+    s2 = veorq_u64(s2, t);
+    s3 = Rotl<45>(s3);
+    return result;
+  }
+};
+
+// Uniform [0, 1) on the 52-bit grid; v >> 12 < 2^52 converts exactly.
+float64x2_t ToUnitDoubles(uint64x2_t v) {
+  return vmulq_n_f64(vcvtq_f64_u64(vshrq_n_u64(v, 12)), 0x1.0p-52);
+}
+
+// Exact Lemire resolve of one pre-drawn word; rejects through the patch
+// lane.
+uint64_t ResolveBelow(uint64_t x, uint64_t bound, uint64_t threshold,
+                      XoshiroLane* patch) {
+  const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  if (static_cast<uint64_t>(m) < threshold) return patch->Below(bound);
+  return static_cast<uint64_t>(m >> 64);
+}
+
+size_t ScalarAliasDraw(uint64_t urn_word, double coin, const void* urns,
+                       uint64_t num_urns, uint64_t threshold,
+                       XoshiroLane* patch) {
+  const uint64_t u = ResolveBelow(urn_word, num_urns, threshold, patch);
+  return coin < UrnProb(urns, u) ? UrnPrimary(urns, u) : UrnAlias(urns, u);
+}
+
+}  // namespace
+
+void FillDoublesNeon(uint64_t seed, std::span<double> out) {
+  VecRng rng(seed);
+  size_t i = 0;
+  const size_t vec_end = out.size() & ~size_t{kLanes - 1};
+  for (; i < vec_end; i += kLanes) {
+    vst1q_f64(out.data() + i, ToUnitDoubles(rng.Next2()));
+  }
+  for (; i < out.size(); ++i) out[i] = rng.tail.NextDouble52();
+}
+
+void FillBelowNeon(uint64_t seed, uint64_t bound, std::span<uint64_t> out) {
+  IQS_DCHECK(bound > 0);
+  VecRng rng(seed);
+  const uint64_t threshold = -bound % bound;
+  size_t i = 0;
+  const size_t vec_end = out.size() & ~size_t{kLanes - 1};
+  uint64_t words[kLanes];
+  for (; i < vec_end; i += kLanes) {
+    vst1q_u64(words, rng.Next2());
+    for (int l = 0; l < kLanes; ++l) {
+      out[i + static_cast<size_t>(l)] =
+          ResolveBelow(words[l], bound, threshold, &rng.tail);
+    }
+  }
+  for (; i < out.size(); ++i) out[i] = rng.tail.Below(bound);
+}
+
+void AliasBlockNeon(uint64_t seed, const void* urns, uint64_t num_urns,
+                    size_t base, std::span<size_t> out) {
+  IQS_DCHECK(num_urns > 0);
+  VecRng rng(seed);
+  const char* bytes = static_cast<const char*>(urns);
+  const uint64_t threshold = -num_urns % num_urns;
+  size_t i = 0;
+  const size_t vec_end = out.size() & ~size_t{kLanes - 1};
+  uint64_t words[kLanes];
+  double coins[kLanes];
+  uint64_t picks[kLanes];
+  for (; i < vec_end; i += kLanes) {
+    vst1q_u64(words, rng.Next2());
+    vst1q_f64(coins, ToUnitDoubles(rng.Next2()));
+    for (int l = 0; l < kLanes; ++l) {
+      picks[l] = ResolveBelow(words[l], num_urns, threshold, &rng.tail);
+      __builtin_prefetch(bytes + picks[l] * kUrnStride);
+    }
+    for (int l = 0; l < kLanes; ++l) {
+      const uint64_t u = picks[l];
+      out[i + static_cast<size_t>(l)] =
+          base + (coins[l] < UrnProb(bytes, u) ? UrnPrimary(bytes, u)
+                                               : UrnAlias(bytes, u));
+    }
+  }
+  for (; i < out.size(); ++i) {
+    vst1q_u64(words, rng.Next2());
+    vst1q_f64(coins, ToUnitDoubles(rng.Next2()));
+    out[i] = base + ScalarAliasDraw(words[0], coins[0], bytes, num_urns,
+                                    threshold, &rng.tail);
+  }
+}
+
+void AliasTargetsNeon(uint64_t seed, const void* const* urn_ptrs,
+                      const uint64_t* bounds, const size_t* bases,
+                      std::span<size_t> out) {
+  VecRng rng(seed);
+  size_t i = 0;
+  const size_t vec_end = out.size() & ~size_t{kLanes - 1};
+  uint64_t words[kLanes];
+  double coins[kLanes];
+  for (; i < vec_end; i += kLanes) {
+    vst1q_u64(words, rng.Next2());
+    vst1q_f64(coins, ToUnitDoubles(rng.Next2()));
+    for (int l = 0; l < kLanes; ++l) {
+      const size_t d = i + static_cast<size_t>(l);
+      const void* table = urn_ptrs[d];
+      if (table == nullptr) {
+        out[d] = bases[d];
+        continue;
+      }
+      const uint64_t bound = bounds[d];
+      out[d] = bases[d] + ScalarAliasDraw(words[l], coins[l], table, bound,
+                                          -bound % bound, &rng.tail);
+    }
+  }
+  for (; i < out.size(); ++i) {
+    vst1q_u64(words, rng.Next2());
+    vst1q_f64(coins, ToUnitDoubles(rng.Next2()));
+    const void* table = urn_ptrs[i];
+    if (table == nullptr) {
+      out[i] = bases[i];
+      continue;
+    }
+    const uint64_t bound = bounds[i];
+    out[i] = bases[i] + ScalarAliasDraw(words[0], coins[0], table, bound,
+                                        -bound % bound, &rng.tail);
+  }
+}
+
+void QuantizedBlockNeon(uint64_t seed, const uint16_t* prob_q16,
+                        const uint32_t* alias, uint64_t num_urns, size_t base,
+                        std::span<size_t> out) {
+  IQS_DCHECK(num_urns > 0);
+  VecRng rng(seed);
+  const uint64_t threshold = -num_urns % num_urns;
+  size_t i = 0;
+  const size_t vec_end = out.size() & ~size_t{kLanes - 1};
+  uint64_t words[kLanes];
+  uint64_t cwords[kLanes];
+  for (; i < vec_end; i += kLanes) {
+    vst1q_u64(words, rng.Next2());
+    vst1q_u64(cwords, vshrq_n_u64(rng.Next2(), 48));
+    for (int l = 0; l < kLanes; ++l) {
+      const uint64_t u =
+          ResolveBelow(words[l], num_urns, threshold, &rng.tail);
+      out[i + static_cast<size_t>(l)] =
+          base + (cwords[l] < prob_q16[u] ? u : alias[u]);
+    }
+  }
+  for (; i < out.size(); ++i) {
+    const uint64_t u = rng.tail.Below(num_urns);
+    const uint16_t c = static_cast<uint16_t>(rng.tail.Next64() >> 48);
+    out[i] = base + (c < prob_q16[u] ? u : alias[u]);
+  }
+}
+
+size_t DescendLanesNeon(uint64_t seed, const void* nodes,
+                        std::span<uint32_t> lanes) {
+  VecRng rng(seed);
+  const char* bytes = static_cast<const char*>(nodes);
+  const size_t vec_end = lanes.size() & ~size_t{kLanes - 1};
+  size_t steps = 0;
+  double coins[kLanes];
+  bool any_internal = true;
+  while (any_internal) {
+    any_internal = false;
+    steps += lanes.size();
+    size_t i = 0;
+    for (; i < vec_end; i += kLanes) {
+      vst1q_f64(coins, ToUnitDoubles(rng.Next2()));
+      for (int l = 0; l < kLanes; ++l) {
+        const size_t d = i + static_cast<size_t>(l);
+        const uint32_t left = NodeLeft(bytes, lanes[d]);
+        if (left == kNullNodeId) continue;
+        const uint32_t next =
+            coins[l] * NodeWeight(bytes, lanes[d]) < NodeWeight(bytes, left)
+                ? left
+                : left + 1;
+        __builtin_prefetch(bytes + uint64_t{next} * kNodeStride);
+        lanes[d] = next;
+        any_internal = true;
+      }
+    }
+    for (; i < lanes.size(); ++i) {
+      const double coin = rng.tail.NextDouble52();
+      const uint32_t left = NodeLeft(bytes, lanes[i]);
+      if (left == kNullNodeId) continue;
+      const uint32_t next =
+          coin * NodeWeight(bytes, lanes[i]) < NodeWeight(bytes, left)
+              ? left
+              : left + 1;
+      __builtin_prefetch(bytes + uint64_t{next} * kNodeStride);
+      lanes[i] = next;
+      any_internal = true;
+    }
+  }
+  return steps;
+}
+
+}  // namespace iqs::simd
+
+#endif  // IQS_SIMD_HAVE_NEON && __aarch64__

@@ -1,0 +1,98 @@
+// Multi-lane xoshiro256++ seeding, shared by every vector backend and by
+// the scalar tail/patch loops inside the kernel TUs.
+//
+// A SIMD kernel consumes exactly ONE word of the caller's Rng stream (the
+// "block seed") and expands it here into kLanes + 1 independent
+// xoshiro256++ states: kLanes vector lanes plus one extra scalar lane that
+// serves the non-multiple-of-kLanes tail and the rare rejection patches.
+// The expansion is one SplitMix64 chain — exactly the Rng(seed)
+// construction, continued across lanes — so each lane is seeded the way a
+// fresh Rng would be and the whole fill is a pure function of
+// (block seed, backend). That keeps the substream determinism of
+// ForkStream intact: a forked query stream yields the block seed, and
+// everything after is deterministic.
+//
+// Distribution note: the vector double conversion keeps 52 random bits
+// ((bits >> 12) * 2^-52, the exponent-trick form) where scalar
+// Rng::NextDouble() keeps 53. Both are uniform on [0, 1); the coarser
+// grid is undetectable by the chi-square law tests and irrelevant to the
+// alias/descent comparisons that consume the coins. The scalar helpers
+// here use the SAME 52-bit form so vector body and scalar tail of one
+// fill are identically distributed.
+
+#ifndef IQS_SIMD_LANES_H_
+#define IQS_SIMD_LANES_H_
+
+#include <cstdint>
+
+namespace iqs::simd {
+
+// SplitMix64 step — the same seeding permutation Rng uses.
+inline uint64_t SplitMix64Step(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// One scalar xoshiro256++ lane: the tail/patch generator of a vector
+// fill, and the reference stepper for lane extraction in tests.
+struct XoshiroLane {
+  uint64_t s[4];
+
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t Next64() {
+    const uint64_t result = Rotl(s[0] + s[3], 23) + s[0];
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+  }
+
+  // Uniform [0, 1) on the 52-bit grid (see the distribution note above).
+  double NextDouble52() {
+    return static_cast<double>(Next64() >> 12) * 0x1.0p-52;
+  }
+
+  // Exact Lemire unbiased bounded draw (same algorithm as Rng::Below).
+  uint64_t Below(uint64_t bound) {
+    uint64_t x = Next64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = Next64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+};
+
+// Expands `block_seed` into `lanes` vector lane states (word-major:
+// state[w][l] is word w of lane l — the layout vector registers load
+// directly) plus the tail/patch lane. state[w] must have room for
+// `lanes` words.
+inline XoshiroLane SeedLanes(uint64_t block_seed, int lanes,
+                             uint64_t* state[4]) {
+  uint64_t sm = block_seed;
+  for (int l = 0; l < lanes; ++l) {
+    for (int w = 0; w < 4; ++w) state[w][l] = SplitMix64Step(&sm);
+  }
+  XoshiroLane tail;
+  for (uint64_t& word : tail.s) word = SplitMix64Step(&sm);
+  return tail;
+}
+
+}  // namespace iqs::simd
+
+#endif  // IQS_SIMD_LANES_H_

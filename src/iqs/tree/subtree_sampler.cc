@@ -76,13 +76,6 @@ void SubtreeSampler::QueryBatch(std::span<const SubtreeBatchQuery> queries,
 
 void SubtreeSampler::QueryBatch(std::span<const SubtreeBatchQuery> queries,
                                 Rng* rng, ScratchArena* arena,
-                                BatchResult* result,
-                                const BatchOptions& opts) const {
-  QueryBatch(queries, rng, arena, opts, result);
-}
-
-void SubtreeSampler::QueryBatch(std::span<const SubtreeBatchQuery> queries,
-                                Rng* rng, ScratchArena* arena,
                                 const BatchOptions& opts,
                                 BatchResult* result) const {
   const uint64_t start_ns = opts.telemetry != nullptr ? TelemetryNowNs() : 0;

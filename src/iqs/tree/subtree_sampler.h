@@ -62,12 +62,6 @@ class SubtreeSampler {
   void QueryBatch(std::span<const SubtreeBatchQuery> queries, Rng* rng,
                   ScratchArena* arena, BatchResult* result) const;
 
-  // Deprecated: pre-unification argument order (options last); use the
-  // opts-before-result overload.
-  void QueryBatch(std::span<const SubtreeBatchQuery> queries, Rng* rng,
-                  ScratchArena* arena, BatchResult* result,
-                  const BatchOptions& opts) const;
-
   // The Euler-tour leaf interval of node q (inclusive positions in Π).
   std::pair<size_t, size_t> LeafInterval(WeightedTree::NodeId q) const {
     return {interval_lo_[q], interval_hi_[q]};

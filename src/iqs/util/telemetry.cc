@@ -5,6 +5,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "iqs/simd/dispatch.h"
+
 namespace iqs {
 
 void QueryStats::MergeFrom(const QueryStats& other) {
@@ -20,6 +22,7 @@ void QueryStats::MergeFrom(const QueryStats& other) {
   em_writes += other.em_writes;
   steals += other.steals;
   busy_ns += other.busy_ns;
+  backend_mask |= other.backend_mask;
 }
 
 void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
@@ -111,11 +114,13 @@ void AppendCountersJson(std::string* out, const QueryStats& stats) {
           ", \"cover_groups\": %" PRIu64 ", \"rejection_attempts\": %" PRIu64
           ", \"rejection_rounds\": %" PRIu64 ", \"arena_bytes_hwm\": %" PRIu64
           ", \"em_reads\": %" PRIu64 ", \"em_writes\": %" PRIu64
-          ", \"steals\": %" PRIu64 ", \"busy_ns\": %" PRIu64 "}",
+          ", \"steals\": %" PRIu64 ", \"busy_ns\": %" PRIu64
+          ", \"kernel_backend\": \"%s\"}",
           stats.queries, stats.samples_emitted, stats.rng_draws,
           stats.nodes_visited, stats.cover_groups, stats.rejection_attempts,
           stats.rejection_rounds, stats.arena_bytes_hwm, stats.em_reads,
-          stats.em_writes, stats.steals, stats.busy_ns);
+          stats.em_writes, stats.steals, stats.busy_ns,
+          std::string(simd::BackendMaskName(stats.backend_mask)).c_str());
 }
 
 void AppendLatencyJson(std::string* out, const LatencyHistogram& histogram) {
@@ -167,12 +172,14 @@ std::string MetricsRegistry::ToText() const {
             "%s: queries=%" PRIu64 " samples=%" PRIu64 " rng_draws=%" PRIu64
             " nodes=%" PRIu64 " groups=%" PRIu64 " rej_attempts=%" PRIu64
             " rej_rounds=%" PRIu64 " arena_hwm=%" PRIu64 " em_r=%" PRIu64
-            " em_w=%" PRIu64 " steals=%" PRIu64 " busy_ns=%" PRIu64 "\n",
+            " em_w=%" PRIu64 " steals=%" PRIu64 " busy_ns=%" PRIu64
+            " backend=%s\n",
             name.c_str(), stats.queries, stats.samples_emitted,
             stats.rng_draws, stats.nodes_visited, stats.cover_groups,
             stats.rejection_attempts, stats.rejection_rounds,
             stats.arena_bytes_hwm, stats.em_reads, stats.em_writes,
-            stats.steals, stats.busy_ns);
+            stats.steals, stats.busy_ns,
+            std::string(simd::BackendMaskName(stats.backend_mask)).c_str());
     AppendF(&out,
             "%s: latency count=%" PRIu64 " mean_ns=%" PRIu64
             " p50<=%" PRIu64 " p90<=%" PRIu64 " p99<=%" PRIu64

@@ -95,6 +95,10 @@ struct QueryStats {
   uint64_t em_writes = 0;
   uint64_t steals = 0;
   uint64_t busy_ns = 0;
+  // OR of simd::BackendBit(simd::ActiveBackend()) per recorded batch, so
+  // exported results say which kernel backend(s) produced them (merged by
+  // bitwise OR; exporters render it via simd::BackendMaskName).
+  uint64_t backend_mask = 0;
 
   void MergeFrom(const QueryStats& other);
   bool operator==(const QueryStats&) const = default;

@@ -1,0 +1,306 @@
+// Scalar-vs-SIMD equivalence for the vector kernels (ISSUE: the SIMD
+// backends are distribution-equivalent, not bit-identical, so every
+// kernel is chi-squared against its law under EVERY available backend;
+// the scalar backend is additionally pinned byte-for-byte against the
+// historical consumption pattern).
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/alias/alias_table.h"
+#include "iqs/alias/quantized_alias.h"
+#include "iqs/range/aug_range_sampler.h"
+#include "iqs/range/static_bst.h"
+#include "iqs/simd/dispatch.h"
+#include "iqs/simd/kernels.h"
+#include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
+#include "test_util.h"
+
+namespace iqs {
+namespace {
+
+std::vector<simd::Backend> AvailableBackends() {
+  std::vector<simd::Backend> backends{simd::Backend::kScalar};
+  if (simd::BackendAvailable(simd::Backend::kAvx2)) {
+    backends.push_back(simd::Backend::kAvx2);
+  }
+  if (simd::BackendAvailable(simd::Backend::kNeon)) {
+    backends.push_back(simd::Backend::kNeon);
+  }
+  return backends;
+}
+
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(simd::Backend b) { simd::ForceBackend(b); }
+  ~ScopedBackend() { simd::ClearForcedBackend(); }
+};
+
+std::vector<double> VariedWeights(size_t n) {
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = 0.25 + static_cast<double>((i * 7) % 13) +
+                 (i % 5 == 0 ? 20.0 : 0.0);
+  }
+  return weights;
+}
+
+TEST(SimdDispatchTest, ActiveBackendIsAvailable) {
+  EXPECT_TRUE(simd::BackendAvailable(simd::ActiveBackend()));
+  EXPECT_TRUE(simd::BackendAvailable(simd::Backend::kScalar));
+}
+
+TEST(SimdDispatchTest, ForceBackendOverridesDetection) {
+  for (simd::Backend b : AvailableBackends()) {
+    ScopedBackend forced(b);
+    EXPECT_EQ(simd::ActiveBackend(), b);
+  }
+  // Cleared: back to detection (whatever it is, it must be available).
+  EXPECT_TRUE(simd::BackendAvailable(simd::ActiveBackend()));
+}
+
+TEST(SimdDispatchTest, BackendMaskNames) {
+  using simd::Backend;
+  EXPECT_EQ(simd::BackendMaskName(0), "none");
+  EXPECT_EQ(simd::BackendMaskName(simd::BackendBit(Backend::kScalar)),
+            "scalar");
+  EXPECT_EQ(simd::BackendMaskName(simd::BackendBit(Backend::kAvx2)), "avx2");
+  EXPECT_EQ(simd::BackendMaskName(simd::BackendBit(Backend::kScalar) |
+                                  simd::BackendBit(Backend::kAvx2)),
+            "scalar+avx2");
+}
+
+TEST(SimdKernelsTest, FillDoublesUniformEveryBackend) {
+  constexpr size_t kBins = 16;
+  constexpr size_t kDraws = 1 << 18;
+  for (simd::Backend b : AvailableBackends()) {
+    ScopedBackend forced(b);
+    Rng rng(101);
+    std::vector<double> buf(kDraws);
+    rng.FillDoubles(buf);
+    std::vector<uint64_t> counts(kBins, 0);
+    for (double d : buf) {
+      ASSERT_GE(d, 0.0);
+      ASSERT_LT(d, 1.0);
+      ++counts[static_cast<size_t>(d * kBins)];
+    }
+    testing::ExpectDistributionClose(
+        counts, std::vector<double>(kBins, 1.0 / kBins));
+  }
+}
+
+TEST(SimdKernelsTest, FillBelowUniformEveryBackend) {
+  constexpr uint64_t kBound = 17;
+  for (simd::Backend b : AvailableBackends()) {
+    ScopedBackend forced(b);
+    Rng rng(102);
+    std::vector<uint64_t> buf(170000);
+    rng.FillBelow(kBound, buf);
+    std::vector<uint64_t> counts(kBound, 0);
+    for (uint64_t v : buf) {
+      ASSERT_LT(v, kBound);
+      ++counts[v];
+    }
+    testing::ExpectDistributionClose(
+        counts, std::vector<double>(kBound, 1.0 / kBound));
+  }
+}
+
+TEST(SimdKernelsTest, FillBelowExercisesRejectionEveryBackend) {
+  // Rejection probability just under 1/2: the vector path's patch lane
+  // runs constantly.
+  const uint64_t bound = (uint64_t{1} << 63) + 1;
+  for (simd::Backend b : AvailableBackends()) {
+    ScopedBackend forced(b);
+    Rng rng(103);
+    std::vector<uint64_t> buf(4096);
+    rng.FillBelow(bound, buf);
+    for (uint64_t v : buf) ASSERT_LT(v, bound);
+  }
+}
+
+TEST(SimdKernelsTest, FillsDeterministicPerBackend) {
+  for (simd::Backend b : AvailableBackends()) {
+    ScopedBackend forced(b);
+    Rng r1(104);
+    Rng r2(104);
+    std::vector<double> d1(1000);
+    std::vector<double> d2(1000);
+    r1.FillDoubles(d1);
+    r2.FillDoubles(d2);
+    EXPECT_EQ(d1, d2);
+    std::vector<uint64_t> u1(1000);
+    std::vector<uint64_t> u2(1000);
+    r1.FillBelow(97, u1);
+    r2.FillBelow(97, u2);
+    EXPECT_EQ(u1, u2);
+    // Generators stay in lockstep: the fills consumed the same state.
+    EXPECT_EQ(r1.Next64(), r2.Next64());
+  }
+}
+
+TEST(SimdKernelsTest, AliasSampleBlockMatchesWeightsEveryBackend) {
+  const std::vector<double> weights = VariedWeights(37);
+  AliasTable table(weights);
+  for (simd::Backend b : AvailableBackends()) {
+    ScopedBackend forced(b);
+    Rng rng(105);
+    std::vector<size_t> out;
+    table.SampleMany(300000, &rng, &out);
+    testing::ExpectSamplesMatchWeights(out, weights);
+  }
+}
+
+TEST(SimdKernelsTest, AliasSampleTargetsMatchesWeightsEveryBackend) {
+  // Heterogeneous pipeline: per-draw tables of different sizes plus null
+  // (degenerate) draws, the exact shape of the cover-layer grouped draws.
+  const std::vector<double> wa = VariedWeights(19);
+  const std::vector<double> wb = VariedWeights(7);
+  AliasTable table_a(wa);
+  AliasTable table_b(wb);
+  constexpr size_t kTotal = 300000;
+  std::vector<const AliasTable*> tables(kTotal);
+  std::vector<size_t> bases(kTotal);
+  for (size_t i = 0; i < kTotal; ++i) {
+    switch (i % 3) {
+      case 0:
+        tables[i] = &table_a;
+        bases[i] = 0;
+        break;
+      case 1:
+        tables[i] = &table_b;
+        bases[i] = 100;
+        break;
+      default:
+        tables[i] = nullptr;
+        bases[i] = 1000;
+    }
+  }
+  for (simd::Backend b : AvailableBackends()) {
+    ScopedBackend forced(b);
+    Rng rng(106);
+    std::vector<size_t> out(kTotal);
+    AliasTable::SampleTargets(tables, bases, &rng, out);
+    std::vector<size_t> from_a;
+    std::vector<size_t> from_b;
+    for (size_t i = 0; i < kTotal; ++i) {
+      switch (i % 3) {
+        case 0:
+          from_a.push_back(out[i]);
+          break;
+        case 1:
+          ASSERT_GE(out[i], 100u);
+          from_b.push_back(out[i] - 100);
+          break;
+        default:
+          ASSERT_EQ(out[i], 1000u);  // null table: base passes through
+      }
+    }
+    testing::ExpectSamplesMatchWeights(from_a, wa);
+    testing::ExpectSamplesMatchWeights(from_b, wb);
+  }
+}
+
+TEST(SimdKernelsTest, QuantizedSampleBlockMatchesWeightsEveryBackend) {
+  // Quantization bias is ~2^-15 relative — far below what chi-square at
+  // this sample count can detect, so the raw weights are the reference.
+  const std::vector<double> weights = VariedWeights(23);
+  QuantizedAlias table(weights);
+  for (simd::Backend b : AvailableBackends()) {
+    ScopedBackend forced(b);
+    Rng rng(107);
+    std::vector<size_t> out;
+    table.SampleMany(230000, &rng, &out);
+    testing::ExpectSamplesMatchWeights(out, weights);
+  }
+}
+
+TEST(SimdKernelsTest, DescendToLeavesMatchesWeightsEveryBackend) {
+  const std::vector<double> weights = VariedWeights(64);
+  StaticBst tree(weights);
+  for (simd::Backend b : AvailableBackends()) {
+    ScopedBackend forced(b);
+    Rng rng(108);
+    ScratchArena arena;
+    std::vector<size_t> out(200000);
+    tree.SampleLeaves(tree.root(), &rng, &arena, out);
+    testing::ExpectSamplesMatchWeights(out, weights);
+  }
+}
+
+TEST(SimdKernelsTest, DescendToLeavesCountsStepsEveryBackend) {
+  // Steps = lanes x passes for a perfect tree: with 64 leaves every lane
+  // descends 6 levels, plus the final all-leaves pass that detects
+  // termination — every backend must report the same count.
+  const std::vector<double> weights(64, 1.0);
+  StaticBst tree(weights);
+  for (simd::Backend b : AvailableBackends()) {
+    ScopedBackend forced(b);
+    Rng rng(109);
+    ScratchArena arena;
+    std::vector<StaticBst::NodeId> lanes(4096, tree.root());
+    const size_t steps = tree.DescendToLeaves(lanes, &rng, &arena);
+    EXPECT_EQ(steps, 4096u * 7);
+    for (StaticBst::NodeId leaf : lanes) EXPECT_TRUE(tree.IsLeaf(leaf));
+  }
+}
+
+TEST(SimdKernelsTest, ScalarAliasBlockIsBitStable) {
+  // The scalar backend must keep the historical randomness consumption
+  // byte-for-byte: per 256-draw block, one FillBelow over the urns then
+  // one FillDoubles of coins, resolved with SampleAt.
+  ScopedBackend forced(simd::Backend::kScalar);
+  const std::vector<double> weights = VariedWeights(31);
+  AliasTable table(weights);
+  Rng rng(110);
+  Rng ref_rng(110);
+  std::vector<size_t> out(1000);
+  table.SampleBlock(&rng, 5, out);
+
+  constexpr size_t kBlock = 256;
+  uint64_t urn_idx[kBlock];
+  double coin[kBlock];
+  size_t done = 0;
+  for (size_t i = 0; i < out.size();) {
+    const size_t m = std::min(out.size() - i, kBlock);
+    ref_rng.FillBelow(table.size(), std::span<uint64_t>(urn_idx, m));
+    ref_rng.FillDoubles(std::span<double>(coin, m));
+    for (size_t j = 0; j < m; ++j) {
+      ASSERT_EQ(out[i + j], 5 + table.SampleAt(urn_idx[j], coin[j]));
+    }
+    i += m;
+    done = i;
+  }
+  ASSERT_EQ(done, out.size());
+  // And the generator advanced identically.
+  EXPECT_EQ(rng.Next64(), ref_rng.Next64());
+}
+
+TEST(SimdKernelsTest, BatchLawHoldsUnderEveryBackend) {
+  // Re-run the batch-vs-single-law check with each backend forced: the
+  // full serving pipeline (cover split + grouped alias draws) must keep
+  // the per-query law regardless of which kernels execute it.
+  const std::vector<double> weights = VariedWeights(64);
+  AugRangeSampler sampler(weights);
+  for (simd::Backend b : AvailableBackends()) {
+    ScopedBackend forced(b);
+    Rng rng(111);
+    ScratchArena arena;
+    const PositionQuery queries[2] = {{5, 40, 120000}, {0, 63, 120000}};
+    std::vector<size_t> out;
+    sampler.QueryPositionsBatch(queries, &rng, &arena, &out);
+    ASSERT_EQ(out.size(), 240000u);
+
+    std::vector<double> w1(weights.size(), 0.0);
+    for (size_t i = 5; i <= 40; ++i) w1[i] = weights[i];
+    testing::ExpectSamplesMatchWeights(
+        std::vector<size_t>(out.begin(), out.begin() + 120000), w1);
+    testing::ExpectSamplesMatchWeights(
+        std::vector<size_t>(out.begin() + 120000, out.end()), weights);
+  }
+}
+
+}  // namespace
+}  // namespace iqs

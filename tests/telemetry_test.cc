@@ -13,6 +13,7 @@
 #include "iqs/em/block_device.h"
 #include "iqs/range/bst_range_sampler.h"
 #include "iqs/range/chunked_range_sampler.h"
+#include "iqs/simd/dispatch.h"
 #include "iqs/util/batch_options.h"
 #include "iqs/util/distributions.h"
 #include "iqs/util/rng.h"
@@ -87,10 +88,15 @@ TEST(QueryStatsTest, MergeSumsCountersAndMaxesHighWater) {
   b.queries = 2;
   b.samples_emitted = 7;
   b.arena_bytes_hwm = 1024;
+  a.backend_mask = simd::BackendBit(simd::Backend::kScalar);
+  b.backend_mask = simd::BackendBit(simd::Backend::kAvx2);
   a.MergeFrom(b);
   EXPECT_EQ(a.queries, 5u);
   EXPECT_EQ(a.samples_emitted, 17u);
   EXPECT_EQ(a.arena_bytes_hwm, 4096u);  // max, not 5120
+  // Backend tags merge by OR: the merged stats name every backend seen.
+  EXPECT_EQ(a.backend_mask, simd::BackendBit(simd::Backend::kScalar) |
+                                simd::BackendBit(simd::Backend::kAvx2));
 }
 
 TEST(TelemetryCountersTest, BatchCountersMatchGroundTruth) {
@@ -134,6 +140,8 @@ TEST(TelemetryCountersTest, BatchCountersMatchGroundTruth) {
   EXPECT_GE(stats.cover_groups, stats.queries);
   EXPECT_LE(stats.rng_draws, stats.samples_emitted);
   EXPECT_GT(stats.arena_bytes_hwm, 0u);
+  // The batch is tagged with the kernel backend that served it.
+  EXPECT_EQ(stats.backend_mask, simd::BackendBit(simd::ActiveBackend()));
   EXPECT_EQ(sink.MergedLatency().count(),
             static_cast<uint64_t>(kBatches));
 }
@@ -297,6 +305,10 @@ TEST(MetricsRegistryTest, JsonExportContainsCountersAndBuckets) {
   sink->shard(1)->stats.queries = 3;
   sink->shard(0)->latency.Record(100);
   sink->shard(0)->latency.Record(5000);
+  sink->shard(0)->stats.backend_mask =
+      simd::BackendBit(simd::Backend::kScalar);
+  sink->shard(1)->stats.backend_mask =
+      simd::BackendBit(simd::Backend::kAvx2);
 
   const std::string json = registry.ToJson();
   EXPECT_NE(json.find("\"telemetry\""), std::string::npos) << json;
@@ -306,9 +318,13 @@ TEST(MetricsRegistryTest, JsonExportContainsCountersAndBuckets) {
   EXPECT_NE(json.find("\"count\": 2"), std::string::npos) << json;
   EXPECT_NE(json.find("\"max_ns\": 5000"), std::string::npos) << json;
   EXPECT_NE(json.find("\"buckets\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kernel_backend\": \"scalar+avx2\""),
+            std::string::npos)
+      << json;
 
   const std::string text = registry.ToText();
   EXPECT_NE(text.find("unit"), std::string::npos) << text;
+  EXPECT_NE(text.find("backend=scalar+avx2"), std::string::npos) << text;
 }
 
 }  // namespace
