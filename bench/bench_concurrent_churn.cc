@@ -1,0 +1,285 @@
+// E24 — concurrent serving under churn: epoch snapshots vs stop-the-world.
+//
+// Measures what the epoch layer (util/epoch.h) buys at the serving
+// boundary: reader batches against LogarithmicRangeSampler::QueryBatch
+// and DynamicAlias::SampleBatch while a background writer churns the
+// structure (inserts into a disjoint key range; same-weight SetWeight).
+// Two serving disciplines over the SAME structure:
+//
+//   * epoch — the structure's native path: every reader batch pins one
+//     snapshot and never blocks; the writer publishes versions.
+//   * stw   — a std::shared_mutex gate bolted on top (readers
+//     shared_lock, writer unique_lock), reproducing the pre-epoch
+//     discipline where a merge/rebuild excludes every reader for its
+//     full duration.
+//
+// Reported per config: aggregate reader samples/sec, and the merged
+// per-batch latency histogram's p50 / p99 / max — the p99 gap under
+// churn is the headline number (STW readers stall behind the large
+// power-of-two Bentley-Saxe rebuilds; epoch readers do not).
+//
+// Caveat for trajectory diffing: on a single-core CI box the threads
+// timeshare, so absolute throughput does NOT show reader scaling; the
+// tail-latency split between the two disciplines is the robust signal.
+//
+// Writes BENCH_concurrent_churn.json (array of row objects).
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "iqs/alias/dynamic_alias.h"
+#include "iqs/range/logarithmic_range_sampler.h"
+#include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
+#include "iqs/util/telemetry.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double kRunSeconds = 0.3;
+constexpr size_t kLogPrepopulate = 1 << 14;
+constexpr size_t kAliasPrepopulate = 1 << 12;
+constexpr size_t kBatchQueries = 64;
+constexpr size_t kSamplesPerQuery = 64;
+constexpr size_t kAliasBatch = kBatchQueries * kSamplesPerQuery;
+
+struct Row {
+  std::string structure;
+  std::string mode;  // "epoch" | "stw"
+  size_t readers = 0;
+  bool churn = false;
+  double reader_sps = 0.0;
+  uint64_t batches = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;
+  uint64_t writer_ops = 0;
+};
+
+// One serving experiment: `reader_batch(rng, histogram)` runs one whole
+// batch and records its latency; `writer_op(op_index)` is one churn op
+// (no-op lambda when churn is off). Returns batches served per reader
+// plus the merged latency histogram and achieved writer-op count.
+template <typename ReaderFn, typename WriterFn>
+Row RunConfig(const char* structure, const char* mode, size_t readers,
+              bool churn, size_t samples_per_batch, ReaderFn&& reader_batch,
+              WriterFn&& writer_op) {
+  std::atomic<bool> stop{false};
+  std::vector<iqs::LatencyHistogram> latencies(readers);
+  std::vector<uint64_t> batch_counts(readers, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(readers + 1);
+  for (size_t r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      iqs::Rng rng(1000 + static_cast<uint64_t>(r));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Clock::time_point t0 = Clock::now();
+        reader_batch(&rng, r);
+        const uint64_t ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 t0)
+                .count());
+        latencies[r].Record(ns);
+        ++batch_counts[r];
+        // Cede the core at each batch boundary: a closed saturation loop
+        // on an oversubscribed box would otherwise starve the writer (and
+        // each other), measuring the scheduler instead of the structures.
+        std::this_thread::yield();
+      }
+    });
+  }
+  uint64_t writer_ops = 0;
+  if (churn) {
+    threads.emplace_back([&] {
+      uint64_t op = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        writer_op(op);
+        ++op;
+        // Pace the writer: churn should contend with readers, not
+        // monopolize the core on a 1-cpu box.
+        if ((op & 0x3f) == 0) std::this_thread::yield();
+      }
+      writer_ops = op;
+    });
+  }
+
+  const Clock::time_point start = Clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(kRunSeconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  Row row;
+  row.structure = structure;
+  row.mode = mode;
+  row.readers = readers;
+  row.churn = churn;
+  iqs::LatencyHistogram merged;
+  for (size_t r = 0; r < readers; ++r) {
+    merged.MergeFrom(latencies[r]);
+    row.batches += batch_counts[r];
+  }
+  row.reader_sps =
+      static_cast<double>(row.batches * samples_per_batch) / elapsed;
+  row.p50_ns = merged.PercentileUpperBoundNs(0.50);
+  row.p99_ns = merged.PercentileUpperBoundNs(0.99);
+  row.max_ns = merged.max_ns();
+  row.writer_ops = writer_ops;
+  return row;
+}
+
+void PrintRow(const Row& r) {
+  std::printf("%-12s %-6s %7zu %6s %11.3e %8" PRIu64 " %10" PRIu64
+              " %10" PRIu64 " %11" PRIu64 " %10" PRIu64 "\n",
+              r.structure.c_str(), r.mode.c_str(), r.readers,
+              r.churn ? "yes" : "no", r.reader_sps, r.batches, r.p50_ns,
+              r.p99_ns, r.max_ns, r.writer_ops);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E24: serving under churn — epoch snapshots vs stop-the-world "
+      "shared_mutex gate (single-core box: tail latency, not throughput "
+      "scaling, is the signal)\n");
+  std::printf("%-12s %-6s %7s %6s %11s %8s %10s %10s %11s %10s\n", "structure",
+              "mode", "readers", "churn", "reader_sps", "batches", "p50_ns",
+              "p99_ns", "max_ns", "writer_ops");
+
+  std::vector<Row> rows;
+
+  // ---- LogarithmicRangeSampler: QueryBatch readers vs Insert churn ----
+  {
+    iqs::LogarithmicRangeSampler sampler;
+    iqs::Rng prep(42);
+    for (size_t i = 0; i < kLogPrepopulate; ++i) {
+      sampler.Insert(static_cast<double>(i) /
+                         static_cast<double>(kLogPrepopulate),
+                     0.5 + prep.NextDouble());
+    }
+    // Fixed query set over the prepopulated keys; churn inserts land in
+    // [2, 3) so the served law never changes.
+    iqs::Rng qrng(7);
+    std::vector<iqs::KeyBatchQuery> queries;
+    for (size_t i = 0; i < kBatchQueries; ++i) {
+      const double lo = qrng.NextDouble() * 0.8;
+      queries.push_back({lo, lo + qrng.NextDouble() * 0.2, kSamplesPerQuery});
+    }
+    std::shared_mutex gate;
+    std::atomic<uint64_t> next_churn_key{0};
+    // Per-reader scratch lives outside the loop lambdas so steady-state
+    // batches reuse capacity (2 readers max).
+    iqs::ScratchArena arenas[2];
+    iqs::KeyBatchResult results[2];
+
+    // Keys must stay globally distinct ACROSS configs, so draw from one
+    // shared counter rather than the per-config op index.
+    const auto churn_insert = [&](uint64_t) {
+      const uint64_t k = next_churn_key.fetch_add(1);
+      sampler.Insert(2.0 + static_cast<double>(k) * 1e-7, 1.0);
+    };
+    const auto churn_insert_stw = [&](uint64_t op) {
+      std::unique_lock lock(gate);
+      churn_insert(op);
+    };
+    for (const size_t readers : {size_t{1}, size_t{2}}) {
+      for (const bool churn : {false, true}) {
+        rows.push_back(RunConfig(
+            "log_sampler", "epoch", readers, churn,
+            kBatchQueries * kSamplesPerQuery,
+            [&](iqs::Rng* rng, size_t r) {
+              sampler.QueryBatch(queries, rng, &arenas[r], &results[r]);
+            },
+            churn_insert));
+        PrintRow(rows.back());
+        rows.push_back(RunConfig(
+            "log_sampler", "stw", readers, churn,
+            kBatchQueries * kSamplesPerQuery,
+            [&](iqs::Rng* rng, size_t r) {
+              std::shared_lock lock(gate);
+              sampler.QueryBatch(queries, rng, &arenas[r], &results[r]);
+            },
+            churn_insert_stw));
+        PrintRow(rows.back());
+      }
+    }
+  }
+
+  // ---- DynamicAlias: SampleBatch readers vs SetWeight churn ----
+  {
+    iqs::DynamicAlias alias;
+    iqs::Rng prep(99);
+    std::vector<size_t> handles;
+    std::vector<double> weights;
+    for (size_t i = 0; i < kAliasPrepopulate; ++i) {
+      weights.push_back(0.5 + prep.NextDouble());
+      handles.push_back(alias.Insert(weights.back()));
+    }
+    std::shared_mutex gate;
+    std::vector<size_t> outs[2];
+
+    // Same-weight SetWeight: a full publish cycle per op, law unchanged.
+    const auto churn_setweight = [&](uint64_t op) {
+      const size_t i = static_cast<size_t>(op % handles.size());
+      alias.SetWeight(handles[i], weights[i]);
+    };
+    const auto churn_setweight_stw = [&](uint64_t op) {
+      std::unique_lock lock(gate);
+      churn_setweight(op);
+    };
+    for (const size_t readers : {size_t{1}, size_t{2}}) {
+      for (const bool churn : {false, true}) {
+        rows.push_back(RunConfig(
+            "dyn_alias", "epoch", readers, churn, kAliasBatch,
+            [&](iqs::Rng* rng, size_t r) {
+              outs[r].clear();
+              alias.SampleBatch(kAliasBatch, rng, &outs[r]);
+            },
+            churn_setweight));
+        PrintRow(rows.back());
+        rows.push_back(RunConfig(
+            "dyn_alias", "stw", readers, churn, kAliasBatch,
+            [&](iqs::Rng* rng, size_t r) {
+              std::shared_lock lock(gate);
+              outs[r].clear();
+              alias.SampleBatch(kAliasBatch, rng, &outs[r]);
+            },
+            churn_setweight_stw));
+        PrintRow(rows.back());
+      }
+    }
+  }
+
+  std::FILE* json = std::fopen("BENCH_concurrent_churn.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "[\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(
+          json,
+          "  {\"structure\": \"%s\", \"mode\": \"%s\", \"readers\": %zu, "
+          "\"churn\": %s, \"reader_sps\": %.6e, \"batches\": %" PRIu64
+          ", \"p50_ns\": %" PRIu64 ", \"p99_ns\": %" PRIu64
+          ", \"max_ns\": %" PRIu64 ", \"writer_ops\": %" PRIu64 "}%s\n",
+          r.structure.c_str(), r.mode.c_str(), r.readers,
+          r.churn ? "true" : "false", r.reader_sps, r.batches, r.p50_ns,
+          r.p99_ns, r.max_ns, r.writer_ops,
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "]\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_concurrent_churn.json (%zu rows)\n",
+                rows.size());
+  }
+  return 0;
+}

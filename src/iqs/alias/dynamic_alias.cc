@@ -2,13 +2,22 @@
 
 #include <cmath>
 #include <limits>
+#include <thread>
 
 #include "iqs/util/check.h"
+#include "iqs/util/telemetry.h"
 
 namespace iqs {
 
-DynamicAlias::DynamicAlias()
-    : classes_(kNumClasses), class_sums_(kNumClasses) {}
+DynamicAlias::Core::Core() : classes(kNumClasses), class_sums(kNumClasses) {}
+
+DynamicAlias::DynamicAlias() : front_(&cores_[0]) {}
+
+DynamicAlias::~DynamicAlias() {
+  // Runs the last grace flag's "deleter" (it frees nothing — the flag
+  // storage is the grace_flag_ member) and checks no reader is pinned.
+  epoch_.Drain();
+}
 
 int DynamicAlias::ClassOf(double w) {
   const int e = std::ilogb(w) + kExponentBias;
@@ -16,73 +25,68 @@ int DynamicAlias::ClassOf(double w) {
   return e;
 }
 
-void DynamicAlias::AttachToClass(uint32_t handle, double w) {
+void DynamicAlias::Core::AttachToClass(uint32_t handle, double w) {
   const int cls = ClassOf(w);
-  Element& elem = elements_[handle];
+  Element& elem = elements[handle];
   elem.weight = w;
   elem.class_id = cls;
-  elem.pos_in_class = static_cast<uint32_t>(classes_[cls].members.size());
-  classes_[cls].members.push_back(handle);
-  class_sums_.Add(static_cast<size_t>(cls), w);
+  elem.pos_in_class = static_cast<uint32_t>(classes[cls].members.size());
+  classes[cls].members.push_back(handle);
+  class_sums.Add(static_cast<size_t>(cls), w);
 }
 
-void DynamicAlias::DetachFromClass(uint32_t handle) {
-  Element& elem = elements_[handle];
+void DynamicAlias::Core::DetachFromClass(uint32_t handle) {
+  Element& elem = elements[handle];
   IQS_CHECK(elem.class_id >= 0);
-  ClassBucket& bucket = classes_[elem.class_id];
+  ClassBucket& bucket = classes[elem.class_id];
   // Swap-remove from the class's member vector, fixing the moved element.
   const uint32_t last = bucket.members.back();
   bucket.members[elem.pos_in_class] = last;
-  elements_[last].pos_in_class = elem.pos_in_class;
+  elements[last].pos_in_class = elem.pos_in_class;
   bucket.members.pop_back();
-  class_sums_.Add(static_cast<size_t>(elem.class_id), -elem.weight);
+  class_sums.Add(static_cast<size_t>(elem.class_id), -elem.weight);
   elem.class_id = -1;
 }
 
-size_t DynamicAlias::Insert(double w) {
+uint32_t DynamicAlias::Core::Insert(double w) {
   IQS_CHECK(w > 0.0 && std::isfinite(w));
   uint32_t handle;
-  if (!free_slots_.empty()) {
-    handle = free_slots_.back();
-    free_slots_.pop_back();
+  if (!free_slots.empty()) {
+    handle = free_slots.back();
+    free_slots.pop_back();
   } else {
-    IQS_CHECK(elements_.size() < std::numeric_limits<uint32_t>::max());
-    handle = static_cast<uint32_t>(elements_.size());
-    elements_.emplace_back();
+    IQS_CHECK(elements.size() < std::numeric_limits<uint32_t>::max());
+    handle = static_cast<uint32_t>(elements.size());
+    elements.emplace_back();
   }
   AttachToClass(handle, w);
-  ++live_count_;
+  ++live_count;
   return handle;
 }
 
-void DynamicAlias::Remove(size_t handle) {
-  IQS_CHECK(handle < elements_.size());
-  DetachFromClass(static_cast<uint32_t>(handle));
-  free_slots_.push_back(static_cast<uint32_t>(handle));
-  --live_count_;
+void DynamicAlias::Core::Remove(uint32_t handle) {
+  IQS_CHECK(handle < elements.size());
+  DetachFromClass(handle);
+  free_slots.push_back(handle);
+  --live_count;
 }
 
-void DynamicAlias::SetWeight(size_t handle, double w) {
+void DynamicAlias::Core::SetWeight(uint32_t handle, double w) {
   IQS_CHECK(w > 0.0 && std::isfinite(w));
-  IQS_CHECK(handle < elements_.size());
-  DetachFromClass(static_cast<uint32_t>(handle));
-  AttachToClass(static_cast<uint32_t>(handle), w);
+  IQS_CHECK(handle < elements.size());
+  DetachFromClass(handle);
+  AttachToClass(handle, w);
 }
 
-double DynamicAlias::weight(size_t handle) const {
-  IQS_CHECK(handle < elements_.size() && elements_[handle].class_id >= 0);
-  return elements_[handle].weight;
-}
-
-size_t DynamicAlias::Sample(Rng* rng) const {
-  IQS_CHECK(live_count_ > 0);
+size_t DynamicAlias::Core::Sample(Rng* rng) const {
+  IQS_CHECK(live_count > 0);
   // Level 1: pick a weight class proportional to its total weight.
   // Floating-point drift in the Fenwick sums can (rarely) land the walk on
   // an emptied class; retry with fresh randomness in that case.
   while (true) {
-    const double total = class_sums_.TotalSum();
-    const size_t cls = class_sums_.SearchPrefix(rng->NextDouble() * total);
-    const ClassBucket& bucket = classes_[cls];
+    const double total = class_sums.TotalSum();
+    const size_t cls = class_sums.SearchPrefix(rng->NextDouble() * total);
+    const ClassBucket& bucket = classes[cls];
     if (bucket.members.empty()) continue;
     // Level 2: uniform member + rejection. All weights in class e lie in
     // [2^e, 2^{e+1}), so acceptance probability w / 2^{e+1} is >= 1/2.
@@ -90,20 +94,164 @@ size_t DynamicAlias::Sample(Rng* rng) const {
         1.0, static_cast<int>(cls) - kExponentBias + 1);
     while (true) {
       const uint32_t handle = bucket.members[rng->Below(bucket.members.size())];
-      if (rng->NextDouble() * cap < elements_[handle].weight) return handle;
+      if (rng->NextDouble() * cap < elements[handle].weight) return handle;
     }
   }
 }
 
-size_t DynamicAlias::MemoryBytes() const {
-  size_t bytes = elements_.capacity() * sizeof(Element) +
-                 free_slots_.capacity() * sizeof(uint32_t) +
-                 classes_.capacity() * sizeof(ClassBucket) +
-                 class_sums_.MemoryBytes();
-  for (const ClassBucket& bucket : classes_) {
+size_t DynamicAlias::Core::MemoryBytes() const {
+  size_t bytes = elements.capacity() * sizeof(Element) +
+                 free_slots.capacity() * sizeof(uint32_t) +
+                 classes.capacity() * sizeof(ClassBucket) +
+                 class_sums.MemoryBytes();
+  for (const ClassBucket& bucket : classes) {
     bytes += bucket.members.capacity() * sizeof(uint32_t);
   }
   return bytes;
+}
+
+DynamicAlias::Core* DynamicAlias::PrepareBack() {
+  if (grace_flag_ != nullptr) {
+    // Wait out the PREVIOUS swap's grace period: once the flag flips, no
+    // reader can still be inside the old front — which is exactly the
+    // core about to be mutated below. With no pinned readers the
+    // publish-time Reclaim() already flipped it, so a single-threaded
+    // caller never enters the loop.
+    while (!grace_flag_->load(std::memory_order_acquire)) {
+      epoch_.Reclaim();
+      std::this_thread::yield();
+    }
+    grace_flag_.reset();
+  }
+  Core* back = front_.load(std::memory_order_relaxed) == &cores_[0]
+                   ? &cores_[1]
+                   : &cores_[0];
+  // Bring the back core up to date: both cores process the identical op
+  // sequence, so every derived quantity — handles, Fenwick sums,
+  // class-bucket order — matches bit for bit.
+  for (const Op& op : pending_) {
+    switch (op.kind) {
+      case Op::kInsert: {
+        const uint32_t handle = back->Insert(op.w);
+        IQS_DCHECK(handle == op.handle);
+        (void)handle;
+        break;
+      }
+      case Op::kRemove:
+        back->Remove(op.handle);
+        break;
+      case Op::kSetWeight:
+        back->SetWeight(op.handle, op.w);
+        break;
+    }
+  }
+  pending_.clear();
+  return back;
+}
+
+void DynamicAlias::PublishFront(Core* back, const Op& op, uint64_t start_ns) {
+  front_.store(back, std::memory_order_seq_cst);
+  // Retire a fresh grace flag: its "deleter" fires once every reader that
+  // might still be inside the OLD front has exited, which is the signal
+  // the next op's PrepareBack waits for. Storage stays owned by
+  // grace_flag_; the deleter only stores.
+  grace_flag_ = std::make_unique<std::atomic<bool>>(false);
+  epoch_.Retire(grace_flag_.get(), [](void* p) {
+    static_cast<std::atomic<bool>*>(p)->store(true, std::memory_order_release);
+  });
+  epoch_.Reclaim();
+  pending_.push_back(op);
+  published_.fetch_add(1, std::memory_order_relaxed);
+  if (sink_ != nullptr) {
+    // Serialized writer path; shard 0 of the structure's own sink.
+    QueryStats* stats = &sink_->shard(0)->stats;
+    stats->versions_published += 1;
+    const uint64_t reclaimed = epoch_.reclaimed();
+    stats->versions_reclaimed += reclaimed - last_reclaimed_;
+    last_reclaimed_ = reclaimed;
+    const uint64_t pins = epoch_.reader_pins();
+    stats->reader_pins += pins - last_pins_;
+    last_pins_ = pins;
+    stats->rebuild_ns += TelemetryNowNs() - start_ns;
+  }
+}
+
+size_t DynamicAlias::Insert(double w) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const uint64_t start_ns = sink_ != nullptr ? TelemetryNowNs() : 0;
+  Core* back = PrepareBack();
+  const uint32_t handle = back->Insert(w);
+  PublishFront(back, Op{Op::kInsert, handle, w}, start_ns);
+  return handle;
+}
+
+void DynamicAlias::Remove(size_t handle) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const uint64_t start_ns = sink_ != nullptr ? TelemetryNowNs() : 0;
+  Core* back = PrepareBack();
+  back->Remove(static_cast<uint32_t>(handle));
+  PublishFront(back, Op{Op::kRemove, static_cast<uint32_t>(handle), 0.0},
+               start_ns);
+}
+
+void DynamicAlias::SetWeight(size_t handle, double w) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const uint64_t start_ns = sink_ != nullptr ? TelemetryNowNs() : 0;
+  Core* back = PrepareBack();
+  back->SetWeight(static_cast<uint32_t>(handle), w);
+  PublishFront(back, Op{Op::kSetWeight, static_cast<uint32_t>(handle), w},
+               start_ns);
+}
+
+double DynamicAlias::weight(size_t handle) const {
+  const size_t slot = epoch_.EnterReader();
+  const Core* core = front_.load(std::memory_order_seq_cst);
+  IQS_CHECK(handle < core->elements.size() &&
+            core->elements[handle].class_id >= 0);
+  const double w = core->elements[handle].weight;
+  epoch_.ExitReader(slot);
+  return w;
+}
+
+size_t DynamicAlias::Sample(Rng* rng) const {
+  const size_t slot = epoch_.EnterReader();
+  const Core* core = front_.load(std::memory_order_seq_cst);
+  const size_t result = core->Sample(rng);
+  epoch_.ExitReader(slot);
+  return result;
+}
+
+void DynamicAlias::SampleBatch(size_t s, Rng* rng,
+                               std::vector<size_t>* out) const {
+  const size_t slot = epoch_.EnterReader();
+  const Core* core = front_.load(std::memory_order_seq_cst);
+  out->reserve(out->size() + s);
+  for (size_t i = 0; i < s; ++i) out->push_back(core->Sample(rng));
+  epoch_.ExitReader(slot);
+}
+
+size_t DynamicAlias::size() const {
+  const size_t slot = epoch_.EnterReader();
+  const size_t n = front_.load(std::memory_order_seq_cst)->live_count;
+  epoch_.ExitReader(slot);
+  return n;
+}
+
+double DynamicAlias::total_weight() const {
+  const size_t slot = epoch_.EnterReader();
+  const double total =
+      front_.load(std::memory_order_seq_cst)->class_sums.TotalSum();
+  epoch_.ExitReader(slot);
+  return total;
+}
+
+size_t DynamicAlias::MemoryBytes() const {
+  // Both cores + the op log: the honest left-right footprint (~2x the
+  // unversioned structure). Locks out writers so the back core's vectors
+  // are not concurrently reallocating.
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return cores_[0].MemoryBytes() + cores_[1].MemoryBytes() +
+         pending_.capacity() * sizeof(Op);
 }
 
 }  // namespace iqs

@@ -17,25 +17,56 @@
 //     integer weights; for a practical library the bounded-exponent walk is
 //     indistinguishable from constant, as bench_dynamic E12 shows.)
 //
+// Concurrency (left-right over the epoch machinery, util/epoch.h): the
+// state lives in TWO Core instances behind an atomic front pointer.
+// Readers pin an epoch slot and sample the front core, which no writer
+// ever mutates — non-blocking, never torn. A mutating op waits out the
+// PREVIOUS swap's grace period (instant when no reader holds a pin, so a
+// single-threaded caller never waits), replays the pending op log onto
+// the back core, applies the new op, swaps fronts, and retires a grace
+// flag through the EpochManager. Both cores process the identical op
+// sequence, so handles — a deterministic function of op history — come
+// out the same on both, and single-threaded behavior is byte-identical
+// to the unversioned structure. Cost: 2x memory, O(1) amortized extra
+// work per op (each op is applied exactly twice).
+//
 // Operations: Insert O(1) amortized (+ class walk), Remove O(1) amortized
 // (+ class walk), Sample expected O(1) (+ class walk). Elements are
-// identified by stable handles returned from Insert().
+// identified by stable handles returned from Insert(). Writers are
+// serialized on an internal mutex; readers never take it.
 
 #ifndef IQS_ALIAS_DYNAMIC_ALIAS_H_
 #define IQS_ALIAS_DYNAMIC_ALIAS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "iqs/range/fenwick_tree.h"
+#include "iqs/util/epoch.h"
 #include "iqs/util/rng.h"
 
 namespace iqs {
 
+class TelemetrySink;
+
 class DynamicAlias {
  public:
   DynamicAlias();
+  ~DynamicAlias();
+
+  // Two cores + an atomic front make the type address-stable.
+  DynamicAlias(const DynamicAlias&) = delete;
+  DynamicAlias& operator=(const DynamicAlias&) = delete;
+
+  // Attaches a sink for the epoch counters (versions_published /
+  // versions_reclaimed / reader_pins / rebuild_ns), recorded by the
+  // serialized writer path into shard 0. Give this structure its own
+  // sink — reader-side batches recording into the same sink would race.
+  void set_telemetry(TelemetrySink* sink) { sink_ = sink; }
 
   // Inserts an element with positive weight `w`; returns a stable handle.
   size_t Insert(double w);
@@ -52,11 +83,23 @@ class DynamicAlias {
   // Expected O(1) (rejection acceptance >= 1/2 within a class).
   size_t Sample(Rng* rng) const;
 
-  size_t size() const { return live_count_; }
-  bool empty() const { return live_count_ == 0; }
-  double total_weight() const { return class_sums_.TotalSum(); }
+  // Draws `s` independent samples against ONE pinned core, appending
+  // handles to `out`: under concurrent updates every sample of the batch
+  // follows the same (pre-batch) weight law, and the pin cost is paid
+  // once instead of per sample.
+  void SampleBatch(size_t s, Rng* rng, std::vector<size_t>* out) const;
+
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+  double total_weight() const;
 
   size_t MemoryBytes() const;
+
+  // Epoch machinery, exposed for tests (grace-flag reclamation bounds).
+  EpochManager* epoch_manager() const { return &epoch_; }
+  uint64_t versions_published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Double exponents from ilogb() span about [-1074, 1024]; shift them
@@ -74,16 +117,59 @@ class DynamicAlias {
     std::vector<uint32_t> members;  // element handles in this class
   };
 
+  // One complete copy of the sampler state. Readers only ever touch the
+  // front core; writers only ever mutate the back core.
+  struct Core {
+    Core();
+
+    uint32_t Insert(double w);
+    void Remove(uint32_t handle);
+    void SetWeight(uint32_t handle, double w);
+    size_t Sample(Rng* rng) const;
+    size_t MemoryBytes() const;
+
+    void AttachToClass(uint32_t handle, double w);
+    void DetachFromClass(uint32_t handle);
+
+    std::vector<Element> elements;
+    std::vector<uint32_t> free_slots;
+    std::vector<ClassBucket> classes;
+    FenwickTree class_sums;  // total weight per class
+    size_t live_count = 0;
+  };
+
+  struct Op {
+    enum Kind : uint8_t { kInsert, kRemove, kSetWeight };
+    Kind kind;
+    uint32_t handle;  // kInsert: the handle the op produced (replay checks)
+    double w;
+  };
+
   static int ClassOf(double w);
 
-  void AttachToClass(uint32_t handle, double w);
-  void DetachFromClass(uint32_t handle);
+  // Writer-side: waits out the previous swap's grace period, replays
+  // pending_ onto the back core, and returns it ready for the next op.
+  // Caller holds writer_mu_.
+  Core* PrepareBack();
+  // Swaps `back` in as the new front, retires a grace flag, and records
+  // telemetry. Caller holds writer_mu_; `op` is the op just applied.
+  void PublishFront(Core* back, const Op& op, uint64_t start_ns);
 
-  std::vector<Element> elements_;
-  std::vector<uint32_t> free_slots_;
-  std::vector<ClassBucket> classes_;
-  FenwickTree class_sums_;  // total weight per class
-  size_t live_count_ = 0;
+  Core cores_[2];
+  std::atomic<const Core*> front_;
+  mutable std::mutex writer_mu_;  // serializes mutating ops (+ MemoryBytes)
+  // Ops applied to the front core but not yet replayed onto the back.
+  std::vector<Op> pending_;
+  // Grace flag of the most recent swap: retired through epoch_; its
+  // "deleter" stores true once no reader can still hold the old front.
+  // Storage stays owned here (the deleter frees nothing).
+  std::unique_ptr<std::atomic<bool>> grace_flag_;
+  std::atomic<uint64_t> published_{0};
+  TelemetrySink* sink_ = nullptr;
+  // Writer-side trackers turning the epoch totals into sink deltas.
+  uint64_t last_reclaimed_ = 0;
+  uint64_t last_pins_ = 0;
+  mutable EpochManager epoch_;
 };
 
 }  // namespace iqs

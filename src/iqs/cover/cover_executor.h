@@ -20,6 +20,16 @@
 //     subtree Euler intervals, the integer sampler). Lowers nonzero
 //     groups to PositionQuery spans and runs the sampler's own
 //     QueryPositionsBatch once.
+//
+// Snapshot discipline (util/epoch.h): the executor itself is stateless —
+// a run reads only the plan and the backend it was handed, so concurrency
+// against structure updates is decided entirely by WHAT the caller hands
+// in. Versioned entry points (LogarithmicRangeSampler::QueryBatch,
+// VersionedCoverageEngine::SampleBatch) pin ONE epoch snapshot before
+// building/serving the plan and keep it pinned for the whole executor
+// run; everything the executor touches then belongs to one immutable
+// version, so an entire batch observes a single consistent structure even
+// while writers publish new versions concurrently.
 
 #ifndef IQS_COVER_COVER_EXECUTOR_H_
 #define IQS_COVER_COVER_EXECUTOR_H_

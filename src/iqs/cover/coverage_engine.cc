@@ -5,6 +5,7 @@
 
 #include "iqs/cover/cover_executor.h"
 #include "iqs/util/check.h"
+#include "iqs/util/telemetry.h"
 
 namespace iqs {
 
@@ -25,8 +26,10 @@ ScratchArena* LocalArena() {
 
 }  // namespace
 
-CoverageEngine::CoverageEngine(std::span<const double> position_weights)
-    : sampler_(PositionKeys(position_weights.size()), position_weights) {}
+CoverageEngine::CoverageEngine(std::span<const double> position_weights,
+                               ThreadPool* build_pool)
+    : sampler_(PositionKeys(position_weights.size()), position_weights,
+               /*chunk_size=*/0, build_pool) {}
 
 void CoverageEngine::SampleBatch(const CoverPlan& plan, Rng* rng,
                                  ScratchArena* arena, const BatchOptions& opts,
@@ -127,6 +130,56 @@ void CoverageEngine::SampleWithRejection(std::span<const CoverRange> cover,
   ScratchArena* arena = LocalArena();
   arena->Reset();
   SampleWithRejection(cover, s, accepts, rng, arena, BatchOptions{}, out);
+}
+
+VersionedCoverageEngine::VersionedCoverageEngine(
+    std::span<const double> position_weights)
+    : engine_(std::make_unique<const CoverageEngine>(position_weights)) {}
+
+void VersionedCoverageEngine::Rebuild(
+    std::span<const double> position_weights) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const uint64_t start_ns = sink_ != nullptr ? TelemetryNowNs() : 0;
+  // The full replacement engine is built privately (chunk builds on the
+  // pool) before a single atomic publish — readers never see it partial.
+  auto next = std::make_unique<const CoverageEngine>(position_weights, pool_);
+  engine_.Publish(std::move(next), pool_);
+  if (sink_ != nullptr) {
+    // Serialized writer path; shard 0 of the structure's own sink.
+    QueryStats* stats = &sink_->shard(0)->stats;
+    stats->versions_published += 1;
+    const EpochManager* epoch = engine_.epoch_manager();
+    const uint64_t reclaimed = epoch->reclaimed();
+    stats->versions_reclaimed += reclaimed - last_reclaimed_;
+    last_reclaimed_ = reclaimed;
+    const uint64_t pins = epoch->reader_pins();
+    stats->reader_pins += pins - last_pins_;
+    last_pins_ = pins;
+    stats->rebuild_ns += TelemetryNowNs() - start_ns;
+  }
+}
+
+void VersionedCoverageEngine::SampleBatch(const CoverPlan& plan, Rng* rng,
+                                          ScratchArena* arena,
+                                          const BatchOptions& opts,
+                                          std::vector<size_t>* out) const {
+  // One pin serves the entire batch: every query of the plan executes
+  // against the same engine no matter what Rebuild() publishes meanwhile.
+  const Snapshot<CoverageEngine> snap = engine_.Acquire();
+  snap->SampleBatch(plan, rng, arena, opts, out);
+}
+
+void VersionedCoverageEngine::SampleBatch(const CoverPlan& plan, Rng* rng,
+                                          ScratchArena* arena,
+                                          std::vector<size_t>* out) const {
+  SampleBatch(plan, rng, arena, BatchOptions{}, out);
+}
+
+void VersionedCoverageEngine::Sample(std::span<const CoverRange> cover,
+                                     size_t s, Rng* rng,
+                                     std::vector<size_t>* out) const {
+  const Snapshot<CoverageEngine> snap = engine_.Acquire();
+  snap->Sample(cover, s, rng, out);
 }
 
 }  // namespace iqs

@@ -26,12 +26,14 @@
 #ifndef IQS_COVER_COVERAGE_ENGINE_H_
 #define IQS_COVER_COVERAGE_ENGINE_H_
 
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "iqs/cover/cover_plan.h"
 #include "iqs/range/chunked_range_sampler.h"
 #include "iqs/util/batch_options.h"
+#include "iqs/util/epoch.h"
 #include "iqs/util/function_ref.h"
 #include "iqs/util/rng.h"
 #include "iqs/util/scratch_arena.h"
@@ -41,8 +43,13 @@ namespace iqs {
 class CoverageEngine {
  public:
   // `position_weights[i]` is the weight of the element at position i in
-  // the structure's in-place order. O(n) space, O(n) build.
-  explicit CoverageEngine(std::span<const double> position_weights);
+  // the structure's in-place order. O(n) space, O(n) build. A non-null
+  // `build_pool` runs the underlying per-chunk alias builds as one
+  // ParallelFor (bit-identical structure; the pool is used only inside
+  // the constructor) — the off-read-thread rebuild path used by
+  // VersionedCoverageEngine.
+  explicit CoverageEngine(std::span<const double> position_weights,
+                          ThreadPool* build_pool = nullptr);
 
   // Theorem 5: draws `s` independent weighted samples from the disjoint
   // union of the cover's ranges, appending positions to `out`.
@@ -98,6 +105,59 @@ class CoverageEngine {
 
  private:
   ChunkedRangeSampler sampler_;
+};
+
+// Epoch-versioned cover serving (util/epoch.h): an atomically-swapped
+// immutable CoverageEngine behind a Versioned<> root, for tree structures
+// whose position weights change over time (bulk reweights, rebuilds of
+// the in-place layout). Every SampleBatch call pins ONE engine snapshot
+// and executes the entire batch against it — readers never block on a
+// Rebuild and never observe a half-built engine — while Rebuild()
+// constructs the replacement off the serving threads (chunk builds on the
+// maintenance pool) and publishes it with grace-period reclamation of the
+// old engine. Readers scale to any thread count; Rebuild is internally
+// serialized. With no concurrent Rebuild, output is byte-identical to
+// serving the plain CoverageEngine.
+class VersionedCoverageEngine {
+ public:
+  // Starts with an engine over `position_weights` (may be empty).
+  explicit VersionedCoverageEngine(std::span<const double> position_weights);
+
+  // Maintenance pool for Rebuild(): chunk builds and retired-engine
+  // teardown run as ParallelFors over it. Must outlive the last Rebuild
+  // and must not be mid-ParallelFor when Rebuild is called.
+  void set_maintenance_pool(ThreadPool* pool) { pool_ = pool; }
+
+  // Sink for the epoch counters, recorded by the serialized Rebuild path
+  // into shard 0 (give this structure its own sink).
+  void set_telemetry(TelemetrySink* sink) { sink_ = sink; }
+
+  // Writer: builds a new engine over `position_weights` and publishes it.
+  // In-flight batches finish against the engine they pinned.
+  void Rebuild(std::span<const double> position_weights);
+
+  // Readers — each call pins one snapshot for its whole duration.
+  void SampleBatch(const CoverPlan& plan, Rng* rng, ScratchArena* arena,
+                   const BatchOptions& opts, std::vector<size_t>* out) const;
+  void SampleBatch(const CoverPlan& plan, Rng* rng, ScratchArena* arena,
+                   std::vector<size_t>* out) const;
+  void Sample(std::span<const CoverRange> cover, size_t s, Rng* rng,
+              std::vector<size_t>* out) const;
+
+  // Pins the current engine for a caller-scoped read (e.g. several
+  // SampleWithRejection rounds against one consistent engine).
+  Snapshot<CoverageEngine> Acquire() const { return engine_.Acquire(); }
+
+  EpochManager* epoch_manager() const { return engine_.epoch_manager(); }
+  uint64_t versions_published() const { return engine_.versions_published(); }
+
+ private:
+  Versioned<CoverageEngine> engine_;
+  std::mutex writer_mu_;  // serializes Rebuild
+  ThreadPool* pool_ = nullptr;
+  TelemetrySink* sink_ = nullptr;
+  uint64_t last_reclaimed_ = 0;
+  uint64_t last_pins_ = 0;
 };
 
 }  // namespace iqs

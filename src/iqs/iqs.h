@@ -77,6 +77,7 @@
 #include "iqs/util/batch_options.h"
 #include "iqs/util/check.h"
 #include "iqs/util/distributions.h"
+#include "iqs/util/epoch.h"
 #include "iqs/util/function_ref.h"
 #include "iqs/util/rng.h"
 #include "iqs/util/scratch_arena.h"

@@ -20,7 +20,8 @@ constexpr uint64_t kMiddleGroup = 1;
 
 ChunkedRangeSampler::ChunkedRangeSampler(std::span<const double> keys,
                                          std::span<const double> weights,
-                                         size_t chunk_size)
+                                         size_t chunk_size,
+                                         ThreadPool* build_pool)
     : RangeSampler(keys), weights_(weights.begin(), weights.end()) {
   IQS_CHECK(keys.size() == weights.size());
   const size_t n = weights_.size();
@@ -31,14 +32,29 @@ ChunkedRangeSampler::ChunkedRangeSampler(std::span<const double> keys,
 
   std::vector<double> chunk_weights(g, 0.0);
   chunk_alias_.resize(g);
-  std::vector<double> scratch;
-  for (size_t c = 0; c < g; ++c) {
-    const size_t lo = ChunkStart(c);
-    const size_t hi = ChunkEnd(c);
-    scratch.assign(weights_.begin() + static_cast<ptrdiff_t>(lo),
-                   weights_.begin() + static_cast<ptrdiff_t>(hi) + 1);
-    chunk_alias_[c].Build(scratch);
-    for (double w : scratch) chunk_weights[c] += w;
+  // Each chunk's alias table and weight sum depend only on that chunk's
+  // slice, so the builds parallelize with no cross-chunk state and the
+  // result is bit-identical however they are scheduled.
+  auto build_chunks = [&](size_t first, size_t last) {
+    std::vector<double> scratch;
+    for (size_t c = first; c < last; ++c) {
+      const size_t lo = ChunkStart(c);
+      const size_t hi = ChunkEnd(c);
+      scratch.assign(weights_.begin() + static_cast<ptrdiff_t>(lo),
+                     weights_.begin() + static_cast<ptrdiff_t>(hi) + 1);
+      chunk_alias_[c].Build(scratch);
+      for (double w : scratch) chunk_weights[c] += w;
+    }
+  };
+  // Below ~4 chunks per worker the fan-out costs more than it hides.
+  if (build_pool != nullptr && build_pool->num_threads() > 1 &&
+      g >= build_pool->num_threads() * 4) {
+    ParallelForShards(build_pool, g,
+                      [&](size_t first, size_t last, size_t /*worker*/) {
+                        build_chunks(first, last);
+                      });
+  } else {
+    build_chunks(0, g);
   }
 
   chunk_weight_prefix_.assign(g + 1, 0.0);

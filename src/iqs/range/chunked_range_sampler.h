@@ -31,9 +31,15 @@ namespace iqs {
 
 class ChunkedRangeSampler : public RangeSampler {
  public:
-  // `chunk_size` of 0 picks the default Θ(log n).
+  // `chunk_size` of 0 picks the default Θ(log n). A non-null `build_pool`
+  // runs the per-chunk alias-table builds as one ParallelFor over the
+  // pool's workers (chunks are independent, so the built structure is
+  // bit-identical to a sequential build); the pool is used only inside
+  // the constructor and must not be mid-ParallelFor. This is how the
+  // versioned samplers rebuild components off the serving threads.
   ChunkedRangeSampler(std::span<const double> keys,
-                      std::span<const double> weights, size_t chunk_size = 0);
+                      std::span<const double> weights, size_t chunk_size = 0,
+                      ThreadPool* build_pool = nullptr);
 
   void QueryPositions(size_t a, size_t b, size_t s, Rng* rng,
                       std::vector<size_t>* out) const override;

@@ -9,7 +9,22 @@
 
 namespace iqs {
 
-void LogarithmicRangeSampler::Finalize(Component* component) {
+LogarithmicRangeSampler::LogarithmicRangeSampler()
+    : versions_(std::make_unique<Version>()) {}
+
+LogarithmicRangeSampler::~LogarithmicRangeSampler() {
+  // Readers must be gone (checked by ~EpochManager). Drain frees every
+  // retired component/version; the live version's components are then
+  // exclusively ours.
+  EpochManager* epoch = versions_.epoch_manager();
+  epoch->Drain();
+  for (const Component* component : versions_.writer_root()->components) {
+    delete component;
+  }
+}
+
+void LogarithmicRangeSampler::Finalize(Component* component,
+                                       ThreadPool* pool) {
   const size_t m = component->keys.size();
   component->weight_prefix.assign(m + 1, 0.0);
   for (size_t i = 0; i < m; ++i) {
@@ -17,25 +32,38 @@ void LogarithmicRangeSampler::Finalize(Component* component) {
         component->weight_prefix[i] + component->weights[i];
   }
   component->sampler = std::make_unique<ChunkedRangeSampler>(
-      component->keys, component->weights);
+      component->keys, component->weights, /*chunk_size=*/0, pool);
 }
 
 void LogarithmicRangeSampler::Insert(double key, double weight) {
   IQS_CHECK(weight > 0.0);
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const uint64_t start_ns = sink_ != nullptr ? TelemetryNowNs() : 0;
+
+  // Build the next version privately: start from the current component
+  // list (shared pointers — unconsumed components carry over), run the
+  // binary-addition carry merge on it, and remember which resident
+  // components the carry consumed.
+  const Version* cur = versions_.writer_root();
+  auto next = std::make_unique<Version>();
+  next->components = cur->components;
+  next->size = cur->size + 1;
+  std::vector<const Component*> consumed;
+
   // A carry component of size 2^level, merged upward like binary addition.
   auto carry = std::make_unique<Component>();
   carry->keys = {key};
   carry->weights = {weight};
   size_t level = 0;
   while (true) {
-    if (level == components_.size()) components_.emplace_back();
-    if (components_[level] == nullptr) {
-      Finalize(carry.get());
-      components_[level] = std::move(carry);
+    if (level == next->components.size()) next->components.push_back(nullptr);
+    if (next->components[level] == nullptr) {
+      Finalize(carry.get(), pool_);
+      next->components[level] = carry.release();
       break;
     }
     // Merge the resident component into the carry (both sorted).
-    Component& resident = *components_[level];
+    const Component& resident = *next->components[level];
     auto merged = std::make_unique<Component>();
     const size_t total = resident.keys.size() + carry->keys.size();
     merged->keys.reserve(total);
@@ -58,16 +86,44 @@ void LogarithmicRangeSampler::Insert(double key, double weight) {
         ++j;
       }
     }
-    components_[level] = nullptr;
+    consumed.push_back(next->components[level]);
+    next->components[level] = nullptr;
     carry = std::move(merged);
     ++level;
   }
-  ++size_;
+
+  // Publish, then retire what the merge consumed. Ordering matters: a
+  // component may be retired only once no reader can REACH it from the
+  // root, which the root swap inside Publish establishes. In-flight
+  // snapshots can still HOLD it — that is exactly what the grace period
+  // covers.
+  EpochManager* epoch = versions_.epoch_manager();
+  versions_.Publish(std::move(next), pool_);
+  for (const Component* component : consumed) {
+    epoch->Retire(
+        const_cast<void*>(static_cast<const void*>(component)),
+        [](void* p) { delete static_cast<const Component*>(p); });
+  }
+  if (!consumed.empty()) epoch->Reclaim(pool_);
+
+  if (sink_ != nullptr) {
+    // Serialized writer path; shard 0 of the structure's own sink.
+    QueryStats* stats = &sink_->shard(0)->stats;
+    stats->versions_published += 1;
+    const uint64_t reclaimed = epoch->reclaimed();
+    stats->versions_reclaimed += reclaimed - last_reclaimed_;
+    last_reclaimed_ = reclaimed;
+    const uint64_t pins = epoch->reader_pins();
+    stats->reader_pins += pins - last_pins_;
+    last_pins_ = pins;
+    stats->rebuild_ns += TelemetryNowNs() - start_ns;
+  }
 }
 
 bool LogarithmicRangeSampler::Query(double lo, double hi, size_t s, Rng* rng,
                                     std::vector<double>* out) const {
-  if (lo > hi || size_ == 0) return false;
+  const Snapshot<Version> snap = versions_.Acquire();
+  if (lo > hi || snap->size == 0) return false;
   // Resolve the interval in every component; collect range weights.
   struct ActivePart {
     const Component* component;
@@ -76,12 +132,12 @@ bool LogarithmicRangeSampler::Query(double lo, double hi, size_t s, Rng* rng,
   };
   std::vector<ActivePart> parts;
   std::vector<double> part_weights;
-  for (const auto& component : components_) {
+  for (const Component* component : snap->components) {
     if (component == nullptr) continue;
     size_t a = 0;
     size_t b = 0;
     if (!component->sampler->ResolveInterval(lo, hi, &a, &b)) continue;
-    parts.push_back({component.get(), a, b});
+    parts.push_back({component, a, b});
     part_weights.push_back(component->weight_prefix[b + 1] -
                            component->weight_prefix[a]);
   }
@@ -119,10 +175,15 @@ void LogarithmicRangeSampler::QueryBatch(std::span<const KeyBatchQuery> queries,
       opts.telemetry->shard(0)->latency.Record(TelemetryNowNs() - start_ns);
     }
   };
+  // One snapshot serves the whole batch: every query of the batch sees
+  // the same component set no matter how many versions a concurrent
+  // inserter publishes meanwhile.
+  const Snapshot<Version> snap = versions_.Acquire();
   result->Clear();
   arena->Reset();
   struct Part {
     const Component* component;
+    size_t level;  // index in Version::components — the coalescing key
     size_t a;
     size_t b;
   };
@@ -138,12 +199,13 @@ void LogarithmicRangeSampler::QueryBatch(std::span<const KeyBatchQuery> queries,
   for (size_t i = 0; i < nq; ++i) {
     result->offsets[i] = total_samples;
     plan.BeginQuery(queries[i].s);
-    if (queries[i].lo > queries[i].hi || size_ == 0) {
+    if (queries[i].lo > queries[i].hi || snap->size == 0) {
       result->resolved[i] = 0;
       continue;
     }
     const size_t part_base = parts.size();
-    for (const auto& component : components_) {
+    for (size_t level = 0; level < snap->components.size(); ++level) {
+      const Component* component = snap->components[level];
       if (component == nullptr) continue;
       size_t a = 0;
       size_t b = 0;
@@ -151,7 +213,7 @@ void LogarithmicRangeSampler::QueryBatch(std::span<const KeyBatchQuery> queries,
                                                &a, &b)) {
         continue;
       }
-      parts.push_back({component.get(), a, b});
+      parts.push_back({component, level, a, b});
     }
     const bool ok = parts.size() > part_base;
     result->resolved[i] = ok ? 1 : 0;
@@ -193,11 +255,17 @@ void LogarithmicRangeSampler::QueryBatch(std::span<const KeyBatchQuery> queries,
   for (size_t g = 0; g < groups.size(); ++g) {
     if (split.counts[g] > 0) order[active++] = static_cast<uint32_t>(g);
   }
+  // Deterministic coalescing key: the component's Bentley-Saxe level, the
+  // same ascending order the single-query path serves in. (Sorting by
+  // component POINTER would also coalesce, but heap addresses make the
+  // rng consumption order — and so the emitted byte stream — depend on
+  // allocator history; level order keeps fixed-seed batches reproducible
+  // across builds and across publish/reclaim cycles.)
   std::sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(active),
             [&](uint32_t ga, uint32_t gb) {
-              const Component* ca = parts[groups[ga].tag].component;
-              const Component* cb = parts[groups[gb].tag].component;
-              return ca != cb ? ca < cb : ga < gb;
+              const size_t la = parts[groups[ga].tag].level;
+              const size_t lb = parts[groups[gb].tag].level;
+              return la != lb ? la < lb : ga < gb;
             });
 
   const std::span<PositionQuery> requests =
@@ -232,8 +300,9 @@ void LogarithmicRangeSampler::QueryBatch(std::span<const KeyBatchQuery> queries,
 
 double LogarithmicRangeSampler::RangeWeight(double lo, double hi) const {
   if (lo > hi) return 0.0;
+  const Snapshot<Version> snap = versions_.Acquire();
   double total = 0.0;
-  for (const auto& component : components_) {
+  for (const Component* component : snap->components) {
     if (component == nullptr) continue;
     size_t a = 0;
     size_t b = 0;
@@ -244,14 +313,18 @@ double LogarithmicRangeSampler::RangeWeight(double lo, double hi) const {
 }
 
 size_t LogarithmicRangeSampler::num_components() const {
+  const Snapshot<Version> snap = versions_.Acquire();
   size_t count = 0;
-  for (const auto& component : components_) count += (component != nullptr);
+  for (const Component* component : snap->components) {
+    count += (component != nullptr);
+  }
   return count;
 }
 
 size_t LogarithmicRangeSampler::MemoryBytes() const {
-  size_t bytes = components_.capacity() * sizeof(void*);
-  for (const auto& component : components_) {
+  const Snapshot<Version> snap = versions_.Acquire();
+  size_t bytes = snap->components.capacity() * sizeof(const Component*);
+  for (const Component* component : snap->components) {
     if (component == nullptr) continue;
     bytes += component->keys.capacity() * sizeof(double) +
              component->weights.capacity() * sizeof(double) +

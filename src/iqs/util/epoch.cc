@@ -1,0 +1,139 @@
+#include "iqs/util/epoch.h"
+
+#include <thread>
+
+#include "iqs/util/thread_pool.h"
+
+namespace iqs {
+
+EpochManager::~EpochManager() {
+  // No reader may outlive the manager; a still-claimed slot here is a
+  // guard leak in the caller.
+  for (const Slot& slot : slots_) {
+    IQS_CHECK(slot.state.load(std::memory_order_acquire) == 0);
+  }
+  for (std::vector<Retired>& list : limbo_) {
+    for (const Retired& retired : list) retired.deleter(retired.p);
+    list.clear();
+  }
+}
+
+size_t EpochManager::EnterReader() {
+  // Spread threads over the slot array so steady-state readers claim an
+  // uncontended slot with one CAS. thread::id hashing is stable per
+  // thread, so a reader thread keeps hitting "its" slot.
+  const size_t start =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kNumSlots;
+  while (true) {
+    for (size_t i = 0; i < kNumSlots; ++i) {
+      Slot& slot = slots_[(start + i) % kNumSlots];
+      uint64_t expected = 0;
+      // The pinned epoch may be stale by the time the CAS lands (a writer
+      // advanced in between); that is safe — an old pin only delays
+      // reclamation, never permits it.
+      const uint64_t pin =
+          (epoch_.load(std::memory_order_seq_cst) << 1) | uint64_t{1};
+      if (slot.state.compare_exchange_strong(expected, pin,
+                                             std::memory_order_seq_cst)) {
+        slot.pins.fetch_add(1, std::memory_order_relaxed);
+        return (start + i) % kNumSlots;
+      }
+    }
+    // All slots claimed (more than kNumSlots concurrent pins): wait for
+    // one to free. Pins are batch-scoped, so this resolves quickly.
+    std::this_thread::yield();
+  }
+}
+
+void EpochManager::ExitReader(size_t slot) {
+  IQS_DCHECK(slot < kNumSlots);
+  IQS_DCHECK(slots_[slot].state.load(std::memory_order_relaxed) != 0);
+  slots_[slot].state.store(0, std::memory_order_release);
+}
+
+uint64_t EpochManager::reader_pins() const {
+  uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    total += slot.pins.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void EpochManager::Retire(void* p, void (*deleter)(void*)) {
+  IQS_DCHECK(p != nullptr && deleter != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t e = epoch_.load(std::memory_order_relaxed);
+  limbo_[e % 3].push_back(Retired{p, deleter});
+  pending_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool EpochManager::TryAdvanceLocked(std::vector<Retired>* expired) {
+  const uint64_t e = epoch_.load(std::memory_order_relaxed);
+  // The epoch may advance only once every ACTIVE reader has pinned the
+  // current epoch: a slot still pinning e-1 (or older) could hold a
+  // version retired two epochs back, so the advance — and with it the
+  // freeing of that limbo list — must wait. Slot loads are seq_cst to
+  // order against the readers' pin-then-load-root sequence.
+  for (const Slot& slot : slots_) {
+    const uint64_t state = slot.state.load(std::memory_order_seq_cst);
+    if (state != 0 && (state >> 1) != e) return false;
+  }
+  const uint64_t next = e + 1;
+  epoch_.store(next, std::memory_order_seq_cst);
+  // Objects retired in epoch `next - 2` are now out of every possible
+  // reader's reach: advancing to `next` proved no reader still pins
+  // `next - 1` or older... strictly, each of the last two advances proved
+  // one generation of readers drained (full argument: DESIGN.md §2.7).
+  std::vector<Retired>& list = limbo_[(next + 1) % 3];
+  expired->insert(expired->end(), list.begin(), list.end());
+  list.clear();
+  return true;
+}
+
+void EpochManager::RunDeleters(std::vector<Retired>* expired,
+                               ThreadPool* pool) {
+  if (expired->empty()) return;
+  if (pool != nullptr && pool->num_threads() > 1 && expired->size() > 1) {
+    // Free retired versions on the pool so a serving/writer thread never
+    // pays for a large component teardown.
+    pool->ParallelFor(expired->size(), [expired](size_t shard, size_t) {
+      const Retired& retired = (*expired)[shard];
+      retired.deleter(retired.p);
+    });
+  } else {
+    for (const Retired& retired : *expired) retired.deleter(retired.p);
+  }
+  pending_.fetch_sub(expired->size(), std::memory_order_relaxed);
+  reclaimed_.fetch_add(expired->size(), std::memory_order_relaxed);
+  expired->clear();
+}
+
+size_t EpochManager::Reclaim(ThreadPool* pool) {
+  std::vector<Retired> expired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.load(std::memory_order_relaxed) == 0) return 0;
+    // Up to three advances fully drain the limbo ring when no reader
+    // holds an old pin; stop at the first blocked advance.
+    for (int i = 0; i < 3; ++i) {
+      if (!TryAdvanceLocked(&expired)) break;
+      if (pending_.load(std::memory_order_relaxed) ==
+          expired.size()) {
+        break;  // everything retired is already collected
+      }
+    }
+  }
+  const size_t freed = expired.size();
+  // Deleters run outside mu_: readers are unaffected either way, but this
+  // keeps Retire() from other writers responsive during a big teardown.
+  RunDeleters(&expired, pool);
+  return freed;
+}
+
+void EpochManager::Drain(ThreadPool* pool) {
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    if (Reclaim(pool) == 0) std::this_thread::yield();
+  }
+}
+
+}  // namespace iqs

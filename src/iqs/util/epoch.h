@@ -1,0 +1,276 @@
+// Epoch-based snapshot publication (RCU-style) for the dynamized
+// samplers: non-blocking readers over immutable, atomically-swapped
+// structure versions, with grace-period reclamation of retired versions.
+//
+// The problem this solves (ROADMAP item 2, paper Section 9 Direction 1):
+// the dynamized structures — LogarithmicRangeSampler, DynamicAlias — must
+// serve QueryBatch / Sample calls WHILE updates run, without stopping the
+// world and without readers ever observing a torn structure. The classic
+// lock-the-structure alternative (the SJS dynamic range tree's
+// Activate/Deactivate mutation, SNIPPETS.md section 2) blocks every
+// reader for the duration of a rebuild; under the logarithmic method a
+// single rebuild is O(n), so tail latency is unbounded.
+//
+// Scheme (three cooperating pieces):
+//
+//   * EpochManager — per-reader epoch slots (cache-line-aligned, the same
+//     shard pattern as TelemetrySink) plus a global epoch counter and
+//     three limbo lists of retired objects. Readers claim a slot with one
+//     CAS, pin the current epoch, and release with one store: lock-free,
+//     never blocked by writers. Writers retire objects into the current
+//     epoch's limbo list and advance the epoch only when every active
+//     reader has caught up; an object retired in epoch E is freed once
+//     the global epoch reaches E + 2 (the standard 3-epoch grace period —
+//     see DESIGN.md section 2.7 for the proof sketch of why no reader can
+//     still hold it).
+//
+//   * Snapshot<T> — a move-only read guard: holds a claimed slot plus the
+//     structure version pointer loaded from the atomic root AFTER the
+//     slot was published, so the version cannot be reclaimed while the
+//     guard lives. A batch entry point pins ONE snapshot and serves the
+//     entire batch against it.
+//
+//   * Versioned<T> — an atomic root + an embedded EpochManager: Acquire()
+//     pins a Snapshot, Publish() swaps in the next immutable version,
+//     retires the old one, and opportunistically reclaims. Reclamation
+//     deleters can run on the existing ThreadPool (Reclaim(pool)) so a
+//     serving thread never pays for freeing a large retired component.
+//
+// Threading contract: any number of concurrent readers; writers must be
+// serialized by the caller (the versioned samplers hold one writer mutex
+// around update + publish). Reader slots are claimed per Snapshot, so up
+// to kNumSlots concurrent pins are lock-free; beyond that, EnterReader
+// spins until a slot frees (64 slots comfortably exceeds the thread
+// counts this library targets, mirroring TelemetrySink::kDefaultShards).
+//
+// Nothing here touches an Rng: pinning, publication, and reclamation can
+// never perturb any sample stream.
+
+#ifndef IQS_UTIL_EPOCH_H_
+#define IQS_UTIL_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "iqs/util/check.h"
+
+namespace iqs {
+
+class ThreadPool;
+
+// Totals exported by the versioned structures into QueryStats (see
+// iqs/util/telemetry.h): absolute counts since construction.
+struct EpochTelemetry {
+  uint64_t versions_published = 0;
+  uint64_t versions_reclaimed = 0;
+  uint64_t reader_pins = 0;
+  uint64_t rebuild_ns = 0;
+};
+
+class EpochManager {
+ public:
+  // Mirrors TelemetrySink::kDefaultShards: comfortably exceeds the
+  // concurrent reader counts this library targets.
+  static constexpr size_t kNumSlots = 64;
+
+  EpochManager() = default;
+  // All readers must have exited; frees every still-retired object inline.
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // Reader side (lock-free; called by Snapshot). Claims a slot and pins
+  // the current epoch in it; the returned index must be passed to
+  // ExitReader exactly once. A reader must publish its pin BEFORE loading
+  // the structure root it intends to read — Snapshot/Versioned encode
+  // that order; manual users must load the root with seq_cst after this
+  // call returns.
+  size_t EnterReader();
+  void ExitReader(size_t slot);
+
+  // Writer side (internally serialized; callers may overlap). Hands `p`
+  // to the current epoch's limbo list; `deleter(p)` runs once the grace
+  // period has provably expired (no reader can still hold `p`).
+  void Retire(void* p, void (*deleter)(void*));
+
+  // Attempts to advance the global epoch and frees every retired object
+  // whose grace period has expired; returns the number freed. With a
+  // `pool`, two or more expired deleters run as one ParallelFor over the
+  // pool's workers (the pool must not be mid-ParallelFor); otherwise they
+  // run inline. Never blocks on readers: if any reader still pins an old
+  // epoch, the advance simply fails and the objects stay in limbo for a
+  // later call.
+  size_t Reclaim(ThreadPool* pool = nullptr);
+
+  // Blocks (yield-spinning Reclaim) until every object retired before the
+  // call has been freed. Requires readers to be transient — a pin held
+  // forever deadlocks the drain, exactly like a leaked read lock.
+  void Drain(ThreadPool* pool = nullptr);
+
+  // Number of retired-but-not-yet-freed objects. Bounded in steady state
+  // (the no-monotonic-growth guarantee tested in epoch_test).
+  size_t retired_pending() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+  // Telemetry totals: objects freed, reader pins (summed over slots), and
+  // the current global epoch.
+  uint64_t reclaimed() const {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+  uint64_t reader_pins() const;
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+ private:
+  // Slot state: 0 = free, else (pinned_epoch << 1) | 1. Cache-line
+  // aligned so two readers' pin/unpin traffic never false-shares (the
+  // TelemetryShard pattern).
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> state{0};
+    std::atomic<uint64_t> pins{0};  // relaxed telemetry counter
+  };
+
+  struct Retired {
+    void* p;
+    void (*deleter)(void*);
+  };
+
+  // Advances epoch_ by one if every active reader has pinned the current
+  // epoch; on success moves the newly expired limbo list into `expired`.
+  // Caller holds mu_.
+  bool TryAdvanceLocked(std::vector<Retired>* expired);
+
+  void RunDeleters(std::vector<Retired>* expired, ThreadPool* pool);
+
+  // Epoch starts at 1 so a free slot (state 0) can never alias an active
+  // pin of epoch 0.
+  std::atomic<uint64_t> epoch_{1};
+  Slot slots_[kNumSlots];
+
+  std::mutex mu_;  // guards limbo_ and epoch advancement
+  std::vector<Retired> limbo_[3];  // limbo_[e % 3] = retired in epoch e
+  std::atomic<size_t> pending_{0};
+  std::atomic<uint64_t> reclaimed_{0};
+};
+
+// Move-only read guard: pins one immutable structure version for its
+// lifetime. Obtained from Versioned<T>::Acquire().
+template <typename T>
+class Snapshot {
+ public:
+  Snapshot() = default;
+  Snapshot(Snapshot&& other) noexcept
+      : mgr_(std::exchange(other.mgr_, nullptr)),
+        ptr_(std::exchange(other.ptr_, nullptr)),
+        slot_(other.slot_) {}
+  Snapshot& operator=(Snapshot&& other) noexcept {
+    if (this != &other) {
+      Release();
+      mgr_ = std::exchange(other.mgr_, nullptr);
+      ptr_ = std::exchange(other.ptr_, nullptr);
+      slot_ = other.slot_;
+    }
+    return *this;
+  }
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+  ~Snapshot() { Release(); }
+
+  const T* get() const { return ptr_; }
+  const T* operator->() const {
+    IQS_DCHECK(ptr_ != nullptr);
+    return ptr_;
+  }
+  const T& operator*() const {
+    IQS_DCHECK(ptr_ != nullptr);
+    return *ptr_;
+  }
+  explicit operator bool() const { return ptr_ != nullptr; }
+
+ private:
+  template <typename U>
+  friend class Versioned;
+
+  Snapshot(EpochManager* mgr, const T* ptr, size_t slot)
+      : mgr_(mgr), ptr_(ptr), slot_(slot) {}
+
+  void Release() {
+    if (mgr_ != nullptr) {
+      mgr_->ExitReader(slot_);
+      mgr_ = nullptr;
+      ptr_ = nullptr;
+    }
+  }
+
+  EpochManager* mgr_ = nullptr;
+  const T* ptr_ = nullptr;
+  size_t slot_ = 0;
+};
+
+// An atomically-swapped immutable version of T plus the epoch machinery
+// that makes swapping safe: readers Acquire() a pinned Snapshot (never
+// blocking, never torn), a single writer Publish()es the next version.
+// Writers must be serialized by the caller; readers need no coordination.
+template <typename T>
+class Versioned {
+ public:
+  Versioned() = default;
+  explicit Versioned(std::unique_ptr<const T> initial)
+      : root_(initial.release()) {}
+
+  ~Versioned() {
+    // Readers must have exited (checked by ~EpochManager); drain frees
+    // every retired version, then the live root goes down with the ship.
+    mgr_.Drain();
+    delete root_.load(std::memory_order_relaxed);
+  }
+
+  Versioned(const Versioned&) = delete;
+  Versioned& operator=(const Versioned&) = delete;
+
+  // Reader side: pins the current version. The slot is published before
+  // the root load (both seq_cst), so the version cannot be reclaimed
+  // while the snapshot lives — the EnterReader/root-load order is the
+  // linchpin of the grace-period argument (DESIGN.md section 2.7).
+  Snapshot<T> Acquire() const {
+    const size_t slot = mgr_.EnterReader();
+    const T* ptr = root_.load(std::memory_order_seq_cst);
+    return Snapshot<T>(&mgr_, ptr, slot);
+  }
+
+  // Writer side (callers serialize): swaps `next` in as the current
+  // version, retires the previous one, and opportunistically reclaims
+  // expired versions (deleters on `pool` when given).
+  void Publish(std::unique_ptr<const T> next, ThreadPool* pool = nullptr) {
+    const T* old = root_.exchange(next.release(), std::memory_order_seq_cst);
+    if (old != nullptr) {
+      mgr_.Retire(const_cast<void*>(static_cast<const void*>(old)),
+                  [](void* p) { delete static_cast<const T*>(p); });
+    }
+    published_.fetch_add(1, std::memory_order_relaxed);
+    mgr_.Reclaim(pool);
+  }
+
+  // Writer-only peek at the current version without pinning: safe ONLY on
+  // the (serialized) writer path, where nothing can retire it underneath.
+  const T* writer_root() const { return root_.load(std::memory_order_relaxed); }
+
+  EpochManager* epoch_manager() const { return &mgr_; }
+  uint64_t versions_published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable EpochManager mgr_;
+  std::atomic<const T*> root_{nullptr};
+  std::atomic<uint64_t> published_{0};
+};
+
+}  // namespace iqs
+
+#endif  // IQS_UTIL_EPOCH_H_

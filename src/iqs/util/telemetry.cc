@@ -22,6 +22,10 @@ void QueryStats::MergeFrom(const QueryStats& other) {
   em_writes += other.em_writes;
   steals += other.steals;
   busy_ns += other.busy_ns;
+  versions_published += other.versions_published;
+  versions_reclaimed += other.versions_reclaimed;
+  reader_pins += other.reader_pins;
+  rebuild_ns += other.rebuild_ns;
   backend_mask |= other.backend_mask;
 }
 
@@ -99,7 +103,8 @@ void AppendF(std::string* out, const char* format, ...)
     __attribute__((format(printf, 2, 3)));
 
 void AppendF(std::string* out, const char* format, ...) {
-  char buffer[512];
+  // Sized for the worst-case counters line: every uint64 at 20 digits.
+  char buffer[2048];
   va_list args;
   va_start(args, format);
   const int written = std::vsnprintf(buffer, sizeof(buffer), format, args);
@@ -115,11 +120,15 @@ void AppendCountersJson(std::string* out, const QueryStats& stats) {
           ", \"rejection_rounds\": %" PRIu64 ", \"arena_bytes_hwm\": %" PRIu64
           ", \"em_reads\": %" PRIu64 ", \"em_writes\": %" PRIu64
           ", \"steals\": %" PRIu64 ", \"busy_ns\": %" PRIu64
-          ", \"kernel_backend\": \"%s\"}",
+          ", \"versions_published\": %" PRIu64
+          ", \"versions_reclaimed\": %" PRIu64 ", \"reader_pins\": %" PRIu64
+          ", \"rebuild_ns\": %" PRIu64 ", \"kernel_backend\": \"%s\"}",
           stats.queries, stats.samples_emitted, stats.rng_draws,
           stats.nodes_visited, stats.cover_groups, stats.rejection_attempts,
           stats.rejection_rounds, stats.arena_bytes_hwm, stats.em_reads,
           stats.em_writes, stats.steals, stats.busy_ns,
+          stats.versions_published, stats.versions_reclaimed,
+          stats.reader_pins, stats.rebuild_ns,
           std::string(simd::BackendMaskName(stats.backend_mask)).c_str());
 }
 
@@ -173,12 +182,14 @@ std::string MetricsRegistry::ToText() const {
             " nodes=%" PRIu64 " groups=%" PRIu64 " rej_attempts=%" PRIu64
             " rej_rounds=%" PRIu64 " arena_hwm=%" PRIu64 " em_r=%" PRIu64
             " em_w=%" PRIu64 " steals=%" PRIu64 " busy_ns=%" PRIu64
-            " backend=%s\n",
+            " published=%" PRIu64 " reclaimed=%" PRIu64 " pins=%" PRIu64
+            " rebuild_ns=%" PRIu64 " backend=%s\n",
             name.c_str(), stats.queries, stats.samples_emitted,
             stats.rng_draws, stats.nodes_visited, stats.cover_groups,
             stats.rejection_attempts, stats.rejection_rounds,
             stats.arena_bytes_hwm, stats.em_reads, stats.em_writes,
-            stats.steals, stats.busy_ns,
+            stats.steals, stats.busy_ns, stats.versions_published,
+            stats.versions_reclaimed, stats.reader_pins, stats.rebuild_ns,
             std::string(simd::BackendMaskName(stats.backend_mask)).c_str());
     AppendF(&out,
             "%s: latency count=%" PRIu64 " mean_ns=%" PRIu64

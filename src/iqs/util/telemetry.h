@@ -52,6 +52,15 @@
 //                           inside shard bodies (only measured when a
 //                           sink is attached — the clock is never read
 //                           otherwise).
+//   versions_published /    the serialized writer path of an epoch-
+//   versions_reclaimed /    versioned structure (util/epoch.h): versions
+//   reader_pins /           swapped in / freed after grace, reader
+//   rebuild_ns              snapshot pins, and off-read-path rebuild wall
+//                           time (timed only when the structure has a
+//                           sink attached — the clock is never read
+//                           otherwise). Writer-recorded into shard 0 of
+//                           the STRUCTURE's own sink, so reader-side
+//                           batch recording must use a different sink.
 //
 // Latency histograms are log-bucketed (bucket b holds [2^(b-1), 2^b) ns)
 // and merge by bucket-wise addition, which is associative and
@@ -95,6 +104,16 @@ struct QueryStats {
   uint64_t em_writes = 0;
   uint64_t steals = 0;
   uint64_t busy_ns = 0;
+  // Epoch/snapshot publication layer (iqs/util/epoch.h): versions
+  // published / reclaimed by the versioned samplers, reader snapshot pins,
+  // and wall time spent rebuilding components off the read path. Recorded
+  // by the writer path of a versioned structure into ITS sink's shard 0
+  // (the structure's writers are serialized, so plain adds stay race-free;
+  // give each versioned structure a sink of its own).
+  uint64_t versions_published = 0;
+  uint64_t versions_reclaimed = 0;
+  uint64_t reader_pins = 0;
+  uint64_t rebuild_ns = 0;
   // OR of simd::BackendBit(simd::ActiveBackend()) per recorded batch, so
   // exported results say which kernel backend(s) produced them (merged by
   // bitwise OR; exporters render it via simd::BackendMaskName).

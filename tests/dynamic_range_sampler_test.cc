@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <numeric>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -170,6 +171,50 @@ TEST(DynamicRangeSamplerTest, RepeatedQueriesIndependent) {
   sampler.Query(10.0, 90.0, 30, &rng, &first);
   sampler.Query(10.0, 90.0, 30, &rng, &second);
   EXPECT_NE(first, second);
+}
+
+TEST(DynamicRangeSamplerTest, LawSurvivesDeleteReinsertChurn) {
+  // Interleaved Insert/Delete churn under a fixed seed, then a chi-square
+  // law check (alpha 1e-6): after every element has been deleted and
+  // re-inserted several times — rotating treap shape, recycling node
+  // slots — the queried law must still be exactly the final weights.
+  Rng rng(9);
+  DynamicRangeSampler sampler(&rng);
+  const size_t n = 120;
+  std::vector<double> keys(n);
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<double>(i) / static_cast<double>(n);
+    weights[i] = 0.5 + 2.0 * rng.NextDouble();
+    sampler.Insert(keys[i], weights[i]);
+  }
+  // Churn: each round deletes a pseudo-random half (sweeping phase so
+  // every index cycles through deletion) and re-inserts it, sometimes
+  // with a temporary weight corrected on re-entry.
+  for (int round = 0; round < 8; ++round) {
+    for (size_t i = round % 2; i < n; i += 2) {
+      ASSERT_TRUE(sampler.Delete(keys[i]));
+    }
+    for (size_t i = round % 2; i < n; i += 2) {
+      sampler.Insert(keys[i], 10.0);  // wrong weight on purpose...
+      ASSERT_TRUE(sampler.SetWeight(keys[i], weights[i]));  // ...then fixed
+    }
+    ASSERT_EQ(sampler.size(), n);
+  }
+  EXPECT_NEAR(sampler.RangeWeight(-1.0, 2.0),
+              std::accumulate(weights.begin(), weights.end(), 0.0), 1e-9);
+
+  std::vector<double> out;
+  ASSERT_TRUE(sampler.Query(-1.0, 2.0, 300000, &rng, &out));
+  std::map<double, size_t> index;
+  for (size_t i = 0; i < n; ++i) index[keys[i]] = i;
+  std::vector<uint64_t> counts(n, 0);
+  for (double key : out) {
+    const auto it = index.find(key);
+    ASSERT_NE(it, index.end());
+    ++counts[it->second];
+  }
+  testing::ExpectDistributionClose(counts, testing::Normalize(weights));
 }
 
 TEST(DynamicRangeSamplerTest, EmptyAndSingle) {
