@@ -71,6 +71,9 @@ void CoverExecutor::ExecuteOverSampler(const CoverPlan& plan,
                                        ScratchArena* arena,
                                        const BatchOptions& opts,
                                        std::vector<size_t>* out) {
+  // Frontend contract (BatchOptions::max_batch): a nonzero bound promises
+  // the plan came from a micro-batcher that never coalesces past it.
+  IQS_CHECK(opts.max_batch == 0 || plan.num_queries() <= opts.max_batch);
   if (!opts.sequential()) {
     ExecuteOverSamplerParallel(plan, sampler, rng, arena, opts, out);
     return;
@@ -108,6 +111,7 @@ void CoverExecutor::ExecuteParallel(const CoverPlan& plan, Rng* rng,
                                     CoverQueryDrawFn draw,
                                     std::vector<size_t>* out) {
   IQS_CHECK(!opts.sequential());
+  IQS_CHECK(opts.max_batch == 0 || plan.num_queries() <= opts.max_batch);
   const size_t nq = plan.num_queries();
   const size_t g = plan.num_groups();
   ScopedPool pool(opts);

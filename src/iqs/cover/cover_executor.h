@@ -86,6 +86,7 @@ class CoverExecutor {
   static void Execute(const CoverPlan& plan, Rng* rng, ScratchArena* arena,
                       const BatchOptions& opts, DrawBackend&& backend,
                       std::vector<size_t>* out) {
+    IQS_CHECK(opts.max_batch == 0 || plan.num_queries() <= opts.max_batch);
     const CoverSplit split = Split(plan, rng, arena, opts.telemetry);
     if (split.total == 0) return;
     const size_t base = out->size();

@@ -66,6 +66,9 @@
 #include "iqs/sampling/multinomial.h"
 #include "iqs/sampling/set_sampler.h"
 #include "iqs/sampling/wor_query.h"
+#include "iqs/serve/frontend.h"
+#include "iqs/serve/serve_stats.h"
+#include "iqs/serve/ticket.h"
 #include "iqs/setunion/set_union_sampler.h"
 #include "iqs/simd/dispatch.h"
 #include "iqs/simd/kernels.h"

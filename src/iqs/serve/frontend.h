@@ -1,0 +1,373 @@
+// Shard-per-core serving frontend with cross-user micro-batching
+// (ROADMAP item 1; the system layer over the PR 1-6 serving substrate).
+//
+// Real traffic is millions of connections each submitting ONE sampling
+// query — not the pre-formed QueryBatch arrays every fast path below this
+// layer is built for. The frontend closes that gap: N producer threads
+// call Submit(shard, query, ticket); a per-shard micro-batcher coalesces
+// admitted queries into one canonical QueryBatch(queries, rng, arena,
+// opts, result) call per time-or-size window (flush at max_batch queries
+// or when the oldest waiter has aged max_delay_ns, whichever first), and
+// completes each query's ticket from the batch result. Per-query cost
+// then rides every batch-layer win at once — grouped cover draws (E19),
+// SIMD kernels (E23), and one pinned epoch snapshot per flushed batch
+// (E24: a versioned backend pins inside its QueryBatch, so a whole
+// micro-batch observes one immutable structure version under churn).
+//
+// Sharding is BY STRUCTURE: shard s has its own queue, its own worker
+// thread, and serves only backend shard s (shard-per-core — e.g. a
+// key-space partition with one sampler per partition). The router is the
+// caller's (Submit takes the shard index) because only the caller knows
+// the partition function.
+//
+// Admission control + backpressure: each shard queue is bounded by
+// queue_capacity. A full queue either blocks the producer until the
+// worker drains (kBlock — backpressure) or completes the ticket
+// kRejected immediately (kReject — load shedding at the door). A
+// deadline_ns budget sheds at the other end: queries that sat in the
+// queue longer than the budget are completed kShed at flush time instead
+// of being sampled, so an overloaded batch spends its work only on
+// queries that can still meet their deadline.
+//
+// Determinism: the randomness of flushed batch b of shard s is
+// Rng(seed).ForkStream(s).ForkStream(b) — a pure function of (seed,
+// shard, flush index), never of the clock or the producers' thread
+// timing. Combined with the executor's deterministic parallel mode
+// (BatchOptions, PR 3), the flushed results are byte-identical across
+// batch.num_threads ∈ {1, 2, ...} and across any window configs that
+// produce the same batch boundaries (serve_frontend_test pins both).
+//
+// Drain/shutdown: Drain() stops admission (in-flight Submit calls — even
+// ones blocked on backpressure — complete kRejected), flushes every
+// queued query, and joins the workers; the destructor drains. Every
+// admitted ticket is completed exactly once — double completion aborts
+// inside ServeTicket, so "no lost or double-completed futures" holds by
+// construction.
+//
+// Telemetry: per-shard ServeShardStats (queue depth high-water,
+// batch-size histogram, time-in-queue vs time-in-batch histograms; see
+// serve_stats.h), snapshot via ShardStats()/MergedStats(). The inner
+// sampling pipeline's TelemetrySink can be attached through
+// ServeOptions::batch.telemetry when num_shards == 1 (two shard workers
+// would race on the sink's shard 0, so multi-shard frontends must leave
+// it detached).
+
+#ifndef IQS_SERVE_FRONTEND_H_
+#define IQS_SERVE_FRONTEND_H_
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "iqs/range/logarithmic_range_sampler.h"
+#include "iqs/range/range_sampler.h"
+#include "iqs/serve/serve_stats.h"
+#include "iqs/serve/ticket.h"
+#include "iqs/util/batch_options.h"
+#include "iqs/util/check.h"
+#include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
+#include "iqs/util/telemetry.h"
+#include "iqs/util/thread_pool.h"
+
+namespace iqs {
+namespace serve {
+
+// What a full shard queue does to the NEXT Submit.
+enum class AdmissionPolicy {
+  kBlock,   // backpressure: the producer waits for queue space (or drain)
+  kReject,  // shed at the door: the ticket completes kRejected immediately
+};
+
+struct ServeOptions {
+  // One micro-batcher queue + one worker thread per shard; Submit's shard
+  // argument must be < num_shards.
+  size_t num_shards = 1;
+
+  // The micro-batch window: a shard flushes when max_batch queries are
+  // pending, or when the OLDEST pending query has waited max_delay_ns —
+  // whichever comes first. max_batch bounds batch latency under load;
+  // max_delay_ns bounds it when traffic is sparse.
+  size_t max_batch = 256;
+  uint64_t max_delay_ns = 50 * 1000;  // 50µs
+
+  // Admission control: per-shard queue bound and the full-queue policy.
+  size_t queue_capacity = 4096;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+
+  // Queue-time budget; 0 = never shed. A query whose time in queue
+  // exceeds the budget at flush time completes kShed without sampling.
+  // Also threaded into BatchOptions::deadline_ns for observability.
+  uint64_t deadline_ns = 0;
+
+  // Base seed of the frontend's batch randomness (see the determinism
+  // note above). Independent of the producers' own Rngs.
+  uint64_t seed = 0x1d9a3f52c8e07b64ULL;
+
+  // Execution options for each flushed QueryBatch call. pool must be
+  // null: with num_threads >= 1 each shard worker owns a private pool
+  // (one pool cannot run two shards' batches concurrently). telemetry
+  // may be set only when num_shards == 1 (see header comment).
+  BatchOptions batch;
+};
+
+// The micro-batching frontend, generic over the canonical batch family:
+//   Query   one submitted request (BatchQuery, KeyBatchQuery, ...)
+//   Sample  element type of one query's flat sample slice (size_t, double)
+//   Result  the flat batch result (BatchResult, KeyBatchResult): needs
+//           Clear(), SamplesFor(i), and the resolved[] flags.
+// The backend callback executes one flushed micro-batch against structure
+// shard `shard` — almost always a one-line adapter onto a sampler's
+// QueryBatch. It runs on the shard's worker thread; for a versioned
+// backend the snapshot pin inside its QueryBatch makes the whole flush
+// see one immutable version.
+template <typename Query, typename Sample, typename Result>
+class ServeFrontend {
+ public:
+  using BatchFn =
+      std::function<void(size_t shard, std::span<const Query> queries,
+                         Rng* rng, ScratchArena* arena,
+                         const BatchOptions& opts, Result* result)>;
+
+  ServeFrontend(const ServeOptions& options, BatchFn batch_fn)
+      : opts_(options), batch_fn_(std::move(batch_fn)) {
+    IQS_CHECK(opts_.num_shards >= 1);
+    IQS_CHECK(opts_.max_batch >= 1);
+    IQS_CHECK(opts_.queue_capacity >= opts_.max_batch);
+    IQS_CHECK(opts_.batch.pool == nullptr);
+    IQS_CHECK(opts_.batch.telemetry == nullptr || opts_.num_shards == 1);
+    IQS_CHECK(batch_fn_ != nullptr);
+    shards_.reserve(opts_.num_shards);
+    for (size_t s = 0; s < opts_.num_shards; ++s) {
+      shards_.push_back(std::make_unique<ShardState>());
+    }
+    workers_.reserve(opts_.num_shards);
+    for (size_t s = 0; s < opts_.num_shards; ++s) {
+      workers_.emplace_back([this, s] { WorkerLoop(s); });
+    }
+  }
+
+  ~ServeFrontend() { Drain(); }
+
+  ServeFrontend(const ServeFrontend&) = delete;
+  ServeFrontend& operator=(const ServeFrontend&) = delete;
+
+  // Submits one query to structure shard `shard`. `ticket` must be
+  // pending (fresh or Reset) and outlive its completion. Returns true iff
+  // the query was admitted; on false the ticket has been completed
+  // kRejected. Any number of producer threads may submit concurrently.
+  bool Submit(size_t shard, const Query& query, ServeTicket<Sample>* ticket) {
+    IQS_DCHECK(shard < shards_.size());
+    IQS_DCHECK(ticket->status() == ServeStatus::kPending);
+    ShardState& st = *shards_[shard];
+    const uint64_t now = TelemetryNowNs();
+    ticket->set_submit_ns(now);
+    std::unique_lock<std::mutex> lock(st.mu);
+    if (opts_.admission == AdmissionPolicy::kBlock) {
+      st.space.wait(lock, [&] {
+        return st.stop || st.queue.size() < opts_.queue_capacity;
+      });
+    }
+    if (st.stop || st.queue.size() >= opts_.queue_capacity) {
+      st.stats.rejected += 1;
+      lock.unlock();
+      ticket->Complete(ServeStatus::kRejected, {}, TelemetryNowNs());
+      return false;
+    }
+    st.queue.push_back(PendingQuery{query, ticket, now});
+    const size_t depth = st.queue.size();
+    st.stats.submitted += 1;
+    if (depth > st.stats.queue_depth_hwm) st.stats.queue_depth_hwm = depth;
+    lock.unlock();
+    // The worker needs waking on the empty->nonempty edge (it waits for
+    // work) and at the size trigger (it waits out the delay window);
+    // between the two it will flush on its own timer.
+    if (depth == 1 || depth >= opts_.max_batch) st.nonempty.notify_one();
+    return true;
+  }
+
+  // Stops admission, flushes every queued query, joins the workers.
+  // Idempotent; called by the destructor. After Drain, Submit completes
+  // every ticket kRejected.
+  void Drain() {
+    std::lock_guard<std::mutex> drain_lock(drain_mu_);
+    for (std::unique_ptr<ShardState>& st : shards_) {
+      {
+        std::lock_guard<std::mutex> lock(st->mu);
+        st->stop = true;
+      }
+      st->nonempty.notify_all();
+      st->space.notify_all();
+    }
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  const ServeOptions& options() const { return opts_; }
+
+  // Live queue depth of one shard (racy by nature — a gauge, not a fact).
+  size_t QueueDepth(size_t shard) const {
+    const ShardState& st = *shards_[shard];
+    std::lock_guard<std::mutex> lock(st.mu);
+    return st.queue.size();
+  }
+
+  // Snapshots of the serving stats (serve_stats.h). Safe to call while
+  // traffic is in flight — each copy is taken under the shard's mutex.
+  ServeShardStats ShardStats(size_t shard) const {
+    const ShardState& st = *shards_[shard];
+    std::lock_guard<std::mutex> lock(st.mu);
+    return st.stats;
+  }
+  ServeShardStats MergedStats() const {
+    ServeShardStats merged;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const ServeShardStats shard_stats = ShardStats(s);
+      merged.MergeFrom(shard_stats);
+    }
+    return merged;
+  }
+
+ private:
+  struct PendingQuery {
+    Query query;
+    ServeTicket<Sample>* ticket;
+    uint64_t submit_ns;
+  };
+
+  // One shard's queue + worker rendezvous. Aligned so two shards' queue
+  // traffic never false-shares (each ShardState is its own heap object
+  // anyway; the alignment hardens the layout).
+  struct alignas(64) ShardState {
+    mutable std::mutex mu;
+    std::condition_variable nonempty;  // worker waits for work / triggers
+    std::condition_variable space;     // kBlock producers wait for room
+    std::deque<PendingQuery> queue;
+    bool stop = false;
+    ServeShardStats stats;  // guarded by mu (worker + producers)
+  };
+
+  void WorkerLoop(size_t shard_index) {
+    ShardState& st = *shards_[shard_index];
+    // Pure function of (seed, shard): batch b below serves under
+    // shard_base.ForkStream(b), so results depend only on batch
+    // boundaries — not on producer timing or worker scheduling.
+    const Rng shard_base = Rng(opts_.seed).ForkStream(shard_index);
+    uint64_t flush_seq = 0;
+
+    BatchOptions inner = opts_.batch;
+    inner.max_batch = opts_.max_batch;
+    inner.deadline_ns = opts_.deadline_ns;
+    std::unique_ptr<ThreadPool> pool;
+    if (!inner.sequential()) {
+      pool = std::make_unique<ThreadPool>(inner.num_threads);
+      inner.pool = pool.get();
+    }
+
+    std::vector<PendingQuery> flush;
+    std::vector<Query> queries;
+    std::vector<size_t> live;  // index into `flush` of each non-shed query
+    Result result;
+    ScratchArena arena;
+    flush.reserve(opts_.max_batch);
+    queries.reserve(opts_.max_batch);
+    live.reserve(opts_.max_batch);
+
+    std::unique_lock<std::mutex> lock(st.mu);
+    for (;;) {
+      st.nonempty.wait(lock, [&] { return st.stop || !st.queue.empty(); });
+      if (st.queue.empty()) break;  // stop && drained
+      // The coalescing window: sleep until the size trigger, the oldest
+      // waiter's delay expiring, or drain. Only this worker pops, so the
+      // queue cannot shrink (and the oldest entry cannot change) while it
+      // waits here.
+      while (st.queue.size() < opts_.max_batch && !st.stop) {
+        const uint64_t flush_at =
+            st.queue.front().submit_ns + opts_.max_delay_ns;
+        const uint64_t now = TelemetryNowNs();
+        if (now >= flush_at) break;
+        st.nonempty.wait_for(lock, std::chrono::nanoseconds(flush_at - now));
+      }
+      const size_t take = std::min(st.queue.size(), opts_.max_batch);
+      flush.clear();
+      for (size_t i = 0; i < take; ++i) {
+        flush.push_back(st.queue.front());
+        st.queue.pop_front();
+      }
+      lock.unlock();
+      if (opts_.admission == AdmissionPolicy::kBlock) st.space.notify_all();
+
+      const uint64_t flush_start = TelemetryNowNs();
+      queries.clear();
+      live.clear();
+      for (size_t i = 0; i < flush.size(); ++i) {
+        if (opts_.deadline_ns != 0 &&
+            flush_start - flush[i].submit_ns > opts_.deadline_ns) {
+          flush[i].ticket->Complete(ServeStatus::kShed, {}, flush_start);
+          continue;
+        }
+        queries.push_back(flush[i].query);
+        live.push_back(i);
+      }
+
+      uint64_t batch_ns = 0;
+      if (!queries.empty()) {
+        Rng rng = shard_base.ForkStream(flush_seq);
+        result.Clear();
+        arena.Reset();
+        batch_fn_(shard_index, std::span<const Query>(queries), &rng, &arena,
+                  inner, &result);
+        const uint64_t done = TelemetryNowNs();
+        batch_ns = done - flush_start;
+        for (size_t i = 0; i < live.size(); ++i) {
+          flush[live[i]].ticket->Complete(
+              result.resolved[i] != 0 ? ServeStatus::kOk : ServeStatus::kEmpty,
+              result.SamplesFor(i), done);
+        }
+      }
+      // The flush index ticks whether or not anything survived shedding,
+      // so batch randomness stays a function of the flush BOUNDARIES
+      // alone (an all-shed flush consumes a stream id, not zero of them).
+      ++flush_seq;
+
+      lock.lock();
+      st.stats.batches_flushed += 1;
+      st.stats.shed += flush.size() - live.size();
+      st.stats.completed += live.size();
+      st.stats.batch_size.Record(take);
+      for (const PendingQuery& pending : flush) {
+        st.stats.time_in_queue_ns.Record(flush_start - pending.submit_ns);
+      }
+      if (!queries.empty()) st.stats.time_in_batch_ns.Record(batch_ns);
+    }
+  }
+
+  const ServeOptions opts_;
+  const BatchFn batch_fn_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::vector<std::thread> workers_;
+  std::mutex drain_mu_;  // serializes Drain vs ~ServeFrontend
+};
+
+// The two instantiations the library's samplers serve today: position
+// results over RangeSampler::QueryBatch, and key results over
+// LogarithmicRangeSampler::QueryBatch (the versioned, churn-safe path).
+using RangeServeFrontend = ServeFrontend<BatchQuery, size_t, BatchResult>;
+using KeyServeFrontend =
+    ServeFrontend<KeyBatchQuery, double, KeyBatchResult>;
+
+}  // namespace serve
+}  // namespace iqs
+
+#endif  // IQS_SERVE_FRONTEND_H_

@@ -1,0 +1,96 @@
+#include "iqs/serve/serve_stats.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace iqs {
+namespace serve {
+
+void ServeShardStats::MergeFrom(const ServeShardStats& other) {
+  submitted += other.submitted;
+  rejected += other.rejected;
+  shed += other.shed;
+  completed += other.completed;
+  batches_flushed += other.batches_flushed;
+  queue_depth_hwm = std::max(queue_depth_hwm, other.queue_depth_hwm);
+  batch_size.MergeFrom(other.batch_size);
+  time_in_queue_ns.MergeFrom(other.time_in_queue_ns);
+  time_in_batch_ns.MergeFrom(other.time_in_batch_ns);
+}
+
+namespace {
+
+void AppendF(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* format, ...) {
+  char buffer[1024];
+  va_list args;
+  va_start(args, format);
+  const int written = std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (written > 0) out->append(buffer, static_cast<size_t>(written));
+}
+
+void AppendHistogramJson(std::string* out, const char* name,
+                         const LatencyHistogram& h) {
+  AppendF(out,
+          "\"%s\": {\"count\": %" PRIu64 ", \"mean\": %" PRIu64
+          ", \"p50\": %" PRIu64 ", \"p99\": %" PRIu64 ", \"p999\": %" PRIu64
+          ", \"max\": %" PRIu64 "}",
+          name, h.count(), h.count() ? h.sum_ns() / h.count() : 0,
+          h.PercentileUpperBoundNs(0.50), h.PercentileUpperBoundNs(0.99),
+          h.PercentileUpperBoundNs(0.999), h.max_ns());
+}
+
+}  // namespace
+
+std::string ServeStatsToJson(const ServeShardStats& stats) {
+  std::string out;
+  AppendF(&out,
+          "{\"submitted\": %" PRIu64 ", \"rejected\": %" PRIu64
+          ", \"shed\": %" PRIu64 ", \"completed\": %" PRIu64
+          ", \"batches_flushed\": %" PRIu64 ", \"queue_depth_hwm\": %" PRIu64
+          ", ",
+          stats.submitted, stats.rejected, stats.shed, stats.completed,
+          stats.batches_flushed, stats.queue_depth_hwm);
+  AppendHistogramJson(&out, "batch_size", stats.batch_size);
+  out.append(", ");
+  AppendHistogramJson(&out, "time_in_queue_ns", stats.time_in_queue_ns);
+  out.append(", ");
+  AppendHistogramJson(&out, "time_in_batch_ns", stats.time_in_batch_ns);
+  out.append("}");
+  return out;
+}
+
+std::string ServeStatsToText(const ServeShardStats& stats) {
+  std::string out;
+  AppendF(&out,
+          "submitted=%" PRIu64 " rejected=%" PRIu64 " shed=%" PRIu64
+          " completed=%" PRIu64 " batches=%" PRIu64 " depth_hwm=%" PRIu64 "\n",
+          stats.submitted, stats.rejected, stats.shed, stats.completed,
+          stats.batches_flushed, stats.queue_depth_hwm);
+  const LatencyHistogram& bs = stats.batch_size;
+  AppendF(&out,
+          "batch_size: mean=%" PRIu64 " p50<=%" PRIu64 " max=%" PRIu64 "\n",
+          bs.count() ? bs.sum_ns() / bs.count() : 0,
+          bs.PercentileUpperBoundNs(0.50), bs.max_ns());
+  AppendF(&out,
+          "time_in_queue_ns: p50<=%" PRIu64 " p99<=%" PRIu64 " max=%" PRIu64
+          "\n",
+          stats.time_in_queue_ns.PercentileUpperBoundNs(0.50),
+          stats.time_in_queue_ns.PercentileUpperBoundNs(0.99),
+          stats.time_in_queue_ns.max_ns());
+  AppendF(&out,
+          "time_in_batch_ns: p50<=%" PRIu64 " p99<=%" PRIu64 " max=%" PRIu64
+          "\n",
+          stats.time_in_batch_ns.PercentileUpperBoundNs(0.50),
+          stats.time_in_batch_ns.PercentileUpperBoundNs(0.99),
+          stats.time_in_batch_ns.max_ns());
+  return out;
+}
+
+}  // namespace serve
+}  // namespace iqs

@@ -1,0 +1,129 @@
+// One-shot completion slot for a single query submitted to the serving
+// frontend (serve/frontend.h) — the future half of Submit(query) ->
+// future.
+//
+// A ServeTicket is CALLER-OWNED storage: producers keep an array of
+// tickets (reusable via Reset), so the hot submit path allocates nothing
+// and the completion handoff is one release-store plus an atomic notify.
+// The frontend completes every admitted ticket exactly once — a second
+// Complete on the same ticket aborts via IQS_CHECK, which is how the
+// drain/shutdown tests turn "no double-completed futures" into a
+// construction-time guarantee rather than a test-only assertion.
+//
+// Lifetime contract: between Submit and the ticket reaching a terminal
+// status the ticket must stay alive and must not be Reset or moved; after
+// Wait() returns (or status() reads a terminal state with acquire
+// semantics, which it does) the samples are safe to read from the
+// submitting thread.
+
+#ifndef IQS_SERVE_TICKET_H_
+#define IQS_SERVE_TICKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "iqs/util/check.h"
+
+namespace iqs {
+namespace serve {
+
+// Terminal states of a submitted query; kPending is the in-flight state.
+enum class ServeStatus : uint32_t {
+  kPending = 0,
+  kOk = 1,        // sampled; samples() holds the draws
+  kEmpty = 2,     // the interval resolved to no elements — zero draws, by law
+  kRejected = 3,  // admission control refused the submit (kReject policy,
+                  // or the frontend was draining)
+  kShed = 4,      // flushed after ServeOptions::deadline_ns in queue; the
+                  // batch shed it instead of sampling
+};
+
+inline const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kPending:
+      return "pending";
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kEmpty:
+      return "empty";
+    case ServeStatus::kRejected:
+      return "rejected";
+    case ServeStatus::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
+template <typename Sample>
+class ServeTicket {
+ public:
+  ServeTicket() = default;
+  ServeTicket(const ServeTicket&) = delete;
+  ServeTicket& operator=(const ServeTicket&) = delete;
+
+  // Blocks until the query reaches a terminal status and returns it.
+  ServeStatus Wait() const {
+    uint32_t s = state_.load(std::memory_order_acquire);
+    while (s == static_cast<uint32_t>(ServeStatus::kPending)) {
+      state_.wait(s, std::memory_order_acquire);
+      s = state_.load(std::memory_order_acquire);
+    }
+    return static_cast<ServeStatus>(s);
+  }
+
+  // Non-blocking peek; acquire, so a terminal read publishes samples().
+  ServeStatus status() const {
+    return static_cast<ServeStatus>(state_.load(std::memory_order_acquire));
+  }
+
+  // The query's draws; valid once the ticket is terminal with kOk (empty
+  // for every other terminal state). Retains capacity across Reset, so a
+  // reused ticket settles into zero steady-state allocations.
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  // Completion-side timestamps (TelemetryNowNs clock): when the frontend
+  // admitted the query and when it completed. Valid once terminal; the
+  // difference is the query's full submit-to-complete latency, measured
+  // with no consumer-side scheduling skew (the bench relies on this).
+  uint64_t submit_ns() const { return submit_ns_; }
+  uint64_t complete_ns() const { return complete_ns_; }
+  uint64_t LatencyNs() const { return complete_ns_ - submit_ns_; }
+
+  // Rearms a terminal ticket for another Submit. Must not be called on an
+  // in-flight ticket (the frontend still holds a pointer to it).
+  void Reset() {
+    samples_.clear();
+    state_.store(static_cast<uint32_t>(ServeStatus::kPending),
+                 std::memory_order_relaxed);
+  }
+
+  // FRONTEND-INTERNAL: publishes the terminal state. Exactly-once is
+  // enforced — completing a non-pending ticket aborts.
+  void Complete(ServeStatus status, std::span<const Sample> samples,
+                uint64_t complete_ns) {
+    IQS_DCHECK(status != ServeStatus::kPending);
+    samples_.assign(samples.begin(), samples.end());
+    complete_ns_ = complete_ns;
+    uint32_t expected = static_cast<uint32_t>(ServeStatus::kPending);
+    IQS_CHECK(state_.compare_exchange_strong(
+        expected, static_cast<uint32_t>(status), std::memory_order_release,
+        std::memory_order_relaxed));
+    state_.notify_all();
+  }
+
+  // FRONTEND-INTERNAL: stamped on admission, before the ticket is queued.
+  void set_submit_ns(uint64_t ns) { submit_ns_ = ns; }
+
+ private:
+  std::vector<Sample> samples_;
+  uint64_t submit_ns_ = 0;
+  uint64_t complete_ns_ = 0;
+  std::atomic<uint32_t> state_{static_cast<uint32_t>(ServeStatus::kPending)};
+};
+
+}  // namespace serve
+}  // namespace iqs
+
+#endif  // IQS_SERVE_TICKET_H_

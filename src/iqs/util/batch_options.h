@@ -51,6 +51,22 @@ struct BatchOptions {
   // sample. See the telemetry header for the counter-ownership rules.
   TelemetrySink* telemetry = nullptr;
 
+  // Serving-frontend contract fields (iqs/serve/frontend.h). Both default
+  // to 0 = "no contract", which is a NO-OP for every existing caller:
+  // executors never read them except to IQS_CHECK the max_batch bound, so
+  // a batch built without a frontend is byte-identical to before.
+  //
+  //   deadline_ns  queue-time budget the frontend shed against before
+  //                handing the batch down; recorded for observability (a
+  //                backend may use it to pick cheaper plans, never to
+  //                change the law of the samples it does emit).
+  //   max_batch    frontend's micro-batch window size; when nonzero the
+  //                executors IQS_CHECK num_queries <= max_batch, turning a
+  //                mis-wired batcher into an abort instead of a silent
+  //                oversized flush.
+  uint64_t deadline_ns = 0;
+  size_t max_batch = 0;
+
   bool sequential() const { return num_threads == 0; }
 };
 

@@ -136,11 +136,14 @@ void AppendLatencyJson(std::string* out, const LatencyHistogram& histogram) {
   AppendF(out,
           "{\"count\": %" PRIu64 ", \"sum_ns\": %" PRIu64 ", \"max_ns\": %" PRIu64
           ", \"p50_ns\": %" PRIu64 ", \"p90_ns\": %" PRIu64
-          ", \"p99_ns\": %" PRIu64 ", \"buckets\": [",
+          ", \"p99_ns\": %" PRIu64 ", \"p999_ns\": %" PRIu64
+          ", \"p9999_ns\": %" PRIu64 ", \"buckets\": [",
           histogram.count(), histogram.sum_ns(), histogram.max_ns(),
           histogram.PercentileUpperBoundNs(0.50),
           histogram.PercentileUpperBoundNs(0.90),
-          histogram.PercentileUpperBoundNs(0.99));
+          histogram.PercentileUpperBoundNs(0.99),
+          histogram.PercentileUpperBoundNs(0.999),
+          histogram.PercentileUpperBoundNs(0.9999));
   // Nonzero buckets only, as [lower_bound_ns, count] pairs.
   bool first = true;
   for (size_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
@@ -194,12 +197,14 @@ std::string MetricsRegistry::ToText() const {
     AppendF(&out,
             "%s: latency count=%" PRIu64 " mean_ns=%" PRIu64
             " p50<=%" PRIu64 " p90<=%" PRIu64 " p99<=%" PRIu64
-            " max=%" PRIu64 "\n",
+            " p999<=%" PRIu64 " p9999<=%" PRIu64 " max=%" PRIu64 "\n",
             name.c_str(), latency.count(),
             latency.count() ? latency.sum_ns() / latency.count() : 0,
             latency.PercentileUpperBoundNs(0.50),
             latency.PercentileUpperBoundNs(0.90),
-            latency.PercentileUpperBoundNs(0.99), latency.max_ns());
+            latency.PercentileUpperBoundNs(0.99),
+            latency.PercentileUpperBoundNs(0.999),
+            latency.PercentileUpperBoundNs(0.9999), latency.max_ns());
   }
   return out;
 }

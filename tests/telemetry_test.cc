@@ -63,7 +63,16 @@ TEST(LatencyHistogramTest, MergeIsAssociativeAcrossPartitions) {
   const LatencyHistogram one = merged_over(1);
   EXPECT_EQ(one.count(), samples.size());
   for (size_t num_shards : {2u, 7u}) {
-    EXPECT_EQ(merged_over(num_shards), one) << num_shards << " shards";
+    const LatencyHistogram merged = merged_over(num_shards);
+    EXPECT_EQ(merged, one) << num_shards << " shards";
+    // Tail percentiles are derived from the merged buckets, so they must
+    // be partition-invariant too — the export satellites (p999/p9999)
+    // depend on exactly this.
+    for (double p : {0.5, 0.99, 0.999, 0.9999}) {
+      EXPECT_EQ(merged.PercentileUpperBoundNs(p),
+                one.PercentileUpperBoundNs(p))
+          << num_shards << " shards at p=" << p;
+    }
   }
 }
 
@@ -77,6 +86,19 @@ TEST(LatencyHistogramTest, PercentileUpperBounds) {
   EXPECT_EQ(h.max_ns(), 5000u);
   EXPECT_EQ(h.count(), 100u);
   EXPECT_EQ(LatencyHistogram{}.PercentileUpperBoundNs(0.5), 0u);
+}
+
+TEST(LatencyHistogramTest, TailPercentilesResolveDeepBuckets) {
+  // A body at 100ns, a p999-visible shelf at 5µs, and a p9999-only spike
+  // at 1ms — each tail quantile must land in its own bucket.
+  LatencyHistogram h;
+  for (int i = 0; i < 9980; ++i) h.Record(100);      // bucket [64, 128)
+  for (int i = 0; i < 10; ++i) h.Record(5000);       // bucket [4096, 8192)
+  for (int i = 0; i < 10; ++i) h.Record(1'000'000);  // [524288, 1048576)
+  EXPECT_EQ(h.PercentileUpperBoundNs(0.99), 128u);
+  EXPECT_EQ(h.PercentileUpperBoundNs(0.999), 8192u);
+  EXPECT_EQ(h.PercentileUpperBoundNs(0.9999), 1048576u);
+  EXPECT_EQ(h.PercentileUpperBoundNs(1.0), 1048576u);
 }
 
 TEST(QueryStatsTest, MergeSumsCountersAndMaxesHighWater) {
@@ -317,6 +339,8 @@ TEST(MetricsRegistryTest, JsonExportContainsCountersAndBuckets) {
   EXPECT_NE(json.find("\"samples_emitted\": 99"), std::string::npos) << json;
   EXPECT_NE(json.find("\"count\": 2"), std::string::npos) << json;
   EXPECT_NE(json.find("\"max_ns\": 5000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p999_ns\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p9999_ns\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"buckets\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"kernel_backend\": \"scalar+avx2\""),
             std::string::npos)
@@ -325,6 +349,8 @@ TEST(MetricsRegistryTest, JsonExportContainsCountersAndBuckets) {
   const std::string text = registry.ToText();
   EXPECT_NE(text.find("unit"), std::string::npos) << text;
   EXPECT_NE(text.find("backend=scalar+avx2"), std::string::npos) << text;
+  EXPECT_NE(text.find("p999<="), std::string::npos) << text;
+  EXPECT_NE(text.find("p9999<="), std::string::npos) << text;
 }
 
 }  // namespace
