@@ -50,6 +50,18 @@ require_json() {
   fi
 }
 
+# Fails the run with the bench binary's own exit code if it did not exit
+# cleanly (a crash mid-run can still leave a plausible-looking partial
+# JSON behind, so checking the file alone is not enough). Named here
+# rather than left to `set -e` so the failing bench is identified and
+# the status survives any future refactor of the call sites.
+require_clean_exit() {
+  if [ "$1" -ne 0 ]; then
+    echo "error: $2 exited with status $1" >&2
+    exit "$1"
+  fi
+}
+
 build_dir=${1:-build}
 out_dir=${2:-bench/results}
 
@@ -68,14 +80,18 @@ for bench in "$build_dir"/bench/*; do
   bench_abs=$(cd "$(dirname "$bench")" && pwd)/$name
   if is_table_bench "$name"; then
     echo "== $name (table) =="
-    (cd "$out_abs" && "$bench_abs")
+    status=0
+    (cd "$out_abs" && "$bench_abs") || status=$?
+    require_clean_exit "$status" "$name"
     if table_bench_writes_json "$name"; then
       require_json "$out_abs/BENCH_${name#bench_}.json" "$name"
     fi
   else
     echo "== $name (google-benchmark) =="
+    status=0
     "$bench_abs" --benchmark_out="$out_abs/$name.json" \
-      --benchmark_out_format=json
+      --benchmark_out_format=json || status=$?
+    require_clean_exit "$status" "$name"
     require_json "$out_abs/$name.json" "$name"
   fi
 done

@@ -18,6 +18,7 @@ void AliasTable::Build(std::span<const double> weights) {
 
   total_weight_ = 0.0;
   for (double w : weights) {
+    // iqs-lint: allow(check-in-loop) -- cold build-path input validation
     IQS_CHECK(w >= 0.0);
     total_weight_ += w;
   }

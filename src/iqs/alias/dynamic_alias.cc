@@ -177,7 +177,7 @@ void DynamicAlias::PublishFront(Core* back, const Op& op, uint64_t start_ns) {
 }
 
 size_t DynamicAlias::Insert(double w) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   const uint64_t start_ns = sink_ != nullptr ? TelemetryNowNs() : 0;
   Core* back = PrepareBack();
   const uint32_t handle = back->Insert(w);
@@ -186,7 +186,7 @@ size_t DynamicAlias::Insert(double w) {
 }
 
 void DynamicAlias::Remove(size_t handle) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   const uint64_t start_ns = sink_ != nullptr ? TelemetryNowNs() : 0;
   Core* back = PrepareBack();
   back->Remove(static_cast<uint32_t>(handle));
@@ -195,7 +195,7 @@ void DynamicAlias::Remove(size_t handle) {
 }
 
 void DynamicAlias::SetWeight(size_t handle, double w) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   const uint64_t start_ns = sink_ != nullptr ? TelemetryNowNs() : 0;
   Core* back = PrepareBack();
   back->SetWeight(static_cast<uint32_t>(handle), w);
@@ -249,7 +249,7 @@ size_t DynamicAlias::MemoryBytes() const {
   // Both cores + the op log: the honest left-right footprint (~2x the
   // unversioned structure). Locks out writers so the back core's vectors
   // are not concurrently reallocating.
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   return cores_[0].MemoryBytes() + cores_[1].MemoryBytes() +
          pending_.capacity() * sizeof(Op);
 }

@@ -42,12 +42,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "iqs/range/fenwick_tree.h"
 #include "iqs/util/epoch.h"
 #include "iqs/util/rng.h"
+#include "iqs/util/thread_annotations.h"
 
 namespace iqs {
 
@@ -149,26 +149,31 @@ class DynamicAlias {
 
   // Writer-side: waits out the previous swap's grace period, replays
   // pending_ onto the back core, and returns it ready for the next op.
-  // Caller holds writer_mu_.
-  Core* PrepareBack();
+  Core* PrepareBack() IQS_REQUIRES(writer_mu_);
   // Swaps `back` in as the new front, retires a grace flag, and records
-  // telemetry. Caller holds writer_mu_; `op` is the op just applied.
-  void PublishFront(Core* back, const Op& op, uint64_t start_ns);
+  // telemetry. `op` is the op just applied.
+  void PublishFront(Core* back, const Op& op, uint64_t start_ns)
+      IQS_REQUIRES(writer_mu_);
 
+  // Deliberately NOT guarded by writer_mu_: readers sample whichever core
+  // front_ points at without any lock — the left-right protocol (one core
+  // is always immutable, PrepareBack waits out the grace period before
+  // mutating the retired one) is what makes those reads safe, not a
+  // mutex. Writers only touch the back core, under writer_mu_.
   Core cores_[2];
   std::atomic<const Core*> front_;
-  mutable std::mutex writer_mu_;  // serializes mutating ops (+ MemoryBytes)
+  mutable Mutex writer_mu_;  // serializes mutating ops (+ MemoryBytes)
   // Ops applied to the front core but not yet replayed onto the back.
-  std::vector<Op> pending_;
+  std::vector<Op> pending_ IQS_GUARDED_BY(writer_mu_);
   // Grace flag of the most recent swap: retired through epoch_; its
   // "deleter" stores true once no reader can still hold the old front.
   // Storage stays owned here (the deleter frees nothing).
-  std::unique_ptr<std::atomic<bool>> grace_flag_;
+  std::unique_ptr<std::atomic<bool>> grace_flag_ IQS_GUARDED_BY(writer_mu_);
   std::atomic<uint64_t> published_{0};
   TelemetrySink* sink_ = nullptr;
   // Writer-side trackers turning the epoch totals into sink deltas.
-  uint64_t last_reclaimed_ = 0;
-  uint64_t last_pins_ = 0;
+  uint64_t last_reclaimed_ IQS_GUARDED_BY(writer_mu_) = 0;
+  uint64_t last_pins_ IQS_GUARDED_BY(writer_mu_) = 0;
   mutable EpochManager epoch_;
 };
 

@@ -25,6 +25,7 @@ class FenwickSampler {
 
   explicit FenwickSampler(std::span<const double> weights)
       : weights_(weights.begin(), weights.end()), tree_(weights) {
+    // iqs-lint: allow(check-in-loop) -- cold build-path input validation
     for (double w : weights_) IQS_CHECK(w >= 0.0);
   }
 

@@ -16,6 +16,7 @@ void QuantizedAlias::Build(std::span<const double> weights) {
 
   double total = 0.0;
   for (double w : weights) {
+    // iqs-lint: allow(check-in-loop) -- cold build-path input validation
     IQS_CHECK(w >= 0.0);
     total += w;
   }

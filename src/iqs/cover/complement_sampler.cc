@@ -11,6 +11,7 @@ ComplementRangeSampler::ComplementRangeSampler(std::span<const double> keys)
       tree_(std::vector<double>(keys.size(), 1.0)),
       engine_(std::vector<double>(keys.size(), 1.0)) {
   IQS_CHECK(!keys_.empty());
+  // iqs-lint: allow(check-in-loop) -- cold build-path input validation
   for (size_t i = 1; i < keys_.size(); ++i) IQS_CHECK(keys_[i - 1] < keys_[i]);
 }
 

@@ -104,6 +104,7 @@ void CoverageEngine::SampleWithRejection(std::span<const CoverRange> cover,
     out->resize(base + produced);
     // Guard against a cover that contains no qualifying element at all —
     // a caller bug: the acceptance rate would be 0 and the loop endless.
+    // iqs-lint: allow(check-in-loop) -- aborts a non-converging rejection loop
     IQS_CHECK(++round < 64 * (s + 1) &&
               "rejection sampling is not converging; is the cover valid?");
   }
@@ -138,7 +139,7 @@ VersionedCoverageEngine::VersionedCoverageEngine(
 
 void VersionedCoverageEngine::Rebuild(
     std::span<const double> position_weights) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   const uint64_t start_ns = sink_ != nullptr ? TelemetryNowNs() : 0;
   // The full replacement engine is built privately (chunk builds on the
   // pool) before a single atomic publish — readers never see it partial.

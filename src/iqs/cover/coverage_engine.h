@@ -26,7 +26,6 @@
 #ifndef IQS_COVER_COVERAGE_ENGINE_H_
 #define IQS_COVER_COVERAGE_ENGINE_H_
 
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -34,6 +33,7 @@
 #include "iqs/range/chunked_range_sampler.h"
 #include "iqs/util/batch_options.h"
 #include "iqs/util/epoch.h"
+#include "iqs/util/thread_annotations.h"
 #include "iqs/util/function_ref.h"
 #include "iqs/util/rng.h"
 #include "iqs/util/scratch_arena.h"
@@ -153,11 +153,11 @@ class VersionedCoverageEngine {
 
  private:
   Versioned<CoverageEngine> engine_;
-  std::mutex writer_mu_;  // serializes Rebuild
+  Mutex writer_mu_;  // serializes Rebuild
   ThreadPool* pool_ = nullptr;
   TelemetrySink* sink_ = nullptr;
-  uint64_t last_reclaimed_ = 0;
-  uint64_t last_pins_ = 0;
+  uint64_t last_reclaimed_ IQS_GUARDED_BY(writer_mu_) = 0;
+  uint64_t last_pins_ IQS_GUARDED_BY(writer_mu_) = 0;
 };
 
 }  // namespace iqs

@@ -41,6 +41,7 @@ WeightedSamplePool::WeightedSamplePool(const EmArray* data, size_t first,
   for (size_t i = 0; i < count_; ++i) {
     reader.Next(record);
     const double w = WeightOfWord(record[1]);
+    // iqs-lint: allow(check-in-loop) -- cold build-path input validation
     IQS_CHECK(w > 0.0);
     block_weights[(first_ + i) / per_block - first_block_] += w;
     total_weight_ += w;

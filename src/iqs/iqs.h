@@ -86,6 +86,7 @@
 #include "iqs/util/scratch_arena.h"
 #include "iqs/util/stats.h"
 #include "iqs/util/telemetry.h"
+#include "iqs/util/thread_annotations.h"
 #include "iqs/util/thread_pool.h"
 
 // Convenience: the paper's headline structure under its problem name.

@@ -13,6 +13,7 @@ KdTree::KdTree(std::span<const Point2> points, std::span<const double> weights)
   } else {
     IQS_CHECK(weights.size() == points.size());
     weights_.assign(weights.begin(), weights.end());
+    // iqs-lint: allow(check-in-loop) -- cold build-path input validation
     for (double w : weights_) IQS_CHECK(w > 0.0);
   }
   nodes_.reserve(2 * points_.size());

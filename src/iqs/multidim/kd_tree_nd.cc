@@ -19,6 +19,7 @@ KdTreeNd::KdTreeNd(size_t dim, std::span<const double> coords,
   } else {
     IQS_CHECK(weights.size() == n);
     weights_.assign(weights.begin(), weights.end());
+    // iqs-lint: allow(check-in-loop) -- cold build-path input validation
     for (double w : weights_) IQS_CHECK(w > 0.0);
   }
   nodes_.reserve(2 * n);

@@ -20,6 +20,7 @@ Quadtree::Quadtree(std::span<const Point2> points,
   } else {
     IQS_CHECK(weights.size() == points.size());
     weights_.assign(weights.begin(), weights.end());
+    // iqs-lint: allow(check-in-loop) -- cold build-path input validation
     for (double w : weights_) IQS_CHECK(w > 0.0);
   }
 

@@ -27,6 +27,7 @@ RangeTree2DSampler::RangeTree2DSampler(std::span<const Point2> points,
   for (size_t i = 0; i < n; ++i) {
     points_by_x_[i] = points[order[i]];
     weights_by_x_[i] = weights.empty() ? 1.0 : weights[order[i]];
+    // iqs-lint: allow(check-in-loop) -- cold build-path input validation
     IQS_CHECK(weights_by_x_[i] > 0.0);
   }
   nodes_.reserve(4 * (n / leaf_size_ + 2));

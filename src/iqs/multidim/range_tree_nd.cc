@@ -26,6 +26,7 @@ RangeTreeNdSampler::RangeTreeNdSampler(size_t dim,
   } else {
     IQS_CHECK(weights.size() == n);
     weights_.assign(weights.begin(), weights.end());
+    // iqs-lint: allow(check-in-loop) -- cold build-path input validation
     for (double w : weights_) IQS_CHECK(w > 0.0);
   }
   std::vector<uint32_t> ids(n);
@@ -222,7 +223,7 @@ void RangeTreeNdSampler::QueryBatch(std::span<const BoxBatchQuery> queries,
   result->offsets.resize(nq + 1);
   size_t total_samples = 0;
   for (size_t i = 0; i < nq; ++i) {
-    IQS_CHECK(queries[i].box.dim() == dim_);
+    IQS_DCHECK(queries[i].box.dim() == dim_);
     result->offsets[i] = total_samples;
     plan.BeginQuery(queries[i].s);
     const size_t piece_base = pieces.size();

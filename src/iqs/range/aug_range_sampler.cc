@@ -123,7 +123,7 @@ void AugRangeSampler::QueryPositionsBatch(
   for (const PositionQuery& q : queries) {
     plan.BeginQuery(q.s);
     if (q.s == 0) continue;
-    IQS_CHECK(q.a <= q.b && q.b < n());
+    IQS_DCHECK(q.a <= q.b && q.b < n());
     const size_t t = tree_.CanonicalCover(q.a, q.b, cover);
     for (size_t i = 0; i < t; ++i) {
       const StaticBst::NodeId u = cover[i];

@@ -144,7 +144,7 @@ void ChunkedRangeSampler::QueryPositionsBatch(
   for (const PositionQuery& q : queries) {
     plan.BeginQuery(q.s);
     if (q.s == 0) continue;
-    IQS_CHECK(q.a <= q.b && q.b < n());
+    IQS_DCHECK(q.a <= q.b && q.b < n());
     const size_t ca = q.a / chunk_size_;
     const size_t cb = q.b / chunk_size_;
     if (ca == cb) {

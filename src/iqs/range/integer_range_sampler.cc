@@ -14,7 +14,9 @@ StaticYFastIndex::StaticYFastIndex(std::span<const uint64_t> keys,
   IQS_CHECK(key_bits_ >= 1 && key_bits_ <= 64);
   IQS_CHECK(!keys_.empty());
   for (size_t i = 0; i < keys_.size(); ++i) {
+    // iqs-lint: allow(check-in-loop) -- cold build-path input validation
     if (key_bits_ < 64) IQS_CHECK(keys_[i] < (uint64_t{1} << key_bits_));
+    // iqs-lint: allow(check-in-loop) -- cold build-path input validation
     if (i > 0) IQS_CHECK(keys_[i - 1] < keys_[i]);
   }
   bucket_size_ = std::max<size_t>(1, static_cast<size_t>(key_bits_));

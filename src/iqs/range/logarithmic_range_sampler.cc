@@ -37,7 +37,7 @@ void LogarithmicRangeSampler::Finalize(Component* component,
 
 void LogarithmicRangeSampler::Insert(double key, double weight) {
   IQS_CHECK(weight > 0.0);
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   const uint64_t start_ns = sink_ != nullptr ? TelemetryNowNs() : 0;
 
   // Build the next version privately: start from the current component
@@ -79,7 +79,7 @@ void LogarithmicRangeSampler::Insert(double key, double weight) {
         merged->weights.push_back(resident.weights[i]);
         ++i;
       } else {
-        IQS_CHECK(i == resident.keys.size() ||
+        IQS_DCHECK(i == resident.keys.size() ||
                   resident.keys[i] > carry->keys[j]);  // distinct keys
         merged->keys.push_back(carry->keys[j]);
         merged->weights.push_back(carry->weights[j]);

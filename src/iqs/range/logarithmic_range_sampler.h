@@ -39,7 +39,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -48,6 +47,7 @@
 #include "iqs/util/check.h"
 #include "iqs/util/epoch.h"
 #include "iqs/util/rng.h"
+#include "iqs/util/thread_annotations.h"
 #include "iqs/util/scratch_arena.h"
 
 namespace iqs {
@@ -170,12 +170,12 @@ class LogarithmicRangeSampler {
   static void Finalize(Component* component, ThreadPool* pool);
 
   Versioned<Version> versions_;
-  std::mutex writer_mu_;  // serializes Insert
+  Mutex writer_mu_;  // serializes Insert
   ThreadPool* pool_ = nullptr;
   TelemetrySink* sink_ = nullptr;
   // Writer-side trackers turning the epoch totals into sink deltas.
-  uint64_t last_reclaimed_ = 0;
-  uint64_t last_pins_ = 0;
+  uint64_t last_reclaimed_ IQS_GUARDED_BY(writer_mu_) = 0;
+  uint64_t last_pins_ IQS_GUARDED_BY(writer_mu_) = 0;
 };
 
 }  // namespace iqs

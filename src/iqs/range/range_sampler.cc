@@ -10,6 +10,7 @@ RangeSampler::RangeSampler(std::span<const double> keys)
     : keys_(keys.begin(), keys.end()) {
   IQS_CHECK(!keys_.empty());
   for (size_t i = 1; i < keys_.size(); ++i) {
+    // iqs-lint: allow(check-in-loop) -- cold build-path input validation
     IQS_CHECK(keys_[i - 1] < keys_[i]);
   }
 }

@@ -27,6 +27,7 @@ StaticBst::StaticBst(std::span<const double> weights)
     const uint32_t lo = nodes_[u].lo;
     const uint32_t hi = nodes_[u].hi;
     if (lo == hi) {
+      // iqs-lint: allow(check-in-loop) -- cold build-path input validation
       IQS_CHECK(weights[lo] > 0.0);
       leaf_of_position_[lo] = static_cast<NodeId>(u);
       continue;

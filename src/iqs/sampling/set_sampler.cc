@@ -76,7 +76,7 @@ void WeightedWorSample(std::span<const double> weights, size_t s, Rng* rng,
   using Entry = std::pair<double, size_t>;  // (log key, index)
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
   for (size_t i = 0; i < n; ++i) {
-    IQS_CHECK(weights[i] > 0.0);
+    IQS_DCHECK(weights[i] > 0.0);
     const double u = std::max(rng->NextDouble(), 1e-300);
     const double log_key = std::log(u) / weights[i];
     if (heap.size() < s) {

@@ -57,12 +57,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <utility>
@@ -77,6 +75,7 @@
 #include "iqs/util/rng.h"
 #include "iqs/util/scratch_arena.h"
 #include "iqs/util/telemetry.h"
+#include "iqs/util/thread_annotations.h"
 #include "iqs/util/thread_pool.h"
 
 namespace iqs {
@@ -171,15 +170,15 @@ class ServeFrontend {
     ShardState& st = *shards_[shard];
     const uint64_t now = TelemetryNowNs();
     ticket->set_submit_ns(now);
-    std::unique_lock<std::mutex> lock(st.mu);
+    st.mu.Lock();
     if (opts_.admission == AdmissionPolicy::kBlock) {
-      st.space.wait(lock, [&] {
-        return st.stop || st.queue.size() < opts_.queue_capacity;
-      });
+      while (!(st.stop || st.queue.size() < opts_.queue_capacity)) {
+        st.space.Wait(&st.mu);
+      }
     }
     if (st.stop || st.queue.size() >= opts_.queue_capacity) {
       st.stats.rejected += 1;
-      lock.unlock();
+      st.mu.Unlock();
       ticket->Complete(ServeStatus::kRejected, {}, TelemetryNowNs());
       return false;
     }
@@ -187,11 +186,11 @@ class ServeFrontend {
     const size_t depth = st.queue.size();
     st.stats.submitted += 1;
     if (depth > st.stats.queue_depth_hwm) st.stats.queue_depth_hwm = depth;
-    lock.unlock();
+    st.mu.Unlock();
     // The worker needs waking on the empty->nonempty edge (it waits for
     // work) and at the size trigger (it waits out the delay window);
     // between the two it will flush on its own timer.
-    if (depth == 1 || depth >= opts_.max_batch) st.nonempty.notify_one();
+    if (depth == 1 || depth >= opts_.max_batch) st.nonempty.NotifyOne();
     return true;
   }
 
@@ -199,14 +198,14 @@ class ServeFrontend {
   // Idempotent; called by the destructor. After Drain, Submit completes
   // every ticket kRejected.
   void Drain() {
-    std::lock_guard<std::mutex> drain_lock(drain_mu_);
+    MutexLock drain_lock(&drain_mu_);
     for (std::unique_ptr<ShardState>& st : shards_) {
       {
-        std::lock_guard<std::mutex> lock(st->mu);
+        MutexLock lock(&st->mu);
         st->stop = true;
       }
-      st->nonempty.notify_all();
-      st->space.notify_all();
+      st->nonempty.NotifyAll();
+      st->space.NotifyAll();
     }
     for (std::thread& worker : workers_) {
       if (worker.joinable()) worker.join();
@@ -218,16 +217,16 @@ class ServeFrontend {
 
   // Live queue depth of one shard (racy by nature — a gauge, not a fact).
   size_t QueueDepth(size_t shard) const {
-    const ShardState& st = *shards_[shard];
-    std::lock_guard<std::mutex> lock(st.mu);
+    ShardState& st = *shards_[shard];
+    MutexLock lock(&st.mu);
     return st.queue.size();
   }
 
   // Snapshots of the serving stats (serve_stats.h). Safe to call while
   // traffic is in flight — each copy is taken under the shard's mutex.
   ServeShardStats ShardStats(size_t shard) const {
-    const ShardState& st = *shards_[shard];
-    std::lock_guard<std::mutex> lock(st.mu);
+    ShardState& st = *shards_[shard];
+    MutexLock lock(&st.mu);
     return st.stats;
   }
   ServeShardStats MergedStats() const {
@@ -250,12 +249,13 @@ class ServeFrontend {
   // traffic never false-shares (each ShardState is its own heap object
   // anyway; the alignment hardens the layout).
   struct alignas(64) ShardState {
-    mutable std::mutex mu;
-    std::condition_variable nonempty;  // worker waits for work / triggers
-    std::condition_variable space;     // kBlock producers wait for room
-    std::deque<PendingQuery> queue;
-    bool stop = false;
-    ServeShardStats stats;  // guarded by mu (worker + producers)
+    Mutex mu;
+    CondVar nonempty;  // worker waits for work / triggers
+    CondVar space;     // kBlock producers wait for room
+    std::deque<PendingQuery> queue IQS_GUARDED_BY(mu);
+    bool stop IQS_GUARDED_BY(mu) = false;
+    // Worker + producers both record; snapshots copy under mu.
+    ServeShardStats stats IQS_GUARDED_BY(mu);
   };
 
   void WorkerLoop(size_t shard_index) {
@@ -284,9 +284,9 @@ class ServeFrontend {
     queries.reserve(opts_.max_batch);
     live.reserve(opts_.max_batch);
 
-    std::unique_lock<std::mutex> lock(st.mu);
+    st.mu.Lock();
     for (;;) {
-      st.nonempty.wait(lock, [&] { return st.stop || !st.queue.empty(); });
+      while (!(st.stop || !st.queue.empty())) st.nonempty.Wait(&st.mu);
       if (st.queue.empty()) break;  // stop && drained
       // The coalescing window: sleep until the size trigger, the oldest
       // waiter's delay expiring, or drain. Only this worker pops, so the
@@ -297,7 +297,7 @@ class ServeFrontend {
             st.queue.front().submit_ns + opts_.max_delay_ns;
         const uint64_t now = TelemetryNowNs();
         if (now >= flush_at) break;
-        st.nonempty.wait_for(lock, std::chrono::nanoseconds(flush_at - now));
+        st.nonempty.WaitForNs(&st.mu, flush_at - now);
       }
       const size_t take = std::min(st.queue.size(), opts_.max_batch);
       flush.clear();
@@ -305,8 +305,8 @@ class ServeFrontend {
         flush.push_back(st.queue.front());
         st.queue.pop_front();
       }
-      lock.unlock();
-      if (opts_.admission == AdmissionPolicy::kBlock) st.space.notify_all();
+      st.mu.Unlock();
+      if (opts_.admission == AdmissionPolicy::kBlock) st.space.NotifyAll();
 
       const uint64_t flush_start = TelemetryNowNs();
       queries.clear();
@@ -341,7 +341,7 @@ class ServeFrontend {
       // alone (an all-shed flush consumes a stream id, not zero of them).
       ++flush_seq;
 
-      lock.lock();
+      st.mu.Lock();
       st.stats.batches_flushed += 1;
       st.stats.shed += flush.size() - live.size();
       st.stats.completed += live.size();
@@ -351,13 +351,14 @@ class ServeFrontend {
       }
       if (!queries.empty()) st.stats.time_in_batch_ns.Record(batch_ns);
     }
+    st.mu.Unlock();
   }
 
   const ServeOptions opts_;
   const BatchFn batch_fn_;
   std::vector<std::unique_ptr<ShardState>> shards_;
   std::vector<std::thread> workers_;
-  std::mutex drain_mu_;  // serializes Drain vs ~ServeFrontend
+  Mutex drain_mu_;  // serializes Drain vs ~ServeFrontend
 };
 
 // The two instantiations the library's samplers serve today: position

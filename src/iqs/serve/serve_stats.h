@@ -7,7 +7,11 @@
 // so there is nothing to save by gating them. Each shard worker owns its
 // shard's stats under the shard mutex (the same mutex that orders the
 // queue), and snapshots are taken by copying under that mutex, so there
-// are no atomics and no torn reads.
+// are no atomics and no torn reads. The guarding is enforced at the
+// owning site: ServeFrontend::ShardState declares its stats field
+// IQS_GUARDED_BY(mu), so a clang -Wthread-safety build rejects any
+// access outside that shard's mutex. The struct itself carries no
+// annotations — it is plain data, guarded wherever it is embedded.
 //
 // The three histograms reuse LatencyHistogram's log₂ bucketing:
 //   batch_size          Record(k) per flushed micro-batch of k queries —

@@ -117,6 +117,11 @@ class ServeTicket {
   void set_submit_ns(uint64_t ns) { submit_ns_ = ns; }
 
  private:
+  // Not IQS_GUARDED_BY anything: this is a one-shot SPSC handoff ordered
+  // by state_ alone. The worker writes samples_/complete_ns_ and then
+  // release-stores a terminal status; the submitter reads them only after
+  // an acquire load of state_ observes that status (Wait/status). No
+  // mutex exists to name, and none is needed.
   std::vector<Sample> samples_;
   uint64_t submit_ns_ = 0;
   uint64_t complete_ns_ = 0;

@@ -58,6 +58,7 @@ SetUnionSampler::SetUnionSampler(
       double weight = 1.0;
       if (const auto it = element_weights.find(element);
           it != element_weights.end()) {
+        // iqs-lint: allow(check-in-loop) -- cold build-path input validation
         IQS_CHECK(it->second > 0.0);
         weight = it->second;
       }
@@ -73,6 +74,7 @@ SetUnionSampler::SetUnionSampler(
   AssignRanks(&sets_by_rank_, universe_size_, build_rng);
   for (const auto& ranked : sets_by_rank_) {
     for (size_t j = 1; j < ranked.size(); ++j) {
+      // iqs-lint: allow(check-in-loop) -- cold build-path input validation
       IQS_CHECK(ranked[j - 1].rank != ranked[j].rank &&
                 "duplicate element within a set");
     }
@@ -105,7 +107,7 @@ double SetUnionSampler::EstimateUnionSize(
   IQS_CHECK(!set_ids.empty());
   KmvSketch merged = sketches_[set_ids[0]];
   for (size_t i = 1; i < set_ids.size(); ++i) {
-    IQS_CHECK(set_ids[i] < sketches_.size());
+    IQS_DCHECK(set_ids[i] < sketches_.size());
     merged.Merge(sketches_[set_ids[i]]);
   }
   return merged.EstimateDistinct();

@@ -89,7 +89,7 @@ void SubtreeSampler::QueryBatch(std::span<const SubtreeBatchQuery> queries,
   size_t total_samples = 0;
   for (size_t i = 0; i < nq; ++i) {
     const WeightedTree::NodeId u = queries[i].node;
-    IQS_CHECK(u < tree_->num_nodes());
+    IQS_DCHECK(u < tree_->num_nodes());
     result->offsets[i] = total_samples;
     result->resolved[i] = 1;
     plan.BeginQuery(queries[i].s);

@@ -9,6 +9,7 @@ void WeightedTree::Finalize() {
   for (size_t i = nodes_.size(); i-- > 0;) {
     Node& node = nodes_[i];
     if (node.children.empty()) {
+      // iqs-lint: allow(check-in-loop) -- cold build-path input validation
       IQS_CHECK(node.weight > 0.0);
       node.leaf_count = 1;
       continue;

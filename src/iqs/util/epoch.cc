@@ -10,8 +10,12 @@ EpochManager::~EpochManager() {
   // No reader may outlive the manager; a still-claimed slot here is a
   // guard leak in the caller.
   for (const Slot& slot : slots_) {
+    // iqs-lint: allow(check-in-loop) -- dtor leak check, once per manager
     IQS_CHECK(slot.state.load(std::memory_order_acquire) == 0);
   }
+  // Uncontended by definition here; taken so the limbo_ guard invariant
+  // holds in every function, destructor included.
+  MutexLock lock(&mu_);
   for (std::vector<Retired>& list : limbo_) {
     for (const Retired& retired : list) retired.deleter(retired.p);
     list.clear();
@@ -61,7 +65,7 @@ uint64_t EpochManager::reader_pins() const {
 
 void EpochManager::Retire(void* p, void (*deleter)(void*)) {
   IQS_DCHECK(p != nullptr && deleter != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const uint64_t e = epoch_.load(std::memory_order_relaxed);
   limbo_[e % 3].push_back(Retired{p, deleter});
   pending_.fetch_add(1, std::memory_order_relaxed);
@@ -111,7 +115,7 @@ void EpochManager::RunDeleters(std::vector<Retired>* expired,
 size_t EpochManager::Reclaim(ThreadPool* pool) {
   std::vector<Retired> expired;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (pending_.load(std::memory_order_relaxed) == 0) return 0;
     // Up to three advances fully drain the limbo ring when no reader
     // holds an old pin; stop at the first blocked advance.

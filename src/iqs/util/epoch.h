@@ -53,11 +53,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "iqs/util/check.h"
+#include "iqs/util/thread_annotations.h"
 
 namespace iqs {
 
@@ -142,18 +142,21 @@ class EpochManager {
 
   // Advances epoch_ by one if every active reader has pinned the current
   // epoch; on success moves the newly expired limbo list into `expired`.
-  // Caller holds mu_.
-  bool TryAdvanceLocked(std::vector<Retired>* expired);
+  bool TryAdvanceLocked(std::vector<Retired>* expired) IQS_REQUIRES(mu_);
 
   void RunDeleters(std::vector<Retired>* expired, ThreadPool* pool);
 
   // Epoch starts at 1 so a free slot (state 0) can never alias an active
-  // pin of epoch 0.
+  // pin of epoch 0. Deliberately NOT guarded by mu_: readers load it
+  // lock-free in EnterReader; only advancement (under mu_) stores it, and
+  // the seq_cst pin/advance protocol — not the mutex — is what orders
+  // those accesses (see TryAdvanceLocked).
   std::atomic<uint64_t> epoch_{1};
   Slot slots_[kNumSlots];
 
-  std::mutex mu_;  // guards limbo_ and epoch advancement
-  std::vector<Retired> limbo_[3];  // limbo_[e % 3] = retired in epoch e
+  Mutex mu_;  // guards limbo_ and epoch advancement
+  // limbo_[e % 3] = retired in epoch e.
+  std::vector<Retired> limbo_[3] IQS_GUARDED_BY(mu_);
   std::atomic<size_t> pending_{0};
   std::atomic<uint64_t> reclaimed_{0};
 };

@@ -75,7 +75,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 
 TelemetrySink* MetricsRegistry::GetOrCreate(std::string_view name,
                                             size_t num_shards) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [sink_name, sink] : sinks_) {
     if (sink_name == name) return sink.get();
   }
@@ -85,7 +85,7 @@ TelemetrySink* MetricsRegistry::GetOrCreate(std::string_view name,
 }
 
 TelemetrySink* MetricsRegistry::Find(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [sink_name, sink] : sinks_) {
     if (sink_name == name) return sink.get();
   }
@@ -93,7 +93,7 @@ TelemetrySink* MetricsRegistry::Find(std::string_view name) {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, sink] : sinks_) sink->Reset();
 }
 
@@ -158,7 +158,7 @@ void AppendLatencyJson(std::string* out, const LatencyHistogram& histogram) {
 }  // namespace
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = "{\"telemetry\": {";
   bool first = true;
   for (const auto& [name, sink] : sinks_) {
@@ -175,7 +175,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::ToText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   for (const auto& [name, sink] : sinks_) {
     const QueryStats stats = sink->MergedStats();

@@ -80,12 +80,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "iqs/util/check.h"
+#include "iqs/util/thread_annotations.h"
 
 namespace iqs {
 
@@ -256,9 +256,10 @@ class MetricsRegistry {
   std::string ToText() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Insertion-ordered so exports are stable.
-  std::vector<std::pair<std::string, std::unique_ptr<TelemetrySink>>> sinks_;
+  std::vector<std::pair<std::string, std::unique_ptr<TelemetrySink>>> sinks_
+      IQS_GUARDED_BY(mu_);
 };
 
 }  // namespace iqs

@@ -18,11 +18,11 @@ ThreadPool::ThreadPool(size_t num_threads) : num_threads_(num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     IQS_CHECK(current_job_ == nullptr);  // destroying a pool mid-ParallelFor
     shutdown_ = true;
   }
-  job_cv_.notify_all();
+  job_cv_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
@@ -50,44 +50,48 @@ void ThreadPool::ParallelFor(size_t num_shards,
   Job job{fn, &queues, /*unclaimed=*/num_shards, /*unfinished=*/num_shards,
           /*workers_inside=*/0};
 
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   IQS_CHECK(current_job_ == nullptr);  // nested/concurrent ParallelFor
   current_job_ = &job;
   ++job_epoch_;
-  job_cv_.notify_all();
+  job_cv_.NotifyAll();
 
-  RunShards(&job, /*worker=*/0, &lock);
+  RunShards(&job, /*worker=*/0);
   // The caller ran out of claimable work, but stolen shards may still be
   // executing elsewhere, and `job` lives on this stack frame: wait until
   // every shard is done AND every background worker has let go of the job
   // before tearing it down.
-  done_cv_.wait(lock, [&job] {
-    return job.unfinished == 0 && job.workers_inside == 0;
-  });
+  while (!(job.unfinished == 0 && job.workers_inside == 0)) {
+    done_cv_.Wait(&mu_);
+  }
   current_job_ = nullptr;
+  mu_.Unlock();
 }
 
 void ThreadPool::WorkerLoop(size_t worker) {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   uint64_t seen_epoch = 0;
   while (true) {
-    job_cv_.wait(lock, [this, seen_epoch] {
-      return shutdown_ || (current_job_ != nullptr && job_epoch_ != seen_epoch);
-    });
-    if (shutdown_) return;
+    while (!(shutdown_ ||
+             (current_job_ != nullptr && job_epoch_ != seen_epoch))) {
+      job_cv_.Wait(&mu_);
+    }
+    if (shutdown_) {
+      mu_.Unlock();
+      return;
+    }
     seen_epoch = job_epoch_;
     Job* job = current_job_;
     ++job->workers_inside;
-    RunShards(job, worker, &lock);
+    RunShards(job, worker);
     --job->workers_inside;
     if (job->unfinished == 0 && job->workers_inside == 0) {
-      done_cv_.notify_all();
+      done_cv_.NotifyAll();
     }
   }
 }
 
-void ThreadPool::RunShards(Job* job, size_t worker,
-                           std::unique_lock<std::mutex>* lock) {
+void ThreadPool::RunShards(Job* job, size_t worker) {
   std::vector<std::deque<size_t>>& queues = *job->queues;
   while (job->unclaimed > 0) {
     // Own deque first (LIFO: the most recently dealt shard's queries are
@@ -118,7 +122,7 @@ void ThreadPool::RunShards(Job* job, size_t worker,
     if (!found) return;
     --job->unclaimed;
 
-    lock->unlock();
+    mu_.Unlock();
     if (telemetry_ != nullptr) {
       TelemetryShard* tshard = telemetry_->shard(worker);
       if (stolen) ++tshard->stats.steals;
@@ -128,9 +132,9 @@ void ThreadPool::RunShards(Job* job, size_t worker,
     } else {
       job->fn(shard, worker);
     }
-    lock->lock();
+    mu_.Lock();
 
-    if (--job->unfinished == 0) done_cv_.notify_all();
+    if (--job->unfinished == 0) done_cv_.NotifyAll();
   }
 }
 

@@ -24,18 +24,17 @@
 #ifndef IQS_UTIL_THREAD_POOL_H_
 #define IQS_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "iqs/util/check.h"
 #include "iqs/util/function_ref.h"
 #include "iqs/util/scratch_arena.h"
+#include "iqs/util/thread_annotations.h"
 
 namespace iqs {
 
@@ -57,7 +56,8 @@ class ThreadPool {
   // [0, num_shards), with worker in [0, num_threads()). Blocks until all
   // shards have completed. The calling thread participates as worker 0.
   // One ParallelFor at a time per pool: concurrent or nested calls abort.
-  void ParallelFor(size_t num_shards, FunctionRef<void(size_t, size_t)> fn);
+  void ParallelFor(size_t num_shards, FunctionRef<void(size_t, size_t)> fn)
+      IQS_EXCLUDES(mu_);
 
   // Per-worker scratch, persistent across ParallelFor calls (so repeated
   // batches settle into zero heap allocations). Only the worker that owns
@@ -86,21 +86,26 @@ class ThreadPool {
     size_t workers_inside = 0;  // background workers touching this job
   };
 
-  void WorkerLoop(size_t worker);
+  void WorkerLoop(size_t worker) IQS_EXCLUDES(mu_);
   // Claims and runs shards until the job's queues are empty. Called with
-  // mu_ held; releases it around each fn invocation.
-  void RunShards(Job* job, size_t worker, std::unique_lock<std::mutex>* lock);
+  // mu_ held; releases it around each fn invocation (and holds it again
+  // on return, as IQS_REQUIRES promises).
+  void RunShards(Job* job, size_t worker) IQS_REQUIRES(mu_);
 
   const size_t num_threads_;
   std::vector<std::unique_ptr<ScratchArena>> arenas_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable job_cv_;   // background workers wait for jobs
-  std::condition_variable done_cv_;  // the caller waits for completion
-  uint64_t job_epoch_ = 0;           // bumped once per ParallelFor
-  Job* current_job_ = nullptr;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar job_cv_;   // background workers wait for jobs
+  CondVar done_cv_;  // the caller waits for completion
+  // All queue bookkeeping changes together under mu_ (header comment):
+  // the job pointer, its epoch, and shutdown. The Job's own fields are
+  // guarded by mu_ too — they live on the ParallelFor caller's stack, so
+  // the annotation sits on the accessors (RunShards) instead.
+  uint64_t job_epoch_ IQS_GUARDED_BY(mu_) = 0;  // bumped once per ParallelFor
+  Job* current_job_ IQS_GUARDED_BY(mu_) = nullptr;
+  bool shutdown_ IQS_GUARDED_BY(mu_) = false;
 
   // Set only between ParallelFor calls (see set_telemetry), read by
   // workers mid-job; each worker writes only its own shard.

@@ -1,0 +1,9 @@
+// Fixture umbrella header. Deliberately does NOT include
+// range/orphan.h, so the umbrella rule has exactly one finding.
+#ifndef FIXTURE_IQS_IQS_H_
+#define FIXTURE_IQS_IQS_H_
+
+#include "iqs/range/clean_sampler.h"
+#include "iqs/util/violations.h"
+
+#endif  // FIXTURE_IQS_IQS_H_

@@ -1,0 +1,10 @@
+// Fixture: deliberately NOT included from the fixture umbrella iqs.h.
+// VIOLATION: umbrella
+#ifndef FIXTURE_IQS_RANGE_ORPHAN_H_
+#define FIXTURE_IQS_RANGE_ORPHAN_H_
+
+namespace iqs {
+inline int Orphan() { return 42; }
+}  // namespace iqs
+
+#endif  // FIXTURE_IQS_RANGE_ORPHAN_H_

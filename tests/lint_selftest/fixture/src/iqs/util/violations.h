@@ -1,0 +1,50 @@
+// Fixture: one deliberate violation per line-level lint rule, plus one
+// malformed suppression. Expected findings (asserted by run_selftest.py):
+//   raw-rand       at the std::mt19937 line
+//   check-in-loop  at the IQS_CHECK-in-for line
+//   naked-mutex    at the std::mutex line
+//   suppression    at the justification-free allow() line
+#ifndef FIXTURE_IQS_UTIL_VIOLATIONS_H_
+#define FIXTURE_IQS_UTIL_VIOLATIONS_H_
+
+#include <cstddef>
+
+namespace iqs {
+
+inline unsigned BadSeed() {
+  std::mt19937 gen(12345);  // VIOLATION: raw-rand
+  return static_cast<unsigned>(gen());
+}
+
+inline void BadLoopCheck(size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    IQS_CHECK(i < n);  // VIOLATION: check-in-loop
+  }
+}
+
+inline void SuppressedLoopCheck(size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    // iqs-lint: allow(check-in-loop) -- fixture: justified, no finding
+    IQS_CHECK(i < n);
+  }
+}
+
+inline void BadSuppression(size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    // iqs-lint: allow(check-in-loop) <- VIOLATION: suppression
+    IQS_CHECK(i < n);  // VIOLATION: check-in-loop (allow above malformed)
+  }
+}
+
+// The strings below never trip raw-rand / check-in-loop: the linter
+// strips string literals before matching.
+inline const char* Prose() { return "std::mt19937 IQS_CHECK(in a string)"; }
+
+class BadMutexHolder {
+ private:
+  std::mutex mu_;  // VIOLATION: naked-mutex
+};
+
+}  // namespace iqs
+
+#endif  // FIXTURE_IQS_UTIL_VIOLATIONS_H_
