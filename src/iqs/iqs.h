@@ -17,6 +17,7 @@
 //                                    BTree, ExternalSort, BlockDevice}
 //   Section 9 extensions           : iqs::DynamicAlias, iqs::FenwickSampler,
 //                                    iqs::QuantizedAlias
+//   Join sampling (SJS shape)      : iqs::join::JoinSampler
 
 #ifndef IQS_IQS_H_
 #define IQS_IQS_H_
@@ -40,6 +41,10 @@
 #include "iqs/em/sample_pool.h"
 #include "iqs/em/stepwise_sort.h"
 #include "iqs/em/weighted_sample_pool.h"
+#include "iqs/join/active_rank_tree.h"
+#include "iqs/join/join_batch.h"
+#include "iqs/join/join_enumerator.h"
+#include "iqs/join/join_sampler.h"
 #include "iqs/lsh/euclidean_lsh.h"
 #include "iqs/lsh/fair_nn.h"
 #include "iqs/multidim/kd_sampler.h"

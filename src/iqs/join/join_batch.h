@@ -1,0 +1,65 @@
+// Batch request/result types for the join-sampling workload
+// (iqs/join/join_sampler.h) — the join analogue of BatchQuery /
+// BatchResult in range_sampler.h.
+//
+// A join query carries no predicate: the joined relations are fixed at
+// JoinSampler construction, so a query is just a sample budget s and the
+// answer is s i.i.d. uniform pairs from the join result J. The flat
+// result layout mirrors BatchResult so the serve frontend (and any other
+// generic consumer of the canonical batch family) can host join traffic
+// unchanged: Clear(), SamplesFor(i), resolved[].
+
+#ifndef IQS_JOIN_JOIN_BATCH_H_
+#define IQS_JOIN_JOIN_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "iqs/util/check.h"
+
+namespace iqs::join {
+
+// One join-sampling query of a serving batch: draw `s` i.i.d. uniform
+// pairs from the join result of the sampler's two relations.
+struct JoinBatchQuery {
+  size_t s = 0;
+};
+
+// One sampled join pair: indices into the R and S inputs the JoinSampler
+// was built from (r_id indexes the first relation, s_id the second).
+struct JoinPair {
+  uint32_t r_id = 0;
+  uint32_t s_id = 0;
+
+  friend bool operator==(const JoinPair&, const JoinPair&) = default;
+};
+
+// Flat result of a SampleJoinBatch call. Pairs for query i occupy
+// pairs[offsets[i] .. offsets[i+1]); when the join result is empty every
+// query has resolved[i] == 0 and an empty slice. Reusing one result
+// across calls amortizes its buffers away.
+struct JoinBatchResult {
+  std::vector<JoinPair> pairs;
+  std::vector<size_t> offsets;    // size num_queries() + 1
+  std::vector<uint8_t> resolved;  // 1 iff the join result is nonempty
+
+  size_t num_queries() const { return resolved.size(); }
+
+  std::span<const JoinPair> SamplesFor(size_t i) const {
+    IQS_DCHECK(i + 1 < offsets.size());
+    return std::span<const JoinPair>(pairs).subspan(
+        offsets[i], offsets[i + 1] - offsets[i]);
+  }
+
+  void Clear() {
+    pairs.clear();
+    offsets.clear();
+    resolved.clear();
+  }
+};
+
+}  // namespace iqs::join
+
+#endif  // IQS_JOIN_JOIN_BATCH_H_

@@ -1,0 +1,167 @@
+#include "iqs/join/join_enumerator.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "iqs/join/join_batch.h"
+#include "iqs/multidim/point.h"
+#include "iqs/util/check.h"
+#include "iqs/util/rng.h"
+
+namespace iqs::join {
+namespace {
+
+constexpr uint8_t kStart = 0;
+constexpr uint8_t kEnd = 1;
+
+struct SweepEvent {
+  double x;
+  uint8_t type;  // kStart sorts before kEnd at equal x => closed intervals
+  uint8_t rel;   // 0 = r, 1 = s
+  uint32_t id;
+};
+
+// Total order (x, type, rel, id): STARTs before ENDs at equal x make
+// touching x-extents join; the (rel, id) tail makes ties deterministic.
+bool EventLess(const SweepEvent& a, const SweepEvent& b) {
+  if (a.x != b.x) return a.x < b.x;
+  if (a.type != b.type) return a.type < b.type;
+  if (a.rel != b.rel) return a.rel < b.rel;
+  return a.id < b.id;
+}
+
+std::vector<SweepEvent> BuildEvents(std::span<const multidim::Rect> r,
+                                    std::span<const multidim::Rect> s) {
+  std::vector<SweepEvent> events;
+  events.reserve(2 * (r.size() + s.size()));
+  for (uint32_t i = 0; i < r.size(); ++i) {
+    IQS_DCHECK(r[i].x_lo <= r[i].x_hi && r[i].y_lo <= r[i].y_hi);
+    events.push_back({r[i].x_lo, kStart, 0, i});
+    events.push_back({r[i].x_hi, kEnd, 0, i});
+  }
+  for (uint32_t i = 0; i < s.size(); ++i) {
+    IQS_DCHECK(s[i].x_lo <= s[i].x_hi && s[i].y_lo <= s[i].y_hi);
+    events.push_back({s[i].x_lo, kStart, 1, i});
+    events.push_back({s[i].x_hi, kEnd, 1, i});
+  }
+  std::sort(events.begin(), events.end(), EventLess);
+  return events;
+}
+
+// Swap-remove active list; slot_of tracks each id's position so END
+// events are O(1).
+struct ActiveList {
+  struct Entry {
+    uint32_t id;
+    double y_lo, y_hi;
+  };
+  std::vector<Entry> entries;
+  std::vector<uint32_t> slot_of;
+
+  explicit ActiveList(size_t m) : slot_of(m, 0) { entries.reserve(64); }
+
+  void Insert(uint32_t id, double y_lo, double y_hi) {
+    slot_of[id] = static_cast<uint32_t>(entries.size());
+    entries.push_back({id, y_lo, y_hi});
+  }
+
+  void Erase(uint32_t id) {
+    const uint32_t slot = slot_of[id];
+    IQS_DCHECK(slot < entries.size() && entries[slot].id == id);
+    entries[slot] = entries.back();
+    slot_of[entries[slot].id] = slot;
+    entries.pop_back();
+  }
+};
+
+}  // namespace
+
+uint64_t EnumerateJoin(std::span<const multidim::Rect> r,
+                       std::span<const multidim::Rect> s, JoinPairSink emit,
+                       void* ctx) {
+  const std::vector<SweepEvent> events = BuildEvents(r, s);
+  ActiveList active_r(r.size());
+  ActiveList active_s(s.size());
+  uint64_t total = 0;
+  for (const SweepEvent& e : events) {
+    if (e.type == kEnd) {
+      (e.rel == 0 ? active_r : active_s).Erase(e.id);
+      continue;
+    }
+    // Charge each joining pair to the later START: scan the opposite
+    // active set before activating (matches JoinSampler's weights).
+    const multidim::Rect& rect = (e.rel == 0 ? r : s)[e.id];
+    const ActiveList& other = e.rel == 0 ? active_s : active_r;
+    for (const ActiveList::Entry& a : other.entries) {
+      if (a.y_lo <= rect.y_hi && a.y_hi >= rect.y_lo) {
+        ++total;
+        if (emit != nullptr) {
+          if (e.rel == 0) {
+            emit(ctx, e.id, a.id);
+          } else {
+            emit(ctx, a.id, e.id);
+          }
+        }
+      }
+    }
+    (e.rel == 0 ? active_r : active_s).Insert(e.id, rect.y_lo, rect.y_hi);
+  }
+  IQS_DCHECK(active_r.entries.empty() && active_s.entries.empty());
+  return total;
+}
+
+uint64_t EnumerateJoinPairs(std::span<const multidim::Rect> r,
+                            std::span<const multidim::Rect> s,
+                            std::vector<JoinPair>* out) {
+  out->clear();
+  return EnumerateJoin(
+      r, s,
+      [](void* ctx, uint32_t r_id, uint32_t s_id) {
+        static_cast<std::vector<JoinPair>*>(ctx)->push_back({r_id, s_id});
+      },
+      out);
+}
+
+void BruteForceJoinSample(std::span<const multidim::Rect> r,
+                          std::span<const multidim::Rect> s, size_t budget,
+                          Rng* rng, std::vector<JoinPair>* out) {
+  out->clear();
+  const uint64_t join_size = EnumerateJoin(r, s, nullptr, nullptr);
+  if (join_size == 0 || budget == 0) return;
+
+  // Sorted with-replacement index multiset, then a collecting sweep that
+  // pops matches as the enumeration order reaches them.
+  std::vector<uint64_t> picks(budget);
+  rng->FillBelow(join_size, picks);
+  std::sort(picks.begin(), picks.end());
+
+  struct Collect {
+    const std::vector<uint64_t>* picks;
+    std::vector<JoinPair>* out;
+    uint64_t seen = 0;
+    size_t next = 0;
+  } collect{&picks, out, 0, 0};
+  EnumerateJoin(
+      r, s,
+      [](void* ctx, uint32_t r_id, uint32_t s_id) {
+        Collect* c = static_cast<Collect*>(ctx);
+        while (c->next < c->picks->size() && (*c->picks)[c->next] == c->seen) {
+          c->out->push_back({r_id, s_id});
+          ++c->next;
+        }
+        ++c->seen;
+      },
+      &collect);
+  IQS_DCHECK(out->size() == budget);
+
+  // The collecting sweep yields pairs in enumeration order; i.i.d.
+  // consumers need an exchangeable order (same contract as
+  // QueryPositions, see sampling/wor_query.cc), so shuffle.
+  for (size_t i = out->size(); i > 1; --i) {
+    std::swap((*out)[i - 1], (*out)[rng->Below(i)]);
+  }
+}
+
+}  // namespace iqs::join

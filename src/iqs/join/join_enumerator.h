@@ -1,0 +1,49 @@
+// Brute-force rectangle-join baselines: output-sensitive enumeration and
+// enumeration-based i.i.d. sampling. These are the oracle the join
+// sampler's law tests compare against and the baseline E26 benchmarks
+// against — they materialize (or re-scan) the join result J, which is
+// exactly the cost JoinSampler exists to avoid.
+
+#ifndef IQS_JOIN_JOIN_ENUMERATOR_H_
+#define IQS_JOIN_JOIN_ENUMERATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "iqs/join/join_batch.h"
+#include "iqs/multidim/point.h"
+#include "iqs/util/rng.h"
+
+namespace iqs::join {
+
+// Plane-sweep enumeration of the intersection join of `r` and `s`
+// (closed rectangles, multidim::Rect::Intersects semantics): invokes
+// emit(r_id, s_id) once per joining pair in a deterministic order and
+// returns |J|. Cost O(n log n + |J|) — output-sensitive, so it is the
+// strongest fair brute-force baseline (a nested loop would flatter the
+// sampler). Pass emit = nullptr to count only.
+using JoinPairSink = void (*)(void* ctx, uint32_t r_id, uint32_t s_id);
+uint64_t EnumerateJoin(std::span<const multidim::Rect> r,
+                       std::span<const multidim::Rect> s, JoinPairSink emit,
+                       void* ctx);
+
+// Convenience: materializes the full join result.
+uint64_t EnumerateJoinPairs(std::span<const multidim::Rect> r,
+                            std::span<const multidim::Rect> s,
+                            std::vector<JoinPair>* out);
+
+// Brute-force i.i.d. (with-replacement) uniform sample of `budget` pairs
+// from the join result: one counting sweep to learn |J|, `budget` sorted
+// uniform draws in [0, |J|), then a second sweep collecting the selected
+// pairs. Two passes over the join is the honest enumeration+reservoir
+// analogue for WITH-replacement semantics (classic reservoir-R is
+// without-replacement); cost O(2|J| + budget log budget). Empty join =>
+// `out` is cleared and left empty.
+void BruteForceJoinSample(std::span<const multidim::Rect> r,
+                          std::span<const multidim::Rect> s, size_t budget,
+                          Rng* rng, std::vector<JoinPair>* out);
+
+}  // namespace iqs::join
+
+#endif  // IQS_JOIN_JOIN_ENUMERATOR_H_

@@ -1,0 +1,262 @@
+#include "iqs/join/join_sampler.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "iqs/cover/cover_executor.h"
+#include "iqs/cover/cover_plan.h"
+#include "iqs/join/active_rank_tree.h"
+#include "iqs/join/join_batch.h"
+#include "iqs/multidim/point.h"
+#include "iqs/util/batch_options.h"
+#include "iqs/util/check.h"
+#include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
+#include "iqs/util/thread_pool.h"
+
+namespace iqs::join {
+namespace {
+
+constexpr uint8_t kStart = 0;
+constexpr uint8_t kEnd = 1;
+
+// One alias-assigned slot run of phase 2: query q owes t draws at the
+// START event with the given rank.
+struct DrawItem {
+  uint32_t rank;
+  uint32_t q;
+  size_t t;
+};
+
+// A plan item of phase 3: query q draws t partners for event-side
+// rectangle `id` of relation `rel`; positions come back in plan order.
+struct PlanMeta {
+  uint32_t q;
+  uint32_t id;
+  uint8_t rel;
+  size_t t;
+};
+
+// Pending executor work against ONE tree: the plan (groups captured at
+// enqueue time), its item metadata, and the flat position output. Batches
+// serialize on the sampler mutex, so thread_local reuse is safe and keeps
+// steady-state flushes allocation-free (multidim_batch.h idiom).
+struct PlanState {
+  CoverPlan plan;
+  std::vector<PlanMeta> meta;
+  std::vector<size_t> positions;
+};
+
+}  // namespace
+
+JoinSampler::JoinSampler(std::span<const multidim::Rect> r,
+                         std::span<const multidim::Rect> s,
+                         JoinSamplerOptions options)
+    : r_(r.begin(), r.end()),
+      s_(s.begin(), s.end()),
+      options_(options),
+      tree_r_(r, options.branching),
+      tree_s_(s, options.branching) {
+  IQS_CHECK(r.size() < kNotDrawing && s.size() < kNotDrawing);
+
+  // Sweep event order (x, START<END, rel, id): STARTs before ENDs at
+  // equal x give closed-interval semantics (touching x-extents join);
+  // the (rel, id) tail makes ties — and therefore every phase —
+  // deterministic functions of the input.
+  events_.reserve(2 * (r_.size() + s_.size()));
+  for (uint32_t i = 0; i < r_.size(); ++i) {
+    IQS_DCHECK(r_[i].x_lo <= r_[i].x_hi && r_[i].y_lo <= r_[i].y_hi);
+    events_.push_back({r_[i].x_lo, kStart, 0, i});
+    events_.push_back({r_[i].x_hi, kEnd, 0, i});
+  }
+  for (uint32_t i = 0; i < s_.size(); ++i) {
+    IQS_DCHECK(s_[i].x_lo <= s_[i].x_hi && s_[i].y_lo <= s_[i].y_hi);
+    events_.push_back({s_[i].x_lo, kStart, 1, i});
+    events_.push_back({s_[i].x_hi, kEnd, 1, i});
+  }
+  std::sort(events_.begin(), events_.end(),
+            [](const SweepEvent& a, const SweepEvent& b) {
+              if (a.x != b.x) return a.x < b.x;
+              if (a.type != b.type) return a.type < b.type;
+              if (a.rel != b.rel) return a.rel < b.rel;
+              return a.id < b.id;
+            });
+
+  // Phase 1: replay the sweep once, charging each joining pair to the
+  // LATER of its two START events (count against the opposite active set
+  // BEFORE activating), so the w_e partition J and sum to |J|.
+  start_rank_of_.assign(events_.size(), kNotDrawing);
+  MutexLock lock(&mu_);
+  for (size_t ei = 0; ei < events_.size(); ++ei) {
+    const SweepEvent& e = events_[ei];
+    ActiveRankTree& own = e.rel == 0 ? tree_r_ : tree_s_;
+    if (e.type == kEnd) {
+      own.Deactivate(e.id);
+      continue;
+    }
+    const multidim::Rect& rect = RectOf(e);
+    const ActiveRankTree& opp = e.rel == 0 ? tree_s_ : tree_r_;
+    const uint64_t w = opp.CountActive(rect.y_hi, rect.y_lo);
+    if (w > 0) {
+      start_rank_of_[ei] = static_cast<uint32_t>(start_weight_.size());
+      start_weight_.push_back(static_cast<double>(w));
+      event_of_rank_.push_back(static_cast<uint32_t>(ei));
+      join_size_ += w;
+    }
+    own.Activate(e.id);
+  }
+  IQS_DCHECK(tree_r_.active_total() == 0 && tree_s_.active_total() == 0);
+  IQS_CHECK(start_weight_.size() < kNotDrawing);
+  if (!start_weight_.empty()) alias_.Build(start_weight_);
+}
+
+void JoinSampler::SampleJoinBatch(std::span<const JoinBatchQuery> queries,
+                                  Rng* rng, ScratchArena* arena,
+                                  const BatchOptions& opts,
+                                  JoinBatchResult* result) const {
+  IQS_CHECK(rng != nullptr && arena != nullptr && result != nullptr);
+  IQS_CHECK(opts.max_batch == 0 || queries.size() <= opts.max_batch);
+  IQS_CHECK(queries.size() < static_cast<size_t>(kNotDrawing));
+
+  result->Clear();
+  const size_t nq = queries.size();
+  result->offsets.resize(nq + 1);
+  result->resolved.resize(nq);
+  size_t total = 0;
+  for (size_t q = 0; q < nq; ++q) {
+    result->offsets[q] = total;
+    result->resolved[q] = join_size_ > 0 ? 1 : 0;
+    if (join_size_ > 0) total += queries[q].s;
+  }
+  result->offsets[nq] = total;
+  result->pairs.resize(total);
+  if (total == 0) return;
+
+  arena->Reset();
+  MutexLock lock(&mu_);
+
+  // Phase 2: alias-assign every slot to its START event, then run-length
+  // the (event rank, query) keys into DrawItems sorted in sweep order.
+  // All alias draws happen before any executor fork, so this stage is
+  // identical for every opts threading mode.
+  std::span<uint64_t> keys = arena->Alloc<uint64_t>(total);
+  {
+    thread_local std::vector<size_t> alias_draws;
+    size_t k = 0;
+    for (size_t q = 0; q < nq; ++q) {
+      alias_draws.clear();
+      alias_.SampleMany(queries[q].s, rng, &alias_draws);
+      for (const size_t rank : alias_draws) {
+        keys[k++] = (static_cast<uint64_t>(rank) << 32) | q;
+      }
+    }
+    IQS_DCHECK(k == total);
+  }
+  std::sort(keys.begin(), keys.end());
+  std::span<DrawItem> items = arena->Alloc<DrawItem>(total);
+  size_t num_items = 0;
+  for (size_t i = 0; i < total;) {
+    size_t j = i;
+    while (j < total && keys[j] == keys[i]) ++j;
+    items[num_items++] = {static_cast<uint32_t>(keys[i] >> 32),
+                          static_cast<uint32_t>(keys[i] & 0xffffffffu), j - i};
+    i = j;
+  }
+
+  // Per-query write cursors into the flat pair buffer: draws for a query
+  // arrive across many flushes but land contiguously.
+  std::span<size_t> cursors = arena->Alloc<size_t>(nq);
+  for (size_t q = 0; q < nq; ++q) cursors[q] = result->offsets[q];
+
+  // Inner executor options: plan queries are (query, event) pairs, so the
+  // frontend's max_batch contract does not apply below this point; one
+  // pool spans all flushes instead of a transient pool per flush.
+  BatchOptions inner = opts;
+  inner.max_batch = 0;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (!inner.sequential() && inner.pool == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(inner.num_threads);
+    inner.pool = owned_pool.get();
+  }
+
+  thread_local PlanState state_r;  // draws FROM tree_r_ (S-side events)
+  thread_local PlanState state_s;  // draws FROM tree_s_ (R-side events)
+  state_r.plan.Clear();
+  state_r.meta.clear();
+  state_s.plan.Clear();
+  state_s.meta.clear();
+
+  // Flushes every pending plan query against `tree` through the shared
+  // executor pipeline and scatters the drawn partners into the result.
+  const auto flush = [&](PlanState* ps, const ActiveRankTree& tree) {
+    if (ps->plan.num_queries() == 0) return;
+    ps->positions.clear();
+    CoverExecutor::ExecuteOverSampler(ps->plan, tree.sampler(), rng, arena,
+                                      inner, &ps->positions);
+    size_t off = 0;
+    for (const PlanMeta& m : ps->meta) {
+      for (size_t d = 0; d < m.t; ++d) {
+        const uint32_t other = tree.IdAt(ps->positions[off + d]);
+        result->pairs[cursors[m.q]++] = m.rel == 0
+                                            ? JoinPair{m.id, other}
+                                            : JoinPair{other, m.id};
+      }
+      off += m.t;
+    }
+    IQS_DCHECK(off == ps->positions.size());
+    ps->plan.Clear();
+    ps->meta.clear();
+  };
+
+  // Phase 3: replay the sweep. Covers are captured into the plan at the
+  // drawing event (the opposite active set is exactly phase 1's), and a
+  // tree's pending plan is flushed just before the tree changes, so
+  // captured groups always describe the live Fenwick state they draw on.
+  size_t item_idx = 0;
+  for (size_t ei = 0; ei < events_.size(); ++ei) {
+    const SweepEvent& e = events_[ei];
+    ActiveRankTree& own = e.rel == 0 ? tree_r_ : tree_s_;
+    flush(e.rel == 0 ? &state_r : &state_s, own);
+    if (e.type == kEnd) {
+      own.Deactivate(e.id);
+      continue;
+    }
+    const uint32_t rank = start_rank_of_[ei];
+    if (rank != kNotDrawing) {
+      const ActiveRankTree& opp = e.rel == 0 ? tree_s_ : tree_r_;
+      PlanState* opp_state = e.rel == 0 ? &state_s : &state_r;
+      const multidim::Rect& rect = RectOf(e);
+      while (item_idx < num_items && items[item_idx].rank == rank) {
+        opp_state->plan.BeginQuery(items[item_idx].t);
+        const uint64_t w =
+            opp.AppendActiveCover(rect.y_hi, rect.y_lo, &opp_state->plan);
+        IQS_DCHECK(static_cast<double>(w) == start_weight_[rank]);
+        (void)w;
+        opp_state->meta.push_back(
+            {items[item_idx].q, e.id, e.rel, items[item_idx].t});
+        ++item_idx;
+      }
+    }
+    own.Activate(e.id);
+  }
+  flush(&state_r, tree_r_);
+  flush(&state_s, tree_s_);
+  IQS_DCHECK(item_idx == num_items);
+  IQS_DCHECK(tree_r_.active_total() == 0 && tree_s_.active_total() == 0);
+}
+
+size_t JoinSampler::MemoryBytes() const {
+  MutexLock lock(&mu_);
+  return r_.capacity() * sizeof(multidim::Rect) +
+         s_.capacity() * sizeof(multidim::Rect) +
+         events_.capacity() * sizeof(SweepEvent) +
+         start_rank_of_.capacity() * sizeof(uint32_t) +
+         start_weight_.capacity() * sizeof(double) +
+         event_of_rank_.capacity() * sizeof(uint32_t) + alias_.MemoryBytes() +
+         tree_r_.MemoryBytes() + tree_s_.MemoryBytes();
+}
+
+}  // namespace iqs::join

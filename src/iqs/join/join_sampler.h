@@ -1,0 +1,139 @@
+// JoinSampler — i.i.d. uniform sampling from the result of a 2-d
+// rectangle intersection join WITHOUT materializing it (ROADMAP item 3;
+// the SJS three-phase shape of SNIPPETS.md §2 lowered onto this
+// library's cover pipeline).
+//
+// Join: J = { (r, s) : r.Intersects(s) } over two relations of closed
+// rectangles. |J| can be Θ(n^2) while a query only wants s independent
+// uniform pairs — the enumeration cost is exactly what the paper's IQS
+// separation (query time independent of the result size) eliminates, and
+// this module is the generality test of that machinery beyond range
+// queries.
+//
+// Three phases:
+//   1. (construction) Plane-sweep on x in rank space. Each relation keeps
+//      an Activate/Deactivate structure over its y-extents
+//      (join/active_rank_tree.h); at every START event e the OPPOSITE
+//      tree counts K_e = active rectangles with y-overlap, charging each
+//      joining pair to the LATER of its two starts (query before
+//      activate), so |J| = sum of the per-event weights w_e = |K_e|. An
+//      alias table over {w_e} is built once.
+//   2. (per batch) The alias table assigns every sample slot of the batch
+//      to its START event in O(1) per draw — the event marginal must be
+//      w_e / |J| for pairs to be uniform over J.
+//   3. (per batch) A second sweep replays the events; at a drawing event
+//      the opposite tree's active set is re-enumerated as weighted
+//      contiguous runs into a CoverPlan, and pending plan queries are
+//      flushed through CoverExecutor::ExecuteOverSampler (over the
+//      tree's Fenwick-backed RangeSampler view) each time their tree is
+//      about to change. There is NO bespoke draw loop: the multinomial
+//      split across an event's runs, per-query RNG substreams,
+//      parallelism and telemetry are all the shared executor pipeline.
+//
+// Costs: construction O(n B log_B n log n); a batch with total budget s
+// costs O(n log_B n log n + s log n) — independent of |J|. Space
+// O(n log_B n).
+//
+// Concurrency: SampleJoinBatch is const and thread-safe, but the sweep
+// mutates the trees (they return to all-inactive at the end), so
+// concurrent batches SERIALIZE on an internal mutex; inner executor
+// parallelism (opts.num_threads) still applies within a batch. Shard a
+// serve frontend over multiple JoinSampler replicas for sweep-level
+// parallelism.
+//
+// Determinism: fixed seed + fixed inputs give byte-identical batches;
+// parallel mode (num_threads >= 1) is bit-identical for EVERY thread
+// count (the executor's per-query substream contract), sequential mode
+// (num_threads == 0) is a different, also-deterministic stream.
+
+#ifndef IQS_JOIN_JOIN_SAMPLER_H_
+#define IQS_JOIN_JOIN_SAMPLER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "iqs/alias/alias_table.h"
+#include "iqs/join/active_rank_tree.h"
+#include "iqs/join/join_batch.h"
+#include "iqs/multidim/point.h"
+#include "iqs/util/batch_options.h"
+#include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
+#include "iqs/util/thread_annotations.h"
+
+namespace iqs::join {
+
+struct JoinSamplerOptions {
+  // Block-size base of the active trees: space n*log_B n, covers of
+  // B*log_B n runs per event. 16 balances both at the bench scales.
+  size_t branching = 16;
+};
+
+class JoinSampler {
+ public:
+  // Copies the relations (rect ids in sampled pairs index these spans)
+  // and runs phase 1. Rectangles must be well-formed (lo <= hi per axis).
+  JoinSampler(std::span<const multidim::Rect> r,
+              std::span<const multidim::Rect> s,
+              JoinSamplerOptions options = {});
+
+  size_t num_r() const { return r_.size(); }
+  size_t num_s() const { return s_.size(); }
+
+  // Exact join cardinality |J| (a phase-1 byproduct — the sweep counts
+  // the join without enumerating it).
+  uint64_t JoinSize() const { return join_size_; }
+
+  // THE CANONICAL BATCH SIGNATURE (see RangeSampler::QueryBatch): for
+  // each query draws q.s i.i.d. uniform pairs from J into `result`
+  // (cleared first), flat with per-query offsets. When J is empty every
+  // query has resolved[i] == 0 and an empty slice. Per-query draws obey
+  // the usual ORDERING CONTRACT (i.i.d. multiset, order unspecified —
+  // here grouped by sweep event); shuffle for an i.i.d. sequence.
+  void SampleJoinBatch(std::span<const JoinBatchQuery> queries, Rng* rng,
+                       ScratchArena* arena, const BatchOptions& opts,
+                       JoinBatchResult* result) const;
+
+  // Convenience: default options.
+  void SampleJoinBatch(std::span<const JoinBatchQuery> queries, Rng* rng,
+                       ScratchArena* arena, JoinBatchResult* result) const {
+    SampleJoinBatch(queries, rng, arena, BatchOptions{}, result);
+  }
+
+  size_t MemoryBytes() const;
+
+ private:
+  struct SweepEvent {
+    double x;
+    uint8_t type;  // start sorts before end at equal x (closed intervals)
+    uint8_t rel;   // 0 = r, 1 = s
+    uint32_t id;
+  };
+
+  static constexpr uint32_t kNotDrawing = ~0u;
+
+  const multidim::Rect& RectOf(const SweepEvent& e) const {
+    return (e.rel == 0 ? r_ : s_)[e.id];
+  }
+
+  std::vector<multidim::Rect> r_;
+  std::vector<multidim::Rect> s_;
+  JoinSamplerOptions options_;
+  std::vector<SweepEvent> events_;          // sorted sweep order
+  std::vector<uint32_t> start_rank_of_;     // per event; kNotDrawing if w_e=0
+  std::vector<double> start_weight_;        // per start rank: w_e
+  std::vector<uint32_t> event_of_rank_;     // start rank -> event index
+  AliasTable alias_;                        // over start_weight_
+  uint64_t join_size_ = 0;
+
+  // Phase-3 scratch: the trees mutate during the replay sweep (and end
+  // back at all-inactive), so batches serialize here.
+  mutable Mutex mu_;
+  mutable ActiveRankTree tree_r_ IQS_GUARDED_BY(mu_);
+  mutable ActiveRankTree tree_s_ IQS_GUARDED_BY(mu_);
+};
+
+}  // namespace iqs::join
+
+#endif  // IQS_JOIN_JOIN_SAMPLER_H_

@@ -15,13 +15,25 @@
 // Wait() returns (or status() reads a terminal state with acquire
 // semantics, which it does) the samples are safe to read from the
 // submitting thread.
+//
+// Two completion modes:
+//   * Blocking: the submitter calls Wait() (the original mode).
+//   * Continuation: arm an OnComplete hook BEFORE submitting; the
+//     completing thread invokes it once, immediately after the terminal
+//     state is published, with the terminal samples()/status() already
+//     safe to read inside the hook. See set_on_complete for the threading
+//     and re-submission rules. Both modes observe the same exactly-once
+//     guarantee — the hook fires from inside the one Complete call that
+//     the IQS_CHECK admits.
 
 #ifndef IQS_SERVE_TICKET_H_
 #define IQS_SERVE_TICKET_H_
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "iqs/util/check.h"
@@ -91,16 +103,35 @@ class ServeTicket {
   uint64_t complete_ns() const { return complete_ns_; }
   uint64_t LatencyNs() const { return complete_ns_ - submit_ns_; }
 
-  // Rearms a terminal ticket for another Submit. Must not be called on an
-  // in-flight ticket (the frontend still holds a pointer to it).
+  // Continuation mode: arms a hook the completing thread invokes exactly
+  // once, after the terminal state is published (status()/samples() are
+  // terminal-and-readable inside the hook). Must be armed while the
+  // ticket is NOT in flight — arming races with Complete otherwise; like
+  // the rest of the ticket this is a one-shot SPSC handoff, not a locked
+  // object. The hook runs on WHOEVER completes the ticket: the shard
+  // worker for flushed queries (keep it short — it serializes with that
+  // shard's batches), the submitting thread itself for kRejected. The
+  // hook survives Reset(), so a reusable continuation is armed once per
+  // ticket, not once per submit; arm an empty function to disarm. A hook
+  // may Reset-and-resubmit its own ticket, but submitting to the hook's
+  // own shard under AdmissionPolicy::kBlock can deadlock the worker on
+  // its own queue — use kReject (or another shard) for self-resubmission.
+  void set_on_complete(std::function<void(const ServeTicket&)> hook) {
+    on_complete_ = std::move(hook);
+  }
+
+  // Rearms a terminal ticket for another Submit (the OnComplete hook, if
+  // any, stays armed). Must not be called on an in-flight ticket (the
+  // frontend still holds a pointer to it).
   void Reset() {
     samples_.clear();
     state_.store(static_cast<uint32_t>(ServeStatus::kPending),
                  std::memory_order_relaxed);
   }
 
-  // FRONTEND-INTERNAL: publishes the terminal state. Exactly-once is
-  // enforced — completing a non-pending ticket aborts.
+  // FRONTEND-INTERNAL: publishes the terminal state, then fires the
+  // OnComplete hook (if armed). Exactly-once is enforced — completing a
+  // non-pending ticket aborts, so the hook cannot fire twice per submit.
   void Complete(ServeStatus status, std::span<const Sample> samples,
                 uint64_t complete_ns) {
     IQS_DCHECK(status != ServeStatus::kPending);
@@ -111,6 +142,7 @@ class ServeTicket {
         expected, static_cast<uint32_t>(status), std::memory_order_release,
         std::memory_order_relaxed));
     state_.notify_all();
+    if (on_complete_) on_complete_(*this);
   }
 
   // FRONTEND-INTERNAL: stamped on admission, before the ticket is queued.
@@ -123,6 +155,7 @@ class ServeTicket {
   // an acquire load of state_ observes that status (Wait/status). No
   // mutex exists to name, and none is needed.
   std::vector<Sample> samples_;
+  std::function<void(const ServeTicket&)> on_complete_;  // armed while idle
   uint64_t submit_ns_ = 0;
   uint64_t complete_ns_ = 0;
   std::atomic<uint32_t> state_{static_cast<uint32_t>(ServeStatus::kPending)};

@@ -1,0 +1,318 @@
+// Tests for the join-sampling module (iqs/join/): the sweep enumerator
+// against a nested loop, JoinSize against exact enumeration, the
+// sampling law (chi-square vs the uniform distribution over the
+// enumerated join result, alpha 1e-6), and byte-identity of batch output
+// across thread counts under a fixed seed.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "iqs/join/join_batch.h"
+#include "iqs/join/join_enumerator.h"
+#include "iqs/join/join_sampler.h"
+#include "iqs/multidim/point.h"
+#include "iqs/util/batch_options.h"
+#include "iqs/util/rng.h"
+#include "iqs/util/scratch_arena.h"
+#include "test_util.h"
+
+namespace iqs::join {
+namespace {
+
+using multidim::Rect;
+
+// Random rectangles in [0, extent)^2 with edge lengths up to max_side —
+// wide enough that joins are dense on small inputs.
+std::vector<Rect> RandomRects(size_t n, double extent, double max_side,
+                              Rng* rng) {
+  std::vector<Rect> rects;
+  rects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng->NextDouble() * extent;
+    const double y = rng->NextDouble() * extent;
+    const double w = rng->NextDouble() * max_side;
+    const double h = rng->NextDouble() * max_side;
+    rects.push_back(Rect{x, x + w, y, y + h});
+  }
+  return rects;
+}
+
+uint64_t NestedLoopJoin(const std::vector<Rect>& r, const std::vector<Rect>& s,
+                        std::vector<JoinPair>* out) {
+  out->clear();
+  for (uint32_t i = 0; i < r.size(); ++i) {
+    for (uint32_t j = 0; j < s.size(); ++j) {
+      if (r[i].Intersects(s[j])) out->push_back({i, j});
+    }
+  }
+  return out->size();
+}
+
+TEST(JoinEnumerator, MatchesNestedLoop) {
+  Rng rng(7001);
+  for (int round = 0; round < 20; ++round) {
+    const size_t nr = 1 + rng.Below(40);
+    const size_t ns = 1 + rng.Below(40);
+    const std::vector<Rect> r = RandomRects(nr, 100.0, 30.0, &rng);
+    const std::vector<Rect> s = RandomRects(ns, 100.0, 30.0, &rng);
+    std::vector<JoinPair> expected;
+    NestedLoopJoin(r, s, &expected);
+    std::vector<JoinPair> got;
+    EXPECT_EQ(EnumerateJoinPairs(r, s, &got), expected.size());
+    auto key = [](const JoinPair& p) {
+      return (static_cast<uint64_t>(p.r_id) << 32) | p.s_id;
+    };
+    auto by_key = [&key](const JoinPair& a, const JoinPair& b) {
+      return key(a) < key(b);
+    };
+    std::sort(expected.begin(), expected.end(), by_key);
+    std::sort(got.begin(), got.end(), by_key);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(JoinEnumerator, TouchingEdgesJoin) {
+  // Closed rectangles: sharing only an edge point still intersects.
+  const std::vector<Rect> r = {Rect{0.0, 1.0, 0.0, 1.0}};
+  const std::vector<Rect> s = {Rect{1.0, 2.0, 1.0, 2.0},   // corner touch
+                               Rect{1.0, 2.0, 0.25, 0.5},  // x-edge touch
+                               Rect{2.0, 3.0, 0.0, 1.0}};  // disjoint
+  std::vector<JoinPair> pairs;
+  EXPECT_EQ(EnumerateJoinPairs(r, s, &pairs), 2u);
+}
+
+TEST(JoinSampler, JoinSizeMatchesEnumeration) {
+  Rng rng(7002);
+  for (int round = 0; round < 10; ++round) {
+    const size_t nr = 1 + rng.Below(120);
+    const size_t ns = 1 + rng.Below(120);
+    const std::vector<Rect> r = RandomRects(nr, 200.0, 40.0, &rng);
+    const std::vector<Rect> s = RandomRects(ns, 200.0, 40.0, &rng);
+    // Exercise several block bases, including degenerate binary.
+    const size_t branching = 2 + rng.Below(15);
+    const JoinSampler sampler(r, s, JoinSamplerOptions{branching});
+    EXPECT_EQ(sampler.JoinSize(), EnumerateJoin(r, s, nullptr, nullptr))
+        << "branching " << branching;
+  }
+}
+
+TEST(JoinSampler, EmptyJoinResolvesNothing) {
+  // x-disjoint relations: no pair joins.
+  const std::vector<Rect> r = {Rect{0.0, 1.0, 0.0, 10.0},
+                               Rect{2.0, 3.0, 0.0, 10.0}};
+  const std::vector<Rect> s = {Rect{5.0, 6.0, 0.0, 10.0}};
+  const JoinSampler sampler(r, s);
+  EXPECT_EQ(sampler.JoinSize(), 0u);
+
+  const std::vector<JoinBatchQuery> queries = {{8}, {0}, {3}};
+  Rng rng(1);
+  ScratchArena arena;
+  JoinBatchResult result;
+  sampler.SampleJoinBatch(queries, &rng, &arena, &result);
+  ASSERT_EQ(result.num_queries(), 3u);
+  for (size_t q = 0; q < 3; ++q) {
+    EXPECT_EQ(result.resolved[q], 0u);
+    EXPECT_TRUE(result.SamplesFor(q).empty());
+  }
+  EXPECT_TRUE(result.pairs.empty());
+}
+
+TEST(JoinSampler, EmptyRelation) {
+  const std::vector<Rect> r;
+  const std::vector<Rect> s = {Rect{0.0, 1.0, 0.0, 1.0}};
+  const JoinSampler sampler(r, s);
+  EXPECT_EQ(sampler.JoinSize(), 0u);
+  const std::vector<JoinBatchQuery> queries = {{5}};
+  Rng rng(1);
+  ScratchArena arena;
+  JoinBatchResult result;
+  sampler.SampleJoinBatch(queries, &rng, &arena, &result);
+  EXPECT_EQ(result.resolved[0], 0u);
+}
+
+TEST(JoinSampler, PairsAreValidAndBudgetsHonored) {
+  Rng rng(7003);
+  const std::vector<Rect> r = RandomRects(80, 100.0, 25.0, &rng);
+  const std::vector<Rect> s = RandomRects(90, 100.0, 25.0, &rng);
+  const JoinSampler sampler(r, s);
+  ASSERT_GT(sampler.JoinSize(), 0u);
+
+  const std::vector<JoinBatchQuery> queries = {{17}, {0}, {256}, {1}};
+  ScratchArena arena;
+  JoinBatchResult result;
+  sampler.SampleJoinBatch(queries, &rng, &arena, &result);
+  ASSERT_EQ(result.num_queries(), queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(result.resolved[q], 1u);
+    const auto slice = result.SamplesFor(q);
+    ASSERT_EQ(slice.size(), queries[q].s);
+    for (const JoinPair& p : slice) {
+      ASSERT_LT(p.r_id, r.size());
+      ASSERT_LT(p.s_id, s.size());
+      EXPECT_TRUE(r[p.r_id].Intersects(s[p.s_id]))
+          << "sampled pair does not join";
+    }
+  }
+}
+
+// The law: every pair of J equally likely, across queries of one batch.
+TEST(JoinSampler, UniformOverJoinResultChiSquare) {
+  Rng rng(7004);
+  const std::vector<Rect> r = RandomRects(24, 60.0, 25.0, &rng);
+  const std::vector<Rect> s = RandomRects(24, 60.0, 25.0, &rng);
+  const JoinSampler sampler(r, s);
+
+  std::vector<JoinPair> all_pairs;
+  ASSERT_EQ(EnumerateJoinPairs(r, s, &all_pairs), sampler.JoinSize());
+  ASSERT_GT(all_pairs.size(), 20u);
+  std::map<uint64_t, size_t> index_of;
+  for (size_t i = 0; i < all_pairs.size(); ++i) {
+    index_of[(static_cast<uint64_t>(all_pairs[i].r_id) << 32) |
+             all_pairs[i].s_id] = i;
+  }
+
+  const size_t kDraws = 400 * all_pairs.size();
+  const std::vector<JoinBatchQuery> queries = {{kDraws / 2},
+                                               {kDraws - kDraws / 2}};
+  ScratchArena arena;
+  JoinBatchResult result;
+  sampler.SampleJoinBatch(queries, &rng, &arena, &result);
+
+  std::vector<uint64_t> counts(all_pairs.size(), 0);
+  for (const JoinPair& p : result.pairs) {
+    const auto it =
+        index_of.find((static_cast<uint64_t>(p.r_id) << 32) | p.s_id);
+    ASSERT_NE(it, index_of.end()) << "sampled pair not in the join result";
+    ++counts[it->second];
+  }
+  const std::vector<double> probs(all_pairs.size(),
+                                  1.0 / static_cast<double>(all_pairs.size()));
+  iqs::testing::ExpectDistributionClose(counts, probs);
+}
+
+// Same law through the parallel executor path.
+TEST(JoinSampler, UniformOverJoinResultChiSquareParallel) {
+  Rng rng(7005);
+  const std::vector<Rect> r = RandomRects(20, 60.0, 25.0, &rng);
+  const std::vector<Rect> s = RandomRects(20, 60.0, 25.0, &rng);
+  const JoinSampler sampler(r, s);
+
+  std::vector<JoinPair> all_pairs;
+  EnumerateJoinPairs(r, s, &all_pairs);
+  ASSERT_GT(all_pairs.size(), 10u);
+  std::map<uint64_t, size_t> index_of;
+  for (size_t i = 0; i < all_pairs.size(); ++i) {
+    index_of[(static_cast<uint64_t>(all_pairs[i].r_id) << 32) |
+             all_pairs[i].s_id] = i;
+  }
+
+  const std::vector<JoinBatchQuery> queries = {{300 * all_pairs.size()}};
+  BatchOptions opts;
+  opts.num_threads = 3;
+  ScratchArena arena;
+  JoinBatchResult result;
+  sampler.SampleJoinBatch(queries, &rng, &arena, opts, &result);
+
+  std::vector<uint64_t> counts(all_pairs.size(), 0);
+  for (const JoinPair& p : result.pairs) {
+    const auto it =
+        index_of.find((static_cast<uint64_t>(p.r_id) << 32) | p.s_id);
+    ASSERT_NE(it, index_of.end());
+    ++counts[it->second];
+  }
+  const std::vector<double> probs(all_pairs.size(),
+                                  1.0 / static_cast<double>(all_pairs.size()));
+  iqs::testing::ExpectDistributionClose(counts, probs);
+}
+
+// The brute-force baseline obeys the same law (it is the E26 comparator,
+// so its correctness matters too).
+TEST(JoinEnumerator, BruteForceSampleUniformChiSquare) {
+  Rng rng(7006);
+  const std::vector<Rect> r = RandomRects(16, 50.0, 20.0, &rng);
+  const std::vector<Rect> s = RandomRects(16, 50.0, 20.0, &rng);
+  std::vector<JoinPair> all_pairs;
+  EnumerateJoinPairs(r, s, &all_pairs);
+  ASSERT_GT(all_pairs.size(), 10u);
+  std::map<uint64_t, size_t> index_of;
+  for (size_t i = 0; i < all_pairs.size(); ++i) {
+    index_of[(static_cast<uint64_t>(all_pairs[i].r_id) << 32) |
+             all_pairs[i].s_id] = i;
+  }
+  std::vector<JoinPair> sample;
+  BruteForceJoinSample(r, s, 300 * all_pairs.size(), &rng, &sample);
+  std::vector<uint64_t> counts(all_pairs.size(), 0);
+  for (const JoinPair& p : sample) {
+    const auto it =
+        index_of.find((static_cast<uint64_t>(p.r_id) << 32) | p.s_id);
+    ASSERT_NE(it, index_of.end());
+    ++counts[it->second];
+  }
+  const std::vector<double> probs(all_pairs.size(),
+                                  1.0 / static_cast<double>(all_pairs.size()));
+  iqs::testing::ExpectDistributionClose(counts, probs);
+}
+
+// Fixed seed + fixed inputs => byte-identical output, and the parallel
+// mode is bit-identical for EVERY thread count (the executor's per-query
+// substream contract, inherited through ExecuteOverSampler).
+TEST(JoinSampler, ByteIdenticalAcrossThreadCounts) {
+  Rng data_rng(7007);
+  const std::vector<Rect> r = RandomRects(150, 150.0, 30.0, &data_rng);
+  const std::vector<Rect> s = RandomRects(140, 150.0, 30.0, &data_rng);
+  const JoinSampler sampler(r, s);
+  ASSERT_GT(sampler.JoinSize(), 0u);
+  const std::vector<JoinBatchQuery> queries = {{64}, {1}, {0}, {1000}, {7}};
+
+  JoinBatchResult reference;
+  {
+    Rng rng(0xfeed);
+    BatchOptions opts;
+    opts.num_threads = 1;
+    ScratchArena arena;
+    sampler.SampleJoinBatch(queries, &rng, &arena, opts, &reference);
+  }
+  for (const size_t threads : {2u, 7u}) {
+    Rng rng(0xfeed);
+    BatchOptions opts;
+    opts.num_threads = threads;
+    ScratchArena arena;
+    JoinBatchResult result;
+    sampler.SampleJoinBatch(queries, &rng, &arena, opts, &result);
+    EXPECT_EQ(result.pairs, reference.pairs) << "threads " << threads;
+    EXPECT_EQ(result.offsets, reference.offsets);
+    EXPECT_EQ(result.resolved, reference.resolved);
+  }
+}
+
+TEST(JoinSampler, SequentialModeDeterministic) {
+  Rng data_rng(7008);
+  const std::vector<Rect> r = RandomRects(60, 80.0, 25.0, &data_rng);
+  const std::vector<Rect> s = RandomRects(60, 80.0, 25.0, &data_rng);
+  const JoinSampler sampler(r, s);
+  const std::vector<JoinBatchQuery> queries = {{33}, {12}};
+
+  JoinBatchResult a, b;
+  for (JoinBatchResult* out : {&a, &b}) {
+    Rng rng(42);
+    ScratchArena arena;
+    sampler.SampleJoinBatch(queries, &rng, &arena, out);
+  }
+  EXPECT_EQ(a.pairs, b.pairs);
+  EXPECT_EQ(a.offsets, b.offsets);
+}
+
+TEST(JoinSampler, MemoryBytesAccounted) {
+  Rng rng(7009);
+  const std::vector<Rect> r = RandomRects(64, 100.0, 20.0, &rng);
+  const std::vector<Rect> s = RandomRects(64, 100.0, 20.0, &rng);
+  const JoinSampler sampler(r, s);
+  // Two trees over 64 rects each, plus events and weights.
+  EXPECT_GT(sampler.MemoryBytes(), 64u * 2 * sizeof(Rect));
+}
+
+}  // namespace
+}  // namespace iqs::join

@@ -3,6 +3,7 @@
 #ifndef FIXTURE_IQS_IQS_H_
 #define FIXTURE_IQS_IQS_H_
 
+#include "iqs/join/bad_join_batch.h"
 #include "iqs/range/clean_sampler.h"
 #include "iqs/util/violations.h"
 

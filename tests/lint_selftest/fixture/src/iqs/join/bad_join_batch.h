@@ -1,0 +1,22 @@
+// Fixture: batch-signature violation in the join workload's canonical
+// entry point — BatchOptions after the output parameter. Expected
+// finding: batch-signature (the rule must cover SampleJoinBatch, not
+// just the range-family names).
+#ifndef FIXTURE_IQS_JOIN_BAD_JOIN_BATCH_H_
+#define FIXTURE_IQS_JOIN_BAD_JOIN_BATCH_H_
+
+#include "iqs/range/clean_sampler.h"
+
+namespace iqs::join {
+
+class BadJoinBatch {
+ public:
+  // Output before BatchOptions: out of canonical order.
+  void SampleJoinBatch(std::span<const PositionQuery> queries, Rng* rng,  // VIOLATION: batch-signature
+                       ScratchArena* arena, JoinBatchResult* result,
+                       const BatchOptions& opts) const;
+};
+
+}  // namespace iqs::join
+
+#endif  // FIXTURE_IQS_JOIN_BAD_JOIN_BATCH_H_

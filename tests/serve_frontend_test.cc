@@ -3,7 +3,12 @@
 // thread counts and window configs, drain/shutdown exactly-once
 // completion, admission control (block and reject), deadline shedding,
 // distribution through the batcher, and a churn stress over the
-// versioned LogarithmicRangeSampler (the TSan target).
+// versioned LogarithmicRangeSampler (the TSan target). The serve-layer
+// redesign (multi-workload routing) adds: continuation-mode tickets (set_on_complete, including a
+// continuation churn stress for TSan), workload routing with per-class
+// stats and per-class determinism, ValidateServeOptions death tests (one
+// per rejected config), and join traffic served as a second class via a
+// JoinServeFrontend next to a range frontend in one process.
 
 #include <atomic>
 #include <chrono>
@@ -16,12 +21,15 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "iqs/join/join_sampler.h"
+#include "iqs/multidim/point.h"
 #include "iqs/range/chunked_range_sampler.h"
 #include "iqs/range/logarithmic_range_sampler.h"
 #include "iqs/serve/frontend.h"
 #include "iqs/serve/serve_stats.h"
 #include "iqs/serve/ticket.h"
 #include "iqs/util/rng.h"
+#include "iqs/util/thread_pool.h"
 #include "test_util.h"
 
 namespace iqs {
@@ -554,6 +562,461 @@ TEST(ServeFrontendTest, ChurnStressOverVersionedSampler) {
   // Exporters must serialize whatever the run produced.
   EXPECT_FALSE(ServeStatsToJson(stats).empty());
   EXPECT_FALSE(ServeStatsToText(stats).empty());
+}
+
+// --------------------------------------------------------------------
+// Continuation mode: ServeTicket::set_on_complete.
+
+TEST(ServeTicketTest, OnCompleteDeliversWithoutWait) {
+  const std::vector<double> keys = MakeKeys(32);
+  const std::vector<double> weights = MakeWeights(32, 11);
+  const ChunkedRangeSampler sampler(keys, weights);
+
+  ServeOptions options;
+  options.max_delay_ns = 1000 * 1000;
+  RangeServeFrontend frontend(options, PositionBackend(&sampler));
+
+  std::atomic<uint32_t> fires{0};
+  ServeTicket<size_t> ticket;
+  ticket.set_on_complete([&fires](const ServeTicket<size_t>& t) {
+    // The terminal state is published before the hook runs: status and
+    // samples must already be readable here, with no Wait anywhere.
+    EXPECT_EQ(t.status(), ServeStatus::kOk);
+    EXPECT_EQ(t.samples().size(), 5u);
+    for (size_t position : t.samples()) {
+      EXPECT_GE(position, 2u);
+      EXPECT_LE(position, 30u);
+    }
+    EXPECT_GE(t.complete_ns(), t.submit_ns());
+    fires.fetch_add(1, std::memory_order_release);
+    fires.notify_all();
+  });
+  ASSERT_TRUE(frontend.Submit(0, BatchQuery{2.0, 30.0, 5}, &ticket));
+  fires.wait(0, std::memory_order_acquire);  // the hook IS the signal
+  EXPECT_EQ(fires.load(std::memory_order_acquire), 1u);
+  frontend.Drain();
+  // Exactly once: drain re-fires nothing, and the ticket stayed terminal.
+  EXPECT_EQ(fires.load(std::memory_order_acquire), 1u);
+  EXPECT_EQ(ticket.status(), ServeStatus::kOk);
+}
+
+TEST(ServeTicketTest, OnCompleteSurvivesResetAcrossResubmits) {
+  const std::vector<double> keys = MakeKeys(32);
+  const std::vector<double> weights = MakeWeights(32, 12);
+  const ChunkedRangeSampler sampler(keys, weights);
+
+  ServeOptions options;
+  options.max_delay_ns = 1000 * 1000;
+  RangeServeFrontend frontend(options, PositionBackend(&sampler));
+
+  // Armed ONCE; Reset must keep the continuation armed, so a reusable
+  // ticket pays the std::function setup per ticket, not per submit.
+  std::atomic<uint32_t> fires{0};
+  ServeTicket<size_t> ticket;
+  ticket.set_on_complete([&fires](const ServeTicket<size_t>& t) {
+    EXPECT_NE(t.status(), ServeStatus::kPending);
+    fires.fetch_add(1, std::memory_order_relaxed);
+  });
+  constexpr uint32_t kWaves = 8;
+  for (uint32_t wave = 0; wave < kWaves; ++wave) {
+    if (wave > 0) ticket.Reset();
+    ASSERT_TRUE(frontend.Submit(0, BatchQuery{1.0, 30.0, 3}, &ticket));
+    // Blocking and continuation modes compose: Wait paces the loop, the
+    // hook fired inside the same Complete that Wait observed.
+    EXPECT_EQ(ticket.Wait(), ServeStatus::kOk);
+  }
+  frontend.Drain();
+  EXPECT_EQ(fires.load(std::memory_order_relaxed), kWaves);
+}
+
+TEST(ServeTicketTest, OnCompleteOnRejectionRunsOnSubmittingThread) {
+  const std::vector<double> keys = MakeKeys(8);
+  const std::vector<double> weights = MakeWeights(8, 13);
+  const ChunkedRangeSampler sampler(keys, weights);
+
+  ServeOptions options;
+  RangeServeFrontend frontend(options, PositionBackend(&sampler));
+  frontend.Drain();  // admission now rejects everything
+
+  uint32_t fires = 0;
+  std::thread::id hook_thread;
+  ServeTicket<size_t> ticket;
+  ticket.set_on_complete([&](const ServeTicket<size_t>& t) {
+    EXPECT_EQ(t.status(), ServeStatus::kRejected);
+    EXPECT_TRUE(t.samples().empty());
+    hook_thread = std::this_thread::get_id();
+    fires += 1;
+  });
+  // A rejected submit completes the ticket synchronously, so the hook has
+  // run (on THIS thread) by the time Submit returns — no atomics needed.
+  EXPECT_FALSE(frontend.Submit(0, BatchQuery{0.0, 7.0, 1}, &ticket));
+  EXPECT_EQ(fires, 1u);
+  EXPECT_EQ(hook_thread, std::this_thread::get_id());
+}
+
+// Continuation-mode twin of DrainCompletesEveryTicketExactlyOnce, and a
+// TSan target: producers race Drain with hooks armed, so completions fire
+// from shard workers (flushed) and producer threads (rejected) while the
+// counters they touch are shared.
+TEST(ServeFrontendTest, OnCompleteChurnDeliversEveryTicketExactlyOnce) {
+  const std::vector<double> keys = MakeKeys(32);
+  const std::vector<double> weights = MakeWeights(32, 14);
+  const ChunkedRangeSampler sampler(keys, weights);
+
+  constexpr size_t kProducers = 4;
+  constexpr size_t kPerProducer = 200;
+
+  ServeOptions options;
+  options.num_shards = 2;
+  options.max_batch = 32;
+  options.max_delay_ns = 20 * 1000;
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> rejected{0};
+  {
+    RangeServeFrontend frontend(options, PositionBackend(&sampler));
+    // Warmup wave from this thread, waited out BEFORE the race below (the
+    // race may reject everything): guarantees the worker-side hook path
+    // runs, not just the submitter-side rejection path.
+    constexpr size_t kWarmup = 8;
+    std::vector<ServeTicket<size_t>> warmup(kWarmup);
+    for (ServeTicket<size_t>& ticket : warmup) {
+      ticket.set_on_complete([&ok](const ServeTicket<size_t>& t) {
+        EXPECT_EQ(t.status(), ServeStatus::kOk);
+        ok.fetch_add(1, std::memory_order_relaxed);
+      });
+      ASSERT_TRUE(frontend.Submit(0, BatchQuery{2.0, 28.0, 3}, &ticket));
+    }
+    for (ServeTicket<size_t>& ticket : warmup) {
+      ASSERT_EQ(ticket.Wait(), ServeStatus::kOk);
+    }
+    EXPECT_EQ(ok.load(std::memory_order_relaxed), kWarmup);
+
+    std::vector<std::vector<ServeTicket<size_t>>> tickets(kProducers);
+    for (auto& row : tickets) row = std::vector<ServeTicket<size_t>>(
+        kPerProducer);
+    std::vector<std::thread> producers;
+    for (size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (size_t i = 0; i < kPerProducer; ++i) {
+          ServeTicket<size_t>& ticket = tickets[p][i];
+          ticket.set_on_complete([&ok, &rejected](
+                                     const ServeTicket<size_t>& t) {
+            if (t.status() == ServeStatus::kOk) {
+              ok.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              EXPECT_EQ(t.status(), ServeStatus::kRejected);
+              rejected.fetch_add(1, std::memory_order_relaxed);
+            }
+          });
+          frontend.Submit((p + i) % options.num_shards,
+                          BatchQuery{2.0, 28.0, 3}, &ticket);
+        }
+      });
+    }
+    frontend.Drain();  // races the producers, as in the blocking twin
+    for (std::thread& t : producers) t.join();
+  }  // destructor drains again; any re-completion would abort
+  // Every ticket fired its continuation exactly once (per-ticket
+  // double-fire would have aborted inside Complete; a lost one would
+  // leave the sum short).
+  EXPECT_EQ(ok.load() + rejected.load(), kProducers * kPerProducer + 8);
+  EXPECT_GE(ok.load(), 8u);  // at least the warmup completed kOk
+}
+
+// --------------------------------------------------------------------
+// Workload routing: one frontend, many traffic classes.
+
+// A backend whose output is unmistakable: every sample is `value`.
+RangeServeFrontend::BatchFn ConstantBackend(size_t value) {
+  return [value](size_t /*shard*/, std::span<const BatchQuery> queries,
+                 Rng* /*rng*/, ScratchArena* /*arena*/,
+                 const BatchOptions& /*opts*/, BatchResult* result) {
+    result->Clear();
+    result->offsets.push_back(0);
+    for (const BatchQuery& query : queries) {
+      for (size_t i = 0; i < query.s; ++i) result->positions.push_back(value);
+      result->offsets.push_back(result->positions.size());
+      result->resolved.push_back(1);
+    }
+  };
+}
+
+TEST(ServeFrontendTest, WorkloadRoutingRoutesClassesToTheirBackends) {
+  const std::vector<double> keys = MakeKeys(32);
+  const std::vector<double> weights = MakeWeights(32, 15);
+  const ChunkedRangeSampler sampler(keys, weights);
+
+  constexpr size_t kMarker = 777;  // far outside the sampler's key space
+  ServeOptions options;
+  options.max_delay_ns = 1000 * 1000;
+  RangeServeFrontend frontend(
+      options, {PositionBackend(&sampler), ConstantBackend(kMarker)});
+  ASSERT_EQ(frontend.num_workloads(), 2u);
+
+  constexpr size_t kEach = 24;
+  std::vector<ServeTicket<size_t>> sampled(kEach);
+  std::vector<ServeTicket<size_t>> marked(kEach);
+  for (size_t i = 0; i < kEach; ++i) {
+    // Interleaved into ONE shard queue: the flush must de-interleave by
+    // class, not by arrival.
+    ASSERT_TRUE(frontend.Submit(0, 0, BatchQuery{2.0, 28.0, 4}, &sampled[i]));
+    ASSERT_TRUE(frontend.Submit(0, 1, BatchQuery{2.0, 28.0, 4}, &marked[i]));
+  }
+  for (size_t i = 0; i < kEach; ++i) {
+    ASSERT_EQ(sampled[i].Wait(), ServeStatus::kOk);
+    for (size_t position : sampled[i].samples()) {
+      EXPECT_GE(position, 2u);
+      EXPECT_LE(position, 28u);
+    }
+    ASSERT_EQ(marked[i].Wait(), ServeStatus::kOk);
+    ASSERT_EQ(marked[i].samples().size(), 4u);
+    for (size_t position : marked[i].samples()) EXPECT_EQ(position, kMarker);
+  }
+  frontend.Drain();
+
+  // Per-class splits carry their own counters; the aggregate still sees
+  // the union (so pre-routing dashboards keep working unchanged).
+  const ServeShardStats w0 = frontend.WorkloadStats(0, 0);
+  const ServeShardStats w1 = frontend.WorkloadStats(0, 1);
+  const ServeShardStats all = frontend.ShardStats(0);
+  EXPECT_EQ(w0.submitted, kEach);
+  EXPECT_EQ(w1.submitted, kEach);
+  EXPECT_EQ(w0.completed, kEach);
+  EXPECT_EQ(w1.completed, kEach);
+  EXPECT_EQ(w0.rejected + w1.rejected, 0u);
+  EXPECT_GE(w0.batches_flushed, 1u);
+  EXPECT_GE(w1.batches_flushed, 1u);
+  EXPECT_EQ(all.submitted, 2 * kEach);
+  EXPECT_EQ(all.completed, 2 * kEach);
+  EXPECT_EQ(all.batches_flushed, w0.batches_flushed + w1.batches_flushed);
+  EXPECT_EQ(w0.batch_size.sum_ns() + w1.batch_size.sum_ns(),
+            all.batch_size.sum_ns());
+  // One shard: the merged view IS the shard view, per class.
+  EXPECT_EQ(frontend.MergedWorkloadStats(0), w0);
+  EXPECT_EQ(frontend.MergedWorkloadStats(1), w1);
+}
+
+// RunPinnedWaves over a two-class routing table: each wave interleaves
+// both workloads into pinned boundaries, collecting outputs per class.
+RunOutput RunRoutedPinnedWaves(const ServeOptions& options,
+                               const ChunkedRangeSampler& sampler_a,
+                               const ChunkedRangeSampler& sampler_b,
+                               size_t waves) {
+  RangeServeFrontend frontend(
+      options, {PositionBackend(&sampler_a), PositionBackend(&sampler_b)});
+  RunOutput out;
+  Rng query_rng(99);
+  std::vector<std::unique_ptr<ServeTicket<size_t>>> tickets;
+  for (size_t i = 0; i < options.max_batch; ++i) {
+    tickets.push_back(std::make_unique<ServeTicket<size_t>>());
+  }
+  for (size_t wave = 0; wave < waves; ++wave) {
+    for (size_t i = 0; i < options.max_batch; ++i) {
+      tickets[i]->Reset();
+      const double lo = query_rng.NextDouble() * 48.0;
+      const double hi = lo + query_rng.NextDouble() * 16.0;
+      const size_t s = 1 + (query_rng.Next64() % 7);
+      EXPECT_TRUE(frontend.Submit(0, i % 2, BatchQuery{lo, hi, s},
+                                  tickets[i].get()));
+    }
+    for (size_t i = 0; i < options.max_batch; ++i) {
+      out.statuses.push_back(tickets[i]->Wait());
+      out.samples.emplace_back(tickets[i]->samples());
+    }
+  }
+  frontend.Drain();
+  return out;
+}
+
+TEST(ServeFrontendTest, RoutedFlushesDeterministicAcrossInnerThreadCounts) {
+  const std::vector<double> keys = MakeKeys(64);
+  const ChunkedRangeSampler sampler_a(keys, MakeWeights(64, 16));
+  const ChunkedRangeSampler sampler_b(keys, MakeWeights(64, 17));
+
+  // Per-class determinism: with routing in the path, flushed output must
+  // still be byte-identical across inner thread counts (each class's
+  // stream is a function of its own batch boundaries alone).
+  std::vector<RunOutput> runs;
+  for (size_t num_threads : {1u, 2u, 7u}) {
+    ServeOptions options;
+    options.max_batch = 16;
+    options.max_delay_ns = kNeverDelayNs;
+    options.seed = 2718;
+    options.batch.num_threads = num_threads;
+    runs.push_back(
+        RunRoutedPinnedWaves(options, sampler_a, sampler_b, /*waves=*/4));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+  size_t total = 0;
+  for (const std::vector<size_t>& s : runs[0].samples) total += s.size();
+  EXPECT_GT(total, 0u);
+}
+
+// --------------------------------------------------------------------
+// Join traffic as a second class: two frontends, one process — the
+// cross-type-family routing story from the frontend header. Range
+// queries flow through a RangeServeFrontend while join queries flow
+// through a JoinServeFrontend over a JoinSampler, each micro-batching
+// independently.
+
+TEST(ServeFrontendTest, JoinWorkloadServedAsSecondTrafficClass) {
+  Rng rect_rng(0x5eed);
+  auto random_rects = [&rect_rng](size_t n) {
+    std::vector<multidim::Rect> rects(n);
+    for (multidim::Rect& rect : rects) {
+      rect.x_lo = rect_rng.NextDouble() * 80.0;
+      rect.x_hi = rect.x_lo + rect_rng.NextDouble() * 30.0;
+      rect.y_lo = rect_rng.NextDouble() * 80.0;
+      rect.y_hi = rect.y_lo + rect_rng.NextDouble() * 30.0;
+    }
+    return rects;
+  };
+  const std::vector<multidim::Rect> rel_r = random_rects(48);
+  const std::vector<multidim::Rect> rel_s = random_rects(48);
+  const join::JoinSampler join_sampler(rel_r, rel_s);
+  ASSERT_GT(join_sampler.JoinSize(), 0u);
+
+  const std::vector<double> keys = MakeKeys(32);
+  const std::vector<double> weights = MakeWeights(32, 18);
+  const ChunkedRangeSampler range_sampler(keys, weights);
+
+  ServeOptions options;
+  options.max_delay_ns = 1000 * 1000;
+  RangeServeFrontend range_frontend(options, PositionBackend(&range_sampler));
+  JoinServeFrontend join_frontend(
+      options,
+      [&join_sampler](size_t /*shard*/,
+                      std::span<const join::JoinBatchQuery> queries, Rng* rng,
+                      ScratchArena* arena, const BatchOptions& opts,
+                      join::JoinBatchResult* result) {
+        join_sampler.SampleJoinBatch(queries, rng, arena, opts, result);
+      });
+
+  constexpr size_t kEach = 16;
+  std::vector<ServeTicket<size_t>> range_tickets(kEach);
+  std::vector<ServeTicket<join::JoinPair>> join_tickets(kEach);
+  for (size_t i = 0; i < kEach; ++i) {
+    ASSERT_TRUE(range_frontend.Submit(0, BatchQuery{2.0, 28.0, 4},
+                                      &range_tickets[i]));
+    ASSERT_TRUE(
+        join_frontend.Submit(0, join::JoinBatchQuery{5}, &join_tickets[i]));
+  }
+  for (size_t i = 0; i < kEach; ++i) {
+    ASSERT_EQ(range_tickets[i].Wait(), ServeStatus::kOk);
+    EXPECT_EQ(range_tickets[i].samples().size(), 4u);
+    ASSERT_EQ(join_tickets[i].Wait(), ServeStatus::kOk);
+    ASSERT_EQ(join_tickets[i].samples().size(), 5u);
+    for (const join::JoinPair& pair : join_tickets[i].samples()) {
+      ASSERT_LT(pair.r_id, rel_r.size());
+      ASSERT_LT(pair.s_id, rel_s.size());
+      // Every served pair really is in the join result.
+      EXPECT_TRUE(rel_r[pair.r_id].Intersects(rel_s[pair.s_id]));
+    }
+  }
+  range_frontend.Drain();
+  join_frontend.Drain();
+  EXPECT_EQ(join_frontend.MergedStats().completed, kEach);
+  EXPECT_EQ(range_frontend.MergedStats().completed, kEach);
+}
+
+// --------------------------------------------------------------------
+// ServeOptions validation: one regression test per rejected config. The
+// library has no exceptions — a bad config aborts via IQS_CHECK at the
+// construction site, so these are death tests on the validator (and one
+// on the constructor itself, proving it validates).
+
+TEST(ServeOptionsDeathTest, RejectsZeroShards) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ServeOptions options;
+  options.num_shards = 0;
+  EXPECT_DEATH(ValidateServeOptions(options), "num_shards >= 1");
+}
+
+TEST(ServeOptionsDeathTest, RejectsZeroMaxBatch) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ServeOptions options;
+  options.max_batch = 0;
+  EXPECT_DEATH(ValidateServeOptions(options), "max_batch >= 1");
+}
+
+TEST(ServeOptionsDeathTest, RejectsZeroMaxDelay) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ServeOptions options;
+  options.max_delay_ns = 0;
+  EXPECT_DEATH(ValidateServeOptions(options), "max_delay_ns >= 1");
+}
+
+TEST(ServeOptionsDeathTest, RejectsQueueSmallerThanWindow) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ServeOptions options;
+  options.max_batch = 64;
+  options.queue_capacity = 63;  // could never fill a size-triggered flush
+  EXPECT_DEATH(ValidateServeOptions(options), "queue_capacity");
+}
+
+TEST(ServeOptionsDeathTest, RejectsCallerSuppliedPool) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(1);
+        ServeOptions options;
+        options.batch.pool = &pool;  // each shard worker owns its pool
+        ValidateServeOptions(options);
+      },
+      "batch.pool == nullptr");
+}
+
+TEST(ServeOptionsDeathTest, RejectsContradictoryBatchWindow) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ServeOptions options;
+  options.max_batch = 16;
+  options.batch.max_batch = 8;  // below the flush window it must admit
+  EXPECT_DEATH(ValidateServeOptions(options), "batch.max_batch");
+}
+
+TEST(ServeOptionsDeathTest, RejectsTelemetryOnMultiShard) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        TelemetrySink sink;
+        ServeOptions options;
+        options.num_shards = 2;  // two workers would race on the sink
+        options.batch.telemetry = &sink;
+        ValidateServeOptions(options);
+      },
+      "telemetry");
+}
+
+TEST(ServeOptionsDeathTest, ConstructorValidates) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::vector<double> keys = MakeKeys(8);
+  const std::vector<double> weights = MakeWeights(8, 19);
+  const ChunkedRangeSampler sampler(keys, weights);
+  ServeOptions options;
+  options.max_batch = 0;
+  EXPECT_DEATH(RangeServeFrontend(options, PositionBackend(&sampler)),
+               "max_batch >= 1");
+}
+
+TEST(ServeOptionsDeathTest, RejectsEmptyRoutingTable) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ServeOptions options;
+  EXPECT_DEATH(
+      RangeServeFrontend(options, std::vector<RangeServeFrontend::BatchFn>{}),
+      "empty");
+}
+
+TEST(ServeOptionsDeathTest, RejectsNullWorkloadEntry) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::vector<double> keys = MakeKeys(8);
+  const std::vector<double> weights = MakeWeights(8, 20);
+  const ChunkedRangeSampler sampler(keys, weights);
+  ServeOptions options;
+  std::vector<RangeServeFrontend::BatchFn> table;
+  table.push_back(PositionBackend(&sampler));
+  table.push_back(nullptr);  // a routed class with no backend
+  EXPECT_DEATH(RangeServeFrontend(options, std::move(table)), "nullptr");
 }
 
 TEST(ServeStatsTest, MergeCombinesShards) {

@@ -21,10 +21,10 @@ check-in-loop    No IQS_CHECK inside a loop body in src/ — per-element
                  a justified suppression.
 
 batch-signature  Batch entry points (QueryBatch / SampleBatch /
-                 QueryPositionsBatch) keep the canonical parameter order:
-                 inputs..., Rng*, ScratchArena*, BatchOptions, output
-                 last. Params may be omitted (overloads), never
-                 reordered.
+                 QueryPositionsBatch / SampleJoinBatch) keep the
+                 canonical parameter order: inputs..., Rng*,
+                 ScratchArena*, BatchOptions, output last. Params may be
+                 omitted (overloads), never reordered.
 
 umbrella         Every header under src/iqs/ is reachable from the
                  umbrella header src/iqs/iqs.h by following
@@ -266,7 +266,7 @@ def rule_check_in_loop(files, findings):
 # --- rule: batch-signature --------------------------------------------------
 
 BATCH_FN_RE = re.compile(
-    r"\b(QueryBatch|SampleBatch|QueryPositionsBatch)\s*\(")
+    r"\b(QueryBatch|SampleBatch|QueryPositionsBatch|SampleJoinBatch)\s*\(")
 
 # Canonical tail order. Each param class gets a rank; ranks must be
 # non-decreasing across the parameter list, and the output param (if any)
